@@ -1,0 +1,49 @@
+// Ablation: the §6.4.1 mechanism laid bare. Sweeping a database's
+// spoof-susceptibility from 0 (measurement-backed, never fooled) to 1
+// (registration-trusting) reproduces the whole observed agreement spectrum
+// — demonstrating that agreement-with-claims is NOT a fidelity metric when
+// providers spoof registrations.
+#include "analysis/geo_analysis.h"
+#include "bench_common.h"
+#include "ecosystem/testbed.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace vpna;
+
+int main() {
+  bench::print_header(
+      "Ablation", "Geo-DB agreement vs spoof susceptibility (error/coverage fixed)");
+
+  auto tb = ecosystem::build_testbed();
+  const auto set = analysis::select_geo_comparison_set(tb.providers);
+
+  util::TextTable table({"Spoof susceptibility", "Agreement with claims",
+                         "Disagreements -> US", ""});
+  for (const double susceptibility : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    geo::GeoIpDatabase db(
+        {util::format("ablate-%.2f", susceptibility), susceptibility,
+         /*error=*/0.02, /*coverage=*/1.0},
+        tb.world->geo_registry(), tb.world->seed());
+    const auto result = analysis::compare_with_database(
+        set, db, util::format("ablate-%.2f", susceptibility));
+    const int disagreements = result.answered - result.agreed;
+    table.add_row(
+        {util::format("%.2f", susceptibility),
+         util::percent(result.agreement_rate()),
+         disagreements > 0
+             ? util::percent(static_cast<double>(result.disagreed_to_us) /
+                             disagreements)
+             : "-",
+         util::ascii_bar(result.agreement_rate(), 1.0, 40)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  bench::compare("paper's observed spectrum", "Google 70% ... MaxMind 95%",
+                 "reproduced by susceptibility alone");
+  bench::note("a database that always believes registrations 'agrees' with "
+              "every virtual location — high agreement can mean low fidelity");
+  bench::note("US-skew of disagreements tracks susceptibility downward: "
+              "sharper databases report the Seattle/Miami truth");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Regenerates Figure 1: geographic distribution of claimed VPN business
+// locations (rendered as a sorted bar list rather than a world map).
+#include <algorithm>
+#include <vector>
+
+#include "analysis/ecosystem_stats.h"
+#include "bench_common.h"
+#include "geo/cities.h"
+#include "util/table.h"
+
+using namespace vpna;
+
+int main() {
+  bench::print_header("Figure 1", "Claimed business locations of the 200 providers");
+
+  const auto dist = analysis::business_location_distribution();
+  std::vector<std::pair<std::string, int>> sorted(dist.begin(), dist.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+
+  const int max_count = sorted.empty() ? 1 : sorted.front().second;
+  util::TextTable table({"Country", "Providers", ""});
+  for (const auto& [cc, count] : sorted) {
+    table.add_row({std::string(geo::country_name(cc)), std::to_string(count),
+                   util::ascii_bar(count, max_count, 40)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  bench::compare("dominant jurisdictions",
+                 "US, UK, DE, SE, CA",
+                 sorted.size() >= 2 ? sorted[0].first + ", " + sorted[1].first + ", ..."
+                                    : "?");
+  bench::compare("providers claiming China", "2",
+                 std::to_string(dist.count("CN") != 0u ? dist.at("CN") : 0));
+  const int offshore = (dist.count("SC") ? dist.at("SC") : 0) +
+                       (dist.count("BZ") ? dist.at("BZ") : 0) +
+                       (dist.count("PA") ? dist.at("PA") : 0);
+  bench::compare("offshore tail (SC+BZ+PA)", "a handful",
+                 std::to_string(offshore));
+  bench::note("NordVPN registers in Panama while operating 1000+ US servers");
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Regenerates Figure 2: the CDF of claimed server counts across the
+// 200-provider catalog.
+#include "analysis/ecosystem_stats.h"
+#include "bench_common.h"
+#include "util/table.h"
+
+using namespace vpna;
+
+int main() {
+  bench::print_header("Figure 2", "CDF of claimed server counts");
+
+  const std::vector<int> grid = {10,   50,   100,  250,  500,  750,
+                                 1000, 1500, 2000, 3000, 4000};
+  const auto cdf = analysis::server_count_cdf(grid);
+
+  util::TextTable table({"Servers <=", "Fraction of VPNs", ""});
+  for (const auto& point : cdf) {
+    table.add_row({std::to_string(point.servers),
+                   util::format("%.2f", point.fraction_at_or_below),
+                   util::ascii_bar(point.fraction_at_or_below, 1.0, 40)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  double at750 = 0;
+  for (const auto& point : cdf)
+    if (point.servers == 750) at750 = point.fraction_at_or_below;
+  bench::compare("fraction claiming <= 750 servers", "0.80",
+                 util::format("%.2f", at750));
+  bench::compare("popular providers' claims", "2000-4000 servers",
+                 "NordVPN 4000, PIA 3300, Hotspot Shield 2500");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Regenerates Figure 4: accepted payment methods across the catalog.
+#include "analysis/ecosystem_stats.h"
+#include "bench_common.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace vpna;
+
+int main() {
+  bench::print_header("Figure 4", "Accepted payment methods (200 providers)");
+
+  const auto stats = analysis::payment_stats();
+  util::TextTable table({"Method", "Providers", "Share", ""});
+  const auto add = [&](const char* method, int count) {
+    table.add_row({method, std::to_string(count),
+                   util::percent(static_cast<double>(count) / stats.total),
+                   util::ascii_bar(count, stats.total, 40)});
+  };
+  add("Credit cards", stats.credit_cards);
+  add("Online payments (PayPal-style)", stats.online_payments);
+  add("Cryptocurrencies", stats.cryptocurrency);
+  std::printf("%s\n", table.render().c_str());
+
+  bench::compare("credit cards", "61%",
+                 util::percent(static_cast<double>(stats.credit_cards) / stats.total));
+  bench::compare("online payments", "59%",
+                 util::percent(static_cast<double>(stats.online_payments) / stats.total));
+  bench::compare("cryptocurrencies", "46%",
+                 util::percent(static_cast<double>(stats.cryptocurrency) / stats.total));
+  bench::compare("online+crypto but no cards", "32%",
+                 util::percent(static_cast<double>(stats.online_and_crypto_no_cards) /
+                               stats.total));
+  bench::note("crypto acceptors market themselves on anonymous payment");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Regenerates Figure 5: tunneling technologies supported across the
+// catalog.
+#include "analysis/ecosystem_stats.h"
+#include "bench_common.h"
+#include "util/table.h"
+
+using namespace vpna;
+
+int main() {
+  bench::print_header("Figure 5", "Tunneling protocols supported (200 providers)");
+
+  const auto counts = analysis::protocol_support_counts();
+  const vpn::TunnelProtocol order[] = {
+      vpn::TunnelProtocol::kOpenVpn, vpn::TunnelProtocol::kPptp,
+      vpn::TunnelProtocol::kIpsec,   vpn::TunnelProtocol::kSstp,
+      vpn::TunnelProtocol::kSsl,     vpn::TunnelProtocol::kSsh};
+
+  int max_count = 1;
+  for (const auto& [proto, n] : counts) max_count = std::max(max_count, n);
+
+  util::TextTable table({"Protocol", "Providers", ""});
+  for (const auto proto : order) {
+    const auto it = counts.find(proto);
+    const int n = it == counts.end() ? 0 : it->second;
+    table.add_row({std::string(vpn::protocol_name(proto)), std::to_string(n),
+                   util::ascii_bar(n, max_count, 40)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  bench::compare("shape", "OpenVPN > PPTP > IPsec > SSTP > SSL > SSH",
+                 "see bars above");
+  bench::note("protocol breadth is a marketing feature; misconfigured clients"
+              " leak regardless of protocol strength (see Table 6 bench)");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Regenerates §6.4.1: agreement between claimed vantage-point locations and
+// the three geolocation databases over the measured comparison set.
+// Expected ordering: maxmind-like ~95% > ip2location-like ~90% >
+// google-like ~70%, with Google answering fewer queries and a third of
+// disagreements resolving to the US.
+#include "analysis/geo_analysis.h"
+#include "bench_common.h"
+#include "util/stats.h"
+#include "ecosystem/testbed.h"
+#include "util/table.h"
+
+using namespace vpna;
+
+int main() {
+  bench::print_header("§6.4.1", "Claimed location vs geolocation databases");
+
+  auto tb = ecosystem::build_testbed();
+  const auto set = analysis::select_geo_comparison_set(tb.providers);
+  bench::compare("vantage points compared", "626", std::to_string(set.size()));
+  std::printf("\n");
+
+  struct DbCase {
+    const geo::GeoIpDatabase& db;
+    const char* name;
+    const char* paper_answered;
+    const char* paper_rate;
+  };
+  const DbCase cases[] = {
+      {tb.world->db_google(), "google-like", "541", "70%"},
+      {tb.world->db_ip2location(), "ip2location-like", "612", "90%"},
+      {tb.world->db_maxmind(), "maxmind-like", "612", "95%"},
+  };
+
+  util::TextTable table({"Database", "Answered (paper/meas)",
+                         "Agreement (paper/meas)", "Disagreements -> US"});
+  for (const auto& c : cases) {
+    const auto result = analysis::compare_with_database(set, c.db, c.name);
+    const int disagreements = result.answered - result.agreed;
+    table.add_row(
+        {c.name,
+         util::format("%s / %d", c.paper_answered, result.answered),
+         util::format("%s / %s", c.paper_rate,
+                      util::percent(result.agreement_rate()).c_str()),
+         util::format("%d of %d (%s)", result.disagreed_to_us, disagreements,
+                      disagreements > 0
+                          ? util::percent(static_cast<double>(result.disagreed_to_us) /
+                                          disagreements)
+                                .c_str()
+                          : "-")});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  bench::note("the highest-fidelity database disagrees with provider claims "
+              "the most — it sees through spoofed registrations");
+  bench::note("disagreements skewing to the US reflect the virtual vantage "
+              "points' true homes (Seattle/Miami datacenters)");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Regenerates §6.1.3 / Figure 7: content injection detection via the
+// honeysites. Exactly one provider (a free-trial tier) injects an upsell
+// overlay into HTTP pages; the bench prints the DOM diff as the textual
+// counterpart of the paper's screenshot.
+#include "analysis/report_aggregation.h"
+#include "bench_common.h"
+#include "core/runner.h"
+#include "http/client.h"
+#include "vpn/client.h"
+
+using namespace vpna;
+
+int main() {
+  bench::print_header("§6.1.3 / Figure 7", "Traffic injection via honeysites");
+
+  auto tb = ecosystem::build_testbed_subset(
+      {"Seed4.me", "NordVPN", "TunnelBear", "Betternet", "VPN Gate",
+       "Windscribe", "ProtonVPN", "SurfEasy"});
+  core::RunnerOptions opts;
+  opts.vantage_points_per_provider = 2;
+  core::TestRunner runner(tb, opts);
+  runner.collect_ground_truth();
+  const auto reports = runner.run_all();
+  const auto summary = analysis::aggregate_manipulation(reports);
+
+  std::string injectors;
+  for (const auto& name : summary.content_injectors) {
+    if (!injectors.empty()) injectors += ", ";
+    injectors += name;
+  }
+  bench::compare("providers injecting content", "1 (Seed4.me trial)",
+                 injectors.empty() ? "none" : injectors);
+
+  // Figure 7 counterpart: the injected snippet, extracted from a live load.
+  const auto* seed = tb.provider("Seed4.me");
+  vpn::VpnClient client(tb.world->network(), *tb.client, seed->spec, 771);
+  if (client.connect(seed->vantage_points[0].addr).connected) {
+    http::HttpClient browser(tb.world->network(), *tb.client);
+    const auto res =
+        browser.fetch("http://" + std::string(inet::honeysite_plain()) + "/");
+    const auto* truth = tb.world->page_for(inet::honeysite_plain());
+    if (res.ok() && truth != nullptr && res.body != truth->html) {
+      // Print the injected suffix (everything the pristine DOM lacks).
+      std::size_t split = 0;
+      while (split < res.body.size() && split < truth->html.size() &&
+             res.body[split] == truth->html[split])
+        ++split;
+      std::printf("\ninjected content (DOM diff at offset %zu):\n  %.200s\n",
+                  split, res.body.substr(split, 200).c_str());
+    }
+    client.disconnect();
+  }
+
+  bench::note("the injection advertises the provider's own paid tier — "
+              "monetising trial users rather than serving third-party ads");
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Performance benchmarks for the simulator's hot paths: routing lookups,
+// end-to-end transactions, DNS resolution, page loads, tunnel traversal,
+// anchor sweeps, and world/testbed construction.
+#include <benchmark/benchmark.h>
+
+#include "core/infrastructure_tests.h"
+#include "dns/client.h"
+#include "ecosystem/testbed.h"
+#include "http/client.h"
+#include "vpn/client.h"
+
+using namespace vpna;
+
+namespace {
+
+// Shared world for the per-operation benchmarks (construction measured
+// separately).
+struct PerfEnv {
+  inet::World world{1234};
+  netsim::Host& client;
+  PerfEnv() : client(world.spawn_client("Chicago", "perf-vm")) {
+    client.dns_servers().clear();
+    client.dns_servers().push_back(world.google_dns());
+  }
+};
+
+PerfEnv& env() {
+  static PerfEnv e;
+  return e;
+}
+
+void BM_RouteLookup(benchmark::State& state) {
+  auto& e = env();
+  const auto dst = *netsim::IpAddr::parse("45.0.192.20");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e.client.routes().lookup(dst));
+  }
+}
+BENCHMARK(BM_RouteLookup);
+
+void BM_PingAcrossBackbone(benchmark::State& state) {
+  auto& e = env();
+  const auto dst = e.world.anchors()[10].addr;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e.world.network().ping(e.client, dst));
+  }
+}
+BENCHMARK(BM_PingAcrossBackbone);
+
+void BM_DnsResolution(benchmark::State& state) {
+  auto& e = env();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::resolve_system(
+        e.world.network(), e.client, "daily-courier-news.com", dns::RrType::kA));
+  }
+}
+BENCHMARK(BM_DnsResolution);
+
+void BM_HttpFetch(benchmark::State& state) {
+  auto& e = env();
+  http::HttpClient c(e.world.network(), e.client);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.fetch("http://daily-courier-news.com/"));
+    e.client.capture().clear();
+  }
+}
+BENCHMARK(BM_HttpFetch);
+
+void BM_PageLoadWithResources(benchmark::State& state) {
+  auto& e = env();
+  http::HttpClient c(e.world.network(), e.client);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.load_page("http://daily-courier-news.com/"));
+    e.client.capture().clear();
+  }
+}
+BENCHMARK(BM_PageLoadWithResources);
+
+void BM_AnchorSweep50(benchmark::State& state) {
+  auto& e = env();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::run_ping_probe_test(e.world, e.client));
+    e.client.capture().clear();
+  }
+}
+BENCHMARK(BM_AnchorSweep50);
+
+void BM_TunnelRoundTrip(benchmark::State& state) {
+  // One fetch through an established tunnel (encapsulation both ways).
+  static inet::World world(77);
+  static netsim::Host& vm = [] () -> netsim::Host& {
+    auto& host = world.spawn_client("Chicago", "tunnel-perf-vm");
+    return host;
+  }();
+  static vpn::DeployedProvider provider = [] {
+    vpn::ProviderSpec spec;
+    spec.name = "PerfVPN";
+    spec.vantage_points = {{"de-1", "Frankfurt", "DE", "Frankfurt", "hosteu-fra"}};
+    return vpn::deploy_provider(world, spec);
+  }();
+  static vpn::VpnClient* client = [] {
+    auto* c = new vpn::VpnClient(world.network(), vm, provider.spec);
+    (void)c->connect(provider.vantage_points[0].addr);
+    return c;  // intentionally leaked: lives for the whole benchmark run
+  }();
+  (void)client;
+
+  http::HttpClient browser(world.network(), vm);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(browser.fetch("http://daily-courier-news.com/"));
+    vm.capture().clear();
+  }
+}
+BENCHMARK(BM_TunnelRoundTrip);
+
+void BM_WorldConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    inet::World world(static_cast<std::uint64_t>(state.iterations()));
+    benchmark::DoNotOptimize(world.network().router_count());
+  }
+}
+BENCHMARK(BM_WorldConstruction)->Unit(benchmark::kMillisecond);
+
+void BM_FullTestbedConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    auto tb = ecosystem::build_testbed(
+        static_cast<std::uint64_t>(state.iterations()) + 1);
+    benchmark::DoNotOptimize(tb.total_vantage_points());
+  }
+}
+BENCHMARK(BM_FullTestbedConstruction)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

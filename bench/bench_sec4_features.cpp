@@ -1,0 +1,67 @@
+// Regenerates the §4 feature paragraphs not covered by a numbered table or
+// figure: platform support, security features (kill switches, VPN over
+// Tor), P2P policies, refund/trial terms, and transparency artefacts.
+#include "analysis/ecosystem_stats.h"
+#include "bench_common.h"
+#include "ecosystem/catalog.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace vpna;
+
+int main() {
+  bench::print_header("§4 features",
+                      "Platform, security and policy features (200 providers)");
+
+  int win_mac = 0, linux_support = 0, both_mobile = 0, browser_only = 0;
+  int kill_switch = 0, vpn_over_tor = 0, p2p = 0, free_trial = 0;
+  int seven_day_refund = 0, any_refund = 0, military = 0;
+  for (const auto& e : ecosystem::catalog()) {
+    if (e.supports_windows && e.supports_macos) ++win_mac;
+    if (e.supports_linux) ++linux_support;
+    if (e.supports_android && e.supports_ios) ++both_mobile;
+    if (e.browser_extension_only) ++browser_only;
+    if (e.mentions_kill_switch) ++kill_switch;
+    if (e.offers_vpn_over_tor) ++vpn_over_tor;
+    if (e.allows_p2p) ++p2p;
+    if (e.has_free_or_trial) ++free_trial;
+    if (e.refund_days == 7) ++seven_day_refund;
+    if (e.refund_days > 0) ++any_refund;
+    if (e.claims_military_grade_encryption) ++military;
+  }
+  const int total = static_cast<int>(ecosystem::catalog().size());
+
+  util::TextTable table({"Feature", "Paper", "Measured"});
+  const auto pct = [&](int n) { return util::percent(double(n) / total); };
+  table.add_row({"Windows + macOS support", "87%", pct(win_mac)});
+  table.add_row({"Linux support", "61%", pct(linux_support)});
+  table.add_row({"Android + iOS apps", "56%", pct(both_mobile)});
+  table.add_row({"browser-extension only", "a few", std::to_string(browser_only)});
+  table.add_row({"kill switch advertised", "18", std::to_string(kill_switch)});
+  table.add_row({"VPN over Tor offered", "10", std::to_string(vpn_over_tor)});
+  table.add_row({"P2P/torrents allowed", "64", std::to_string(p2p)});
+  table.add_row({"free or trial tier", "45%", pct(free_trial)});
+  table.add_row({"7-day refund (most common)", "40%", pct(seven_day_refund)});
+  table.add_row({"'military grade encryption' claim", "common marketing",
+                 std::to_string(military)});
+  std::printf("%s\n", table.render().c_str());
+
+  const auto transparency = analysis::transparency_stats();
+  bench::compare("privacy policy missing", "25% (50)",
+                 std::to_string(transparency.without_privacy_policy));
+  bench::compare("terms of service missing", "42% (85)",
+                 std::to_string(transparency.without_terms_of_service));
+  bench::compare("explicit no-logs claims", "45",
+                 std::to_string(transparency.claiming_no_logs));
+  bench::compare("policy length (words)", "70 .. 10,965 (avg 1,340)",
+                 util::format("%d .. %d (avg %.0f)",
+                              transparency.min_policy_words,
+                              transparency.max_policy_words,
+                              transparency.avg_policy_words));
+  bench::compare("affiliate programs", "88",
+                 std::to_string(transparency.with_affiliate_program));
+  bench::compare("Facebook / Twitter presence", "126 / 131",
+                 util::format("%d / %d", transparency.with_facebook,
+                              transparency.with_twitter));
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Regenerates Table 1: the review websites used to seed the provider list
+// and their affiliate-marketing status.
+#include "bench_common.h"
+#include "ecosystem/review_sites.h"
+#include "util/table.h"
+
+using namespace vpna;
+
+int main() {
+  bench::print_header("Table 1",
+                      "Review websites and affiliate-marketing status");
+
+  util::TextTable table({"Website", "Affiliate Based Link"});
+  int affiliate = 0;
+  for (const auto& site : ecosystem::review_sites()) {
+    table.add_row({std::string(site.domain),
+                   site.affiliate_based ? "yes" : "no"});
+    if (site.affiliate_based) ++affiliate;
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  bench::compare("review sites considered", "20",
+                 std::to_string(ecosystem::review_sites().size()));
+  bench::compare("affiliate-based", "18 of 20",
+                 util::format("%d of %zu", affiliate,
+                              ecosystem::review_sites().size()));
+  bench::note("only reddit.com and thatoneprivacysite.net carry no affiliate links");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Regenerates Table 7 (Appendix A): the 62 evaluated services and their
+// subscription types.
+#include "bench_common.h"
+#include "ecosystem/evaluated.h"
+#include "util/table.h"
+
+using namespace vpna;
+
+int main() {
+  bench::print_header("Table 7 / Appendix A",
+                      "The 62 evaluated services and subscription types");
+
+  int paid = 0, trial = 0, free_subs = 0;
+  util::TextTable table({"VPN Name", "Subscription", "Client model",
+                         "Vantage points"});
+  for (const auto& p : ecosystem::evaluated_providers()) {
+    table.add_row({p.spec.name,
+                   std::string(vpn::subscription_name(p.subscription)),
+                   p.spec.has_custom_client ? "first-party client"
+                                            : "OpenVPN config",
+                   std::to_string(p.spec.vantage_points.size())});
+    switch (p.subscription) {
+      case vpn::SubscriptionType::kPaid: ++paid; break;
+      case vpn::SubscriptionType::kTrial: ++trial; break;
+      case vpn::SubscriptionType::kFree: ++free_subs; break;
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  bench::compare("services evaluated", "62",
+                 std::to_string(ecosystem::evaluated_providers().size()));
+  bench::compare("subscription mix (paid/trial/free)", "~29/~24/~9",
+                 util::format("%d/%d/%d", paid, trial, free_subs));
+  bench::compare("first-party clients", "43",
+                 std::to_string(ecosystem::evaluated_stats().with_custom_client));
+  bench::compare("vantage points collected", "1046",
+                 std::to_string(ecosystem::evaluated_stats().vantage_points));
+  return 0;
+}

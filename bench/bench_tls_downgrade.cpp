@@ -1,0 +1,52 @@
+// Regenerates the §6.1.2 TLS downgrade/interception scan: direct TLS
+// negotiation plus HTTP-first loads over 205 hosts, through several
+// providers. Expected shape: zero TLS stripping, zero interception, and a
+// set of hosts answering 403 (or empty 200) to known-VPN egress ranges.
+#include "bench_common.h"
+#include "core/runner.h"
+#include "util/table.h"
+
+using namespace vpna;
+
+int main() {
+  bench::print_header("§6.1.2", "TLS interception & downgrade scan");
+
+  auto tb = ecosystem::build_testbed_subset(
+      {"NordVPN", "CyberGhost", "Mullvad", "PureVPN", "Windscribe"});
+  core::RunnerOptions opts;
+  opts.vantage_points_per_provider = 2;
+  core::TestRunner runner(tb, opts);
+  runner.collect_ground_truth();
+
+  util::TextTable table({"Provider", "Hosts scanned", "Intercepted",
+                         "TLS stripped", "Blocked (403/empty-200)"});
+  int total_intercepted = 0, total_stripped = 0, providers_blocked = 0;
+  for (const auto& provider : tb.providers) {
+    const auto report = runner.run_provider(provider);
+    int scanned = 0, intercepted = 0, stripped = 0, blocked = 0;
+    for (const auto& vp : report.vantage_points) {
+      scanned += static_cast<int>(vp.tls.hosts.size());
+      intercepted += vp.tls.interception_count();
+      stripped += vp.tls.stripped_count();
+      blocked += vp.tls.blocked_count();
+    }
+    total_intercepted += intercepted;
+    total_stripped += stripped;
+    if (blocked > 0) ++providers_blocked;
+    table.add_row({provider.spec.name, std::to_string(scanned),
+                   std::to_string(intercepted), std::to_string(stripped),
+                   std::to_string(blocked)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  bench::compare("providers systematically stripping TLS", "0",
+                 std::to_string(total_stripped > 0 ? 1 : 0));
+  bench::compare("TLS interception instances", "0",
+                 std::to_string(total_intercepted));
+  bench::compare("hosts 403-ing VPN egress ranges",
+                 "more than a dozen, across providers",
+                 util::format("%d providers affected", providers_blocked));
+  bench::note("the 403s validate the technique: services block known VPN "
+              "ranges; no VPN strips TLS");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Audit a provider end-to-end: run the paper's complete test suite against
+// one of the 62 evaluated VPN services and print a human-readable report —
+// the workflow an individual user of the released test suite would follow.
+//
+//   ./audit_provider [provider-name]      (default: "CyberGhost")
+#include <cstdio>
+#include <string>
+
+#include "core/runner.h"
+
+using namespace vpna;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "CyberGhost";
+  if (ecosystem::evaluated_provider(name) == nullptr) {
+    std::printf("unknown provider '%s'; pick one of the 62 evaluated, e.g.:\n",
+                name.c_str());
+    int shown = 0;
+    for (const auto& p : ecosystem::evaluated_providers()) {
+      std::printf("  %s\n", p.spec.name.c_str());
+      if (++shown == 10) break;
+    }
+    return 1;
+  }
+
+  auto tb = ecosystem::build_testbed_subset({name});
+  core::TestRunner runner(tb);
+  std::printf("collecting ground truth from the clean vantage...\n");
+  runner.collect_ground_truth();
+
+  std::printf("auditing %s across up to 5 vantage points...\n\n", name.c_str());
+  const auto report = runner.run_provider(*tb.provider(name));
+
+  for (const auto& vp : report.vantage_points) {
+    std::printf("== vantage %s (%s, %s) egress=%s ==\n", vp.vantage_id.c_str(),
+                vp.advertised_city.c_str(), vp.advertised_country.c_str(),
+                vp.egress_addr.str().c_str());
+    if (!vp.connected) {
+      std::printf("   could not connect\n\n");
+      continue;
+    }
+    std::printf("   dns manipulation:  %s\n",
+                vp.dns_manipulation.manipulation_detected() ? "SUSPICIOUS"
+                                                            : "clean");
+    std::printf("   transparent proxy: %s\n",
+                vp.proxy.proxy_detected ? "DETECTED" : "not detected");
+    std::printf("   dom modifications: %zu page(s)\n",
+                vp.dom_collection.modified_doms().size());
+    std::printf("   unrelated redirects: %zu (upstream censorship)\n",
+                vp.dom_collection.unrelated_redirects().size());
+    std::printf("   tls interception:  %d host(s); stripped: %d; blocked: %d\n",
+                vp.tls.interception_count(), vp.tls.stripped_count(),
+                vp.tls.blocked_count());
+    std::printf("   dns leak:          %s\n",
+                vp.dns_leak.leaked() ? "LEAKING" : "no");
+    std::printf("   ipv6 leak:         %s\n",
+                vp.ipv6_leak.leaked() ? "LEAKING" : "no");
+    std::printf("   tunnel failure:    %s (final state: %s)\n",
+                vp.tunnel_failure.leaked() ? "FAILS OPEN" : "held",
+                std::string(vpn::client_state_name(vp.tunnel_failure.final_state))
+                    .c_str());
+    std::printf("   geolocation API:   %s/%s (claimed %s)\n",
+                vp.geo_api.country_code.c_str(), vp.geo_api.city.c_str(),
+                vp.advertised_country.c_str());
+    if (vp.recursive_origin.resolver_seen) {
+      std::printf("   recursion origin:  %s (%s)\n",
+                  vp.recursive_origin.resolver_seen->str().c_str(),
+                  vp.recursive_origin.resolver_owner.c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("provider summary: dns-leak=%s ipv6-leak=%s fails-open=%s "
+              "proxy=%s injects=%s\n",
+              report.any_dns_leak() ? "yes" : "no",
+              report.any_ipv6_leak() ? "yes" : "no",
+              report.any_tunnel_failure_leak() ? "yes" : "no",
+              report.any_proxy_detected() ? "yes" : "no",
+              report.any_dom_modification() ? "yes" : "no");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Censorship observatory: use VPN vantage points the way the paper's §6.1
+// does in reverse — as measurement probes inside censoring countries.
+// Fetches one site per content category through an egress in each
+// censoring country and prints the block matrix with the national block
+// page each redirect lands on.
+//
+//   ./censorship_observatory
+#include <cstdio>
+#include <map>
+
+#include "http/client.h"
+#include "vpn/client.h"
+#include "vpn/deploy.h"
+
+using namespace vpna;
+
+namespace {
+
+struct ProbeSite {
+  const char* label;
+  const char* url_host;
+};
+
+constexpr ProbeSite kProbes[] = {
+    {"news", "daily-courier-news.com"},
+    {"pornography", "adult-theater-x.com"},
+    {"file-sharing", "torrent-harbor.net"},
+    {"encyclopedia", "wikipedia.org"},
+    {"religion", "jw.org"},
+    {"professional", "linkedin.com"},
+};
+
+struct Egress {
+  const char* country;
+  const char* dc_id;
+  const char* city;
+};
+
+constexpr Egress kEgresses[] = {
+    {"Turkey", "anatolia-ist", "Istanbul"},
+    {"South Korea", "hanriver-sel", "Seoul"},
+    {"Russia (TTK)", "ttk-mow", "Moscow"},
+    {"Russia (Rostelecom)", "rt-led", "St Petersburg"},
+    {"Netherlands (UPC)", "upclink-ams", "Amsterdam"},
+    {"Thailand", "siam-bkk", "Bangkok"},
+    {"United States (control)", "nodespark-chi", "Chicago"},
+};
+
+}  // namespace
+
+int main() {
+  inet::World world(1984);
+  auto& vm = world.spawn_client("Chicago", "observatory-vm");
+
+  std::printf("%-24s", "egress \\ category");
+  for (const auto& probe : kProbes) std::printf(" %-13s", probe.label);
+  std::printf("\n");
+
+  std::uint32_t session = 0;
+  for (const auto& egress : kEgresses) {
+    // One single-vantage provider per egress: the observatory's own probes.
+    vpn::ProviderSpec spec;
+    spec.name = std::string("probe-") + egress.dc_id;
+    vpn::VantagePointSpec vp;
+    vp.id = "probe-1";
+    vp.advertised_city = egress.city;
+    vp.advertised_country = "??";
+    vp.physical_city = egress.city;
+    vp.datacenter_id = egress.dc_id;
+    spec.vantage_points = {vp};
+    const auto deployed =
+        vpn::deploy_provider(world, spec, /*blocklist_ranges=*/false);
+
+    vpn::VpnClient client(world.network(), vm, spec, ++session);
+    if (!client.connect(deployed.vantage_points[0].addr).connected) {
+      std::printf("%-24s (unreachable)\n", egress.country);
+      continue;
+    }
+
+    std::printf("%-24s", egress.country);
+    http::HttpClient browser(world.network(), vm);
+    for (const auto& probe : kProbes) {
+      const auto res =
+          browser.fetch(std::string("http://") + probe.url_host + "/");
+      const bool redirected =
+          res.ok() && res.final_url.host != probe.url_host &&
+          !http::domains_related(probe.url_host, res.final_url.host);
+      std::printf(" %-13s", redirected ? "BLOCKED" : "open");
+    }
+    std::printf("\n");
+    client.disconnect();
+  }
+
+  std::printf(
+      "\nBlock pages encountered: fetch http://torrent-harbor.net/ from "
+      "Moscow (TTK) resolves to:\n");
+  {
+    vpn::ProviderSpec spec;
+    spec.name = "probe-detail";
+    spec.vantage_points = {{"ru-1", "Moscow", "RU", "Moscow", "ttk-mow"}};
+    const auto deployed = vpn::deploy_provider(world, spec, false);
+    vpn::VpnClient client(world.network(), vm, spec, ++session);
+    if (client.connect(deployed.vantage_points[0].addr).connected) {
+      http::HttpClient browser(world.network(), vm);
+      const auto res = browser.fetch("http://torrent-harbor.net/");
+      for (const auto& hop : res.exchanges)
+        std::printf("  %s (HTTP %d)\n", hop.url.str().c_str(), hop.status);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Full campaign driver: deploy the 62-provider testbed, run the complete
+// test suite, and write the artefacts the paper published — a ranked
+// selection-guide scorecard, per-provider Markdown reports, and a raw CSV.
+//
+//   ./full_campaign [output-dir]        (default: current directory)
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "analysis/report_aggregation.h"
+#include "analysis/report_writer.h"
+#include "core/runner.h"
+
+using namespace vpna;
+
+int main(int argc, char** argv) {
+  const std::filesystem::path out_dir = argc > 1 ? argv[1] : ".";
+  std::filesystem::create_directories(out_dir);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::printf("building testbed (62 providers)...\n");
+  auto tb = ecosystem::build_testbed();
+  std::printf("  %zu vantage points deployed\n", tb.total_vantage_points());
+  for (const auto& problem : tb.world->self_check())
+    std::printf("  WORLD PROBLEM: %s\n", problem.c_str());
+
+  core::RunnerOptions opts;
+  opts.vantage_points_per_provider = 3;
+  core::TestRunner runner(tb, opts);
+  std::printf("collecting ground truth...\n");
+  runner.collect_ground_truth();
+  std::printf("running the full suite against every provider...\n");
+  const auto reports = runner.run_all();
+  const auto elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+
+  // Artefacts.
+  {
+    std::ofstream csv(out_dir / "campaign.csv");
+    csv << analysis::render_campaign_csv(reports);
+  }
+  {
+    std::ofstream guide(out_dir / "scorecard.md");
+    guide << analysis::render_scorecard(reports);
+    for (const auto& report : reports)
+      guide << "\n" << analysis::render_provider_markdown(report);
+  }
+
+  // Console summary.
+  const auto leakage = analysis::aggregate_leakage(reports);
+  const auto manipulation = analysis::aggregate_manipulation(reports);
+  int grade_counts[5] = {};
+  for (const auto& report : reports)
+    ++grade_counts[static_cast<int>(analysis::grade_provider(report))];
+
+  std::printf("\ncampaign complete in %.1fs (wall clock)\n", elapsed);
+  std::printf("  tunnel-failure leakers: %zu of %d\n",
+              leakage.tunnel_failure_leakers.size(),
+              leakage.tunnel_failure_applicable);
+  std::printf("  DNS leakers: %zu   IPv6 leakers: %zu\n",
+              leakage.dns_leakers.size(), leakage.ipv6_leakers.size());
+  std::printf("  transparent proxies: %zu   injectors: %zu\n",
+              manipulation.transparent_proxies.size(),
+              manipulation.content_injectors.size());
+  std::printf("  grades: A=%d B=%d C=%d D=%d F=%d\n", grade_counts[0],
+              grade_counts[1], grade_counts[2], grade_counts[3],
+              grade_counts[4]);
+  std::printf("wrote %s and %s\n",
+              (out_dir / "scorecard.md").string().c_str(),
+              (out_dir / "campaign.csv").string().c_str());
+  return 0;
+}

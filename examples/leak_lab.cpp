@@ -1,0 +1,108 @@
+// Leak laboratory: demonstrates every leakage failure mode the paper's
+// §6.5 measures, side by side — DNS leaks, IPv6 leaks, and the spectrum of
+// tunnel-failure behaviours (fail-open, kill-switch-off, kill-switch-on,
+// slow detector) — using purpose-built provider configurations.
+//
+//   ./leak_lab
+#include <cstdio>
+
+#include "core/leakage_tests.h"
+#include "inet/world.h"
+#include "vpn/client.h"
+#include "vpn/deploy.h"
+
+using namespace vpna;
+
+namespace {
+
+vpn::ProviderSpec make_spec(const char* name) {
+  vpn::ProviderSpec spec;
+  spec.name = name;
+  spec.vantage_points = {
+      {"de-1", "Frankfurt", "DE", "Frankfurt", "hosteu-fra"}};
+  return spec;
+}
+
+void banner(const char* title) { std::printf("\n--- %s ---\n", title); }
+
+}  // namespace
+
+int main() {
+  inet::World world(7);
+  auto& vm = world.spawn_client("Chicago", "lab-vm");
+  std::uint32_t session = 0;
+
+  // --- DNS configuration ------------------------------------------------------
+  banner("DNS handling");
+  for (const bool redirects_dns : {true, false}) {
+    auto spec = make_spec(redirects_dns ? "GoodDnsVPN" : "ScopedDnsVPN");
+    spec.behavior.redirects_dns = redirects_dns;
+    const auto deployed = vpn::deploy_provider(world, spec);
+    vpn::VpnClient client(world.network(), vm, spec, ++session);
+    (void)client.connect(deployed.vantage_points[0].addr);
+    vm.capture().clear();
+    const auto res = core::run_dns_leak_test(world, vm);
+    std::printf("%-14s issued %2d lookups -> %d plaintext DNS packets on "
+                "eth0 %s\n",
+                spec.name.c_str(), res.queries_issued,
+                res.plaintext_dns_on_physical_interface,
+                res.leaked() ? "(LEAK)" : "(tunnelled)");
+    client.disconnect();
+  }
+
+  // --- IPv6 handling -----------------------------------------------------------
+  banner("IPv6 handling (service has no IPv6 support)");
+  for (const bool blocks_v6 : {true, false}) {
+    auto spec = make_spec(blocks_v6 ? "V6BlockingVPN" : "V6ObliviousVPN");
+    spec.behavior.blocks_ipv6 = blocks_v6;
+    const auto deployed = vpn::deploy_provider(world, spec);
+    vpn::VpnClient client(world.network(), vm, spec, ++session);
+    (void)client.connect(deployed.vantage_points[0].addr);
+    vm.capture().clear();
+    const auto res = core::run_ipv6_leak_test(world, vm);
+    std::printf("%-14s %d v6 attempts -> %d cleartext v6 packets, %d "
+                "connections around the tunnel %s\n",
+                spec.name.c_str(), res.attempts,
+                res.v6_packets_on_physical_interface,
+                res.v6_connections_succeeded_outside_tunnel,
+                res.leaked() ? "(LEAK)" : "");
+    client.disconnect();
+  }
+
+  // --- tunnel failure ------------------------------------------------------------
+  banner("tunnel failure (3-minute observation window, as in the paper)");
+  struct FailureCase {
+    const char* name;
+    bool fails_open;
+    double detect_s;
+    bool ks_on;
+  };
+  const FailureCase cases[] = {
+      {"FailOpenVPN", true, 25, false},
+      {"KillSwitchVPN", true, 25, true},
+      {"SlowpokeVPN", true, 400, false},
+      {"FailClosedVPN", false, 25, false},
+  };
+  for (const auto& fc : cases) {
+    auto spec = make_spec(fc.name);
+    spec.behavior.fails_open = fc.fails_open;
+    spec.behavior.failure_detect_seconds = fc.detect_s;
+    spec.behavior.has_kill_switch = fc.ks_on;
+    spec.behavior.kill_switch_default_on = fc.ks_on;
+    const auto deployed = vpn::deploy_provider(world, spec);
+    vpn::VpnClient client(world.network(), vm, spec, ++session);
+    (void)client.connect(deployed.vantage_points[0].addr);
+    const auto res = core::run_tunnel_failure_test(world, vm, client, 180);
+    std::printf("%-14s %3d probes, %3d escaped in the clear -> %-11s "
+                "(final state: %s)\n",
+                fc.name, res.probes_sent, res.probes_escaped_clear,
+                res.leaked() ? "FAILS OPEN" : "held closed",
+                std::string(vpn::client_state_name(res.final_state)).c_str());
+    client.disconnect();
+  }
+
+  std::printf("\nNote how SlowpokeVPN 'held closed' within the window — the "
+              "paper calls its own §6.5 estimate conservative for exactly "
+              "this reason.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Hunt for 'virtual' vantage points across the evaluated providers that
+// advertise exotic locations: measure anchor-RTT series through each
+// tunnel, apply the speed-of-light feasibility check, and correlate series
+// across vantage points to expose co-location — the §6.4.2 methodology as
+// a standalone tool.
+//
+//   ./virtual_location_hunt
+#include <cstdio>
+
+#include "analysis/geo_analysis.h"
+#include "ecosystem/testbed.h"
+#include "vpn/client.h"
+
+using namespace vpna;
+
+int main() {
+  // The six providers the paper flags, plus two honest controls.
+  auto tb = ecosystem::build_testbed_subset(
+      {"HideMyAss", "Avira Phantom", "Le VPN", "Freedom IP", "MyIP.io",
+       "VPNUK", "NordVPN", "Mullvad"});
+
+  std::uint32_t session = 0;
+  int flagged_providers = 0;
+
+  for (const auto& provider : tb.providers) {
+    // Measure anchor series for a handful of vantage points per provider
+    // (all of the interesting ones first: cross-country duplicates).
+    std::vector<std::pair<const vpn::DeployedVantagePoint*, std::vector<double>>>
+        series;
+    int physics_violations = 0;
+
+    const std::size_t limit =
+        provider.spec.name == "HideMyAss" ? 12 : 6;
+    for (const auto& vp : provider.vantage_points) {
+      if (series.size() >= limit) break;
+      const auto baseline = tb.world->network().ping(*tb.client, vp.addr);
+      if (!baseline) continue;
+      vpn::VpnClient client(tb.world->network(), *tb.client, provider.spec,
+                            ++session);
+      if (!client.connect(vp.addr).connected) continue;
+      auto rtts = analysis::measure_anchor_series(*tb.world, *tb.client);
+      client.disconnect();
+
+      const auto evidence = analysis::check_vantage_physics(
+          *tb.world, provider, vp, rtts, *baseline);
+      if (evidence) {
+        ++physics_violations;
+        std::printf(
+            "[%s] %s claims %s/%s but answered %s in %.1f ms "
+            "(light needs %.1f ms)\n",
+            provider.spec.name.c_str(), vp.spec.id.c_str(),
+            evidence->advertised_city.c_str(),
+            evidence->advertised_country.c_str(),
+            evidence->fastest_reference.c_str(), evidence->observed_rtt_ms,
+            evidence->min_possible_rtt_ms);
+      }
+      series.emplace_back(&vp, std::move(rtts));
+    }
+
+    const auto pairs =
+        analysis::find_colocated_pairs(provider.spec.name, series);
+    for (const auto& pair : pairs) {
+      std::printf(
+          "[%s] %s (%s) and %s (%s) are co-located: rank correlation %.4f, "
+          "mean |dRTT| %.2f ms\n",
+          pair.provider.c_str(), pair.vantage_a.c_str(),
+          pair.country_a.c_str(), pair.vantage_b.c_str(),
+          pair.country_b.c_str(), pair.rank_correlation,
+          pair.mean_abs_diff_ms);
+    }
+
+    const bool flagged = physics_violations > 0 || !pairs.empty();
+    if (flagged) ++flagged_providers;
+    std::printf("%-16s %s (%d physics violations, %zu co-located pairs)\n\n",
+                provider.spec.name.c_str(),
+                flagged ? "** VIRTUAL LOCATIONS **" : "looks physical",
+                physics_violations, pairs.size());
+  }
+
+  std::printf("flagged %d of %zu providers (paper: 6 of 62)\n",
+              flagged_providers, tb.providers.size());
+  return 0;
+}

@@ -1,0 +1,128 @@
+#include "analysis/ecosystem_stats.h"
+
+#include <algorithm>
+
+#include "util/stats.h"
+
+namespace vpna::analysis {
+
+using ecosystem::catalog;
+
+std::map<std::string, int> business_location_distribution() {
+  std::map<std::string, int> out;
+  for (const auto& e : catalog()) ++out[e.business_country];
+  return out;
+}
+
+std::vector<ServerCountCdfPoint> server_count_cdf(
+    const std::vector<int>& thresholds) {
+  std::vector<double> counts;
+  counts.reserve(catalog().size());
+  for (const auto& e : catalog())
+    counts.push_back(static_cast<double>(e.claimed_server_count));
+
+  std::vector<double> xs;
+  xs.reserve(thresholds.size());
+  for (const int t : thresholds) xs.push_back(static_cast<double>(t));
+  const auto cdf = util::ecdf_at(counts, xs);
+
+  std::vector<ServerCountCdfPoint> out;
+  out.reserve(thresholds.size());
+  for (std::size_t i = 0; i < thresholds.size(); ++i)
+    out.push_back(ServerCountCdfPoint{thresholds[i], cdf[i]});
+  return out;
+}
+
+PaymentStats payment_stats() {
+  PaymentStats out;
+  for (const auto& e : catalog()) {
+    ++out.total;
+    if (e.accepts_credit_cards) ++out.credit_cards;
+    if (e.accepts_online_payments) ++out.online_payments;
+    if (e.accepts_cryptocurrency) ++out.cryptocurrency;
+    if (!e.accepts_credit_cards && e.accepts_online_payments &&
+        e.accepts_cryptocurrency)
+      ++out.online_and_crypto_no_cards;
+  }
+  return out;
+}
+
+std::map<vpn::TunnelProtocol, int> protocol_support_counts() {
+  std::map<vpn::TunnelProtocol, int> out;
+  for (const auto& e : catalog())
+    for (const auto p : e.protocols) ++out[p];
+  return out;
+}
+
+std::map<ecosystem::SelectionSource, int> selection_counts() {
+  std::map<ecosystem::SelectionSource, int> out;
+  for (const auto& e : catalog()) {
+    for (int s = 0; s < ecosystem::kSelectionSourceCount; ++s) {
+      const auto source = static_cast<ecosystem::SelectionSource>(s);
+      if (e.in_source(source)) ++out[source];
+    }
+  }
+  return out;
+}
+
+std::vector<PlanPricing> pricing_table() {
+  struct Extractor {
+    std::string plan;
+    const ecosystem::PricingPlan& (*get)(const ecosystem::CatalogEntry&);
+  };
+  const std::vector<Extractor> extractors = {
+      {"Monthly", [](const ecosystem::CatalogEntry& e)
+                      -> const ecosystem::PricingPlan& { return e.monthly; }},
+      {"Quarterly", [](const ecosystem::CatalogEntry& e)
+                        -> const ecosystem::PricingPlan& { return e.quarterly; }},
+      {"6 Months", [](const ecosystem::CatalogEntry& e)
+                       -> const ecosystem::PricingPlan& { return e.semiannual; }},
+      {"Annual", [](const ecosystem::CatalogEntry& e)
+                     -> const ecosystem::PricingPlan& { return e.annual; }},
+  };
+
+  std::vector<PlanPricing> out;
+  for (const auto& ex : extractors) {
+    std::vector<double> costs;
+    for (const auto& e : catalog()) {
+      const auto& plan = ex.get(e);
+      if (plan.offered) costs.push_back(plan.monthly_cost_usd);
+    }
+    PlanPricing row;
+    row.plan = ex.plan;
+    row.provider_count = static_cast<int>(costs.size());
+    if (!costs.empty()) {
+      const auto summary = util::summarize(costs);
+      row.min_monthly = summary.min;
+      row.avg_monthly = summary.mean;
+      row.max_monthly = summary.max;
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+TransparencyStats transparency_stats() {
+  TransparencyStats out;
+  std::vector<double> words;
+  for (const auto& e : catalog()) {
+    ++out.total;
+    if (!e.has_privacy_policy) ++out.without_privacy_policy;
+    if (!e.has_terms_of_service) ++out.without_terms_of_service;
+    if (e.claims_no_logs) ++out.claiming_no_logs;
+    if (e.has_affiliate_program) ++out.with_affiliate_program;
+    if (e.has_facebook) ++out.with_facebook;
+    if (e.has_twitter) ++out.with_twitter;
+    if (e.has_privacy_policy)
+      words.push_back(static_cast<double>(e.privacy_policy_words));
+  }
+  if (!words.empty()) {
+    const auto summary = util::summarize(words);
+    out.min_policy_words = static_cast<int>(summary.min);
+    out.max_policy_words = static_cast<int>(summary.max);
+    out.avg_policy_words = summary.mean;
+  }
+  return out;
+}
+
+}  // namespace vpna::analysis

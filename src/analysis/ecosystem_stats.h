@@ -1,0 +1,65 @@
+// Ecosystem-level aggregates over the 200-provider catalog (paper §4):
+// the numbers behind Tables 1-3 and Figures 1-5.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ecosystem/catalog.h"
+
+namespace vpna::analysis {
+
+// Figure 1: providers per claimed business country.
+[[nodiscard]] std::map<std::string, int> business_location_distribution();
+
+// Figure 2: empirical CDF of claimed server counts at given thresholds.
+struct ServerCountCdfPoint {
+  int servers = 0;
+  double fraction_at_or_below = 0.0;
+};
+[[nodiscard]] std::vector<ServerCountCdfPoint> server_count_cdf(
+    const std::vector<int>& thresholds);
+
+// Figure 4: payment acceptance counts.
+struct PaymentStats {
+  int credit_cards = 0;
+  int online_payments = 0;
+  int cryptocurrency = 0;
+  int online_and_crypto_no_cards = 0;
+  int total = 0;
+};
+[[nodiscard]] PaymentStats payment_stats();
+
+// Figure 5: tunneling-protocol support counts.
+[[nodiscard]] std::map<vpn::TunnelProtocol, int> protocol_support_counts();
+
+// Table 2: provider counts per selection source.
+[[nodiscard]] std::map<ecosystem::SelectionSource, int> selection_counts();
+
+// Table 3: per-plan pricing statistics.
+struct PlanPricing {
+  std::string plan;
+  int provider_count = 0;
+  double min_monthly = 0;
+  double avg_monthly = 0;
+  double max_monthly = 0;
+};
+[[nodiscard]] std::vector<PlanPricing> pricing_table();
+
+// §4 transparency paragraph numbers.
+struct TransparencyStats {
+  int total = 0;
+  int without_privacy_policy = 0;
+  int without_terms_of_service = 0;
+  int claiming_no_logs = 0;
+  int min_policy_words = 0;
+  int max_policy_words = 0;
+  double avg_policy_words = 0;
+  int with_affiliate_program = 0;
+  int with_facebook = 0;
+  int with_twitter = 0;
+};
+[[nodiscard]] TransparencyStats transparency_stats();
+
+}  // namespace vpna::analysis

@@ -1,0 +1,147 @@
+#include "analysis/figure_export.h"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "analysis/ecosystem_stats.h"
+#include "analysis/geo_analysis.h"
+#include "geo/cities.h"
+#include "util/strings.h"
+#include "vpn/client.h"
+
+namespace vpna::analysis {
+
+std::string FigureData::render() const {
+  std::string out = "#";
+  for (const auto& col : column_names) {
+    std::string clean = col;
+    std::replace(clean.begin(), clean.end(), ' ', '_');
+    out += " " + clean;
+  }
+  out += "\n";
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      std::string clean = row[i];
+      std::replace(clean.begin(), clean.end(), ' ', '_');
+      out += (i == 0 ? "" : " ") + clean;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+FigureData export_fig1_business_locations() {
+  FigureData data;
+  data.name = "fig1_business_locations";
+  data.column_names = {"country", "providers"};
+  const auto dist = business_location_distribution();
+  std::vector<std::pair<std::string, int>> sorted(dist.begin(), dist.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  for (const auto& [cc, count] : sorted)
+    data.rows.push_back({std::string(geo::country_name(cc)),
+                         std::to_string(count)});
+  return data;
+}
+
+FigureData export_fig2_server_cdf() {
+  FigureData data;
+  data.name = "fig2_server_cdf";
+  data.column_names = {"servers", "fraction_at_or_below"};
+  std::vector<int> grid;
+  for (int s = 0; s <= 4000; s += 50) grid.push_back(s);
+  for (const auto& point : server_count_cdf(grid))
+    data.rows.push_back({std::to_string(point.servers),
+                         util::format("%.4f", point.fraction_at_or_below)});
+  return data;
+}
+
+FigureData export_fig4_payments() {
+  FigureData data;
+  data.name = "fig4_payments";
+  data.column_names = {"method", "providers"};
+  const auto stats = payment_stats();
+  data.rows = {
+      {"credit_cards", std::to_string(stats.credit_cards)},
+      {"online_payments", std::to_string(stats.online_payments)},
+      {"cryptocurrencies", std::to_string(stats.cryptocurrency)},
+  };
+  return data;
+}
+
+FigureData export_fig5_protocols() {
+  FigureData data;
+  data.name = "fig5_protocols";
+  data.column_names = {"protocol", "providers"};
+  const auto counts = protocol_support_counts();
+  const vpn::TunnelProtocol order[] = {
+      vpn::TunnelProtocol::kOpenVpn, vpn::TunnelProtocol::kPptp,
+      vpn::TunnelProtocol::kIpsec,   vpn::TunnelProtocol::kSstp,
+      vpn::TunnelProtocol::kSsl,     vpn::TunnelProtocol::kSsh};
+  for (const auto proto : order) {
+    const auto it = counts.find(proto);
+    data.rows.push_back({std::string(vpn::protocol_name(proto)),
+                         std::to_string(it == counts.end() ? 0 : it->second)});
+  }
+  return data;
+}
+
+FigureData export_fig9_series(ecosystem::Testbed& testbed,
+                              const std::string& provider_name,
+                              std::size_t vantage_limit) {
+  FigureData data;
+  data.name = "fig9_" + util::to_lower(provider_name);
+  std::replace(data.name.begin(), data.name.end(), ' ', '_');
+  std::replace(data.name.begin(), data.name.end(), '.', '_');
+
+  const auto* provider = testbed.provider(provider_name);
+  if (provider == nullptr) return data;
+
+  // Measure sorted series per vantage point.
+  std::vector<std::pair<std::string, std::vector<double>>> series;
+  std::uint32_t session = 9000;
+  for (const auto& vp : provider->vantage_points) {
+    if (series.size() >= vantage_limit) break;
+    vpn::VpnClient client(testbed.world->network(), *testbed.client,
+                          provider->spec, ++session);
+    if (!client.connect(vp.addr).connected) continue;
+    auto rtts = measure_anchor_series(*testbed.world, *testbed.client);
+    client.disconnect();
+    std::vector<double> sorted;
+    for (const double rtt : rtts)
+      if (!std::isnan(rtt)) sorted.push_back(rtt);
+    std::sort(sorted.begin(), sorted.end());
+    series.emplace_back(
+        vp.spec.id + "(" + vp.spec.advertised_country + ")", std::move(sorted));
+  }
+  if (series.empty()) return data;
+
+  data.column_names = {"rank"};
+  for (const auto& [label, _] : series) data.column_names.push_back(label);
+  const std::size_t rows =
+      std::min_element(series.begin(), series.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.second.size() < b.second.size();
+                       })
+          ->second.size();
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<std::string> row = {std::to_string(r + 1)};
+    for (const auto& [_, values] : series)
+      row.push_back(util::format("%.3f", values[r]));
+    data.rows.push_back(std::move(row));
+  }
+  return data;
+}
+
+std::string write_figure(const FigureData& data, const std::string& directory) {
+  std::filesystem::create_directories(directory);
+  const auto path =
+      (std::filesystem::path(directory) / (data.name + ".dat")).string();
+  std::ofstream out(path);
+  out << data.render();
+  return path;
+}
+
+}  // namespace vpna::analysis

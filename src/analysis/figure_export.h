@@ -1,0 +1,49 @@
+// Figure-data export: writes the series behind each of the paper's figures
+// as whitespace-delimited .dat files that gnuplot (or any plotting tool)
+// consumes directly — the raw material for regenerating the paper's plots
+// rather than their ASCII approximations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ecosystem/testbed.h"
+#include "vpn/deploy.h"
+
+namespace vpna::analysis {
+
+// A column-oriented data table destined for one .dat file.
+struct FigureData {
+  std::string name;                       // "fig2_server_cdf"
+  std::vector<std::string> column_names;  // header comment row
+  std::vector<std::vector<std::string>> rows;
+
+  // Gnuplot-ready rendering: "# col1 col2 ..." then space-separated rows;
+  // embedded spaces in cells are replaced by underscores.
+  [[nodiscard]] std::string render() const;
+};
+
+// Figure 1: providers per business country (sorted descending).
+[[nodiscard]] FigureData export_fig1_business_locations();
+
+// Figure 2: claimed-server-count CDF on a fixed grid.
+[[nodiscard]] FigureData export_fig2_server_cdf();
+
+// Figure 4: payment-method counts.
+[[nodiscard]] FigureData export_fig4_payments();
+
+// Figure 5: protocol support counts.
+[[nodiscard]] FigureData export_fig5_protocols();
+
+// Figure 9: sorted anchor-RTT series for up to `vantage_limit` vantage
+// points of one deployed provider, one column per vantage point (rows are
+// rank positions) — the exact plot format of the paper's Figure 9.
+// Requires a live testbed because the series are measured through tunnels.
+[[nodiscard]] FigureData export_fig9_series(ecosystem::Testbed& testbed,
+                                            const std::string& provider_name,
+                                            std::size_t vantage_limit = 8);
+
+// Writes `data` into `directory`/`name`.dat; returns the path written.
+std::string write_figure(const FigureData& data, const std::string& directory);
+
+}  // namespace vpna::analysis

@@ -1,0 +1,151 @@
+#include "analysis/geo_analysis.h"
+
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace vpna::analysis {
+
+GeoComparisonSet select_geo_comparison_set(
+    const std::vector<vpn::DeployedProvider>& providers,
+    std::size_t automated_sample) {
+  GeoComparisonSet out;
+  for (const auto& provider : providers) {
+    const std::size_t take = provider.spec.has_custom_client
+                                 ? provider.vantage_points.size()
+                                 : automated_sample;
+    for (std::size_t i = 0; i < provider.vantage_points.size() && i < take; ++i)
+      out.emplace_back(&provider, &provider.vantage_points[i]);
+  }
+  return out;
+}
+
+GeoDbAgreement compare_with_database(const GeoComparisonSet& set,
+                                     const geo::GeoIpDatabase& db,
+                                     std::string database_name) {
+  GeoDbAgreement out;
+  out.database = std::move(database_name);
+  for (const auto& [provider, vp] : set) {
+    ++out.vantage_points;
+    const auto rec = db.lookup(vp->addr);
+    if (!rec) continue;
+    ++out.answered;
+    if (rec->country_code == vp->spec.advertised_country) {
+      ++out.agreed;
+    } else if (rec->country_code == "US") {
+      ++out.disagreed_to_us;
+    }
+  }
+  return out;
+}
+
+GeoDbAgreement compare_with_database(
+    const std::vector<vpn::DeployedProvider>& providers,
+    const geo::GeoIpDatabase& db, std::string database_name) {
+  GeoComparisonSet all;
+  for (const auto& provider : providers)
+    for (const auto& vp : provider.vantage_points)
+      all.emplace_back(&provider, &vp);
+  return compare_with_database(all, db, std::move(database_name));
+}
+
+std::optional<VirtualVantageEvidence> check_vantage_physics(
+    const inet::World& world, const vpn::DeployedProvider& provider,
+    const vpn::DeployedVantagePoint& vp,
+    const std::vector<double>& anchor_rtts, double baseline_rtt_ms) {
+  const auto claimed_city = geo::city_by_name(vp.spec.advertised_city);
+  if (!claimed_city) return std::nullopt;
+
+  const auto anchors = world.anchors();
+  VirtualVantageEvidence best;
+  bool violated = false;
+  double worst_margin = 0.0;
+
+  for (std::size_t i = 0; i < anchors.size() && i < anchor_rtts.size(); ++i) {
+    const double rtt = anchor_rtts[i];
+    if (std::isnan(rtt)) continue;
+    // Estimated vantage->anchor RTT: the through-tunnel sample minus the
+    // constant client->vantage leg (clamped; jitter can push it slightly
+    // negative for an anchor in the vantage point's own rack).
+    const double estimated = std::max(0.0, rtt - baseline_rtt_ms);
+    // Minimum physically possible RTT from the *claimed* location to this
+    // anchor. An estimate materially below the bound refutes the claim;
+    // the 0.85 factor absorbs baseline estimation error (the direct path
+    // to the vantage point is not exactly the tunnel's first leg).
+    const double bound =
+        geo::min_rtt_ms(claimed_city->location, anchors[i].city.location);
+    if (estimated < bound * 0.85 && bound - estimated > worst_margin) {
+      violated = true;
+      worst_margin = bound - estimated;
+      best.fastest_reference = anchors[i].name;
+      best.observed_rtt_ms = estimated;
+      best.min_possible_rtt_ms = bound;
+    }
+  }
+  if (!violated) return std::nullopt;
+
+  best.provider = provider.spec.name;
+  best.vantage_id = vp.spec.id;
+  best.advertised_city = vp.spec.advertised_city;
+  best.advertised_country = vp.spec.advertised_country;
+  best.physically_impossible = true;
+  return best;
+}
+
+std::vector<CoLocationPair> find_colocated_pairs(
+    const std::string& provider,
+    const std::vector<std::pair<const vpn::DeployedVantagePoint*,
+                                std::vector<double>>>& series,
+    double min_correlation, double max_mean_diff_ms) {
+  std::vector<CoLocationPair> out;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    for (std::size_t j = i + 1; j < series.size(); ++j) {
+      const auto& [vp_a, s_a] = series[i];
+      const auto& [vp_b, s_b] = series[j];
+      if (vp_a->spec.advertised_country == vp_b->spec.advertised_country)
+        continue;  // only cross-country co-location is deceptive
+      if (s_a.size() != s_b.size() || s_a.empty()) continue;
+
+      // Drop positions where either probe was lost.
+      std::vector<double> a, b;
+      for (std::size_t k = 0; k < s_a.size(); ++k) {
+        if (std::isnan(s_a[k]) || std::isnan(s_b[k])) continue;
+        a.push_back(s_a[k]);
+        b.push_back(s_b[k]);
+      }
+      if (a.size() < 10) continue;
+
+      const double rho = util::spearman(a, b);
+      double mean_diff = 0;
+      for (std::size_t k = 0; k < a.size(); ++k)
+        mean_diff += std::abs(a[k] - b[k]);
+      mean_diff /= static_cast<double>(a.size());
+
+      if (rho >= min_correlation && mean_diff <= max_mean_diff_ms) {
+        CoLocationPair pair;
+        pair.provider = provider;
+        pair.vantage_a = vp_a->spec.id;
+        pair.vantage_b = vp_b->spec.id;
+        pair.country_a = vp_a->spec.advertised_country;
+        pair.country_b = vp_b->spec.advertised_country;
+        pair.rank_correlation = rho;
+        pair.mean_abs_diff_ms = mean_diff;
+        out.push_back(std::move(pair));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> measure_anchor_series(inet::World& world,
+                                          netsim::Host& client) {
+  std::vector<double> out;
+  out.reserve(world.anchors().size());
+  for (const auto& anchor : world.anchors()) {
+    const auto rtt = world.network().ping(client, anchor.addr);
+    out.push_back(rtt.value_or(std::nan("")));
+  }
+  return out;
+}
+
+}  // namespace vpna::analysis

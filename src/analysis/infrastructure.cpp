@@ -1,0 +1,61 @@
+#include "analysis/infrastructure.h"
+
+#include <algorithm>
+
+namespace vpna::analysis {
+
+InfrastructureCensus census_infrastructure(
+    const std::vector<vpn::DeployedProvider>& providers,
+    const inet::WhoisDb& whois) {
+  InfrastructureCensus out;
+
+  std::map<netsim::IpAddr, std::set<std::string>> by_addr;
+  std::set<netsim::Cidr> fine_blocks;  // /24 granularity
+  // Sharing is assessed at the WHOIS-allocation level, the granularity the
+  // paper's Table 5 reports ("the same IP blocks").
+  std::map<netsim::Cidr, SharedBlock> by_allocation;
+
+  for (const auto& provider : providers) {
+    for (const auto& vp : provider.vantage_points) {
+      ++out.vantage_points;
+      by_addr[vp.addr].insert(provider.spec.name);
+      fine_blocks.insert(netsim::enclosing_block(vp.addr));
+
+      const auto rec = whois.lookup(vp.addr);
+      const netsim::Cidr allocation =
+          rec ? rec->block : netsim::enclosing_block(vp.addr);
+      auto& shared = by_allocation[allocation];
+      shared.block = allocation;
+      if (rec) {
+        shared.asn = rec->asn;
+        shared.country_code = rec->country_code;
+      }
+      shared.providers.insert(provider.spec.name);
+    }
+  }
+
+  out.distinct_addresses = by_addr.size();
+  out.distinct_blocks = fine_blocks.size();
+
+  for (const auto& [addr, names] : by_addr) {
+    if (names.size() >= 2)
+      out.exact_overlaps.push_back(ExactIpOverlap{addr, names});
+  }
+
+  for (const auto& [allocation, shared] : by_allocation) {
+    if (shared.providers.size() >= 2)
+      for (const auto& name : shared.providers)
+        out.providers_sharing_blocks.insert(name);
+    if (shared.providers.size() >= 3)
+      out.blocks_with_3plus_providers.push_back(shared);
+  }
+
+  std::sort(out.blocks_with_3plus_providers.begin(),
+            out.blocks_with_3plus_providers.end(),
+            [](const SharedBlock& a, const SharedBlock& b) {
+              return a.block.network() < b.block.network();
+            });
+  return out;
+}
+
+}  // namespace vpna::analysis

@@ -1,0 +1,46 @@
+// Infrastructure-sharing analysis (paper §6.3): census of vantage-point
+// addresses across providers — distinct IPs vs distinct /24 blocks, exact
+// address overlap between providers (reseller infrastructure), and the
+// Table 5 roll-up of blocks used by three or more providers.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "netsim/ip.h"
+#include "vpn/deploy.h"
+
+namespace vpna::analysis {
+
+struct SharedBlock {
+  netsim::Cidr block;
+  std::uint32_t asn = 0;
+  std::string country_code;   // advertised location of the block
+  std::set<std::string> providers;
+};
+
+struct ExactIpOverlap {
+  netsim::IpAddr addr;
+  std::set<std::string> providers;
+};
+
+struct InfrastructureCensus {
+  std::size_t vantage_points = 0;
+  std::size_t distinct_addresses = 0;
+  std::size_t distinct_blocks = 0;  // /24 granularity
+  // Providers with at least one vantage point in a block also used by
+  // another provider.
+  std::set<std::string> providers_sharing_blocks;
+  std::vector<SharedBlock> blocks_with_3plus_providers;  // Table 5
+  std::vector<ExactIpOverlap> exact_overlaps;            // Boxpn/Anonine
+};
+
+// Runs the census over deployed providers. Block ownership metadata (ASN,
+// country) comes from the WHOIS registry.
+[[nodiscard]] InfrastructureCensus census_infrastructure(
+    const std::vector<vpn::DeployedProvider>& providers,
+    const inet::WhoisDb& whois);
+
+}  // namespace vpna::analysis

@@ -1,0 +1,56 @@
+// Aggregation of per-vantage-point test reports into the paper's result
+// tables: redirect destinations by country (Table 4), leakage rosters
+// (Table 6 and the §6.5 tunnel-failure tally), proxy detections (§6.2.1)
+// and injection findings (§6.1.3).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/runner.h"
+
+namespace vpna::analysis {
+
+// One row of Table 4: a redirect destination and the providers affected.
+struct RedirectRow {
+  std::string destination_host;
+  std::set<std::string> providers;
+  std::set<std::string> vantage_countries;  // where affected VPs claimed to be
+};
+
+// Collates unrelated redirects across all reports, grouped by destination.
+[[nodiscard]] std::vector<RedirectRow> aggregate_redirects(
+    const std::vector<core::ProviderReport>& reports);
+
+struct LeakageSummary {
+  std::set<std::string> dns_leakers;
+  std::set<std::string> ipv6_leakers;
+  std::set<std::string> tunnel_failure_leakers;
+  int custom_client_providers = 0;
+  int tunnel_failure_applicable = 0;
+
+  [[nodiscard]] double tunnel_failure_rate() const {
+    return tunnel_failure_applicable == 0
+               ? 0.0
+               : static_cast<double>(tunnel_failure_leakers.size()) /
+                     tunnel_failure_applicable;
+  }
+};
+
+[[nodiscard]] LeakageSummary aggregate_leakage(
+    const std::vector<core::ProviderReport>& reports);
+
+struct ManipulationSummary {
+  std::set<std::string> transparent_proxies;   // §6.2.1 (five in the paper)
+  std::set<std::string> content_injectors;     // §6.1.3 (one)
+  std::set<std::string> dns_manipulators;
+  std::set<std::string> tls_interceptors;      // none observed in the paper
+  int providers_with_blocked_403 = 0;          // VPN-range discrimination
+};
+
+[[nodiscard]] ManipulationSummary aggregate_manipulation(
+    const std::vector<core::ProviderReport>& reports);
+
+}  // namespace vpna::analysis

@@ -1,0 +1,137 @@
+#include "analysis/report_writer.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace vpna::analysis {
+
+std::string_view grade_name(SafetyGrade g) noexcept {
+  switch (g) {
+    case SafetyGrade::kA: return "A";
+    case SafetyGrade::kB: return "B";
+    case SafetyGrade::kC: return "C";
+    case SafetyGrade::kD: return "D";
+    case SafetyGrade::kF: return "F";
+  }
+  return "?";
+}
+
+SafetyGrade grade_provider(const core::ProviderReport& report) {
+  // Active tampering is disqualifying.
+  bool tampering = false;
+  for (const auto& vp : report.vantage_points) {
+    if (vp.dns_manipulation.manipulation_detected()) tampering = true;
+    if (!vp.dom_collection.modified_doms().empty()) tampering = true;
+    for (const auto& host : vp.tls.hosts)
+      if (host.handshake_ok && !host.fingerprint_matches) tampering = true;
+  }
+  if (tampering) return SafetyGrade::kF;
+
+  int demerits = 0;
+  if (report.any_tunnel_failure_leak()) ++demerits;
+  if (report.any_dns_leak()) ++demerits;
+  if (report.any_ipv6_leak()) ++demerits;
+  if (report.any_proxy_detected()) ++demerits;
+  switch (demerits) {
+    case 0: return SafetyGrade::kA;
+    case 1: return SafetyGrade::kB;
+    case 2: return SafetyGrade::kC;
+    case 3: return SafetyGrade::kD;
+    default: return SafetyGrade::kF;
+  }
+}
+
+std::string render_provider_markdown(const core::ProviderReport& report) {
+  std::string out;
+  out += util::format("## %s\n\n", report.provider.c_str());
+  out += util::format("- subscription: %s\n",
+                      std::string(vpn::subscription_name(report.subscription)).c_str());
+  out += util::format("- client model: %s\n",
+                      report.has_custom_client ? "first-party client"
+                                               : "OpenVPN configuration files");
+  out += util::format("- safety grade: **%s**\n\n",
+                      std::string(grade_name(grade_provider(report))).c_str());
+
+  out += "| check | result |\n|---|---|\n";
+  const auto yn = [](bool bad) { return bad ? "**FAIL**" : "pass"; };
+  out += util::format("| tunnel failure handling | %s |\n",
+                      yn(report.any_tunnel_failure_leak()));
+  out += util::format("| DNS confinement | %s |\n", yn(report.any_dns_leak()));
+  out += util::format("| IPv6 confinement | %s |\n", yn(report.any_ipv6_leak()));
+  out += util::format("| transparent proxying | %s |\n",
+                      yn(report.any_proxy_detected()));
+  out += util::format("| content integrity | %s |\n",
+                      yn(report.any_dom_modification()));
+  out += "\n### Vantage points\n\n";
+  for (const auto& vp : report.vantage_points) {
+    out += util::format("- `%s` (%s, %s) egress `%s`%s\n", vp.vantage_id.c_str(),
+                        vp.advertised_city.c_str(),
+                        vp.advertised_country.c_str(),
+                        vp.egress_addr.str().c_str(),
+                        vp.connected ? "" : " — **unreachable**");
+    if (vp.connected && !vp.dom_collection.unrelated_redirects().empty()) {
+      out += util::format(
+          "  - %zu censorship redirect(s) observed at this egress\n",
+          vp.dom_collection.unrelated_redirects().size());
+    }
+  }
+  return out;
+}
+
+std::string render_campaign_csv(
+    const std::vector<core::ProviderReport>& reports) {
+  std::string out =
+      "provider,subscription,client,vantage_points,connected,dns_leak,"
+      "ipv6_leak,tunnel_failure_leak,transparent_proxy,dom_modification,"
+      "grade\n";
+  for (const auto& report : reports) {
+    int connected = 0;
+    for (const auto& vp : report.vantage_points)
+      if (vp.connected) ++connected;
+    // Provider names may contain commas in principle: quote them.
+    out += util::format(
+        "\"%s\",%s,%s,%zu,%d,%d,%d,%d,%d,%d,%s\n", report.provider.c_str(),
+        std::string(vpn::subscription_name(report.subscription)).c_str(),
+        report.has_custom_client ? "first-party" : "config-file",
+        report.vantage_points.size(), connected,
+        report.any_dns_leak() ? 1 : 0, report.any_ipv6_leak() ? 1 : 0,
+        report.any_tunnel_failure_leak() ? 1 : 0,
+        report.any_proxy_detected() ? 1 : 0,
+        report.any_dom_modification() ? 1 : 0,
+        std::string(grade_name(grade_provider(report))).c_str());
+  }
+  return out;
+}
+
+std::string render_scorecard(const std::vector<core::ProviderReport>& reports) {
+  std::vector<const core::ProviderReport*> sorted;
+  sorted.reserve(reports.size());
+  for (const auto& r : reports) sorted.push_back(&r);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const core::ProviderReport* a, const core::ProviderReport* b) {
+              const auto ga = grade_provider(*a);
+              const auto gb = grade_provider(*b);
+              if (ga != gb) return ga < gb;
+              return a->provider < b->provider;
+            });
+
+  std::string out = "# VPN selection guide (measured, not marketed)\n\n";
+  out += "| grade | provider | failure handling | DNS | IPv6 | proxy | integrity |\n";
+  out += "|---|---|---|---|---|---|---|\n";
+  const auto cell = [](bool bad) { return bad ? "FAIL" : "ok"; };
+  for (const auto* report : sorted) {
+    out += util::format(
+        "| %s | %s | %s | %s | %s | %s | %s |\n",
+        std::string(grade_name(grade_provider(*report))).c_str(),
+        report->provider.c_str(), cell(report->any_tunnel_failure_leak()),
+        cell(report->any_dns_leak()), cell(report->any_ipv6_leak()),
+        cell(report->any_proxy_detected()),
+        cell(report->any_dom_modification()));
+  }
+  out += "\nGrades: one letter per independent failure class; tampering "
+         "(injection, DNS manipulation, TLS interception) is an automatic F.\n";
+  return out;
+}
+
+}  // namespace vpna::analysis

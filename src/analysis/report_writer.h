@@ -1,0 +1,40 @@
+// Report rendering: turns campaign results into the consumer-facing
+// artefacts the paper shipped (a selection-guide website and raw data) —
+// a per-provider Markdown scorecard, a campaign-wide CSV, and a ranked
+// summary table.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/runner.h"
+
+namespace vpna::analysis {
+
+// Letter grade summarizing a provider's measured safety posture.
+enum class SafetyGrade : std::uint8_t { kA, kB, kC, kD, kF };
+[[nodiscard]] std::string_view grade_name(SafetyGrade g) noexcept;
+
+// Grading policy (documented, deterministic):
+//   start at A; drop one grade per independent failure class —
+//   tunnel-failure leak, DNS leak, IPv6 leak, transparent proxy;
+//   drop straight to F for content injection, DNS manipulation or TLS
+//   interception (active tampering).
+[[nodiscard]] SafetyGrade grade_provider(const core::ProviderReport& report);
+
+// One provider's human-readable scorecard (Markdown).
+[[nodiscard]] std::string render_provider_markdown(
+    const core::ProviderReport& report);
+
+// Machine-readable campaign results, one row per provider:
+// provider,subscription,client,vantage_points,connected,dns_leak,ipv6_leak,
+// tunnel_failure_leak,transparent_proxy,dom_modification,grade
+[[nodiscard]] std::string render_campaign_csv(
+    const std::vector<core::ProviderReport>& reports);
+
+// The selection-guide style ranked summary (best grades first, stable by
+// name within a grade).
+[[nodiscard]] std::string render_scorecard(
+    const std::vector<core::ProviderReport>& reports);
+
+}  // namespace vpna::analysis

@@ -1,0 +1,42 @@
+// Traceroute-based location corroboration (the §5.3.2 traceroute data put
+// to work): run traceroutes through the tunnel toward a few well-spread
+// targets, reverse-resolve the first transit hops, and parse the operator
+// naming convention for a city. The first hop past the tunnel is the
+// vantage point's own datacenter edge — its rDNS names the *physical*
+// city regardless of what the provider advertises.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "inet/world.h"
+#include "netsim/host.h"
+
+namespace vpna::analysis {
+
+struct TracerouteLocation {
+  // City votes from parsed hop hostnames, first hop weighted heaviest.
+  std::map<std::string, int> city_votes;
+  std::optional<std::string> best_city;   // slug form, e.g. "seattle"
+  std::vector<std::string> hop_hostnames; // evidence trail
+};
+
+// Parses the city slug out of an operator-style router hostname
+// ("edge.seattle.rentweb-bv.example" -> "seattle"); nullopt if the name
+// doesn't follow the convention.
+[[nodiscard]] std::optional<std::string> city_from_hop_hostname(
+    std::string_view hostname);
+
+// Runs traceroutes from `client` (typically tunnel-connected) toward up to
+// `target_count` anchors and aggregates hop-name city votes.
+[[nodiscard]] TracerouteLocation locate_by_traceroute(
+    inet::World& world, netsim::Host& client, std::size_t target_count = 3);
+
+// Convenience: does the traceroute-derived city refute the advertised one?
+// (slugs compared; nullopt best_city never refutes).
+[[nodiscard]] bool traceroute_refutes_location(
+    const TracerouteLocation& located, std::string_view advertised_city);
+
+}  // namespace vpna::analysis

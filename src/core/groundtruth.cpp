@@ -1,0 +1,54 @@
+#include "core/groundtruth.h"
+
+#include "dns/client.h"
+#include "http/client.h"
+#include "tlssim/handshake.h"
+
+namespace vpna::core {
+
+const std::string* GroundTruth::dom(std::string_view hostname) const {
+  const auto it = doms.find(std::string(hostname));
+  return it == doms.end() ? nullptr : &it->second;
+}
+
+const std::string* GroundTruth::fingerprint(std::string_view hostname) const {
+  const auto it = cert_fingerprints.find(std::string(hostname));
+  return it == cert_fingerprints.end() ? nullptr : &it->second;
+}
+
+GroundTruth collect_ground_truth(inet::World& world, netsim::Host& clean_host) {
+  GroundTruth gt;
+  http::HttpClient client(world.network(), clean_host);
+
+  const auto record_site = [&](std::string_view hostname, bool collect_tls) {
+    const std::string url = "http://" + std::string(hostname) + "/";
+    const auto res = client.fetch(url);
+    if (res.ok()) {
+      gt.doms[std::string(hostname)] = res.body;
+      gt.final_urls[std::string(hostname)] = res.final_url.str();
+    }
+    if (collect_tls) {
+      const auto lookup = dns::resolve_system(world.network(), clean_host,
+                                              hostname, dns::RrType::kA);
+      if (lookup.ok() && !lookup.addresses.empty()) {
+        const auto hs =
+            tlssim::tls_handshake(world.network(), clean_host,
+                                  lookup.addresses.front(), hostname,
+                                  world.ca_store());
+        if (hs.completed() && hs.chain->leaf() != nullptr)
+          gt.cert_fingerprints[std::string(hostname)] =
+              hs.chain->leaf()->key_fingerprint;
+      }
+    }
+  };
+
+  for (const auto& site : inet::dom_test_sites())
+    record_site(site.hostname, site.https_available);
+  for (const auto& site : inet::tls_scan_sites())
+    record_site(site.hostname, site.https_available);
+  record_site(inet::honeysite_plain(), false);
+  record_site(inet::honeysite_ads(), false);
+  return gt;
+}
+
+}  // namespace vpna::core

@@ -1,0 +1,32 @@
+// Ground-truth collection (§5.3.1): periodically fetching every test
+// target from a known-clean vantage (the paper used a university IP) to
+// build the whitelist that manipulation is judged against — page DOMs,
+// certificate fingerprints, and the header-echo baseline.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "inet/world.h"
+
+namespace vpna::core {
+
+struct GroundTruth {
+  // hostname -> pristine root-page DOM.
+  std::map<std::string, std::string> doms;
+  // hostname -> leaf certificate fingerprint.
+  std::map<std::string, std::string> cert_fingerprints;
+  // hostname -> final URL after redirects when fetched cleanly.
+  std::map<std::string, std::string> final_urls;
+
+  [[nodiscard]] const std::string* dom(std::string_view hostname) const;
+  [[nodiscard]] const std::string* fingerprint(std::string_view hostname) const;
+};
+
+// Fetches every DOM-test site, honeysite and TLS-scan host from
+// `clean_host` (a direct, non-VPN client) and records the pristine state.
+[[nodiscard]] GroundTruth collect_ground_truth(inet::World& world,
+                                               netsim::Host& clean_host);
+
+}  // namespace vpna::core

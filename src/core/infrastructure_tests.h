@@ -1,0 +1,57 @@
+// Infrastructure-inference tests (paper §5.3.2):
+//
+//  - Recursive DNS origin: resolve a uniquely-tagged name under the probe
+//    zone and read back, from the authoritative log, which resolver
+//    actually performed the recursion.
+//  - Ping & traceroute collection: RTTs to anycast public resolvers, the
+//    root-server letters, and the 50 anchors; traceroute toward a root.
+//  - Geolocation API: ask the measurement-backed geolocation endpoint
+//    where the egress address appears to be.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "inet/world.h"
+
+namespace vpna::core {
+
+struct RecursiveDnsOriginResult {
+  bool resolved = false;
+  std::string tag;                     // the unique probe label used
+  std::optional<netsim::IpAddr> resolver_seen;  // who hit the authority
+  std::string resolver_owner;          // WHOIS org of that resolver
+};
+
+[[nodiscard]] RecursiveDnsOriginResult run_recursive_dns_origin_test(
+    inet::World& world, netsim::Host& client, std::string tag);
+
+struct PingTarget {
+  std::string name;     // "anchor:Oslo", "root:D", "gdns"
+  netsim::IpAddr addr;
+  std::optional<double> rtt_ms;
+};
+
+struct PingProbeResult {
+  std::vector<PingTarget> targets;     // anchors + roots + resolvers
+  std::vector<netsim::TracerouteHop> root_traceroute;  // toward D-root
+  // RTT vector over the anchor set only, ordered by anchor index; missing
+  // probes are NaN. This is the Figure 9 series.
+  [[nodiscard]] std::vector<double> anchor_series() const;
+};
+
+[[nodiscard]] PingProbeResult run_ping_probe_test(inet::World& world,
+                                                  netsim::Host& client);
+
+struct GeoApiResult {
+  bool answered = false;
+  std::string country_code;
+  std::string city;
+};
+
+[[nodiscard]] GeoApiResult run_geo_api_test(inet::World& world,
+                                            netsim::Host& client);
+
+}  // namespace vpna::core

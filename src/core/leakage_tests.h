@@ -1,0 +1,78 @@
+// Leakage tests (paper §5.3.3): DNS leakage, IPv6 leakage, and recovery
+// from tunnel failure. All three work the way the paper's suite does —
+// generate traffic, then scan the capture on the physical (non-VPN)
+// interface for packets that should have ridden the tunnel; the failure
+// test firewalls the VPN server and watches whether fixed outside hosts
+// become reachable in the clear during a blocking window.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "inet/world.h"
+#include "vpn/client.h"
+
+namespace vpna::core {
+
+struct DnsLeakResult {
+  int queries_issued = 0;
+  int plaintext_dns_on_physical_interface = 0;
+  [[nodiscard]] bool leaked() const {
+    return plaintext_dns_on_physical_interface > 0;
+  }
+};
+
+// Issues lookups to the system resolver and to public resolvers, then
+// scans the eth0 capture for un-encapsulated DNS.
+[[nodiscard]] DnsLeakResult run_dns_leak_test(inet::World& world,
+                                              netsim::Host& client);
+
+struct Ipv6LeakResult {
+  int attempts = 0;
+  int v6_packets_on_physical_interface = 0;
+  int v6_connections_succeeded_outside_tunnel = 0;
+  [[nodiscard]] bool leaked() const {
+    return v6_packets_on_physical_interface > 0;
+  }
+};
+
+// Attempts IPv6 connections to dual-stack test sites and scans eth0 for
+// cleartext v6 traffic.
+[[nodiscard]] Ipv6LeakResult run_ipv6_leak_test(inet::World& world,
+                                                netsim::Host& client);
+
+struct TunnelFailureResult {
+  bool failure_induced = false;
+  double window_seconds = 180.0;
+  int probes_sent = 0;
+  int probes_escaped_clear = 0;  // reached the outside host off-tunnel
+  vpn::ClientState final_state = vpn::ClientState::kDisconnected;
+  [[nodiscard]] bool leaked() const { return probes_escaped_clear > 0; }
+};
+
+// Induces tunnel failure by firewalling the VPN server (label
+// "induced-failure"), probes fixed hosts for `window_seconds` of virtual
+// time while ticking the client, then removes the block. The client is
+// left in whatever state its failure policy produced.
+[[nodiscard]] TunnelFailureResult run_tunnel_failure_test(
+    inet::World& world, netsim::Host& client, vpn::VpnClient& vpn_client,
+    double window_seconds = 180.0);
+
+// WebRTC-style address disclosure (the Al-Fannah vulnerability the paper's
+// related-work section says it audits): a page's ICE gathering exposes the
+// host's interface addresses plus a STUN server-reflexive address. Even a
+// perfectly tunnelled client discloses its true public address through host
+// candidates — invisible to route/DNS configuration.
+struct WebRtcLeakResult {
+  std::vector<netsim::IpAddr> host_candidates;       // interface enumeration
+  std::optional<netsim::IpAddr> reflexive_candidate; // via STUN
+  bool connected_via_vpn = false;
+  // The tell: the physical interface's public address appears among the
+  // candidates a visited site would learn, despite the active tunnel.
+  bool reveals_true_address = false;
+};
+
+[[nodiscard]] WebRtcLeakResult run_webrtc_leak_test(inet::World& world,
+                                                    netsim::Host& client);
+
+}  // namespace vpna::core

@@ -1,0 +1,100 @@
+// Traffic interception & manipulation tests (paper §5.3.1):
+//
+//  - DNS manipulation: resolve popular names via the tunnel's default
+//    resolver and cross-check against Google Public DNS; classify
+//    mismatches via WHOIS ownership.
+//  - DOM & request collection: load the 55-site list plus honeysites
+//    through the tunnel and diff DOMs/request logs against ground truth;
+//    classify HTTP redirects using the public-suffix relatedness rule.
+//  - TLS interception & downgrade: handshake directly with each host,
+//    validate and fingerprint-compare the chain; then load each site over
+//    HTTP and record whether upgrades get stripped or responses blocked.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/groundtruth.h"
+#include "inet/world.h"
+
+namespace vpna::core {
+
+// ---------- DNS manipulation --------------------------------------------------
+
+struct DnsMismatch {
+  std::string hostname;
+  std::string via_default;        // answer from the tunnel resolver
+  std::string via_google;         // answer from Google Public DNS
+  std::string default_owner;      // WHOIS org of the suspicious answer
+  std::string google_owner;
+  bool suspicious = false;        // owners differ (human follow-up needed)
+};
+
+struct DnsManipulationResult {
+  int names_tested = 0;
+  std::vector<DnsMismatch> mismatches;
+  [[nodiscard]] bool manipulation_detected() const {
+    for (const auto& m : mismatches)
+      if (m.suspicious) return true;
+    return false;
+  }
+};
+
+[[nodiscard]] DnsManipulationResult run_dns_manipulation_test(
+    inet::World& world, netsim::Host& client);
+
+// ---------- DOM & request collection -----------------------------------------
+
+enum class RedirectClass : std::uint8_t {
+  kNone,          // no redirect
+  kRelated,       // redirect within related domains (benign)
+  kUnrelated,     // redirect to an unrelated domain (block page / hijack)
+};
+
+struct PageObservation {
+  std::string hostname;
+  bool load_ok = false;
+  RedirectClass redirect = RedirectClass::kNone;
+  std::string final_host;          // where the chain ended
+  bool dom_matches_groundtruth = true;
+  std::vector<std::string> unexpected_request_urls;  // not in the whitelist
+};
+
+struct DomCollectionResult {
+  std::vector<PageObservation> pages;
+  [[nodiscard]] std::vector<const PageObservation*> unrelated_redirects() const;
+  [[nodiscard]] std::vector<const PageObservation*> modified_doms() const;
+};
+
+[[nodiscard]] DomCollectionResult run_dom_collection_test(
+    inet::World& world, netsim::Host& client, const GroundTruth& truth);
+
+// ---------- TLS interception & downgrade -------------------------------------
+
+struct TlsObservation {
+  std::string hostname;
+  bool handshake_ok = false;
+  bool chain_valid = false;
+  bool fingerprint_matches = true;  // vs ground truth
+  std::string presented_issuer;
+  // The HTTP-side walk:
+  int http_status = 0;              // final status of the plain-HTTP load
+  bool upgraded_to_https = false;   // redirect chain reached https
+  bool upgrade_stripped = false;    // GT upgraded but this load did not
+  bool blocked_403 = false;         // VPN-range discrimination
+  bool empty_200 = false;           // blocked with an empty body
+};
+
+struct TlsTestResult {
+  std::vector<TlsObservation> hosts;
+  [[nodiscard]] int interception_count() const;
+  [[nodiscard]] int stripped_count() const;
+  [[nodiscard]] int blocked_count() const;
+};
+
+[[nodiscard]] TlsTestResult run_tls_test(inet::World& world,
+                                         netsim::Host& client,
+                                         const GroundTruth& truth);
+
+}  // namespace vpna::core

@@ -1,0 +1,45 @@
+// Header-based transparent-proxy detection (paper §6.2.1) and the
+// pcap-based unexpected-traffic scan (§5.3.4 / §6.6): compare the bytes a
+// client sent against what the reflection server received, and scan the
+// hardware-interface capture for traffic that indicates the client is
+// being used as an egress for other users (P2P relaying).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "inet/world.h"
+
+namespace vpna::core {
+
+struct ProxyDetectionResult {
+  bool request_succeeded = false;
+  bool proxy_detected = false;       // received bytes differ from sent bytes
+  bool headers_added = false;        // extra headers present (announcing proxy)
+  bool headers_rewritten = false;    // same set, different bytes (silent proxy)
+  std::string sent;
+  std::string received;
+};
+
+// Sends a distinctively-formatted request to the reflection endpoint and
+// byte-compares the echo.
+[[nodiscard]] ProxyDetectionResult run_proxy_detection_test(
+    inet::World& world, netsim::Host& client);
+
+struct PcapScanResult {
+  std::size_t packets_scanned = 0;
+  // Inbound DNS queries from strangers: the smoking gun for our address
+  // being used as a vantage point for other users' traffic.
+  int unexpected_inbound_dns = 0;
+  // Outbound DNS on eth0 not attributable to our own probes (the paper
+  // attributes its few hits to silent tunnel failures).
+  int unattributed_outbound_dns = 0;
+  [[nodiscard]] bool p2p_relaying_suspected() const {
+    return unexpected_inbound_dns > 0;
+  }
+};
+
+// Scans the client's full capture buffer.
+[[nodiscard]] PcapScanResult run_pcap_scan(const netsim::Host& client);
+
+}  // namespace vpna::core

@@ -1,0 +1,165 @@
+#include "core/runner.h"
+
+#include "util/strings.h"
+#include "vpn/client.h"
+
+namespace vpna::core {
+
+bool ProviderReport::any_dns_leak() const {
+  for (const auto& vp : vantage_points)
+    if (vp.dns_leak.leaked()) return true;
+  return false;
+}
+
+bool ProviderReport::any_ipv6_leak() const {
+  for (const auto& vp : vantage_points)
+    if (vp.ipv6_leak.leaked()) return true;
+  return false;
+}
+
+bool ProviderReport::any_tunnel_failure_leak() const {
+  for (const auto& vp : vantage_points)
+    if (vp.tunnel_failure.leaked()) return true;
+  return false;
+}
+
+bool ProviderReport::any_proxy_detected() const {
+  for (const auto& vp : vantage_points)
+    if (vp.proxy.proxy_detected) return true;
+  return false;
+}
+
+bool ProviderReport::any_dom_modification() const {
+  for (const auto& vp : vantage_points)
+    if (!vp.dom_collection.modified_doms().empty()) return true;
+  return false;
+}
+
+TestRunner::TestRunner(ecosystem::Testbed& testbed, RunnerOptions options)
+    : testbed_(testbed), options_(options) {}
+
+void TestRunner::collect_ground_truth() {
+  truth_ = core::collect_ground_truth(*testbed_.world, *testbed_.client);
+}
+
+namespace {
+
+MetadataSnapshot collect_metadata(const netsim::Host& host) {
+  MetadataSnapshot meta;
+  meta.routing_table = host.routes().dump();
+  for (const auto& server : host.dns_servers())
+    meta.dns_resolvers.push_back(server.str());
+  for (const auto& iface : host.interfaces()) {
+    std::string desc = iface.name;
+    if (iface.addr4) desc += " inet " + iface.addr4->str();
+    if (iface.addr6) desc += " inet6 " + iface.addr6->str();
+    if (!iface.up) desc += " (down)";
+    meta.interfaces.push_back(std::move(desc));
+  }
+  return meta;
+}
+
+}  // namespace
+
+VantagePointReport TestRunner::run_vantage_point(
+    const vpn::DeployedProvider& provider,
+    const vpn::DeployedVantagePoint& vp, std::uint32_t session) {
+  VantagePointReport report;
+  report.provider = provider.spec.name;
+  report.vantage_id = vp.spec.id;
+  report.advertised_country = vp.spec.advertised_country;
+  report.advertised_city = vp.spec.advertised_city;
+  report.egress_addr = vp.addr;
+
+  auto& world = *testbed_.world;
+  auto& client = *testbed_.client;
+
+  // Fresh VM state between vantage points: the capture is cleared and any
+  // residue from the previous run was removed at disconnect.
+  client.capture().clear();
+
+  vpn::VpnClient vpn_client(world.network(), client, provider.spec, session);
+  // Flaky endpoints (§5.2) get retried before being written off.
+  vpn::ConnectResult connect;
+  for (int attempt = 0; attempt < std::max(1, options_.connect_attempts);
+       ++attempt) {
+    connect = vpn_client.connect(vp.addr);
+    if (connect.connected) break;
+  }
+  report.connected = connect.connected;
+  if (!connect.connected) return report;
+
+  report.metadata = collect_metadata(client);
+
+  // Interception & manipulation suites.
+  report.dns_manipulation = run_dns_manipulation_test(world, client);
+  if (options_.run_web_suites) {
+    report.dom_collection = run_dom_collection_test(world, client, truth_);
+    report.tls = run_tls_test(world, client, truth_);
+  }
+  report.proxy = run_proxy_detection_test(world, client);
+
+  // Infrastructure suites.
+  report.recursive_origin = run_recursive_dns_origin_test(
+      world, client,
+      util::format("t%u-%s-%s", session, provider.spec.name.c_str(),
+                   vp.spec.id.c_str()));
+  report.pings = run_ping_probe_test(world, client);
+  report.geo_api = run_geo_api_test(world, client);
+
+  // Leakage suites. DNS/IPv6 leak tests only apply to first-party clients
+  // (manual OpenVPN configurations require hand-set DNS/IPv6 state, §6.5).
+  if (provider.spec.has_custom_client || !options_.respect_client_model) {
+    report.dns_leak = run_dns_leak_test(world, client);
+    report.ipv6_leak = run_ipv6_leak_test(world, client);
+  }
+  report.tunnel_failure = run_tunnel_failure_test(
+      world, client, vpn_client, options_.tunnel_failure_window_s);
+
+  report.pcap = run_pcap_scan(client);
+
+  vpn_client.disconnect();
+  return report;
+}
+
+ProviderReport TestRunner::run_provider(const vpn::DeployedProvider& provider) {
+  ProviderReport report;
+  report.provider = provider.spec.name;
+  report.subscription = provider.spec.subscription;
+  report.has_custom_client = provider.spec.has_custom_client;
+
+  // Vantage-point selection: maximize geographic (country) diversity, as
+  // the paper's manual procedure did.
+  std::vector<const vpn::DeployedVantagePoint*> selected;
+  if (options_.vantage_points_per_provider == 0 ||
+      provider.vantage_points.size() <= options_.vantage_points_per_provider) {
+    for (const auto& vp : provider.vantage_points) selected.push_back(&vp);
+  } else {
+    std::set<std::string> countries;
+    for (const auto& vp : provider.vantage_points) {
+      if (selected.size() >= options_.vantage_points_per_provider) break;
+      if (countries.insert(vp.spec.advertised_country).second)
+        selected.push_back(&vp);
+    }
+    for (const auto& vp : provider.vantage_points) {
+      if (selected.size() >= options_.vantage_points_per_provider) break;
+      if (std::find(selected.begin(), selected.end(), &vp) == selected.end())
+        selected.push_back(&vp);
+    }
+  }
+
+  for (const auto* vp : selected)
+    report.vantage_points.push_back(
+        run_vantage_point(provider, *vp, next_session_++));
+  return report;
+}
+
+std::vector<ProviderReport> TestRunner::run_all() {
+  std::vector<ProviderReport> out;
+  out.reserve(testbed_.providers.size());
+  for (const auto& provider : testbed_.providers)
+    out.push_back(run_provider(provider));
+  return out;
+}
+
+}  // namespace vpna::core

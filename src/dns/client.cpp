@@ -1,0 +1,49 @@
+#include "dns/client.h"
+
+namespace vpna::dns {
+
+LookupResult query(netsim::Network& net, netsim::Host& host,
+                   const netsim::IpAddr& server, std::string_view name,
+                   RrType type) {
+  LookupResult out;
+  out.server = server;
+
+  DnsQuery q;
+  q.id = static_cast<std::uint16_t>(net.rng().next() & 0xffff);
+  q.type = type;
+  q.name = canonical_name(name);
+
+  netsim::Packet p;
+  p.dst = server;
+  p.proto = netsim::Proto::kUdp;
+  p.src_port = host.next_ephemeral_port();
+  p.dst_port = netsim::kPortDns;
+  p.payload = q.encode();
+
+  const auto result = net.transact(host, std::move(p));
+  out.transport = result.status;
+  out.rtt_ms = result.rtt_ms;
+  if (!result.ok()) return out;
+
+  const auto resp = DnsResponse::decode(result.reply);
+  if (!resp || resp->id != q.id) {
+    out.transport = netsim::TransactStatus::kDropped;
+    return out;
+  }
+  out.rcode = resp->rcode;
+  out.addresses = resp->addresses;
+  out.texts = resp->texts;
+  return out;
+}
+
+LookupResult resolve_system(netsim::Network& net, netsim::Host& host,
+                            std::string_view name, RrType type) {
+  LookupResult last;
+  for (const auto& server : host.dns_servers()) {
+    last = query(net, host, server, name, type);
+    if (last.transport == netsim::TransactStatus::kOk) return last;
+  }
+  return last;  // all servers failed (or none configured)
+}
+
+}  // namespace vpna::dns

@@ -1,0 +1,40 @@
+// Client-side DNS helpers: issue a query to a specific server, or resolve
+// through the host's configured system resolvers (the path a leaking VPN
+// client fails to redirect).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dns/message.h"
+#include "netsim/host.h"
+#include "netsim/network.h"
+
+namespace vpna::dns {
+
+struct LookupResult {
+  netsim::TransactStatus transport = netsim::TransactStatus::kNoRoute;
+  Rcode rcode = Rcode::kServFail;
+  std::vector<netsim::IpAddr> addresses;
+  std::vector<std::string> texts;
+  netsim::IpAddr server;  // the resolver that answered
+  double rtt_ms = 0.0;
+
+  [[nodiscard]] bool ok() const noexcept {
+    return transport == netsim::TransactStatus::kOk && rcode == Rcode::kNoError;
+  }
+};
+
+// Queries one resolver directly.
+[[nodiscard]] LookupResult query(netsim::Network& net, netsim::Host& host,
+                                 const netsim::IpAddr& server,
+                                 std::string_view name, RrType type);
+
+// Resolves through the host's configured DNS servers, in order, returning
+// the first usable answer (mirrors the OS stub resolver).
+[[nodiscard]] LookupResult resolve_system(netsim::Network& net,
+                                          netsim::Host& host,
+                                          std::string_view name, RrType type);
+
+}  // namespace vpna::dns

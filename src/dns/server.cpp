@@ -1,0 +1,133 @@
+#include "dns/server.h"
+
+namespace vpna::dns {
+
+void ZoneRegistry::set_authority(std::string zone, netsim::IpAddr server) {
+  zones_[canonical_name(zone)] = server;
+}
+
+std::optional<netsim::IpAddr> ZoneRegistry::authority_for(
+    std::string_view name) const {
+  const std::string n = canonical_name(name);
+  const std::string* best_zone = nullptr;
+  const netsim::IpAddr* best_server = nullptr;
+  for (const auto& [zone, server] : zones_) {
+    if (!in_zone(n, zone)) continue;
+    if (best_zone == nullptr || zone.size() > best_zone->size()) {
+      best_zone = &zone;
+      best_server = &server;
+    }
+  }
+  if (best_server == nullptr) return std::nullopt;
+  return *best_server;
+}
+
+void AuthoritativeService::add_record(std::string name, ZoneRecord record) {
+  records_[canonical_name(name)] = std::move(record);
+}
+
+void AuthoritativeService::add_wildcard_zone(std::string zone,
+                                             ZoneRecord record) {
+  wildcard_zones_[canonical_name(zone)] = std::move(record);
+}
+
+std::optional<std::string> AuthoritativeService::handle(
+    netsim::ServiceContext& ctx) {
+  const auto query = DnsQuery::decode(ctx.request.payload);
+  if (!query) return std::nullopt;
+
+  query_log_.push_back(QueryLogEntry{ctx.network.clock().now(),
+                                     ctx.request.src, query->name,
+                                     query->type});
+
+  DnsResponse resp;
+  resp.id = query->id;
+  resp.type = query->type;
+  resp.name = query->name;
+
+  const ZoneRecord* record = nullptr;
+  if (const auto it = records_.find(query->name); it != records_.end()) {
+    record = &it->second;
+  } else {
+    for (const auto& [zone, rec] : wildcard_zones_) {
+      if (in_zone(query->name, zone)) {
+        record = &rec;
+        break;
+      }
+    }
+  }
+
+  if (record == nullptr) {
+    resp.rcode = Rcode::kNxDomain;
+    return resp.encode();
+  }
+  switch (query->type) {
+    case RrType::kA:
+      resp.addresses = record->a;
+      break;
+    case RrType::kAaaa:
+      resp.addresses = record->aaaa;
+      break;
+    case RrType::kTxt:
+      resp.texts = record->txt;
+      break;
+  }
+  if (resp.addresses.empty() && resp.texts.empty())
+    resp.rcode = Rcode::kNxDomain;
+  return resp.encode();
+}
+
+RecursiveResolverService::RecursiveResolverService(
+    std::shared_ptr<const ZoneRegistry> zones)
+    : zones_(std::move(zones)) {}
+
+std::optional<std::string> RecursiveResolverService::handle(
+    netsim::ServiceContext& ctx) {
+  const auto query = DnsQuery::decode(ctx.request.payload);
+  if (!query) return std::nullopt;
+
+  DnsResponse resp;
+  resp.id = query->id;
+  resp.type = query->type;
+  resp.name = query->name;
+
+  if (override_) {
+    if (const auto forged = override_(query->name, query->type)) {
+      switch (query->type) {
+        case RrType::kA: resp.addresses = forged->a; break;
+        case RrType::kAaaa: resp.addresses = forged->aaaa; break;
+        case RrType::kTxt: resp.texts = forged->txt; break;
+      }
+      return resp.encode();
+    }
+  }
+
+  const auto authority = zones_->authority_for(query->name);
+  if (!authority) {
+    resp.rcode = Rcode::kNxDomain;
+    return resp.encode();
+  }
+
+  // Recurse: a genuine upstream query from the resolver host, so the
+  // authoritative server's log records this resolver's address.
+  netsim::Packet upstream;
+  upstream.dst = *authority;
+  upstream.proto = netsim::Proto::kUdp;
+  upstream.src_port = ctx.host.next_ephemeral_port();
+  upstream.dst_port = netsim::kPortDns;
+  upstream.payload = query->encode();
+  const auto result = ctx.network.transact(ctx.host, std::move(upstream));
+  if (!result.ok()) {
+    resp.rcode = Rcode::kServFail;
+    return resp.encode();
+  }
+  auto upstream_resp = DnsResponse::decode(result.reply);
+  if (!upstream_resp) {
+    resp.rcode = Rcode::kServFail;
+    return resp.encode();
+  }
+  upstream_resp->id = query->id;
+  return upstream_resp->encode();
+}
+
+}  // namespace vpna::dns

@@ -1,0 +1,309 @@
+#include "ecosystem/catalog.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace vpna::ecosystem {
+
+namespace {
+
+// Fixed seed: the catalog is part of the world model and must be identical
+// in every run and every process.
+constexpr std::uint64_t kCatalogSeed = 0x76706e6120636174ULL;
+
+// The 62 services the study evaluated (paper Appendix A / Table 7),
+// leading the catalog in popularity order for the first fifteen.
+constexpr std::array<std::string_view, 62> kEvaluatedNames = {
+    // Top-15 popular services first (the §5.1 popularity selection).
+    "NordVPN", "ExpressVPN", "Hotspot Shield", "Private Internet Access",
+    "TunnelBear", "CyberGhost", "IPVanish", "HideMyAss", "PureVPN",
+    "Windscribe", "ProtonVPN", "Mullvad", "SaferVPN", "Betternet",
+    "Private Tunnel",
+    // The remainder of the evaluated set.
+    "AceVPN", "AirVPN", "Anonine", "Avast SecureLine", "Avira Phantom",
+    "Boxpn", "Buffered VPN", "BulletVPN", "Celo.net", "CrypticVPN",
+    "Encrypt.me", "FinchVPN", "FlowVPN", "FlyVPN", "Freedome VPN",
+    "Freedom IP", "Goose VPN", "GoTrusted VPN", "HideIPVPN", "IB VPN",
+    "Ironsocket", "Le VPN", "LimeVPN", "LiquidVPN", "MyIP.io", "NVPN",
+    "PrivateVPN", "ProxVPN", "RA4W VPN", "SecureVPN", "Seed4.me",
+    "ShadeYouVPN", "Shellfire", "Steganos Online Shield", "SurfEasy",
+    "SwitchVPN", "TorVPN", "Trust.zone", "VPNBook", "VPNUK", "VPNLand",
+    "VPN Gate", "VPN Monster", "VPN.ht", "WorldVPN", "ZenVPN", "Zoog VPN",
+};
+
+// Name fragments for the catalog's long tail (provider #63-#200).
+constexpr std::array<std::string_view, 24> kTailAdjectives = {
+    "Arctic",  "Cobalt",  "Quantum", "Falcon", "Nimbus",  "Onyx",
+    "Aurora",  "Vertex",  "Zephyr",  "Titan",  "Crimson", "Velvet",
+    "Granite", "Mirage",  "Polaris", "Drift",  "Harbor",  "Meridian",
+    "Obsidian", "Cascade", "Summit",  "Echo",   "Frontier", "Atlas"};
+constexpr std::array<std::string_view, 12> kTailNouns = {
+    "Shield VPN", "Tunnel",   "Proxy VPN", "Guard VPN", "Net VPN",
+    "Privacy",    "Link VPN", "Cloak",     "Relay VPN", "Secure VPN",
+    "Gate VPN",   "Stream VPN"};
+
+// Business-location weights (Figure 1: clustered in non-censoring
+// jurisdictions, with a tail of offshore registrations and two in China).
+struct CountryWeight {
+  std::string_view cc;
+  int weight;
+};
+constexpr std::array<CountryWeight, 22> kBusinessCountries = {{
+    {"US", 46}, {"GB", 24}, {"DE", 12}, {"SE", 10}, {"CA", 12}, {"NL", 9},
+    {"CH", 8},  {"RO", 7},  {"SG", 7},  {"HK", 6},  {"AU", 5},  {"FR", 6},
+    {"IL", 4},  {"CY", 5},  {"SC", 6},  {"BZ", 4},  {"PA", 3},  {"VG", 4},
+    {"MY", 4},  {"RU", 3},  {"CN", 2},  {"GI", 3},
+}};
+
+std::string pick_country(util::Rng& rng) {
+  int total = 0;
+  for (const auto& c : kBusinessCountries) total += c.weight;
+  int roll = static_cast<int>(rng.uniform_int(0, total - 1));
+  for (const auto& c : kBusinessCountries) {
+    roll -= c.weight;
+    if (roll < 0) return std::string(c.cc);
+  }
+  return "US";
+}
+
+CatalogEntry generate_entry(std::size_t index, std::string name,
+                            util::Rng& rng) {
+  CatalogEntry e;
+  e.name = std::move(name);
+  const bool is_top50 = index < 50;
+
+  // Founding years: the industry is young; ~90% founded after 2005, the
+  // oldest few date to 2005.
+  if (is_top50 && index % 10 == 3) {
+    e.founded_year = 2005;  // HideMyAss/IPVanish-era pioneers
+  } else {
+    e.founded_year = 2005 + static_cast<int>(rng.uniform_int(1, 12));
+    // A thin pre-2005 tail exists only outside the popular top-50.
+    if (!is_top50 && rng.chance(0.08))
+      e.founded_year = 2000 + static_cast<int>(rng.uniform_int(0, 4));
+  }
+  e.business_country = pick_country(rng);
+
+  // Claimed infrastructure: long-tailed. 80% of providers claim <= 750
+  // servers; the most popular claim 2000-4000.
+  if (index < 6) {
+    e.claimed_server_count = static_cast<int>(rng.uniform_int(2000, 4000));
+  } else if (rng.chance(0.80)) {
+    e.claimed_server_count = static_cast<int>(rng.uniform_int(10, 750));
+  } else {
+    e.claimed_server_count = static_cast<int>(rng.uniform_int(751, 2200));
+  }
+  // Country counts skew small; roughly 29% of providers claim the 30+
+  // countries that put them in Table 2's "large number of vantage points"
+  // bucket.
+  const int claimed_countries =
+      rng.chance(0.28) ? static_cast<int>(rng.uniform_int(30, 75))
+                       : static_cast<int>(rng.uniform_int(3, 29));
+  e.claimed_country_count =
+      std::max(1, std::min(e.claimed_server_count, claimed_countries));
+
+  // Pricing (Table 3): 161 monthly, 55 quarterly, 57 semiannual, 134
+  // annual; annual roughly half the monthly rate.
+  e.monthly.offered = rng.chance(161.0 / 200.0);
+  if (e.monthly.offered) {
+    // Mean ~10.1, clamped to the paper's observed [0.99, 29.95] range.
+    e.monthly.monthly_cost_usd =
+        std::clamp(rng.normal(10.1, 4.5), 0.99, 29.95);
+  }
+  const double base = e.monthly.offered ? e.monthly.monthly_cost_usd : 9.0;
+  e.quarterly.offered = rng.chance(55.0 / 200.0);
+  if (e.quarterly.offered)
+    e.quarterly.monthly_cost_usd = std::clamp(base * rng.uniform(0.55, 0.8), 2.20, 18.33);
+  e.semiannual.offered = rng.chance(57.0 / 200.0);
+  if (e.semiannual.offered)
+    e.semiannual.monthly_cost_usd = std::clamp(base * rng.uniform(0.5, 0.78), 2.00, 16.33);
+  e.annual.offered = rng.chance(134.0 / 200.0);
+  if (e.annual.offered)
+    e.annual.monthly_cost_usd = std::clamp(base * rng.uniform(0.38, 0.6), 0.38, 12.83);
+  e.has_longer_than_annual = rng.chance(19.0 / 200.0);
+  e.has_free_or_trial = rng.chance(0.45);
+  if (rng.chance(0.40)) {
+    e.refund_days = 7;
+  } else if (rng.chance(0.5)) {
+    e.refund_days = static_cast<int>(rng.uniform_int(1, 60));
+  }
+
+  // Payments (Figure 4): credit 61%, online 59%, crypto 46%; 32% take
+  // online + crypto but no cards.
+  if (rng.chance(0.32)) {
+    e.accepts_credit_cards = false;
+    e.accepts_online_payments = true;
+    e.accepts_cryptocurrency = true;
+  } else {
+    e.accepts_credit_cards = rng.chance(0.61 / 0.68);
+    e.accepts_online_payments = rng.chance((0.59 - 0.32) / 0.68);
+    e.accepts_cryptocurrency = rng.chance((0.46 - 0.32) / 0.68);
+  }
+
+  // Platforms: 87% Windows+macOS, 61% Linux, 56% both mobile platforms.
+  e.browser_extension_only = rng.chance(0.04);
+  if (e.browser_extension_only) {
+    e.supports_windows = e.supports_macos = false;
+  } else {
+    const bool desktop = rng.chance(0.87 / 0.96);
+    e.supports_windows = desktop || rng.chance(0.5);
+    e.supports_macos = desktop;
+  }
+  e.supports_linux = !e.browser_extension_only && rng.chance(0.61);
+  const bool mobile = rng.chance(0.56);
+  e.supports_android = mobile || rng.chance(0.1);
+  e.supports_ios = mobile;
+
+  // Protocols (Figure 5): OpenVPN and PPTP dominate.
+  if (rng.chance(0.92)) e.protocols.push_back(vpn::TunnelProtocol::kOpenVpn);
+  if (rng.chance(0.62)) e.protocols.push_back(vpn::TunnelProtocol::kPptp);
+  if (rng.chance(0.47)) e.protocols.push_back(vpn::TunnelProtocol::kIpsec);
+  if (rng.chance(0.20)) e.protocols.push_back(vpn::TunnelProtocol::kSstp);
+  if (rng.chance(0.14)) e.protocols.push_back(vpn::TunnelProtocol::kSsl);
+  if (rng.chance(0.08)) e.protocols.push_back(vpn::TunnelProtocol::kSsh);
+  if (e.protocols.empty()) e.protocols.push_back(vpn::TunnelProtocol::kOpenVpn);
+
+  // Transparency (§4): 25% lack a privacy policy, 42% lack terms of
+  // service, 45 claim "no logs"; policy lengths range 70..10965 words.
+  e.has_privacy_policy = !rng.chance(0.25);
+  if (e.has_privacy_policy) {
+    e.privacy_policy_words = static_cast<int>(
+        std::clamp(rng.normal(1340, 1400), 70.0, 10965.0));
+  } else {
+    e.privacy_policy_words = 0;
+  }
+  e.has_terms_of_service = !rng.chance(0.42);
+  e.claims_no_logs = rng.chance(45.0 / 200.0);
+  e.mentions_kill_switch = rng.chance(18.0 / 200.0);
+  e.offers_vpn_over_tor = rng.chance(10.0 / 200.0);
+  e.allows_p2p = rng.chance(64.0 / 200.0);
+  e.claims_military_grade_encryption = rng.chance(0.3);
+
+  // Marketing reach: 126 Facebook, 131 Twitter, 88 affiliate programs.
+  e.has_facebook = rng.chance(126.0 / 200.0);
+  e.has_twitter = rng.chance(131.0 / 200.0);
+  e.has_affiliate_program = is_top50 ? rng.chance(0.8) : rng.chance(0.35);
+
+  // Selection provenance (Table 2 counts; heavy overlap by construction).
+  auto set_source = [&e](SelectionSource s, bool member) {
+    e.sources[static_cast<std::size_t>(s)] = member;
+  };
+  set_source(SelectionSource::kPopularReviewSites, index < 74);
+  set_source(SelectionSource::kRedditCrawl,
+             index < 74 ? rng.chance(0.25) : rng.chance(0.10));
+  set_source(SelectionSource::kPersonalRecommendation, rng.chance(13.0 / 200.0));
+  set_source(SelectionSource::kCheapOrFree,
+             e.has_free_or_trial ||
+                 (e.monthly.offered && e.monthly.monthly_cost_usd < 3.99));
+  set_source(SelectionSource::kMultiLanguageReviews, rng.chance(53.0 / 200.0));
+  set_source(SelectionSource::kManyVantagePoints, e.claimed_country_count >= 30);
+  bool any = false;
+  for (const bool b : e.sources) any = any || b;
+  set_source(SelectionSource::kOther, !any || rng.chance(0.12));
+  return e;
+}
+
+std::vector<CatalogEntry> build_catalog() {
+  util::Rng rng(kCatalogSeed);
+  std::vector<CatalogEntry> out;
+  out.reserve(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    std::string name;
+    if (i < kEvaluatedNames.size()) {
+      name = std::string(kEvaluatedNames[i]);
+    } else {
+      const auto a = kTailAdjectives[(i * 7) % kTailAdjectives.size()];
+      const auto n = kTailNouns[(i * 13) % kTailNouns.size()];
+      name = std::string(a) + " " + std::string(n);
+      // Ensure uniqueness across the tail.
+      name += util::format(" %zu", i - kEvaluatedNames.size() + 1);
+    }
+    auto forked = rng.fork(name);
+    out.push_back(generate_entry(i, std::move(name), forked));
+  }
+
+  // Hand-calibrated touches the paper calls out by name.
+  for (auto& e : out) {
+    if (e.name == "NordVPN") {
+      e.business_country = "PA";  // Panama registration, 1665 US servers
+      e.claimed_server_count = 4000;
+      e.mentions_kill_switch = true;
+      e.claims_no_logs = true;
+    } else if (e.name == "Hotspot Shield") {
+      e.claims_military_grade_encryption = true;
+      e.claimed_server_count = 2500;
+    } else if (e.name == "HideMyAss") {
+      e.founded_year = 2005;
+      e.claimed_country_count = 190;
+      e.claimed_server_count = 1000;
+    } else if (e.name == "IPVanish" || e.name == "Ironsocket") {
+      e.founded_year = 2005;
+    } else if (e.name == "Private Internet Access") {
+      e.claimed_server_count = 3300;
+    } else if (e.name == "CrypticVPN") {
+      e.has_longer_than_annual = true;  // $25 lifetime deal
+    } else if (e.name == "Seed4.me") {
+      e.business_country = "CN";
+      e.has_free_or_trial = true;
+    } else if (e.name == "TunnelBear") {
+      e.has_free_or_trial = true;  // first provider with a public audit
+    } else if (e.name == "Mullvad") {
+      e.business_country = "SE";
+      e.accepts_cryptocurrency = true;
+    }
+  }
+
+  // Pin the privacy-policy length extremes the paper reports (70 and
+  // 10,965 words) onto deterministic carriers.
+  for (auto& e : out) {
+    if (e.name == "Hotspot Shield") {
+      e.has_privacy_policy = true;
+      e.privacy_policy_words = 10965;
+    } else if (e.name == "CrypticVPN") {
+      e.has_privacy_policy = true;
+      e.privacy_policy_words = 70;
+    }
+  }
+
+  // Exactly two providers claim a Chinese business location (the paper
+  // names Seed4.me and the since-discontinued FreeVPN Ninja; the second is
+  // a long-tail entry here).
+  int cn = 0;
+  for (const auto& e : out)
+    if (e.business_country == "CN") ++cn;
+  for (auto it = out.rbegin(); it != out.rend() && cn != 2; ++it) {
+    if (it->name == "Seed4.me") continue;
+    if (cn < 2 && it->business_country != "CN") {
+      it->business_country = "CN";
+      ++cn;
+    } else if (cn > 2 && it->business_country == "CN") {
+      it->business_country = "US";
+      --cn;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<CatalogEntry>& catalog() {
+  static const std::vector<CatalogEntry> kCatalog = build_catalog();
+  return kCatalog;
+}
+
+const CatalogEntry* catalog_entry(std::string_view name) {
+  for (const auto& e : catalog())
+    if (e.name == name) return &e;
+  return nullptr;
+}
+
+std::vector<const CatalogEntry*> top_popular(std::size_t n) {
+  std::vector<const CatalogEntry*> out;
+  const auto& all = catalog();
+  for (std::size_t i = 0; i < n && i < all.size(); ++i) out.push_back(&all[i]);
+  return out;
+}
+
+}  // namespace vpna::ecosystem

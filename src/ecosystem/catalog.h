@@ -1,0 +1,87 @@
+// The 200-provider marketing catalog behind the paper's ecosystem analysis
+// (§4): founding years, business locations, claimed server counts, pricing,
+// payment methods, platform support, tunneling protocols, transparency
+// artefacts and selection-source membership. Entries are generated
+// deterministically and calibrated so every aggregate the paper reports
+// (Tables 1-3, Figures 1-5) lands near its published value.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ecosystem/review_sites.h"
+#include "vpn/provider.h"
+
+namespace vpna::ecosystem {
+
+struct PricingPlan {
+  bool offered = false;
+  double monthly_cost_usd = 0.0;  // per-month cost under this plan
+};
+
+struct CatalogEntry {
+  std::string name;
+  int founded_year = 2012;
+  std::string business_country;  // ISO code of claimed business location
+
+  // --- marketing claims ---------------------------------------------------
+  int claimed_server_count = 100;
+  int claimed_country_count = 20;
+  bool claims_no_logs = false;
+  bool mentions_kill_switch = false;
+  bool offers_vpn_over_tor = false;
+  bool allows_p2p = false;
+  bool claims_military_grade_encryption = false;
+
+  // --- pricing (Table 3) -----------------------------------------------------
+  PricingPlan monthly, quarterly, semiannual, annual;
+  bool has_longer_than_annual = false;  // 2yr/5yr/lifetime deals
+  bool has_free_or_trial = false;
+  int refund_days = 0;  // 0 = no refund policy
+
+  // --- payments (Figure 4) ----------------------------------------------------
+  bool accepts_credit_cards = false;
+  bool accepts_online_payments = false;  // PayPal-style
+  bool accepts_cryptocurrency = false;
+
+  // --- platforms ------------------------------------------------------------
+  bool supports_windows = true;
+  bool supports_macos = true;
+  bool supports_linux = false;
+  bool supports_android = false;
+  bool supports_ios = false;
+  bool browser_extension_only = false;
+
+  // --- protocols (Figure 5) ---------------------------------------------------
+  std::vector<vpn::TunnelProtocol> protocols;
+
+  // --- transparency -------------------------------------------------------------
+  bool has_privacy_policy = true;
+  int privacy_policy_words = 1340;
+  bool has_terms_of_service = true;
+  bool has_affiliate_program = false;
+  bool has_facebook = false;
+  bool has_twitter = false;
+
+  // --- selection provenance (Table 2) -----------------------------------------
+  std::array<bool, kSelectionSourceCount> sources{};
+
+  [[nodiscard]] bool in_source(SelectionSource s) const {
+    return sources[static_cast<std::size_t>(s)];
+  }
+};
+
+// The full 200-provider catalog. Stable across calls and across runs.
+[[nodiscard]] const std::vector<CatalogEntry>& catalog();
+
+// Entry lookup by name (nullptr when absent).
+[[nodiscard]] const CatalogEntry* catalog_entry(std::string_view name);
+
+// The top-15 most popular providers (used for Figure 3's vantage-point
+// heat map and the §5.1 selection).
+[[nodiscard]] std::vector<const CatalogEntry*> top_popular(std::size_t n = 15);
+
+}  // namespace vpna::ecosystem

@@ -1,0 +1,506 @@
+#include "ecosystem/evaluated.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "geo/cities.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace vpna::ecosystem {
+
+namespace {
+
+using vpn::ProviderSpec;
+using vpn::SubscriptionType;
+using vpn::TunnelProtocol;
+using vpn::VantagePointSpec;
+
+constexpr std::uint64_t kEvalSeed = 0x6576616c70726f76ULL;
+
+// Non-censored datacenters used for generic vantage-point placement, keyed
+// by the city they sit in. Censored datacenters (TR/KR/RU ISPs, the two
+// Dutch access ISPs, Bangkok) are only used through explicit placements so
+// the Table 4 redirect counts stay controlled.
+struct DcRef {
+  std::string_view id;
+  std::string_view city;
+  std::string_view country;
+};
+constexpr std::array<DcRef, 31> kGenericDcs = {{
+    {"rentweb-sea", "Seattle", "US"},
+    {"rentweb-mia", "Miami", "US"},
+    {"nodespark-lax", "Los Angeles", "US"},
+    {"oceancompute-nyc", "New York", "US"},
+    {"stratalayer-dal", "Dallas", "US"},
+    {"nodespark-atl", "Atlanta", "US"},
+    {"maple-tor", "Toronto", "CA"},
+    {"maple-mtl", "Montreal", "CA"},
+    {"hosteu-lon", "London", "GB"},
+    {"hosteu-man", "Manchester", "GB"},
+    {"hosteu-ams", "Amsterdam", "NL"},
+    {"hosteu-fra", "Frankfurt", "DE"},
+    {"hosteu-ber", "Berlin", "DE"},
+    {"hosteu-par", "Paris", "FR"},
+    {"czhost-prg", "Prague", "CZ"},
+    {"nordichost-sto", "Stockholm", "SE"},
+    {"balt-rig", "Riga", "LV"},
+    {"rom-buh", "Bucharest", "RO"},
+    {"medhost-mil", "Milan", "IT"},
+    {"iber-mad", "Madrid", "ES"},
+    {"gigacloud-osl", "Oslo", "NO"},
+    {"rootbox-lux", "Luxembourg", "LU"},
+    {"oceancompute-blr", "Bangalore", "IN"},
+    {"stratalayer-mex", "Mexico City", "MX"},
+    {"privatetier-zrh", "Zurich", "CH"},
+    {"greenhost-dub", "Dublin", "IE"},
+    {"gigaline-kul", "Kuala Lumpur", "MY"},
+    {"leaplayer-sin", "Singapore", "SG"},
+    {"sakura-tyo", "Tokyo", "JP"},
+    {"harbour-hkg", "Hong Kong", "HK"},
+    {"aus-syd", "Sydney", "AU"},
+}};
+
+const DcRef* generic_dc(std::string_view id) {
+  for (const auto& dc : kGenericDcs)
+    if (dc.id == id) return &dc;
+  return nullptr;
+}
+
+// City/country lookup for explicit placements into censored datacenters.
+struct CensoredDc {
+  std::string_view id;
+  std::string_view city;
+  std::string_view country;
+};
+constexpr std::array<CensoredDc, 12> kCensoredDcs = {{
+    {"ttk-mow", "Moscow", "RU"},
+    {"hzt-mow", "Moscow", "RU"},
+    {"beeline-mow", "Moscow", "RU"},
+    {"rt-led", "St Petersburg", "RU"},
+    {"mts-led", "St Petersburg", "RU"},
+    {"dtln-nsk", "Novosibirsk", "RU"},
+    {"anatolia-ist", "Istanbul", "TR"},
+    {"anatolia-ank", "Ankara", "TR"},
+    {"hanriver-sel", "Seoul", "KR"},
+    {"siam-bkk", "Bangkok", "TH"},
+    {"upclink-ams", "Amsterdam", "NL"},
+    {"ziggonet-ams", "Amsterdam", "NL"},
+}};
+
+// Builders ------------------------------------------------------------------
+
+class SpecBuilder {
+ public:
+  explicit SpecBuilder(std::string name)
+      : rng_(util::Rng(kEvalSeed).fork(name)) {
+    spec_.name = std::move(name);
+  }
+
+  // Honest vantage point in a generic datacenter.
+  void place(std::string_view dc_id) {
+    const auto* dc = generic_dc(dc_id);
+    if (dc == nullptr) return;
+    add_vp(dc->city, dc->country, dc->city, dc->id);
+  }
+
+  // Honest vantage point in a censored/ISP datacenter.
+  void place_censored(std::string_view dc_id) {
+    for (const auto& dc : kCensoredDcs) {
+      if (dc.id == dc_id) {
+        add_vp(dc.city, dc.country, dc.city, dc.id);
+        return;
+      }
+    }
+  }
+
+  // Virtual vantage point: advertised somewhere it is not.
+  void place_virtual(std::string_view advertised_city,
+                     std::string_view advertised_country,
+                     std::string_view home_dc_id) {
+    const auto* dc = generic_dc(home_dc_id);
+    if (dc == nullptr) return;
+    add_vp(advertised_city, advertised_country, dc->city, dc->id);
+  }
+
+  // Fills remaining slots. Most vantage points rent provider-private
+  // slices (empty datacenter id -> resolved at deploy time); a small
+  // fraction lands in the well-known shared hosting facilities, which is
+  // what makes those blocks blacklistable and occasionally shared.
+  void fill_to(std::size_t total, int max_per_city = 1,
+               double shared_fraction = 0.05) {
+    std::map<std::string, int> per_city;
+    for (const auto& vp : spec_.vantage_points) ++per_city[vp.physical_city];
+    while (spec_.vantage_points.size() < total) {
+      const auto& dc = kGenericDcs[rng_.index(kGenericDcs.size())];
+      auto& used = per_city[std::string(dc.city)];
+      if (used >= max_per_city) continue;
+      ++used;
+      if (rng_.chance(shared_fraction)) {
+        add_vp(dc.city, dc.country, dc.city, dc.id);
+      } else {
+        add_vp(dc.city, dc.country, dc.city, "");
+      }
+    }
+  }
+
+  ProviderSpec& spec() { return spec_; }
+
+ private:
+  void add_vp(std::string_view advertised_city,
+              std::string_view advertised_country,
+              std::string_view physical_city, std::string_view dc_id) {
+    VantagePointSpec vp;
+    const auto cc = util::to_lower(advertised_country);
+    vp.id = util::format("%s-%d", cc.c_str(), ++country_counters_[cc]);
+    vp.advertised_city = std::string(advertised_city);
+    vp.advertised_country = std::string(advertised_country);
+    vp.physical_city = std::string(physical_city);
+    vp.datacenter_id = std::string(dc_id);
+    vp.reliability = regional_reliability(physical_city);
+    spec_.vantage_points.push_back(std::move(vp));
+  }
+
+  // §5.2: connections through Middle East / Africa / South America vantage
+  // points were far less reliable than North America / Europe.
+  static double regional_reliability(std::string_view physical_city) {
+    static const std::set<std::string_view> kFlakyCountries = {
+        "BR", "AR", "CL", "CO", "PE", "VE",            // South America
+        "IL", "AE", "SA", "IR", "EG", "QA", "JO",      // Middle East
+        "ZA", "NG", "KE", "MA",                        // Africa
+    };
+    const auto city = geo::city_by_name(physical_city);
+    if (city && kFlakyCountries.contains(city->country_code)) return 0.70;
+    return 1.0;
+  }
+
+  ProviderSpec spec_;
+  util::Rng rng_;
+  std::map<std::string, int> country_counters_;
+};
+
+struct ProviderPlan {
+  std::string_view name;
+  SubscriptionType subscription;
+  bool custom_client;
+  // Behaviour toggles (defaults in ProviderBehavior are the clean case).
+  bool dns_leak = false;
+  bool ipv6_leak = false;
+  bool transparent_proxy = false;
+  bool injects = false;
+  bool fail_open_fast = false;   // leaks within the 3-minute window
+  bool fail_open_slow = false;   // fails open, but detector is too slow
+  bool kill_switch_shipped_off = false;  // has one; disabled by default
+  bool kill_switch_on = false;           // rare: safe default
+};
+
+using S = SubscriptionType;
+
+// Appendix A (subscription types) joined with the §6 behaviour findings.
+// fail_open_fast is set on 25 of the 43 custom-client providers, including
+// the five market leaders that ship kill switches disabled.
+constexpr std::array<ProviderPlan, 62> kPlans = {{
+    // name, sub, client, dns, v6, proxy, inject, fastOpen, slowOpen, ksOff, ksOn
+    {"NordVPN", S::kPaid, true, false, false, false, false, true, false, true, false},
+    {"ExpressVPN", S::kPaid, true, false, false, false, false, true, false, true, false},
+    {"Hotspot Shield", S::kPaid, true, false, false, false, false, true, false, true, false},
+    {"Private Internet Access", S::kPaid, true, false, false, false, false, false, false, false, true},
+    {"TunnelBear", S::kFree, true, false, false, false, false, true, false, true, false},
+    {"CyberGhost", S::kPaid, true, false, false, true, false, true, false, false, false},
+    {"IPVanish", S::kPaid, true, false, false, false, false, true, false, true, false},
+    {"HideMyAss", S::kPaid, true, false, false, false, false, true, false, false, false},
+    {"PureVPN", S::kPaid, true, false, false, false, false, true, false, false, false},
+    {"Windscribe", S::kTrial, true, false, false, false, false, false, true, false, true},
+    {"ProtonVPN", S::kFree, true, false, false, false, false, false, false, false, true},
+    {"Mullvad", S::kPaid, false, false, false, false, false, false, false, false, false},
+    {"SaferVPN", S::kTrial, true, false, false, false, false, true, false, false, false},
+    {"Betternet", S::kFree, true, false, false, false, false, false, true, false, false},
+    {"Private Tunnel", S::kTrial, true, false, true, false, false, true, false, false, false},
+    {"AceVPN", S::kPaid, false, false, false, true, false, false, false, false, false},
+    {"AirVPN", S::kPaid, false, false, false, false, false, false, false, false, false},
+    {"Anonine", S::kPaid, true, false, false, false, false, true, false, false, false},
+    {"Avast SecureLine", S::kTrial, true, false, false, false, false, false, false, false, false},
+    {"Avira Phantom", S::kTrial, true, false, false, false, false, true, false, false, false},
+    {"Boxpn", S::kPaid, true, false, false, false, false, true, false, false, false},
+    {"Buffered VPN", S::kPaid, true, false, true, false, false, true, false, false, false},
+    {"BulletVPN", S::kPaid, true, false, true, false, false, false, false, false, false},
+    {"Celo.net", S::kTrial, false, false, false, false, false, false, false, false, false},
+    {"CrypticVPN", S::kPaid, false, false, false, false, false, false, false, false, false},
+    {"Encrypt.me", S::kTrial, true, false, false, false, false, false, true, false, false},
+    {"FinchVPN", S::kPaid, true, false, false, false, false, false, false, false, false},
+    {"FlowVPN", S::kTrial, false, false, false, false, false, false, false, false, false},
+    {"FlyVPN", S::kPaid, true, false, true, false, false, true, false, false, false},
+    {"Freedome VPN", S::kPaid, true, true, false, true, false, false, false, false, true},
+    {"Freedom IP", S::kPaid, true, false, false, false, false, true, false, false, false},
+    {"Goose VPN", S::kPaid, true, false, false, false, false, false, true, false, false},
+    {"GoTrusted VPN", S::kPaid, true, false, false, false, false, false, true, false, false},
+    {"HideIPVPN", S::kTrial, true, false, true, false, false, false, false, false, false},
+    {"IB VPN", S::kTrial, true, false, false, false, false, true, false, false, false},
+    {"Ironsocket", S::kPaid, false, false, false, false, false, false, false, false, false},
+    {"Le VPN", S::kPaid, true, false, true, false, false, true, false, false, false},
+    {"LimeVPN", S::kPaid, false, false, false, false, false, false, false, false, false},
+    {"LiquidVPN", S::kPaid, true, false, true, false, false, false, false, false, false},
+    {"MyIP.io", S::kPaid, true, false, false, false, false, true, false, false, false},
+    {"NVPN", S::kPaid, false, false, false, false, false, false, false, false, false},
+    {"PrivateVPN", S::kTrial, true, false, true, false, false, true, false, false, false},
+    {"ProxVPN", S::kFree, false, false, false, false, false, false, false, false, false},
+    {"RA4W VPN", S::kPaid, false, false, false, false, false, false, false, false, false},
+    {"SecureVPN", S::kTrial, true, false, false, false, false, false, true, false, false},
+    {"Seed4.me", S::kTrial, true, false, true, false, true, false, false, false, false},
+    {"ShadeYouVPN", S::kTrial, false, false, false, false, false, false, false, false, false},
+    {"Shellfire", S::kFree, false, false, false, false, false, false, false, false, false},
+    {"Steganos Online Shield", S::kTrial, true, false, false, false, false, false, true, false, false},
+    {"SurfEasy", S::kTrial, true, false, false, true, false, false, true, false, false},
+    {"SwitchVPN", S::kTrial, false, false, false, false, false, false, false, false, false},
+    {"TorVPN", S::kTrial, false, false, false, false, false, false, false, false, false},
+    {"Trust.zone", S::kTrial, true, false, false, false, false, true, false, false, false},
+    {"VPNBook", S::kFree, false, false, false, false, false, false, false, false, false},
+    {"VPNUK", S::kTrial, true, false, false, false, false, true, false, false, false},
+    {"VPNLand", S::kTrial, false, false, false, false, false, false, false, false, false},
+    {"VPN Gate", S::kFree, true, false, false, true, false, true, false, false, false},
+    {"VPN Monster", S::kTrial, false, false, false, false, false, false, false, false, false},
+    {"VPN.ht", S::kPaid, true, false, true, false, false, true, false, false, false},
+    {"WorldVPN", S::kTrial, true, true, true, false, false, true, false, false, false},
+    {"ZenVPN", S::kTrial, false, false, false, false, false, false, false, false, false},
+    {"Zoog VPN", S::kFree, true, false, true, false, false, false, false, false, false},
+}};
+
+// Explicit placements reproducing the paper's per-country redirect counts
+// (Table 4) and shared-block memberships (Table 5).
+void apply_forced_placements(SpecBuilder& b) {
+  const std::string& name = b.spec().name;
+
+  // --- Table 4: Russia (per-ISP block pages) --------------------------------
+  if (name == "NordVPN" || name == "ExpressVPN" || name == "PureVPN" ||
+      name == "CyberGhost")
+    b.place_censored("ttk-mow");
+  if (name == "IPVanish" || name == "Windscribe") b.place_censored("hzt-mow");
+  if (name == "Private Internet Access") b.place_censored("rt-led");
+  if (name == "HideIPVPN") b.place_censored("mts-led");
+  if (name == "VPNLand") b.place_censored("dtln-nsk");
+  if (name == "Trust.zone") b.place_censored("beeline-mow");
+
+  // --- Table 4: Turkey (8 providers) ------------------------------------------
+  for (const char* tr : {"NordVPN", "ExpressVPN", "PureVPN", "CyberGhost"})
+    if (name == tr) b.place_censored("anatolia-ist");
+  for (const char* tr : {"IPVanish", "VPNUK", "LimeVPN", "Boxpn"})
+    if (name == tr) b.place_censored("anatolia-ank");
+
+  // --- Table 4: South Korea (5) -------------------------------------------------
+  for (const char* kr : {"NordVPN", "ExpressVPN", "FlyVPN", "PureVPN", "IB VPN"})
+    if (name == kr) b.place_censored("hanriver-sel");
+
+  // --- Table 4: Netherlands (1 provider per censored access ISP) -----------------
+  if (name == "LiquidVPN") b.place_censored("ziggonet-ams");
+  if (name == "ShadeYouVPN") b.place_censored("upclink-ams");
+
+  // --- Table 4: Thailand (1) ------------------------------------------------------
+  if (name == "FlyVPN") b.place_censored("siam-bkk");
+
+  // --- Table 5: blocks shared by >= 3 providers ------------------------------------
+  for (const char* p : {"IPVanish", "AirVPN", "CyberGhost"})
+    if (name == p) b.place("gigacloud-osl");  // 82.102.27.0/24 (NO)
+  for (const char* p : {"AceVPN", "CyberGhost", "Anonine"})
+    if (name == p) b.place("rootbox-lux");  // 94.242.192.0/18 (LU)
+  for (const char* p : {"RA4W VPN", "LimeVPN", "Ironsocket"})
+    if (name == p) b.place("oceancompute-blr");  // 139.59.0.0/18 (IN)
+  for (const char* p : {"AceVPN", "TunnelBear", "Freedome VPN"})
+    if (name == p) b.place("stratalayer-mex");  // 169.57.0.0/17 (MX)
+  for (const char* p : {"IPVanish", "AceVPN", "Anonine", "HideMyAss"})
+    if (name == p) b.place("privatetier-zrh");  // 179.43.128.0/18 (CH)
+  for (const char* p : {"AceVPN", "TunnelBear", "CyberGhost"})
+    if (name == p) b.place("greenhost-dub");  // 185.108.128.0/22 (IE)
+  for (const char* p : {"IPVanish", "Boxpn", "Anonine"})
+    if (name == p) b.place("gigaline-kul");  // 202.176.4.0/24 (MY)
+  for (const char* p : {"HideIPVPN", "VPNLand", "CyberGhost"})
+    if (name == p) b.place("leaplayer-sin");  // 209.58.176.0/21 (SG)
+}
+
+// Virtual-vantage-point construction for the six providers the paper
+// flags (§6.4.2).
+void apply_virtual_locations(SpecBuilder& b) {
+  const std::string& name = b.spec().name;
+
+  if (name == "HideMyAss") {
+    // ~150 endpoints, few physical homes: Americas out of Seattle and
+    // Miami, Europe/Africa/Asia out of Prague, London and Berlin.
+    struct VirtualVp {
+      std::string_view city;
+      std::string_view cc;
+    };
+    constexpr std::array<VirtualVp, 28> kAmericas = {{
+        {"Mexico City", "MX"}, {"Panama City", "PA"}, {"San Jose CR", "CR"},
+        {"Belize City", "BZ"}, {"Bogota", "CO"},      {"Lima", "PE"},
+        {"Caracas", "VE"},     {"Santiago", "CL"},    {"Buenos Aires", "AR"},
+        {"Sao Paulo", "BR"},   {"Denver", "US"},      {"Vancouver", "CA"},
+        {"Mexico City", "MX"}, {"Panama City", "PA"}, {"Bogota", "CO"},
+        {"Lima", "PE"},        {"Santiago", "CL"},    {"Buenos Aires", "AR"},
+        {"Caracas", "VE"},     {"Belize City", "BZ"}, {"San Jose CR", "CR"},
+        {"Sao Paulo", "BR"},   {"Denver", "US"},      {"Vancouver", "CA"},
+        {"Mexico City", "MX"}, {"Bogota", "CO"},      {"Lima", "PE"},
+        {"Santiago", "CL"},
+    }};
+    constexpr std::array<VirtualVp, 30> kEmeaAsia = {{
+        {"Tehran", "IR"},     {"Riyadh", "SA"},   {"Pyongyang", "KP"},
+        {"Cairo", "EG"},      {"Lagos", "NG"},    {"Nairobi", "KE"},
+        {"Casablanca", "MA"}, {"Doha", "QA"},     {"Amman", "JO"},
+        {"Dubai", "AE"},      {"Tel Aviv", "IL"}, {"Almaty", "KZ"},
+        {"Karachi", "PK"},    {"Dhaka", "BD"},    {"Hanoi", "VN"},
+        {"Manila", "PH"},     {"Jakarta", "ID"},  {"Taipei", "TW"},
+        {"Beijing", "CN"},    {"Shanghai", "CN"}, {"Kyiv", "UA"},
+        {"Belgrade", "RS"},   {"Sofia", "BG"},    {"Athens", "GR"},
+        {"Zagreb", "HR"},     {"Chisinau", "MD"}, {"Reykjavik", "IS"},
+        {"Vilnius", "LT"},    {"Tallinn", "EE"},  {"Warsaw", "PL"},
+    }};
+    // Americas virtualised out of Seattle (half) and Miami (half).
+    for (std::size_t i = 0; i < kAmericas.size(); ++i) {
+      b.place_virtual(kAmericas[i].city, kAmericas[i].cc,
+                      i % 2 == 0 ? "rentweb-sea" : "rentweb-mia");
+    }
+    // EMEA/Asia out of Prague, London, Berlin.
+    for (std::size_t i = 0; i < kEmeaAsia.size(); ++i) {
+      const char* home = i % 3 == 0 ? "czhost-prg"
+                         : i % 3 == 1 ? "hosteu-lon"
+                                      : "hosteu-ber";
+      b.place_virtual(kEmeaAsia[i].city, kEmeaAsia[i].cc, home);
+    }
+    // Another 89 "virtual city" duplicates spread over the same homes to
+    // reach ~150 endpoints total.
+    constexpr std::array<std::string_view, 5> kHomes = {
+        "rentweb-sea", "rentweb-mia", "czhost-prg", "hosteu-lon", "hosteu-ber"};
+    for (int i = 0; i < 89; ++i) {
+      const auto& vv = kEmeaAsia[static_cast<std::size_t>(i) % kEmeaAsia.size()];
+      b.place_virtual(vv.city, vv.cc, kHomes[static_cast<std::size_t>(i) % 5]);
+    }
+  } else if (name == "Avira Phantom") {
+    // The 'US' endpoint that pings Europe in single digits.
+    b.place_virtual("New York", "US", "hosteu-fra");
+  } else if (name == "Le VPN") {
+    // Exotic advertised locations, co-located in one Paris rack (Fig 9a).
+    b.place_virtual("Belize City", "BZ", "hosteu-par");
+    b.place_virtual("Santiago", "CL", "hosteu-par");
+    b.place_virtual("Tallinn", "EE", "hosteu-par");
+    b.place_virtual("Tehran", "IR", "hosteu-par");
+    b.place_virtual("Riyadh", "SA", "hosteu-par");
+    b.place_virtual("Caracas", "VE", "hosteu-par");
+  } else if (name == "Freedom IP") {
+    b.place_virtual("Tokyo", "JP", "hosteu-par");
+    b.place_virtual("Sydney", "AU", "hosteu-par");
+  } else if (name == "MyIP.io") {
+    // US + FR co-located in Montreal; BE/DE/FI co-located in London.
+    b.place_virtual("New York", "US", "maple-mtl");
+    b.place_virtual("Paris", "FR", "maple-mtl");
+    b.place_virtual("Brussels", "BE", "hosteu-lon");
+    b.place_virtual("Berlin", "DE", "hosteu-lon");
+    b.place_virtual("Helsinki", "FI", "hosteu-lon");
+  } else if (name == "VPNUK") {
+    b.place_virtual("Dubai", "AE", "hosteu-man");
+    b.place_virtual("Tel Aviv", "IL", "hosteu-man");
+  }
+}
+
+std::vector<EvaluatedProvider> build_evaluated() {
+  std::vector<EvaluatedProvider> out;
+  out.reserve(kPlans.size());
+
+  for (const auto& plan : kPlans) {
+    SpecBuilder b{std::string(plan.name)};
+    auto& spec = b.spec();
+    spec.subscription = plan.subscription;
+    spec.has_custom_client = plan.custom_client;
+
+    auto& behavior = spec.behavior;
+    behavior.redirects_dns = !plan.dns_leak;
+    behavior.blocks_ipv6 = !plan.ipv6_leak;
+    behavior.transparent_proxy = plan.transparent_proxy;
+    behavior.injects_content = plan.injects;
+    if (plan.kill_switch_shipped_off) {
+      behavior.has_kill_switch = true;
+      behavior.kill_switch_default_on = false;
+    }
+    // NordVPN's macOS client scopes its kill switch to a chosen
+    // application rather than blocking system-wide (§6.5).
+    if (plan.name == std::string_view("NordVPN"))
+      behavior.kill_switch_per_app_only = true;
+    if (plan.kill_switch_on) {
+      behavior.has_kill_switch = true;
+      behavior.kill_switch_default_on = true;
+    }
+    if (plan.fail_open_fast) {
+      behavior.fails_open = true;
+      behavior.failure_detect_seconds = 25.0;
+    } else if (plan.fail_open_slow) {
+      behavior.fails_open = true;
+      behavior.failure_detect_seconds = 420.0;  // evades the 3-min window
+    } else {
+      behavior.fails_open = false;
+    }
+
+    // Protocol sets: custom clients default to OpenVPN; config-file
+    // providers advertise more.
+    spec.protocols = {TunnelProtocol::kOpenVpn};
+    if (!plan.custom_client) spec.protocols.push_back(TunnelProtocol::kPptp);
+
+    apply_forced_placements(b);
+    apply_virtual_locations(b);
+
+    // Fill to target size: automated (config-file) providers get broad
+    // coverage with a few servers per city; manual ones ~5 vantage points
+    // (the §5.2 sampling).
+    const std::size_t target =
+        spec.name == "HideMyAss" ? spec.vantage_points.size()
+        : plan.custom_client     ? std::max<std::size_t>(5, spec.vantage_points.size())
+                                 : 30;
+    b.fill_to(target, /*max_per_city=*/plan.custom_client ? 1 : 3);
+
+    EvaluatedProvider ep;
+    ep.spec = std::move(spec);
+    ep.subscription = plan.subscription;
+    if (plan.name == std::string_view("Anonine")) {
+      // Reseller overlap with Boxpn: four vantage points alias onto the
+      // same hosts (§6.3's exact-IP sharing).
+      ep.shares_infrastructure_with = "Boxpn";
+      ep.shared_vantage_ids = {"shared-1", "shared-2", "shared-3", "shared-4"};
+    }
+    out.push_back(std::move(ep));
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<EvaluatedProvider>& evaluated_providers() {
+  static const std::vector<EvaluatedProvider> kProviders = build_evaluated();
+  return kProviders;
+}
+
+const EvaluatedProvider* evaluated_provider(std::string_view name) {
+  for (const auto& p : evaluated_providers())
+    if (p.spec.name == name) return &p;
+  return nullptr;
+}
+
+EvaluatedStats evaluated_stats() {
+  EvaluatedStats s;
+  for (const auto& p : evaluated_providers()) {
+    ++s.providers;
+    const auto& b = p.spec.behavior;
+    if (p.spec.has_custom_client) ++s.with_custom_client;
+    s.vantage_points += static_cast<int>(p.spec.vantage_points.size());
+    if (!b.redirects_dns) ++s.dns_leakers;
+    if (!b.blocks_ipv6 && !b.supports_ipv6) ++s.ipv6_leakers;
+    if (b.transparent_proxy) ++s.transparent_proxies;
+    if (b.injects_content) ++s.injectors;
+    bool has_virtual = false;
+    for (const auto& vp : p.spec.vantage_points)
+      if (vp.is_virtual()) has_virtual = true;
+    if (has_virtual) ++s.virtual_location_users;
+    if (p.spec.has_custom_client && b.fails_open &&
+        !b.kill_switch_default_on && b.failure_detect_seconds <= 180)
+      ++s.fail_open_within_window;
+  }
+  return s;
+}
+
+}  // namespace vpna::ecosystem

@@ -1,0 +1,49 @@
+// The 62 experimentally evaluated providers (paper §5.1 / Appendix A):
+// subscription type, client model, behaviour flags, and a vantage-point
+// placement plan. Behaviour assignments follow the paper's findings —
+// which providers leak DNS or IPv6, which run transparent proxies, which
+// inject content, which operate virtual vantage points, and which fail
+// open on tunnel failure.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "vpn/provider.h"
+
+namespace vpna::ecosystem {
+
+struct EvaluatedProvider {
+  vpn::ProviderSpec spec;
+  vpn::SubscriptionType subscription = vpn::SubscriptionType::kPaid;
+  // Providers sharing reseller infrastructure with another provider list
+  // it here; deployment aliases some vantage points onto the same hosts
+  // (the Boxpn/Anonine exact-IP overlap of §6.3).
+  std::string shares_infrastructure_with;
+  // Index of the vantage points (by id) aliased onto the partner's hosts.
+  std::vector<std::string> shared_vantage_ids;
+};
+
+// All 62 evaluated providers with fully populated specs. Deterministic.
+[[nodiscard]] const std::vector<EvaluatedProvider>& evaluated_providers();
+
+// Lookup by name; nullptr when absent.
+[[nodiscard]] const EvaluatedProvider* evaluated_provider(
+    std::string_view name);
+
+// Totals the paper reports for sanity checks and bench headers.
+struct EvaluatedStats {
+  int providers = 0;
+  int with_custom_client = 0;   // 43 in the paper
+  int vantage_points = 0;       // ~1046 in the paper
+  int dns_leakers = 0;          // 2
+  int ipv6_leakers = 0;         // 12
+  int transparent_proxies = 0;  // 5
+  int injectors = 0;            // 1
+  int virtual_location_users = 0;  // 6
+  int fail_open_within_window = 0; // 25 of the custom-client set
+};
+[[nodiscard]] EvaluatedStats evaluated_stats();
+
+}  // namespace vpna::ecosystem

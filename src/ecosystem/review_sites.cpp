@@ -1,0 +1,58 @@
+#include "ecosystem/review_sites.h"
+
+#include <array>
+
+namespace vpna::ecosystem {
+
+namespace {
+
+// Table 1: the websites crawled to populate the candidate list. All but
+// reddit and thatoneprivacysite carried affiliate links.
+constexpr std::array<ReviewSite, 20> kSites = {{
+    {"360topreviews.com", true},
+    {"bbestvpn.com", true},
+    {"best.offers.com", true},
+    {"bestvpn4u.com", true},
+    {"freedomhacker.net", true},
+    {"ign.com", true},
+    {"pcmag.com", true},
+    {"pcworld.com", true},
+    {"reddit.com", false},
+    {"securethoughts.com", true},
+    {"techsupportalert.com", true},
+    {"thatoneprivacysite.net", false},
+    {"tomsguide.com", true},
+    {"top10fastvpns.com", true},
+    {"torrentfreak.com", true},
+    {"trustedreviews.com", true},
+    {"vpnfan.com", true},
+    {"vpnmentor.com", true},
+    {"vpnsrus.com", true},
+    {"vpnservice.reviews", true},
+}};
+
+}  // namespace
+
+std::span<const ReviewSite> review_sites() { return kSites; }
+
+std::string_view selection_source_name(SelectionSource s) noexcept {
+  switch (s) {
+    case SelectionSource::kPopularReviewSites:
+      return "Popular Services (from review websites)";
+    case SelectionSource::kRedditCrawl:
+      return "Reddit Crawl";
+    case SelectionSource::kPersonalRecommendation:
+      return "Personal Recommendations";
+    case SelectionSource::kCheapOrFree:
+      return "Cheap & Free VPNs";
+    case SelectionSource::kMultiLanguageReviews:
+      return "Multiple Language Reviews";
+    case SelectionSource::kManyVantagePoints:
+      return "Large Number of Vantage Points";
+    case SelectionSource::kOther:
+      return "Others";
+  }
+  return "?";
+}
+
+}  // namespace vpna::ecosystem

@@ -1,0 +1,34 @@
+// The review-website data behind the paper's Table 1 (candidate-list
+// sources and their affiliate-marketing status) and the source-category
+// counts behind Table 2.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+namespace vpna::ecosystem {
+
+struct ReviewSite {
+  std::string_view domain;
+  bool affiliate_based = true;
+};
+
+// The 20 review websites used to seed the provider list (Table 1).
+[[nodiscard]] std::span<const ReviewSite> review_sites();
+
+// Selection sources a provider can appear in (Table 2 rows). A provider
+// typically appears in several (the sources overlap heavily).
+enum class SelectionSource : std::uint8_t {
+  kPopularReviewSites,
+  kRedditCrawl,
+  kPersonalRecommendation,
+  kCheapOrFree,          // "The One Privacy Site" pricing crawl
+  kMultiLanguageReviews, // VPNMentor
+  kManyVantagePoints,    // claims >= 30 countries
+  kOther,
+};
+inline constexpr int kSelectionSourceCount = 7;
+
+[[nodiscard]] std::string_view selection_source_name(SelectionSource s) noexcept;
+
+}  // namespace vpna::ecosystem

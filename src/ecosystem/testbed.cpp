@@ -1,0 +1,71 @@
+#include "ecosystem/testbed.h"
+
+#include <algorithm>
+
+namespace vpna::ecosystem {
+
+namespace {
+
+// Aliases `count` of the partner's vantage points into `target` so both
+// providers list the same server addresses (reseller infrastructure).
+void alias_shared_vantage_points(vpn::DeployedProvider& target,
+                                 const vpn::DeployedProvider& partner,
+                                 const std::vector<std::string>& shared_ids) {
+  const std::size_t count =
+      std::min(shared_ids.size(), partner.vantage_points.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto& src = partner.vantage_points[i];
+    vpn::DeployedVantagePoint alias = src;
+    alias.spec.id = shared_ids[i];
+    target.vantage_points.push_back(std::move(alias));
+    target.spec.vantage_points.push_back(alias.spec);
+  }
+}
+
+Testbed build(const std::vector<const EvaluatedProvider*>& selection,
+              std::uint64_t seed) {
+  Testbed tb;
+  tb.world = std::make_unique<inet::World>(seed);
+  tb.providers.reserve(selection.size());
+
+  for (const auto* ep : selection) {
+    auto deployed = vpn::deploy_provider(*tb.world, ep->spec);
+    tb.providers.push_back(std::move(deployed));
+  }
+
+  // Second pass: reseller aliasing (requires partners deployed).
+  for (const auto* ep : selection) {
+    if (ep->shares_infrastructure_with.empty()) continue;
+    vpn::DeployedProvider* target = nullptr;
+    const vpn::DeployedProvider* partner = nullptr;
+    for (auto& p : tb.providers) {
+      if (p.spec.name == ep->spec.name) target = &p;
+      if (p.spec.name == ep->shares_infrastructure_with) partner = &p;
+    }
+    if (target != nullptr && partner != nullptr)
+      alias_shared_vantage_points(*target, *partner, ep->shared_vantage_ids);
+  }
+
+  tb.client = &tb.world->spawn_client("Chicago", "measurement-vm");
+  return tb;
+}
+
+}  // namespace
+
+Testbed build_testbed(std::uint64_t seed) {
+  std::vector<const EvaluatedProvider*> all;
+  for (const auto& ep : evaluated_providers()) all.push_back(&ep);
+  return build(all, seed);
+}
+
+Testbed build_testbed_subset(const std::vector<std::string>& names,
+                             std::uint64_t seed) {
+  std::vector<const EvaluatedProvider*> selection;
+  for (const auto& name : names) {
+    const auto* ep = evaluated_provider(name);
+    if (ep != nullptr) selection.push_back(ep);
+  }
+  return build(selection, seed);
+}
+
+}  // namespace vpna::ecosystem

@@ -1,0 +1,44 @@
+// Testbed assembly: deploys the full evaluated-provider set into a
+// simulated world and provisions the measurement client VM — the starting
+// state of every experiment in the paper's §6.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ecosystem/evaluated.h"
+#include "inet/world.h"
+#include "vpn/deploy.h"
+
+namespace vpna::ecosystem {
+
+struct Testbed {
+  std::unique_ptr<inet::World> world;
+  std::vector<vpn::DeployedProvider> providers;
+  netsim::Host* client = nullptr;  // the measurement VM (Chicago eyeball)
+
+  [[nodiscard]] const vpn::DeployedProvider* provider(
+      std::string_view name) const {
+    for (const auto& p : providers)
+      if (p.spec.name == name) return &p;
+    return nullptr;
+  }
+
+  [[nodiscard]] std::size_t total_vantage_points() const {
+    std::size_t n = 0;
+    for (const auto& p : providers) n += p.vantage_points.size();
+    return n;
+  }
+};
+
+// Builds a world (seeded) and deploys every evaluated provider into it.
+// Reseller-shared vantage points (Anonine/Boxpn) alias onto the partner's
+// hosts, yielding exact-IP overlap in the census.
+[[nodiscard]] Testbed build_testbed(std::uint64_t seed = 20181031);
+
+// Deploys a named subset (for cheaper tests): only providers whose names
+// appear in `names`.
+[[nodiscard]] Testbed build_testbed_subset(
+    const std::vector<std::string>& names, std::uint64_t seed = 20181031);
+
+}  // namespace vpna::ecosystem

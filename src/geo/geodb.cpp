@@ -1,0 +1,79 @@
+#include "geo/geodb.h"
+
+#include <utility>
+
+namespace vpna::geo {
+
+void AllocationRegistry::add(Allocation allocation) {
+  allocations_.push_back(std::move(allocation));
+}
+
+const Allocation* AllocationRegistry::find(const netsim::IpAddr& addr) const {
+  // Longest-prefix match across registered blocks.
+  const Allocation* best = nullptr;
+  for (const auto& a : allocations_) {
+    if (!a.block.contains(addr)) continue;
+    if (best == nullptr || a.block.prefix_len() > best->block.prefix_len())
+      best = &a;
+  }
+  return best;
+}
+
+GeoIpDatabase::GeoIpDatabase(GeoDbProfile profile,
+                             std::shared_ptr<const AllocationRegistry> registry,
+                             std::uint64_t world_seed)
+    : profile_(std::move(profile)),
+      registry_(std::move(registry)),
+      world_seed_(world_seed) {}
+
+std::optional<GeoRecord> GeoIpDatabase::lookup(const netsim::IpAddr& addr) const {
+  const Allocation* alloc = registry_->find(addr);
+  if (alloc == nullptr) return std::nullopt;
+
+  // Deterministic per (db, block) stream: repeated lookups agree, and the
+  // same world seed reproduces the same database contents.
+  util::Rng rng(world_seed_ ^ util::fnv1a(profile_.name) ^
+                util::fnv1a(alloc->block.str()));
+
+  if (!rng.chance(profile_.coverage)) return std::nullopt;
+
+  if (rng.chance(profile_.error_rate)) {
+    // Stale/wrong entry: an unrelated city from the table.
+    const auto all = cities();
+    const auto& c = all[rng.index(all.size())];
+    return GeoRecord{std::string(c.country_code), std::string(c.name),
+                     c.location};
+  }
+
+  if (alloc->spoofed() && rng.chance(profile_.spoof_susceptibility))
+    return alloc->registered_location;
+  return alloc->true_location;
+}
+
+GeoIpDatabase make_maxmind_like(
+    std::shared_ptr<const AllocationRegistry> registry, std::uint64_t seed) {
+  // Largely trusts registrations; modest stale-data rate; near-total
+  // coverage. Agrees with provider claims ~95% of the time.
+  return GeoIpDatabase({"maxmind-like", /*spoof=*/0.90, /*error=*/0.015,
+                        /*coverage=*/0.978},
+                       std::move(registry), seed);
+}
+
+GeoIpDatabase make_ip2location_like(
+    std::shared_ptr<const AllocationRegistry> registry, std::uint64_t seed) {
+  // Slightly more independent of registrations and slightly noisier.
+  return GeoIpDatabase({"ip2location-like", /*spoof=*/0.65, /*error=*/0.04,
+                        /*coverage=*/0.978},
+                       std::move(registry), seed);
+}
+
+GeoIpDatabase make_google_like(
+    std::shared_ptr<const AllocationRegistry> registry, std::uint64_t seed) {
+  // Active-measurement backed: rarely fooled by paper registrations, but
+  // answers fewer queries and carries its own noise.
+  return GeoIpDatabase({"google-like", /*spoof=*/0.08, /*error=*/0.05,
+                        /*coverage=*/0.865},
+                       std::move(registry), seed);
+}
+
+}  // namespace vpna::geo

@@ -1,0 +1,41 @@
+#include "geo/geopoint.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace vpna::geo {
+
+namespace {
+constexpr double kEarthRadiusKm = 6371.0;
+// Light in fiber travels at roughly 2/3 the vacuum speed of light:
+// ~200 km per millisecond.
+constexpr double kFiberKmPerMs = 200.0;
+// Real fiber paths are not great circles; typical stretch factor.
+constexpr double kPathStretch = 1.3;
+// Router/serialization overhead per backbone link.
+constexpr double kEquipmentOverheadMs = 0.35;
+
+double deg2rad(double d) { return d * std::numbers::pi / 180.0; }
+}  // namespace
+
+double haversine_km(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = deg2rad(a.lat_deg);
+  const double lat2 = deg2rad(b.lat_deg);
+  const double dlat = lat2 - lat1;
+  const double dlon = deg2rad(b.lon_deg - a.lon_deg);
+  const double s = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) *
+                       std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(s)));
+}
+
+double min_rtt_ms(const GeoPoint& a, const GeoPoint& b) {
+  return 2.0 * haversine_km(a, b) / kFiberKmPerMs;
+}
+
+double link_latency_ms(const GeoPoint& a, const GeoPoint& b) {
+  return haversine_km(a, b) * kPathStretch / kFiberKmPerMs +
+         kEquipmentOverheadMs;
+}
+
+}  // namespace vpna::geo

@@ -1,0 +1,31 @@
+// Geographic primitives: coordinates, great-circle distance, and the
+// speed-of-light-in-fiber bound that underpins RTT-based geolocation
+// inference (paper §6.4.2): a reply cannot arrive faster than light travels
+// through glass, so a sub-9ms ping to Frankfurt refutes a "US" location.
+#pragma once
+
+#include <string>
+
+namespace vpna::geo {
+
+struct GeoPoint {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+
+  friend bool operator==(const GeoPoint&, const GeoPoint&) = default;
+};
+
+// Great-circle distance in kilometres (haversine, mean Earth radius).
+[[nodiscard]] double haversine_km(const GeoPoint& a, const GeoPoint& b);
+
+// Minimum physically possible round-trip time between two points, assuming
+// propagation at 2/3 c through fiber along the great circle. Real paths are
+// longer, so observed RTTs below this bound are impossible.
+[[nodiscard]] double min_rtt_ms(const GeoPoint& a, const GeoPoint& b);
+
+// A realistic one-way link latency between two points: great-circle fiber
+// time inflated by a path-stretch factor plus fixed equipment overhead.
+// Used by the world builder to weight backbone links.
+[[nodiscard]] double link_latency_ms(const GeoPoint& a, const GeoPoint& b);
+
+}  // namespace vpna::geo

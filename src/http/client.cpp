@@ -1,0 +1,160 @@
+#include "http/client.h"
+
+#include "dns/client.h"
+
+namespace vpna::http {
+
+std::string_view fetch_error_name(FetchError e) noexcept {
+  switch (e) {
+    case FetchError::kNone: return "none";
+    case FetchError::kDnsFailure: return "dns-failure";
+    case FetchError::kConnectFailure: return "connect-failure";
+    case FetchError::kMalformedResponse: return "malformed-response";
+    case FetchError::kTooManyRedirects: return "too-many-redirects";
+  }
+  return "unknown";
+}
+
+std::optional<ExchangeRecord> HttpClient::exchange(const Url& url,
+                                                   const FetchOptions& opts,
+                                                   FetchError& error) {
+  // Resolve the hostname (IP literals pass through).
+  netsim::IpAddr server;
+  if (const auto literal = netsim::IpAddr::parse(url.host)) {
+    server = *literal;
+  } else {
+    dns::LookupResult lookup =
+        opts.resolver
+            ? dns::query(net_, host_, *opts.resolver, url.host, dns::RrType::kA)
+            : dns::resolve_system(net_, host_, url.host, dns::RrType::kA);
+    if (!lookup.ok() || lookup.addresses.empty()) {
+      error = FetchError::kDnsFailure;
+      return std::nullopt;
+    }
+    server = lookup.addresses.front();
+  }
+
+  HttpRequest req;
+  req.method = "GET";
+  req.host = url.host;
+  req.path = url.path;
+  req.headers = opts.headers;
+  if (req.headers.empty()) {
+    // Stable, distinctive default header set (ordering matters: in-path
+    // proxies that parse and regenerate requests disturb it).
+    req.headers = {
+        {"User-Agent", "vpna-probe/1.0 (Macintosh; like Gecko)"},
+        {"Accept", "text/html,application/xhtml+xml;q=0.9,*/*;q=0.8"},
+        {"Accept-Language", "en-US,en;q=0.5"},
+        {"X-Probe-Marker", "leave-intact-7719"},
+    };
+  }
+
+  netsim::Packet p;
+  p.dst = server;
+  p.proto = netsim::Proto::kTcp;
+  p.src_port = host_.next_ephemeral_port();
+  p.dst_port = url.effective_port();
+  p.payload = req.encode();
+
+  netsim::TransactOptions topts;
+  // TCP handshake = 1 extra RTT; TLS adds 2 more.
+  topts.extra_round_trips = url.scheme == "https" ? 3 : 1;
+  const auto result = net_.transact(host_, std::move(p), topts);
+  if (!result.ok()) {
+    error = FetchError::kConnectFailure;
+    return std::nullopt;
+  }
+  const auto resp = HttpResponse::decode(result.reply);
+  if (!resp) {
+    error = FetchError::kMalformedResponse;
+    return std::nullopt;
+  }
+
+  ExchangeRecord rec;
+  rec.url = url;
+  rec.request_serialized = req.encode();
+  rec.status = resp->status;
+  rec.response_headers = resp->headers;
+  rec.body = resp->body;
+  rec.server_addr = server;
+  rec.rtt_ms = result.rtt_ms;
+  return rec;
+}
+
+FetchResult HttpClient::fetch(const Url& url, const FetchOptions& opts) {
+  FetchResult out;
+  Url current = url;
+  for (int hop = 0; hop <= opts.max_redirects; ++hop) {
+    FetchError error = FetchError::kNone;
+    auto rec = exchange(current, opts, error);
+    if (!rec) {
+      out.error = error;
+      out.final_url = current;
+      return out;
+    }
+    out.exchanges.push_back(*rec);
+    const HttpResponse resp = [&] {
+      HttpResponse r;
+      r.status = rec->status;
+      r.headers = rec->response_headers;
+      r.body = rec->body;
+      return r;
+    }();
+    if (resp.is_redirect()) {
+      const auto location = resp.header("Location");
+      if (!location) {
+        out.error = FetchError::kMalformedResponse;
+        out.final_url = current;
+        return out;
+      }
+      current = current.resolve(*location);
+      continue;
+    }
+    out.final_url = current;
+    out.status = rec->status;
+    out.body = rec->body;
+    return out;
+  }
+  out.error = FetchError::kTooManyRedirects;
+  out.final_url = current;
+  return out;
+}
+
+FetchResult HttpClient::fetch(std::string_view url_text,
+                              const FetchOptions& opts) {
+  const auto url = Url::parse(url_text);
+  if (!url) {
+    FetchResult out;
+    out.error = FetchError::kMalformedResponse;
+    return out;
+  }
+  return fetch(*url, opts);
+}
+
+PageLoadResult HttpClient::load_page(std::string_view url_text,
+                                     const FetchOptions& opts) {
+  PageLoadResult out;
+  out.requested_urls.emplace_back(url_text);
+  out.document = fetch(url_text, opts);
+  if (!out.document.ok()) return out;
+
+  // Extract script src references from the final DOM and fetch each. This
+  // includes any scripts an in-path party injected, mirroring how a real
+  // browser would dutifully load injected content.
+  const std::string& dom = out.document.body;
+  std::size_t pos = 0;
+  while ((pos = dom.find("src=\"", pos)) != std::string::npos) {
+    pos += 5;
+    const std::size_t end = dom.find('"', pos);
+    if (end == std::string::npos) break;
+    const std::string res_url = dom.substr(pos, end - pos);
+    pos = end;
+    if (!res_url.starts_with("http")) continue;
+    out.requested_urls.push_back(res_url);
+    out.resources.push_back(fetch(res_url, opts));
+  }
+  return out;
+}
+
+}  // namespace vpna::http

@@ -1,0 +1,161 @@
+#include "http/message.h"
+
+#include <charconv>
+
+#include "util/strings.h"
+
+namespace vpna::http {
+
+namespace {
+
+bool iequals(std::string_view a, std::string_view b) {
+  return util::to_lower(a) == util::to_lower(b);
+}
+
+// Splits "Name: value" lines until the blank line; returns false on framing
+// errors. `lines_consumed` points just past the blank separator.
+bool parse_headers(const std::vector<std::string>& lines, std::size_t start,
+                   std::vector<Header>& headers, std::size_t& body_start) {
+  for (std::size_t i = start; i < lines.size(); ++i) {
+    if (lines[i].empty()) {
+      body_start = i + 1;
+      return true;
+    }
+    const std::size_t colon = lines[i].find(':');
+    if (colon == std::string::npos) return false;
+    std::string name = lines[i].substr(0, colon);
+    std::string value = lines[i].substr(colon + 1);
+    // Strip exactly one leading space if present (preserving any other
+    // spacing quirks, which the proxy-detection test depends on).
+    if (!value.empty() && value.front() == ' ') value.erase(0, 1);
+    headers.emplace_back(std::move(name), std::move(value));
+  }
+  return false;  // no blank separator
+}
+
+std::string join_body(const std::vector<std::string>& lines,
+                      std::size_t body_start) {
+  std::string body;
+  for (std::size_t i = body_start; i < lines.size(); ++i) {
+    if (i > body_start) body += '\n';
+    body += lines[i];
+  }
+  return body;
+}
+
+}  // namespace
+
+std::string_view reason_for_status(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 301: return "Moved Permanently";
+    case 302: return "Found";
+    case 303: return "See Other";
+    case 307: return "Temporary Redirect";
+    case 308: return "Permanent Redirect";
+    case 400: return "Bad Request";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 451: return "Unavailable For Legal Reasons";
+    case 500: return "Internal Server Error";
+    case 502: return "Bad Gateway";
+    default: return "Unknown";
+  }
+}
+
+std::optional<std::string> HttpRequest::header(std::string_view name) const {
+  for (const auto& [n, v] : headers)
+    if (iequals(n, name)) return v;
+  return std::nullopt;
+}
+
+void HttpRequest::set_header(std::string_view name, std::string_view value) {
+  for (auto& [n, v] : headers) {
+    if (iequals(n, name)) {
+      v = std::string(value);
+      return;
+    }
+  }
+  headers.emplace_back(std::string(name), std::string(value));
+}
+
+std::string HttpRequest::encode() const {
+  std::string s = method + " " + path + " HTTP/1.1\n";
+  s += "Host: " + host + "\n";
+  for (const auto& [n, v] : headers) s += n + ": " + v + "\n";
+  s += "\n";
+  s += body;
+  return s;
+}
+
+std::optional<HttpRequest> HttpRequest::decode(std::string_view payload) {
+  const auto lines = util::split(payload, '\n');
+  if (lines.empty()) return std::nullopt;
+  const auto req_parts = util::split(lines[0], ' ');
+  if (req_parts.size() != 3 || req_parts[2] != "HTTP/1.1") return std::nullopt;
+  HttpRequest r;
+  r.method = req_parts[0];
+  r.path = req_parts[1];
+
+  std::vector<Header> all;
+  std::size_t body_start = 0;
+  if (!parse_headers(lines, 1, all, body_start)) return std::nullopt;
+  for (auto& h : all) {
+    if (iequals(h.first, "Host") && r.host.empty())
+      r.host = h.second;
+    else
+      r.headers.push_back(std::move(h));
+  }
+  if (r.host.empty()) return std::nullopt;
+  r.body = join_body(lines, body_start);
+  return r;
+}
+
+std::optional<std::string> HttpResponse::header(std::string_view name) const {
+  for (const auto& [n, v] : headers)
+    if (iequals(n, name)) return v;
+  return std::nullopt;
+}
+
+void HttpResponse::set_header(std::string_view name, std::string_view value) {
+  for (auto& [n, v] : headers) {
+    if (iequals(n, name)) {
+      v = std::string(value);
+      return;
+    }
+  }
+  headers.emplace_back(std::string(name), std::string(value));
+}
+
+std::string HttpResponse::encode() const {
+  std::string s = "HTTP/1.1 " + std::to_string(status) + " " + reason + "\n";
+  for (const auto& [n, v] : headers) s += n + ": " + v + "\n";
+  s += "\n";
+  s += body;
+  return s;
+}
+
+std::optional<HttpResponse> HttpResponse::decode(std::string_view payload) {
+  const auto lines = util::split(payload, '\n');
+  if (lines.empty() || !util::starts_with(lines[0], "HTTP/1.1 "))
+    return std::nullopt;
+  HttpResponse r;
+  const auto status_line = util::split(lines[0], ' ');
+  if (status_line.size() < 2) return std::nullopt;
+  int status = 0;
+  const auto& st = status_line[1];
+  auto [p, ec] = std::from_chars(st.data(), st.data() + st.size(), status);
+  if (ec != std::errc{} || p != st.data() + st.size()) return std::nullopt;
+  r.status = status;
+  r.reason = status_line.size() > 2
+                 ? util::join({status_line.begin() + 2, status_line.end()}, " ")
+                 : std::string(reason_for_status(status));
+
+  std::size_t body_start = 0;
+  if (!parse_headers(lines, 1, r.headers, body_start)) return std::nullopt;
+  r.body = join_body(lines, body_start);
+  return r;
+}
+
+}  // namespace vpna::http

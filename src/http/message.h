@@ -1,0 +1,55 @@
+// HTTP/1.1 message model with a line-based wire encoding. Header *identity*
+// (exact names, casing, order and spacing) is preserved through
+// serialization, because the header-based transparent-proxy detection test
+// (§6.2.1) works by comparing the bytes a client sent against the bytes a
+// reflection server received.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace vpna::http {
+
+using Header = std::pair<std::string, std::string>;
+
+struct HttpRequest {
+  std::string method = "GET";
+  std::string host;           // Host header target
+  std::string path = "/";
+  std::vector<Header> headers;  // excluding Host (kept separately)
+  std::string body;
+
+  // Finds the first header with the given name (case-insensitive).
+  [[nodiscard]] std::optional<std::string> header(std::string_view name) const;
+  void set_header(std::string_view name, std::string_view value);
+
+  // Exact serialized form ("GET /path HTTP/1.1\r\nHost: ...\r\n...").
+  [[nodiscard]] std::string encode() const;
+  static std::optional<HttpRequest> decode(std::string_view payload);
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string reason = "OK";
+  std::vector<Header> headers;
+  std::string body;
+
+  [[nodiscard]] std::optional<std::string> header(std::string_view name) const;
+  void set_header(std::string_view name, std::string_view value);
+
+  [[nodiscard]] bool is_redirect() const noexcept {
+    return status == 301 || status == 302 || status == 303 || status == 307 ||
+           status == 308;
+  }
+
+  [[nodiscard]] std::string encode() const;
+  static std::optional<HttpResponse> decode(std::string_view payload);
+};
+
+[[nodiscard]] std::string_view reason_for_status(int status) noexcept;
+
+}  // namespace vpna::http

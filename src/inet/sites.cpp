@@ -1,0 +1,130 @@
+#include "inet/sites.h"
+
+#include <array>
+
+namespace vpna::inet {
+
+namespace {
+
+using C = SiteCategory;
+
+// 55 DOM-collection sites. All stay on plain HTTP (upgrades_to_https =
+// false) so in-path manipulation has maximum opportunity to show itself.
+constexpr std::array<SiteSpec, 55> kDomSites = {{
+    // News & politics
+    {"daily-courier-news.com", C::kNews, false, true, false, false, 4, "New York"},
+    {"metro-herald.net", C::kNews, false, true, false, false, 3, "London"},
+    {"worldwire-report.com", C::kNews, false, true, false, false, 4, "Frankfurt"},
+    {"capital-dispatch.org", C::kPolitics, false, true, false, false, 3, "Ashburn"},
+    {"policy-tribune.net", C::kPolitics, false, true, false, false, 3, "Paris"},
+    {"opposition-voice.org", C::kPolitics, false, true, false, false, 2, "Amsterdam"},
+    {"election-watchdog.org", C::kPolitics, false, true, false, false, 2, "Stockholm"},
+    // Pornography (censored in TR/KR/TH/RU)
+    {"adult-theater-x.com", C::kPornography, false, true, false, false, 3, "Amsterdam"},
+    {"late-night-cams.com", C::kPornography, false, true, false, false, 3, "Los Angeles"},
+    {"velvet-rooms.net", C::kPornography, false, true, false, false, 2, "Prague"},
+    {"midnight-gallery.com", C::kPornography, false, true, false, false, 2, "Ashburn"},
+    // File sharing (censored in TR/RU/NL)
+    {"torrent-harbor.net", C::kFileSharing, false, true, false, false, 3, "Stockholm"},
+    {"magnet-bay.org", C::kFileSharing, false, true, false, false, 2, "Bucharest"},
+    {"seedbox-central.com", C::kFileSharing, false, true, false, false, 3, "Amsterdam"},
+    {"openshare-index.net", C::kFileSharing, false, true, false, false, 2, "Zurich"},
+    // Government
+    {"civic-services.org", C::kGovernment, false, true, false, false, 3, "Ashburn"},
+    {"municipal-records.net", C::kGovernment, false, true, false, false, 2, "Chicago"},
+    {"tax-portal-info.org", C::kGovernment, false, true, false, false, 3, "Berlin"},
+    // Defense contracting
+    {"aerodyn-defense.com", C::kDefense, false, true, false, false, 3, "Ashburn"},
+    {"maritime-systems-corp.com", C::kDefense, false, true, false, false, 2, "San Jose"},
+    {"forward-armor-group.com", C::kDefense, false, true, false, false, 2, "Dallas"},
+    // Streaming (blocks VPN egress ranges, like Hulu/Netflix)
+    {"streambox-video.com", C::kStreaming, false, true, true, false, 5, "Seattle"},
+    {"cinema-flow.net", C::kStreaming, false, true, true, true, 4, "Los Angeles"},
+    {"sportscast-live.com", C::kStreaming, false, true, true, false, 4, "Dallas"},
+    // Shopping
+    {"bargain-basket.com", C::kShopping, false, true, false, false, 5, "New York"},
+    {"global-mart-online.com", C::kShopping, false, true, false, false, 4, "Singapore"},
+    {"gadget-bazaar.net", C::kShopping, false, true, false, false, 3, "Hong Kong"},
+    // Social / professional (linkedin.com: blocked in Russia)
+    {"linkedin.com", C::kProfessional, false, true, false, false, 4, "San Jose"},
+    {"chatter-square.com", C::kSocial, false, true, false, false, 4, "San Jose"},
+    {"photo-stream-social.net", C::kSocial, false, true, false, false, 3, "Ashburn"},
+    // Encyclopedia (wikipedia.org: blocked in Turkey)
+    {"wikipedia.org", C::kEncyclopedia, false, true, false, false, 3, "Ashburn"},
+    {"open-lexicon.org", C::kEncyclopedia, false, true, false, false, 2, "Amsterdam"},
+    // Religion (jw.org: blocked in Russia)
+    {"jw.org", C::kReligion, false, true, false, false, 2, "New York"},
+    {"faith-community-hub.org", C::kReligion, false, true, false, false, 2, "Atlanta"},
+    // Tech & misc
+    {"kernel-patch-news.net", C::kTech, false, true, false, false, 3, "San Jose"},
+    {"packet-pushers-blog.com", C::kTech, false, true, false, false, 3, "Frankfurt"},
+    {"retro-computing-wiki.org", C::kTech, false, true, false, false, 2, "Helsinki"},
+    {"devops-daily.net", C::kTech, false, true, false, false, 3, "Dublin"},
+    {"crypto-ledger-news.com", C::kTech, false, true, false, false, 3, "Zurich"},
+    {"health-advice-portal.com", C::kNews, false, true, false, false, 3, "Toronto"},
+    {"travel-nomad-guides.com", C::kNews, false, true, false, false, 3, "Sydney"},
+    {"recipe-box-daily.com", C::kShopping, false, true, false, false, 2, "Chicago"},
+    {"auto-classifieds-hub.com", C::kShopping, false, true, false, false, 3, "Dallas"},
+    {"weather-radar-live.net", C::kNews, false, true, false, false, 2, "Denver"},
+    {"job-board-express.com", C::kProfessional, false, true, false, false, 3, "New York"},
+    {"real-estate-finder.net", C::kShopping, false, true, false, false, 3, "Miami"},
+    {"stock-ticker-watch.com", C::kNews, false, true, false, false, 4, "New York"},
+    {"gaming-guild-forums.net", C::kSocial, false, true, false, false, 3, "Seoul"},
+    {"anime-fan-portal.com", C::kSocial, false, true, false, false, 3, "Tokyo"},
+    {"university-open-courses.org", C::kEncyclopedia, false, true, false, false, 2, "Ashburn"},
+    {"pet-care-answers.com", C::kNews, false, true, false, false, 2, "Atlanta"},
+    {"diy-fixit-guides.net", C::kTech, false, true, false, false, 2, "Manchester"},
+    {"local-events-billboard.com", C::kSocial, false, true, false, false, 2, "Vienna"},
+    {"vintage-vinyl-shop.com", C::kShopping, false, true, false, false, 2, "Lisbon"},
+    {"language-learning-lab.net", C::kEncyclopedia, false, true, false, false, 3, "Madrid"},
+}};
+
+// 150 additional TLS-scan hosts, generated across hosting cities with a mix
+// of upgrade behaviour. Built once at static-init time.
+const std::vector<SiteSpec>& tls_sites_storage() {
+  static const std::vector<SiteSpec> kSites = [] {
+    // Hostname storage must outlive the SiteSpec string_views.
+    static std::vector<std::string> names;
+    constexpr std::array<std::string_view, 10> kHostCities = {
+        "New York", "Ashburn",   "London", "Frankfurt", "Amsterdam",
+        "Tokyo",    "Singapore", "Sydney", "Sao Paulo", "Toronto"};
+    constexpr std::array<std::string_view, 5> kStems = {
+        "portal", "cloud", "app", "store", "media"};
+    names.reserve(150);
+    std::vector<SiteSpec> out;
+    out.reserve(150);
+    for (int i = 0; i < 150; ++i) {
+      names.push_back("tls-" + std::string(kStems[static_cast<std::size_t>(i) % 5]) +
+                      "-" + std::to_string(i) + ".com");
+      SiteSpec s;
+      s.hostname = names.back();
+      s.category = C::kTech;
+      s.https_available = true;
+      // Two thirds upgrade to HTTPS, so stripping would be visible.
+      s.upgrades_to_https = (i % 3) != 0;
+      // A sprinkle of VPN-hostile services (the paper found "more than a
+      // dozen" hosts 403-ing VPN ranges across the scan list).
+      s.blocks_vpn_ranges = (i % 11) == 0;
+      s.resource_count = 0;
+      s.hosting_city = kHostCities[static_cast<std::size_t>(i) % kHostCities.size()];
+      out.push_back(s);
+    }
+    return out;
+  }();
+  return kSites;
+}
+
+}  // namespace
+
+std::span<const SiteSpec> dom_test_sites() { return kDomSites; }
+
+std::span<const SiteSpec> tls_scan_sites() { return tls_sites_storage(); }
+
+std::string_view honeysite_plain() { return "static-page.probe-infra.net"; }
+std::string_view honeysite_ads() { return "honey-ads.probe-infra.net"; }
+std::string_view header_echo_host() { return "echo.probe-infra.net"; }
+std::string_view geo_api_host() { return "geo.api-lookup.net"; }
+std::string_view probe_dns_zone() { return "rdns.probe-infra.net"; }
+std::string_view stun_host() { return "stun.probe-infra.net"; }
+
+}  // namespace vpna::inet

@@ -1,0 +1,53 @@
+// The measurement target list: the 55 sites the DOM-collection test loads
+// (chosen, per the paper, to stay on plain HTTP and span sensitive
+// categories), the two honeysites, the ~150 additional hosts of the TLS
+// scan, and supporting infrastructure endpoints (header echo, geolocation
+// API, tagged-DNS probe zone).
+//
+// Hostnames are synthetic stand-ins except the three sites the paper names
+// as nationally blocked (wikipedia.org, jw.org, linkedin.com), which are
+// needed to reproduce Table 4's host-specific censorship rows.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "inet/censor.h"
+
+namespace vpna::inet {
+
+struct SiteSpec {
+  std::string_view hostname;
+  SiteCategory category = SiteCategory::kTech;
+  bool upgrades_to_https = false;  // redirects http -> https
+  bool https_available = true;
+  bool blocks_vpn_ranges = false;  // 403s known-VPN egress blocks
+  bool blocks_with_empty_200 = false;
+  int resource_count = 3;          // sub-resources on the root page
+  std::string_view hosting_city;   // where the origin server lives
+};
+
+// The 55-site DOM-collection list (none upgrade to HTTPS, maximising the
+// manipulation surface, per §5.3.1).
+[[nodiscard]] std::span<const SiteSpec> dom_test_sites();
+
+// Additional hosts for the TLS interception/downgrade scan (~150; these do
+// have HTTPS and many upgrade).
+[[nodiscard]] std::span<const SiteSpec> tls_scan_sites();
+
+// Honeysite hostnames (static DOM; the second carries the ad slot).
+[[nodiscard]] std::string_view honeysite_plain();
+[[nodiscard]] std::string_view honeysite_ads();
+
+// Measurement-infrastructure endpoints.
+[[nodiscard]] std::string_view header_echo_host();   // request reflection
+[[nodiscard]] std::string_view geo_api_host();       // IP geolocation API
+[[nodiscard]] std::string_view probe_dns_zone();     // tagged-hostname zone
+[[nodiscard]] std::string_view stun_host();          // WebRTC-style reflexive addr
+
+// UDP port of the STUN-like reflector.
+inline constexpr std::uint16_t kPortStun = 3478;
+
+}  // namespace vpna::inet

@@ -1,0 +1,18 @@
+#include "inet/whois.h"
+
+namespace vpna::inet {
+
+void WhoisDb::add(WhoisRecord record) { records_.push_back(std::move(record)); }
+
+std::optional<WhoisRecord> WhoisDb::lookup(const netsim::IpAddr& addr) const {
+  const WhoisRecord* best = nullptr;
+  for (const auto& r : records_) {
+    if (!r.block.contains(addr)) continue;
+    if (best == nullptr || r.block.prefix_len() > best->block.prefix_len())
+      best = &r;
+  }
+  if (best == nullptr) return std::nullopt;
+  return *best;
+}
+
+}  // namespace vpna::inet

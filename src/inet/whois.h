@@ -1,0 +1,38 @@
+// WHOIS registry: maps address blocks to registrant organisation, country
+// and origin ASN. The DNS-manipulation test inspects WHOIS ownership of
+// suspicious resolutions, and the infrastructure analysis (§6.3) groups
+// vantage points by block/ASN.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netsim/ip.h"
+
+namespace vpna::inet {
+
+struct WhoisRecord {
+  netsim::Cidr block;
+  std::string organisation;
+  std::string country_code;  // registration country (ISO)
+  std::uint32_t asn = 0;
+};
+
+class WhoisDb {
+ public:
+  void add(WhoisRecord record);
+
+  // Longest-prefix match.
+  [[nodiscard]] std::optional<WhoisRecord> lookup(
+      const netsim::IpAddr& addr) const;
+
+  [[nodiscard]] const std::vector<WhoisRecord>& records() const noexcept {
+    return records_;
+  }
+
+ private:
+  std::vector<WhoisRecord> records_;
+};
+
+}  // namespace vpna::inet

@@ -1,0 +1,234 @@
+// The simulated Internet: backbone topology over real cities, hosting
+// datacenters with address pools and WHOIS/geo registrations, the public
+// DNS ecosystem (anycast resolvers, roots, zone authorities, a logging
+// probe zone), the measurement-target web, RIPE-Atlas-style anchors, and
+// per-country censorship. Everything the paper's test suite touches that is
+// not the VPN itself lives here.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dns/server.h"
+#include "geo/cities.h"
+#include "geo/geodb.h"
+#include "http/server.h"
+#include "inet/censor.h"
+#include "inet/sites.h"
+#include "inet/whois.h"
+#include "netsim/network.h"
+#include "tlssim/cert.h"
+#include "tlssim/handshake.h"
+#include "util/clock.h"
+#include "util/rng.h"
+
+namespace vpna::inet {
+
+// A hosting location: a provider's presence in one city, with an IPv4 pool
+// (and optional IPv6) from which server addresses are allocated.
+struct Datacenter {
+  std::string id;                // "oceancompute-blr"
+  std::string hosting_provider;  // "OceanCompute Ltd"
+  geo::City city;
+  netsim::Cidr pool4;
+  std::optional<netsim::Cidr> pool6;
+  std::uint32_t asn = 0;
+  std::string registered_country;  // WHOIS country (usually == city country)
+  netsim::RouterId router = 0;
+  std::uint32_t next_host = 10;  // next free offset within pool4
+  // True for pools widely known as VPN/hosting space (streaming sites
+  // block these ranges).
+  bool known_vpn_hosting = false;
+  // Tenant isolation: in facilities with large pools each customer rents
+  // its own /24 slice, so distinct tenants do not share blocks. Small
+  // pools (/22 and tighter — the budget hosts of Table 5) have no room
+  // for slices and allocate from shared space.
+  std::map<std::string, std::pair<std::uint32_t, std::uint32_t>> tenant_slices;
+  std::uint32_t next_slice = 1;  // /24 index within the pool (0 = infra)
+};
+
+struct Anchor {
+  std::string name;
+  geo::City city;
+  netsim::IpAddr addr;
+};
+
+struct RootServer {
+  char letter;  // 'D', 'E', 'F', 'J', 'L'
+  netsim::IpAddr addr;
+};
+
+class World {
+ public:
+  explicit World(std::uint64_t seed);
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  // --- fabric ---------------------------------------------------------------
+  [[nodiscard]] netsim::Network& network() noexcept { return *network_; }
+  [[nodiscard]] util::SimClock& clock() noexcept { return clock_; }
+  [[nodiscard]] util::Rng& rng() noexcept { return rng_; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  // Router serving a city (throws for unknown city names).
+  [[nodiscard]] netsim::RouterId router_for_city(std::string_view city) const;
+
+  // --- hosting --------------------------------------------------------------
+  [[nodiscard]] std::vector<Datacenter>& datacenters() noexcept {
+    return datacenters_;
+  }
+  // Datacenters in a country, cheapest-first ordering is not modelled;
+  // callers pick by index/rng.
+  [[nodiscard]] std::vector<Datacenter*> datacenters_in(
+      std::string_view country_code);
+  [[nodiscard]] Datacenter* datacenter_by_id(std::string_view id);
+
+  // A tenant-private facility: a dedicated /24 rented by `tenant` in
+  // `city`, created on first use and cached. This is how most vantage
+  // points are hosted in practice — which is why the paper's census sees
+  // hundreds of distinct CIDRs, with sharing concentrated in a handful of
+  // budget facilities.
+  Datacenter& private_datacenter(std::string_view tenant,
+                                 std::string_view city);
+
+  // Creates a server host in a datacenter: allocates an address from the
+  // pool, attaches it at the datacenter's router, installs a default route.
+  // `tenant` selects the addressing policy: non-empty tenants in large
+  // pools receive addresses inside their own /24 slice; small pools and
+  // anonymous spawns allocate from shared space.
+  netsim::Host& spawn_server(Datacenter& dc, std::string name,
+                             bool with_v6 = false, std::string_view tenant = {});
+
+  // Creates an eyeball client behind a residential access network in a
+  // city, with IPv4+IPv6, default routes and the ISP's resolver configured.
+  netsim::Host& spawn_client(std::string_view city, std::string name);
+
+  // --- addressing / registries ---------------------------------------------
+  [[nodiscard]] WhoisDb& whois() noexcept { return whois_; }
+  [[nodiscard]] std::shared_ptr<geo::AllocationRegistry> geo_registry() {
+    return geo_registry_;
+  }
+  // Registers a sub-block's geo data, optionally spoofing the registered
+  // location (virtual vantage points do this).
+  void register_geo(const netsim::Cidr& block, const geo::City& true_city,
+                    const geo::City& registered_city);
+
+  // The three geolocation databases built over this world's registry.
+  [[nodiscard]] const geo::GeoIpDatabase& db_maxmind() const { return *db_maxmind_; }
+  [[nodiscard]] const geo::GeoIpDatabase& db_ip2location() const {
+    return *db_ip2location_;
+  }
+  [[nodiscard]] const geo::GeoIpDatabase& db_google() const { return *db_google_; }
+
+  // --- DNS -------------------------------------------------------------------
+  [[nodiscard]] netsim::IpAddr google_dns() const { return google_dns_; }
+  [[nodiscard]] netsim::IpAddr quad9_dns() const { return quad9_dns_; }
+  [[nodiscard]] netsim::IpAddr isp_resolver() const { return isp_resolver_; }
+  [[nodiscard]] std::span<const RootServer> root_servers() const {
+    return roots_;
+  }
+  [[nodiscard]] std::shared_ptr<dns::ZoneRegistry> zones() { return zones_; }
+  // The logging authoritative server under probe_dns_zone().
+  [[nodiscard]] dns::AuthoritativeService& probe_authority() {
+    return *probe_authority_;
+  }
+  // Adds records for a new hostname into the simulated DNS (server hosts
+  // call this when they come up).
+  void publish_dns(const std::string& hostname, const netsim::IpAddr& a,
+                   std::optional<netsim::IpAddr> aaaa = std::nullopt);
+
+  // --- web -------------------------------------------------------------------
+  [[nodiscard]] tlssim::CaStore& ca_store() noexcept { return ca_store_; }
+  [[nodiscard]] std::shared_ptr<const SiteDirectory> site_directory() const {
+    return site_directory_;
+  }
+  // Ground-truth content: the page originally published for a hostname.
+  [[nodiscard]] const http::Page* page_for(std::string_view hostname,
+                                           std::string_view path = "/") const;
+  // Ground-truth certificate fingerprint for a hostname.
+  [[nodiscard]] std::optional<std::string> true_cert_fingerprint(
+      std::string_view hostname) const;
+
+  // Marks a CIDR as known-VPN space: streaming-style sites begin blocking
+  // it (reproduces §6.1.2's 403 behaviour).
+  void blocklist_vpn_range(const netsim::Cidr& block);
+
+  // --- measurement endpoints ---------------------------------------------------
+  [[nodiscard]] std::span<const Anchor> anchors() const { return anchors_; }
+
+  // Verifies the world's structural invariants (every test site resolvable
+  // and serving, anchors and roots pingable, probe zone logging, censors
+  // armed). Returns a list of problems; empty means healthy. Examples and
+  // long campaigns call this before trusting a freshly built world.
+  [[nodiscard]] std::vector<std::string> self_check();
+
+  // Reverse DNS for backbone and datacenter-edge router addresses, in the
+  // operator-style form "core1.<city-slug>.backbone.example" /
+  // "edge.<city-slug>.<facility>.example". Traceroute-based geolocation
+  // (§5.3.2) keys off these hostnames, as it does in the real Internet.
+  [[nodiscard]] std::optional<std::string> reverse_dns(
+      const netsim::IpAddr& router_addr) const;
+
+  // --- censors ------------------------------------------------------------------
+  [[nodiscard]] const std::vector<std::shared_ptr<CensorMiddlebox>>& censors()
+      const {
+    return censors_;
+  }
+
+ private:
+  void build_backbone();
+  void build_datacenters();
+  void build_dns();
+  void build_web();
+  void build_anchors();
+  void build_censors();
+
+  netsim::Host& new_host(std::string name);
+  netsim::IpAddr allocate_from(Datacenter& dc);
+
+  std::uint64_t seed_;
+  util::SimClock clock_;
+  util::Rng rng_;
+  std::unique_ptr<netsim::Network> network_;
+
+  std::vector<std::unique_ptr<netsim::Host>> hosts_;
+  std::vector<netsim::RouterId> city_routers_;  // parallel to geo::cities()
+
+  std::vector<Datacenter> datacenters_;
+  WhoisDb whois_;
+  std::shared_ptr<geo::AllocationRegistry> geo_registry_;
+  std::unique_ptr<geo::GeoIpDatabase> db_maxmind_;
+  std::unique_ptr<geo::GeoIpDatabase> db_ip2location_;
+  std::unique_ptr<geo::GeoIpDatabase> db_google_;
+
+  std::shared_ptr<dns::ZoneRegistry> zones_;
+  netsim::IpAddr google_dns_;
+  netsim::IpAddr quad9_dns_;
+  netsim::IpAddr isp_resolver_;
+  std::vector<RootServer> roots_;
+  std::shared_ptr<dns::AuthoritativeService> web_authority_;  // all site zones
+  netsim::IpAddr web_authority_addr_;
+  std::shared_ptr<dns::AuthoritativeService> probe_authority_;
+
+  tlssim::CaStore ca_store_;
+  std::shared_ptr<SiteDirectory> site_directory_;
+  // Sites and TLS terminators by hosting host, for truth lookups.
+  std::vector<std::shared_ptr<http::Site>> all_sites_;
+  std::vector<std::shared_ptr<tlssim::TlsTerminator>> terminators_;
+  std::vector<std::shared_ptr<http::Site>> vpn_blocking_sites_;
+
+  std::vector<Anchor> anchors_;
+  std::vector<std::shared_ptr<CensorMiddlebox>> censors_;
+  std::uint64_t cert_serial_ = 1;
+  std::uint32_t next_client_ip_ = 10;  // within the residential pool
+  std::uint32_t next_private_pool_ = 0;  // /24 index in 146.0.0.0/8
+  // Private facilities are appended to datacenters_, which may reallocate;
+  // cache by id string and re-find on use.
+  std::map<std::string, std::string> private_dc_ids_;  // tenant:city -> dc id
+};
+
+}  // namespace vpna::inet

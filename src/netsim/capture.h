@@ -1,0 +1,64 @@
+// Packet capture: a per-interface ring of timestamped, direction-tagged
+// packet records, standing in for the libpcap captures the paper's test
+// suite records on the hardware interface. The leakage tests scan these
+// buffers for traffic that should have traversed the tunnel.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "netsim/packet.h"
+#include "util/clock.h"
+
+namespace vpna::netsim {
+
+enum class Direction : std::uint8_t { kOut, kIn };
+
+struct CaptureRecord {
+  util::SimTime time;
+  Direction direction = Direction::kOut;
+  std::string interface_name;
+  Packet packet;
+};
+
+// Append-only capture buffer. One per host; records carry the interface
+// name so tests can filter to the hardware (non-VPN) interface.
+//
+// Capture can be disabled per host (`set_enabled(false)`): the measurement
+// client records everything, while busy infrastructure hosts (web servers,
+// resolvers, vantage points) keep capture off so a full campaign stays
+// memory-bounded — exactly like only running tcpdump on the test machine.
+class CaptureBuffer {
+ public:
+  void record(util::SimTime time, Direction dir, std::string interface_name,
+              const Packet& packet);
+
+  void set_enabled(bool enabled) noexcept { enabled_ = enabled; }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  [[nodiscard]] const std::vector<CaptureRecord>& records() const noexcept {
+    return records_;
+  }
+
+  // Records on a specific interface.
+  [[nodiscard]] std::vector<CaptureRecord> on_interface(
+      std::string_view interface_name) const;
+
+  // Records matching a predicate.
+  [[nodiscard]] std::vector<CaptureRecord> matching(
+      const std::function<bool(const CaptureRecord&)>& pred) const;
+
+  void clear() noexcept { records_.clear(); }
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+
+  // tcpdump-style text rendering of (up to max_lines of) the buffer:
+  //   "12.345s eth0  OUT udp 71.80.0.10:49152 -> 8.8.8.8:53 len=20"
+  [[nodiscard]] std::string dump(std::size_t max_lines = 200) const;
+
+ private:
+  bool enabled_ = true;
+  std::vector<CaptureRecord> records_;
+};
+
+}  // namespace vpna::netsim

@@ -1,0 +1,32 @@
+#include "netsim/firewall.h"
+
+namespace vpna::netsim {
+
+void Firewall::add_rule(FwRule rule) { rules_.push_back(std::move(rule)); }
+
+std::size_t Firewall::remove_label(std::string_view label) {
+  const auto before = rules_.size();
+  std::erase_if(rules_, [&](const FwRule& r) { return r.label == label; });
+  return before - rules_.size();
+}
+
+FwAction Firewall::evaluate(const Packet& packet,
+                            Direction direction) const noexcept {
+  const IpAddr& remote =
+      direction == Direction::kOut ? packet.dst : packet.src;
+  const std::uint16_t remote_port =
+      direction == Direction::kOut ? packet.dst_port : packet.src_port;
+
+  for (const auto& r : rules_) {
+    if (r.direction && *r.direction != direction) continue;
+    if (r.remote_addr && *r.remote_addr != remote) continue;
+    if (r.remote_prefix && !r.remote_prefix->contains(remote)) continue;
+    if (r.proto && *r.proto != packet.proto) continue;
+    if (r.remote_port && *r.remote_port != remote_port) continue;
+    if (r.family && *r.family != packet.family()) continue;
+    return r.action;
+  }
+  return FwAction::kAllow;
+}
+
+}  // namespace vpna::netsim

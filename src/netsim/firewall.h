@@ -1,0 +1,57 @@
+// A small stateless packet filter attached to each host. Two of the paper's
+// experiments depend on it: the tunnel-failure test induces failure by
+// blocking outbound traffic to the VPN server, and fail-closed VPN clients
+// install block-everything rules when the tunnel drops.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netsim/capture.h"
+#include "netsim/packet.h"
+
+namespace vpna::netsim {
+
+enum class FwAction : std::uint8_t { kAllow, kDeny };
+
+// A rule matches when every specified (non-nullopt) field matches the
+// packet. Rules are evaluated in order; first match wins; default allow.
+struct FwRule {
+  FwAction action = FwAction::kDeny;
+  std::optional<Direction> direction;       // out/in; nullopt = both
+  std::optional<IpAddr> remote_addr;        // dst for out, src for in
+  std::optional<Cidr> remote_prefix;        // alternative to exact addr
+  std::optional<Proto> proto;
+  std::optional<std::uint16_t> remote_port;  // dst port for out, src for in
+  std::optional<IpFamily> family;
+  std::string label;  // diagnostic tag ("induced-failure", "killswitch", ...)
+};
+
+class Firewall {
+ public:
+  // Appends a rule (evaluated after existing rules).
+  void add_rule(FwRule rule);
+
+  // Removes all rules carrying `label`; returns count removed.
+  std::size_t remove_label(std::string_view label);
+
+  // First-match evaluation; returns kAllow if nothing matches.
+  [[nodiscard]] FwAction evaluate(const Packet& packet,
+                                  Direction direction) const noexcept;
+
+  [[nodiscard]] bool allows(const Packet& packet,
+                            Direction direction) const noexcept {
+    return evaluate(packet, direction) == FwAction::kAllow;
+  }
+
+  [[nodiscard]] const std::vector<FwRule>& rules() const noexcept {
+    return rules_;
+  }
+  void clear() noexcept { rules_.clear(); }
+
+ private:
+  std::vector<FwRule> rules_;
+};
+
+}  // namespace vpna::netsim

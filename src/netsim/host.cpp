@@ -1,0 +1,83 @@
+#include "netsim/host.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vpna::netsim {
+
+Host::Host(std::string name) : name_(std::move(name)) {
+  Interface lo;
+  lo.name = "lo";
+  lo.addr4 = IpAddr::v4(127, 0, 0, 1);
+  interfaces_.push_back(std::move(lo));
+}
+
+Interface& Host::add_interface(std::string name, std::optional<IpAddr> addr4,
+                               std::optional<IpAddr> addr6) {
+  if (find_interface(name) != nullptr)
+    throw std::invalid_argument("duplicate interface " + name);
+  Interface iface;
+  iface.name = std::move(name);
+  iface.addr4 = addr4;
+  iface.addr6 = addr6;
+  interfaces_.push_back(std::move(iface));
+  return interfaces_.back();
+}
+
+void Host::remove_interface(std::string_view name) {
+  std::erase_if(interfaces_,
+                [&](const Interface& i) { return i.name == name; });
+  if (tunnel_interface_ == name) clear_tunnel_hook();
+}
+
+Interface* Host::find_interface(std::string_view name) noexcept {
+  for (auto& i : interfaces_)
+    if (i.name == name) return &i;
+  return nullptr;
+}
+
+const Interface* Host::find_interface(std::string_view name) const noexcept {
+  for (const auto& i : interfaces_)
+    if (i.name == name) return &i;
+  return nullptr;
+}
+
+std::optional<IpAddr> Host::primary_addr(IpFamily family) const {
+  for (const auto& i : interfaces_) {
+    if (!i.up || i.name == "lo") continue;
+    if (family == IpFamily::kV4 && i.addr4) return i.addr4;
+    if (family == IpFamily::kV6 && i.addr6) return i.addr6;
+  }
+  return std::nullopt;
+}
+
+void Host::bind_service(Proto proto, std::uint16_t port,
+                        std::shared_ptr<Service> service) {
+  services_[{proto, port}] = std::move(service);
+}
+
+void Host::unbind_service(Proto proto, std::uint16_t port) {
+  services_.erase({proto, port});
+}
+
+Service* Host::find_service(Proto proto, std::uint16_t port) const {
+  const auto it = services_.find({proto, port});
+  return it == services_.end() ? nullptr : it->second.get();
+}
+
+void Host::set_tunnel_hook(std::string tun_interface, TunnelEncapHook hook) {
+  tunnel_interface_ = std::move(tun_interface);
+  tunnel_hook_ = std::move(hook);
+}
+
+void Host::clear_tunnel_hook() noexcept {
+  tunnel_interface_.clear();
+  tunnel_hook_ = nullptr;
+}
+
+std::uint16_t Host::next_ephemeral_port() noexcept {
+  if (ephemeral_ == 0xffff) ephemeral_ = 49152;
+  return ephemeral_++;
+}
+
+}  // namespace vpna::netsim

@@ -1,0 +1,148 @@
+// A simulated end host: named interfaces with IPv4/IPv6 addresses, a routing
+// table, a firewall, OS DNS-resolver configuration, bound services, and a
+// packet-capture buffer. VPN clients manipulate exactly this state (routes,
+// DNS servers, tun interface, firewall rules), and the measurement suite
+// audits it — mirroring how the paper's tests observe a macOS VM.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netsim/capture.h"
+#include "netsim/firewall.h"
+#include "netsim/packet.h"
+#include "netsim/routing.h"
+
+namespace vpna::netsim {
+
+class Host;
+class Network;
+
+// Context handed to a service handler. Services that forward traffic (the
+// VPN server's tunnel endpoint, proxies) use `network` to issue their own
+// transactions synchronously.
+struct ServiceContext {
+  Network& network;
+  Host& host;          // the host the service is bound on
+  const Packet& request;
+};
+
+// A protocol endpoint bound to (proto, port) on a host. Returning nullopt
+// means "no response" (the caller observes a timeout).
+class Service {
+ public:
+  virtual ~Service() = default;
+  virtual std::optional<std::string> handle(ServiceContext& ctx) = 0;
+};
+
+// Adapter for lambda services.
+class LambdaService final : public Service {
+ public:
+  using Fn = std::function<std::optional<std::string>(ServiceContext&)>;
+  explicit LambdaService(Fn fn) : fn_(std::move(fn)) {}
+  std::optional<std::string> handle(ServiceContext& ctx) override {
+    return fn_(ctx);
+  }
+
+ private:
+  Fn fn_;
+};
+
+struct Interface {
+  std::string name;
+  std::optional<IpAddr> addr4;
+  std::optional<IpAddr> addr6;
+  bool up = true;
+};
+
+// Hook invoked when a packet is routed out through an interface that has a
+// tunnel attached (the VPN client data path). The hook either returns the
+// encapsulated outer packet to send via the physical interface, or nullopt
+// to drop the packet (e.g. tunnel down and failing closed).
+using TunnelEncapHook = std::function<std::optional<Packet>(const Packet& inner)>;
+
+class Host {
+ public:
+  // Creates a host with a loopback interface only; add interfaces before
+  // attaching to a network.
+  explicit Host(std::string name);
+
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  // --- interfaces ---------------------------------------------------------
+  Interface& add_interface(std::string name, std::optional<IpAddr> addr4,
+                           std::optional<IpAddr> addr6 = std::nullopt);
+  void remove_interface(std::string_view name);
+  [[nodiscard]] Interface* find_interface(std::string_view name) noexcept;
+  [[nodiscard]] const Interface* find_interface(std::string_view name) const noexcept;
+  [[nodiscard]] const std::vector<Interface>& interfaces() const noexcept {
+    return interfaces_;
+  }
+
+  // First global address of the given family across all up interfaces.
+  [[nodiscard]] std::optional<IpAddr> primary_addr(IpFamily family) const;
+
+  // --- routing / firewall / DNS -------------------------------------------
+  [[nodiscard]] RouteTable& routes() noexcept { return routes_; }
+  [[nodiscard]] const RouteTable& routes() const noexcept { return routes_; }
+  [[nodiscard]] Firewall& firewall() noexcept { return firewall_; }
+  [[nodiscard]] const Firewall& firewall() const noexcept { return firewall_; }
+
+  [[nodiscard]] std::vector<IpAddr>& dns_servers() noexcept {
+    return dns_servers_;
+  }
+  [[nodiscard]] const std::vector<IpAddr>& dns_servers() const noexcept {
+    return dns_servers_;
+  }
+
+  // --- services ------------------------------------------------------------
+  // Binds a service to (proto, port); replaces any existing binding.
+  void bind_service(Proto proto, std::uint16_t port,
+                    std::shared_ptr<Service> service);
+  void unbind_service(Proto proto, std::uint16_t port);
+  [[nodiscard]] Service* find_service(Proto proto, std::uint16_t port) const;
+
+  // --- tunnel hook -----------------------------------------------------------
+  // Attaches/detaches the encapsulation hook for a tun interface.
+  void set_tunnel_hook(std::string tun_interface, TunnelEncapHook hook);
+  void clear_tunnel_hook() noexcept;
+  [[nodiscard]] bool has_tunnel_hook() const noexcept {
+    return static_cast<bool>(tunnel_hook_);
+  }
+  [[nodiscard]] const std::string& tunnel_interface() const noexcept {
+    return tunnel_interface_;
+  }
+  [[nodiscard]] const TunnelEncapHook& tunnel_hook() const noexcept {
+    return tunnel_hook_;
+  }
+
+  // --- capture --------------------------------------------------------------
+  [[nodiscard]] CaptureBuffer& capture() noexcept { return capture_; }
+  [[nodiscard]] const CaptureBuffer& capture() const noexcept {
+    return capture_;
+  }
+
+  // Next ephemeral source port (wraps within the dynamic range).
+  [[nodiscard]] std::uint16_t next_ephemeral_port() noexcept;
+
+ private:
+  std::string name_;
+  std::vector<Interface> interfaces_;
+  RouteTable routes_;
+  Firewall firewall_;
+  std::vector<IpAddr> dns_servers_;
+  std::map<std::pair<Proto, std::uint16_t>, std::shared_ptr<Service>> services_;
+  std::string tunnel_interface_;
+  TunnelEncapHook tunnel_hook_;
+  CaptureBuffer capture_;
+  std::uint16_t ephemeral_ = 49152;
+};
+
+}  // namespace vpna::netsim

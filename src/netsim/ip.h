@@ -1,0 +1,127 @@
+// IP addressing primitives: dual-family address type, CIDR prefixes, and
+// parsing/formatting. These are value types used throughout the simulator;
+// all the usual networking conventions (network byte order, longest-prefix
+// semantics) apply.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace vpna::netsim {
+
+enum class IpFamily : std::uint8_t { kV4, kV6 };
+
+// An IPv4 or IPv6 address. IPv4 occupies the first 4 bytes of storage;
+// comparisons never mix families (family is the major sort key).
+class IpAddr {
+ public:
+  // Default: 0.0.0.0
+  constexpr IpAddr() noexcept = default;
+
+  // Constructs an IPv4 address from a host-order 32-bit value
+  // (e.g. 0x08080808 == 8.8.8.8).
+  static IpAddr v4(std::uint32_t host_order) noexcept;
+
+  // Constructs an IPv4 address from dotted octets.
+  static IpAddr v4(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                   std::uint8_t d) noexcept;
+
+  // Constructs an IPv6 address from 16 bytes.
+  static IpAddr v6(const std::array<std::uint8_t, 16>& bytes) noexcept;
+
+  // Convenience IPv6 constructor from eight 16-bit groups.
+  static IpAddr v6_groups(const std::array<std::uint16_t, 8>& groups) noexcept;
+
+  // Parses "a.b.c.d" or RFC 4291 hex-groups form (with "::" compression).
+  // Returns nullopt on malformed input.
+  static std::optional<IpAddr> parse(std::string_view text);
+
+  [[nodiscard]] IpFamily family() const noexcept { return family_; }
+  [[nodiscard]] bool is_v4() const noexcept { return family_ == IpFamily::kV4; }
+  [[nodiscard]] bool is_v6() const noexcept { return family_ == IpFamily::kV6; }
+  [[nodiscard]] bool is_unspecified() const noexcept;
+
+  // IPv4 value in host order. Requires is_v4().
+  [[nodiscard]] std::uint32_t v4_value() const;
+
+  // Raw bytes (4 meaningful for v4, 16 for v6).
+  [[nodiscard]] const std::array<std::uint8_t, 16>& bytes() const noexcept {
+    return bytes_;
+  }
+
+  // Canonical text form ("8.8.8.8", "2001:db8::1").
+  [[nodiscard]] std::string str() const;
+
+  friend constexpr auto operator<=>(const IpAddr&, const IpAddr&) noexcept = default;
+  friend constexpr bool operator==(const IpAddr&, const IpAddr&) noexcept = default;
+
+ private:
+  IpFamily family_ = IpFamily::kV4;
+  std::array<std::uint8_t, 16> bytes_{};
+};
+
+// A routing prefix: address + prefix length. For IPv4 the prefix length is
+// in [0,32]; for IPv6 in [0,128]. The stored address is masked to the
+// prefix on construction so equal prefixes compare equal.
+class Cidr {
+ public:
+  constexpr Cidr() noexcept = default;
+  Cidr(IpAddr addr, int prefix_len);
+
+  // Parses "10.0.0.0/8" or "2001:db8::/32".
+  static std::optional<Cidr> parse(std::string_view text);
+
+  [[nodiscard]] const IpAddr& network() const noexcept { return network_; }
+  [[nodiscard]] int prefix_len() const noexcept { return prefix_len_; }
+  [[nodiscard]] IpFamily family() const noexcept { return network_.family(); }
+
+  // True if `addr` is within this prefix (families must match).
+  [[nodiscard]] bool contains(const IpAddr& addr) const noexcept;
+
+  // The n-th host address within the prefix (v4 only; n counts from the
+  // network address). Requires the result to stay inside the prefix.
+  [[nodiscard]] IpAddr host_at(std::uint32_t n) const;
+
+  [[nodiscard]] std::string str() const;
+
+  friend auto operator<=>(const Cidr&, const Cidr&) noexcept = default;
+  friend bool operator==(const Cidr&, const Cidr&) noexcept = default;
+
+ private:
+  IpAddr network_{};
+  int prefix_len_ = 0;
+};
+
+// Returns the enclosing /24 (v4) or /48 (v6) block of an address — the
+// granularity the paper uses for "same IP block" infrastructure analysis.
+[[nodiscard]] Cidr enclosing_block(const IpAddr& addr);
+
+}  // namespace vpna::netsim
+
+template <>
+struct std::hash<vpna::netsim::IpAddr> {
+  std::size_t operator()(const vpna::netsim::IpAddr& a) const noexcept {
+    // FNV over family + bytes.
+    std::size_t h = 1469598103934665603ULL;
+    auto mix = [&h](std::uint8_t b) {
+      h ^= b;
+      h *= 1099511628211ULL;
+    };
+    mix(static_cast<std::uint8_t>(a.family()));
+    for (auto b : a.bytes()) mix(b);
+    return h;
+  }
+};
+
+template <>
+struct std::hash<vpna::netsim::Cidr> {
+  std::size_t operator()(const vpna::netsim::Cidr& c) const noexcept {
+    return std::hash<vpna::netsim::IpAddr>{}(c.network()) ^
+           (static_cast<std::size_t>(c.prefix_len()) << 1);
+  }
+};

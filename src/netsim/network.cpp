@@ -1,0 +1,442 @@
+#include "netsim/network.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace vpna::netsim {
+
+std::string_view status_name(TransactStatus s) noexcept {
+  switch (s) {
+    case TransactStatus::kOk: return "ok";
+    case TransactStatus::kNoRoute: return "no-route";
+    case TransactStatus::kInterfaceDown: return "interface-down";
+    case TransactStatus::kBlockedLocal: return "blocked-local";
+    case TransactStatus::kBlockedRemote: return "blocked-remote";
+    case TransactStatus::kNoSuchHost: return "no-such-host";
+    case TransactStatus::kNoService: return "no-service";
+    case TransactStatus::kNoReply: return "no-reply";
+    case TransactStatus::kDropped: return "dropped";
+    case TransactStatus::kTtlExpired: return "ttl-expired";
+  }
+  return "unknown";
+}
+
+Network::Network(util::SimClock& clock, util::Rng rng, double jitter_stddev_ms)
+    : clock_(clock), rng_(std::move(rng)), jitter_stddev_ms_(jitter_stddev_ms) {}
+
+RouterId Network::add_router(std::string name) {
+  routers_.push_back(Router{std::move(name), nullptr, {}});
+  path_cache_.clear();
+  return static_cast<RouterId>(routers_.size() - 1);
+}
+
+void Network::add_link(RouterId a, RouterId b, double latency_ms) {
+  if (a >= routers_.size() || b >= routers_.size())
+    throw std::out_of_range("add_link: unknown router");
+  if (latency_ms < 0) throw std::invalid_argument("add_link: negative latency");
+  routers_[a].links.emplace_back(b, latency_ms);
+  routers_[b].links.emplace_back(a, latency_ms);
+  path_cache_.clear();
+}
+
+const std::string& Network::router_name(RouterId id) const {
+  return routers_.at(id).name;
+}
+
+IpAddr Network::router_addr(RouterId id) const {
+  // Backbone router hop addresses live in 198.18.0.0/15.
+  return IpAddr::v4(198, 18, static_cast<std::uint8_t>(id >> 8),
+                    static_cast<std::uint8_t>(id & 0xff));
+}
+
+void Network::set_middlebox(RouterId id, std::shared_ptr<Middlebox> mb) {
+  routers_.at(id).middlebox = std::move(mb);
+}
+
+void Network::clear_middlebox(RouterId id) { routers_.at(id).middlebox = nullptr; }
+
+void Network::attach_host(Host& host, RouterId router, double access_latency_ms) {
+  if (router >= routers_.size())
+    throw std::out_of_range("attach_host: unknown router");
+  if (attachment_of(host) != nullptr)
+    throw std::logic_error("attach_host: host already attached: " + host.name());
+  attachments_.push_back(Attachment{&host, router, access_latency_ms});
+  refresh_host(host);
+}
+
+void Network::detach_host(Host& host) {
+  std::erase_if(attachments_,
+                [&](const Attachment& a) { return a.host == &host; });
+  reindex_addresses();
+}
+
+void Network::refresh_host(Host& host) {
+  (void)host;
+  reindex_addresses();
+}
+
+void Network::reindex_addresses() {
+  addr_to_attachment_.clear();
+  for (std::size_t i = 0; i < attachments_.size(); ++i) {
+    for (const auto& iface : attachments_[i].host->interfaces()) {
+      if (iface.name == "lo") continue;
+      if (iface.addr4) addr_to_attachment_[*iface.addr4].push_back(i);
+      if (iface.addr6) addr_to_attachment_[*iface.addr6].push_back(i);
+    }
+  }
+}
+
+Host* Network::host_by_addr(const IpAddr& addr) const {
+  const auto it = addr_to_attachment_.find(addr);
+  if (it == addr_to_attachment_.end() || it->second.empty()) return nullptr;
+  return attachments_[it->second.front()].host;
+}
+
+const Network::Attachment* Network::attachment_of(const Host& host) const {
+  for (const auto& a : attachments_)
+    if (a.host == &host) return &a;
+  return nullptr;
+}
+
+const Network::PathInfo* Network::path(RouterId a, RouterId b) const {
+  const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | b;
+  if (const auto it = path_cache_.find(key); it != path_cache_.end())
+    return &it->second;
+
+  // Dijkstra from a.
+  constexpr double kInf = 1e18;
+  std::vector<double> dist(routers_.size(), kInf);
+  std::vector<RouterId> prev(routers_.size(), 0xffffffffu);
+  using QE = std::pair<double, RouterId>;
+  std::priority_queue<QE, std::vector<QE>, std::greater<>> q;
+  dist[a] = 0;
+  q.emplace(0.0, a);
+  while (!q.empty()) {
+    const auto [d, u] = q.top();
+    q.pop();
+    if (d > dist[u]) continue;
+    for (const auto& [v, w] : routers_[u].links) {
+      if (dist[u] + w < dist[v]) {
+        dist[v] = dist[u] + w;
+        prev[v] = u;
+        q.emplace(dist[v], v);
+      }
+    }
+  }
+  if (dist[b] >= kInf) return nullptr;
+
+  PathInfo info;
+  info.latency_ms = dist[b];
+  for (RouterId cur = b;;) {
+    info.routers.push_back(cur);
+    if (cur == a) break;
+    cur = prev[cur];
+    if (cur == 0xffffffffu) return nullptr;  // unreachable (shouldn't happen)
+  }
+  std::reverse(info.routers.begin(), info.routers.end());
+  const auto [it, inserted] = path_cache_.emplace(key, std::move(info));
+  (void)inserted;
+  return &it->second;
+}
+
+double Network::jitter() {
+  if (jitter_stddev_ms_ <= 0) return 0;
+  return std::max(0.0, rng_.normal(0.0, jitter_stddev_ms_));
+}
+
+std::optional<double> Network::base_latency_ms(const Host& a, const Host& b) const {
+  const auto* aa = attachment_of(a);
+  const auto* ab = attachment_of(b);
+  if (aa == nullptr || ab == nullptr) return std::nullopt;
+  const auto* p = path(aa->router, ab->router);
+  if (p == nullptr) return std::nullopt;
+  return aa->access_latency_ms + p->latency_ms + ab->access_latency_ms;
+}
+
+TransactResult Network::transact(Host& from, Packet packet,
+                                 const TransactOptions& opts) {
+  struct DepthGuard {
+    int& d;
+    explicit DepthGuard(int& depth) : d(depth) { ++d; }
+    ~DepthGuard() { --d; }
+  } guard(transact_depth_);
+  if (transact_depth_ > 8) {
+    // Forwarding loop (e.g. a tunnel routed through itself): drop.
+    TransactResult r;
+    r.status = TransactStatus::kDropped;
+    return r;
+  }
+
+  const auto* from_att = attachment_of(from);
+  if (from_att == nullptr) {
+    TransactResult r;
+    r.status = TransactStatus::kNoRoute;
+    return r;
+  }
+
+  // 1. Route lookup on the sender.
+  const auto route = from.routes().lookup(packet.dst);
+  if (!route) {
+    TransactResult r;
+    r.status = TransactStatus::kNoRoute;
+    return r;
+  }
+  const Interface* iface = from.find_interface(route->interface_name);
+  if (iface == nullptr || !iface->up) {
+    TransactResult r;
+    r.status = TransactStatus::kInterfaceDown;
+    return r;
+  }
+
+  // 2. Fill in the source address if unspecified.
+  if (packet.src.is_unspecified()) {
+    const auto src = packet.dst.is_v4() ? iface->addr4 : iface->addr6;
+    if (src) packet.src = *src;
+  }
+
+  // 3. Sender firewall.
+  if (!from.firewall().allows(packet, Direction::kOut)) {
+    TransactResult r;
+    r.status = TransactStatus::kBlockedLocal;
+    r.rtt_ms = opts.timeout_ms;
+    clock_.advance_millis(opts.timeout_ms);
+    return r;
+  }
+
+  // 4. Capture on the chosen egress interface.
+  from.capture().record(clock_.now(), Direction::kOut, iface->name, packet);
+
+  // 5. Tunnel encapsulation path.
+  if (from.has_tunnel_hook() && iface->name == from.tunnel_interface()) {
+    auto outer = from.tunnel_hook()(packet);
+    if (!outer) {
+      TransactResult r;
+      r.status = TransactStatus::kDropped;
+      r.rtt_ms = opts.timeout_ms;
+      r.via_tunnel = true;
+      clock_.advance_millis(opts.timeout_ms);
+      return r;
+    }
+    TransactResult outer_result = transact(from, std::move(*outer), opts);
+    outer_result.via_tunnel = true;
+    if (!outer_result.ok()) return outer_result;
+    // Decapsulate the tunnel reply back into the inner reply.
+    const auto inner_reply = decode_inner(outer_result.reply);
+    if (!inner_reply) {
+      outer_result.status = TransactStatus::kDropped;
+      outer_result.reply.clear();
+      return outer_result;
+    }
+    from.capture().record(clock_.now(), Direction::kIn, iface->name,
+                          *inner_reply);
+    outer_result.reply = inner_reply->payload;
+    outer_result.responder = inner_reply->src;
+    // ICMP errors generated beyond the tunnel surface as the corresponding
+    // transaction status (traceroute through a VPN depends on this).
+    if (inner_reply->proto == Proto::kIcmpTimeExceeded)
+      outer_result.status = TransactStatus::kTtlExpired;
+    return outer_result;
+  }
+
+  // 6. Direct delivery.
+  return deliver(from, *from_att, std::move(packet), opts);
+}
+
+TransactResult Network::deliver(Host& from, const Attachment& from_att,
+                                Packet packet, const TransactOptions& opts) {
+  TransactResult r;
+
+  // Find the destination attachment; with anycast replicas, the replica
+  // with the lowest path latency from the sender's router wins.
+  const auto dst_it = addr_to_attachment_.find(packet.dst);
+  if (dst_it == addr_to_attachment_.end() || dst_it->second.empty()) {
+    r.status = TransactStatus::kNoSuchHost;
+    r.rtt_ms = opts.timeout_ms;
+    clock_.advance_millis(opts.timeout_ms);
+    return r;
+  }
+  std::size_t best_idx = dst_it->second.front();
+  if (dst_it->second.size() > 1) {
+    double best = 1e18;
+    for (std::size_t idx : dst_it->second) {
+      const auto* pi = path(from_att.router, attachments_[idx].router);
+      if (pi != nullptr && pi->latency_ms < best) {
+        best = pi->latency_ms;
+        best_idx = idx;
+      }
+    }
+  }
+  const Attachment& dst_att = attachments_[best_idx];
+  Host* dst_host = dst_att.host;
+
+  const PathInfo* p = path(from_att.router, dst_att.router);
+  if (p == nullptr) {
+    r.status = TransactStatus::kNoRoute;
+    r.rtt_ms = opts.timeout_ms;
+    clock_.advance_millis(opts.timeout_ms);
+    return r;
+  }
+
+  // Walk the router path: TTL decrements per router, middleboxes inspect.
+  double elapsed_one_way = from_att.access_latency_ms;
+  double per_hop =
+      p->routers.size() > 1 ? p->latency_ms / static_cast<double>(p->routers.size() - 1) : 0.0;
+  for (std::size_t i = 0; i < p->routers.size(); ++i) {
+    if (i > 0) elapsed_one_way += per_hop;
+    packet.ttl -= 1;
+    if (packet.ttl <= 0) {
+      r.status = TransactStatus::kTtlExpired;
+      r.responder = router_addr(p->routers[i]);
+      r.rtt_ms = 2 * elapsed_one_way + jitter();
+      clock_.advance_millis(r.rtt_ms);
+      return r;
+    }
+    auto& router = routers_[p->routers[i]];
+    if (router.middlebox) {
+      const auto verdict = router.middlebox->on_transit(packet);
+      if (verdict.action == Middlebox::Action::kDrop) {
+        r.status = TransactStatus::kDropped;
+        r.rtt_ms = opts.timeout_ms;
+        clock_.advance_millis(opts.timeout_ms);
+        return r;
+      }
+      if (verdict.action == Middlebox::Action::kRespond) {
+        // The middlebox answers in place of the destination; to the sender
+        // this is indistinguishable from a genuine reply.
+        r.status = TransactStatus::kOk;
+        r.reply = verdict.response_payload;
+        r.responder = packet.dst;
+        r.rtt_ms = 2 * elapsed_one_way + jitter();
+        clock_.advance_millis(r.rtt_ms);
+        return r;
+      }
+    }
+  }
+  elapsed_one_way += dst_att.access_latency_ms;
+
+  // Destination firewall.
+  if (!dst_host->firewall().allows(packet, Direction::kIn)) {
+    r.status = TransactStatus::kBlockedRemote;
+    r.rtt_ms = opts.timeout_ms;
+    clock_.advance_millis(opts.timeout_ms);
+    return r;
+  }
+
+  // Capture on the destination's receiving interface.
+  std::string dst_iface = "eth0";
+  for (const auto& i : dst_host->interfaces()) {
+    if ((packet.dst.is_v4() && i.addr4 == packet.dst) ||
+        (packet.dst.is_v6() && i.addr6 == packet.dst)) {
+      dst_iface = i.name;
+      break;
+    }
+  }
+  dst_host->capture().record(clock_.now(), Direction::kIn, dst_iface, packet);
+
+  const double round_trips = 1.0 + opts.extra_round_trips;
+
+  // ICMP echo handled by the destination stack itself.
+  if (packet.proto == Proto::kIcmpEcho) {
+    r.status = TransactStatus::kOk;
+    r.responder = packet.dst;
+    r.rtt_ms = 2 * elapsed_one_way * round_trips + jitter();
+    clock_.advance_millis(r.rtt_ms);
+    return r;
+  }
+
+  // Look up the bound service.
+  Service* service = dst_host->find_service(packet.proto, packet.dst_port);
+  if (service == nullptr) {
+    r.status = TransactStatus::kNoService;
+    r.rtt_ms = 2 * elapsed_one_way + jitter();
+    clock_.advance_millis(r.rtt_ms);
+    return r;
+  }
+
+  // Charge the forward path time before the service runs, so any nested
+  // transactions the service makes see a consistent clock.
+  clock_.advance_millis(elapsed_one_way);
+  const auto t_before = clock_.now();
+  ServiceContext ctx{*this, *dst_host, packet};
+  const auto reply = service->handle(ctx);
+  const double service_ms = (clock_.now() - t_before).millis();
+
+  if (!reply) {
+    r.status = TransactStatus::kNoReply;
+    r.rtt_ms = opts.timeout_ms + elapsed_one_way + service_ms;
+    clock_.advance_millis(opts.timeout_ms);
+    return r;
+  }
+
+  // Reply packet back to the sender (captures recorded on both ends).
+  Packet reply_packet;
+  reply_packet.src = packet.dst;
+  reply_packet.dst = packet.src;
+  reply_packet.proto = packet.proto;
+  reply_packet.src_port = packet.dst_port;
+  reply_packet.dst_port = packet.src_port;
+  reply_packet.payload = *reply;
+  dst_host->capture().record(clock_.now(), Direction::kOut, dst_iface,
+                             reply_packet);
+
+  // Return path + handshake surcharge.
+  const double return_ms =
+      elapsed_one_way + 2 * elapsed_one_way * static_cast<double>(opts.extra_round_trips);
+  clock_.advance_millis(return_ms + jitter());
+
+  std::string from_iface = "eth0";
+  for (const auto& i : from.interfaces()) {
+    if ((reply_packet.dst.is_v4() && i.addr4 == reply_packet.dst) ||
+        (reply_packet.dst.is_v6() && i.addr6 == reply_packet.dst)) {
+      from_iface = i.name;
+      break;
+    }
+  }
+  from.capture().record(clock_.now(), Direction::kIn, from_iface, reply_packet);
+
+  r.status = TransactStatus::kOk;
+  r.reply = reply_packet.payload;
+  r.responder = reply_packet.src;
+  r.rtt_ms = 2 * elapsed_one_way * round_trips + service_ms + jitter();
+  return r;
+}
+
+std::optional<double> Network::ping(Host& from, const IpAddr& dst) {
+  Packet p;
+  p.dst = dst;
+  p.proto = Proto::kIcmpEcho;
+  const auto res = transact(from, std::move(p));
+  if (!res.ok()) return std::nullopt;
+  return res.rtt_ms;
+}
+
+TracerouteResult Network::traceroute(Host& from, const IpAddr& dst, int max_ttl) {
+  TracerouteResult out;
+  for (int ttl = 1; ttl <= max_ttl; ++ttl) {
+    Packet p;
+    p.dst = dst;
+    p.proto = Proto::kIcmpEcho;
+    p.ttl = ttl;
+    const auto res = transact(from, std::move(p));
+    TracerouteHop hop;
+    hop.ttl = ttl;
+    hop.rtt_ms = res.rtt_ms;
+    if (res.status == TransactStatus::kTtlExpired) {
+      hop.router = res.responder;
+      out.hops.push_back(hop);
+      continue;
+    }
+    if (res.ok()) {
+      hop.router = res.responder;
+      out.hops.push_back(hop);
+      out.reached = true;
+      return out;
+    }
+    out.hops.push_back(hop);  // lost probe
+    return out;               // hard failure; stop probing
+  }
+  return out;
+}
+
+}  // namespace vpna::netsim

@@ -1,0 +1,183 @@
+// The simulated Internet fabric: a graph of routers joined by latency-
+// weighted links, with hosts attached at routers. Packet transactions are
+// synchronous (request in, optional reply out) with full latency accounting,
+// TTL semantics for traceroute, per-router middleboxes for in-path
+// interception (country-level censorship), and capture hooks on both ends.
+//
+// The topology itself (which routers exist, their link latencies derived
+// from geography) is built by the `inet` module; netsim is geography-free.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netsim/host.h"
+#include "netsim/packet.h"
+#include "util/clock.h"
+#include "util/rng.h"
+
+namespace vpna::netsim {
+
+using RouterId = std::uint32_t;
+
+// In-path packet inspector/modifier attached to a router. `on_transit` may
+// mutate the packet, let it pass, drop it, or answer it in place of the
+// destination (how national block pages behave).
+class Middlebox {
+ public:
+  virtual ~Middlebox() = default;
+
+  enum class Action : std::uint8_t { kPass, kDrop, kRespond };
+  struct Verdict {
+    Action action = Action::kPass;
+    std::string response_payload;  // used when action == kRespond
+  };
+
+  virtual Verdict on_transit(Packet& packet) = 0;
+};
+
+struct TransactOptions {
+  // Virtual time charged when a transaction fails to complete (timeout).
+  double timeout_ms = 1000.0;
+  // Extra RTTs charged on top of the base exchange (e.g. TCP+TLS
+  // handshakes are accounted by the protocol layers via this knob).
+  int extra_round_trips = 0;
+};
+
+enum class TransactStatus : std::uint8_t {
+  kOk,              // delivered, and a reply (possibly empty) came back
+  kNoRoute,         // sender had no route to destination
+  kInterfaceDown,   // route resolved to a downed interface
+  kBlockedLocal,    // sender firewall dropped the packet
+  kBlockedRemote,   // destination firewall dropped the packet
+  kNoSuchHost,      // destination IP not registered anywhere
+  kNoService,       // delivered but nothing bound on (proto, port)
+  kNoReply,         // service chose not to respond
+  kDropped,         // middlebox or tunnel dropped it
+  kTtlExpired,      // TTL hit zero in transit (traceroute probe)
+};
+
+[[nodiscard]] std::string_view status_name(TransactStatus s) noexcept;
+
+struct TransactResult {
+  TransactStatus status = TransactStatus::kNoRoute;
+  double rtt_ms = 0.0;      // total virtual time consumed
+  std::string reply;        // reply payload when status == kOk
+  IpAddr responder;         // who answered (router for kTtlExpired)
+  bool via_tunnel = false;  // left the sender through a tun interface
+
+  [[nodiscard]] bool ok() const noexcept { return status == TransactStatus::kOk; }
+};
+
+struct TracerouteHop {
+  int ttl = 0;
+  std::optional<IpAddr> router;  // nullopt = probe lost
+  double rtt_ms = 0.0;
+};
+
+struct TracerouteResult {
+  std::vector<TracerouteHop> hops;
+  bool reached = false;
+};
+
+class Network {
+ public:
+  // `jitter_stddev_ms` adds gaussian noise to each measured RTT, modelling
+  // queueing variance; 0 disables jitter.
+  Network(util::SimClock& clock, util::Rng rng, double jitter_stddev_ms = 0.15);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // --- topology -------------------------------------------------------------
+  // Adds a router; its hop address is derived from the id (198.18.x.y).
+  RouterId add_router(std::string name);
+  // Undirected link with one-way latency in milliseconds.
+  void add_link(RouterId a, RouterId b, double latency_ms);
+  [[nodiscard]] std::size_t router_count() const noexcept {
+    return routers_.size();
+  }
+  [[nodiscard]] const std::string& router_name(RouterId id) const;
+  [[nodiscard]] IpAddr router_addr(RouterId id) const;
+
+  void set_middlebox(RouterId id, std::shared_ptr<Middlebox> mb);
+  void clear_middlebox(RouterId id);
+
+  // --- host attachment --------------------------------------------------------
+  // Registers a host at a router; all the host's global addresses become
+  // routable. `access_latency_ms` is the one-way host<->router latency.
+  // Multiple hosts may share an address (anycast replicas, e.g. public DNS
+  // and root-server instances); delivery selects the replica closest to the
+  // sender, as BGP anycast does.
+  void attach_host(Host& host, RouterId router, double access_latency_ms = 0.3);
+  void detach_host(Host& host);
+  [[nodiscard]] Host* host_by_addr(const IpAddr& addr) const;
+  // Re-index a host's addresses after interfaces changed.
+  void refresh_host(Host& host);
+
+  // --- data path ---------------------------------------------------------------
+  // Sends `packet` from `from`, waits for the reply, advances the clock by
+  // the consumed time, and records captures on both hosts. Synchronous and
+  // re-entrant: services may call transact() themselves (tunnel endpoints,
+  // proxies do).
+  TransactResult transact(Host& from, Packet packet,
+                          const TransactOptions& opts = {});
+
+  // ICMP echo convenience. Returns RTT in ms, or nullopt if unreachable.
+  std::optional<double> ping(Host& from, const IpAddr& dst);
+
+  // TTL-stepped route discovery toward dst.
+  TracerouteResult traceroute(Host& from, const IpAddr& dst, int max_ttl = 30);
+
+  // One-way propagation latency between two attached hosts, without jitter
+  // (used by inet to sanity-check the topology and by tests).
+  [[nodiscard]] std::optional<double> base_latency_ms(const Host& a,
+                                                      const Host& b) const;
+
+  [[nodiscard]] util::SimClock& clock() noexcept { return clock_; }
+  [[nodiscard]] util::Rng& rng() noexcept { return rng_; }
+
+ private:
+  struct Router {
+    std::string name;
+    std::shared_ptr<Middlebox> middlebox;
+    std::vector<std::pair<RouterId, double>> links;
+  };
+  struct Attachment {
+    Host* host = nullptr;
+    RouterId router = 0;
+    double access_latency_ms = 0.3;
+  };
+  struct PathInfo {
+    std::vector<RouterId> routers;  // from src router to dst router inclusive
+    double latency_ms = 0.0;        // one-way, router path only
+  };
+
+  [[nodiscard]] const Attachment* attachment_of(const Host& host) const;
+  void reindex_addresses();
+  // Dijkstra with memoization keyed on (src, dst).
+  [[nodiscard]] const PathInfo* path(RouterId a, RouterId b) const;
+  double jitter() ;
+
+  // The directly-routed delivery step (no tunnel handling): walks the router
+  // path, applies middleboxes and TTL, delivers to the destination service
+  // and routes the reply back. Returns consumed one-way-or-round-trip time
+  // in the result.
+  TransactResult deliver(Host& from, const Attachment& from_att, Packet packet,
+                         const TransactOptions& opts);
+
+  util::SimClock& clock_;
+  util::Rng rng_;
+  double jitter_stddev_ms_;
+  std::vector<Router> routers_;
+  std::vector<Attachment> attachments_;
+  // Address -> attachment indices; more than one entry means anycast.
+  std::unordered_map<IpAddr, std::vector<std::size_t>> addr_to_attachment_;
+  mutable std::unordered_map<std::uint64_t, PathInfo> path_cache_;
+  int transact_depth_ = 0;  // recursion guard
+};
+
+}  // namespace vpna::netsim

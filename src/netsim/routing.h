@@ -1,0 +1,51 @@
+// Host routing table: longest-prefix match over dual-family routes. This is
+// what a VPN client manipulates when it connects (installing a default route
+// through the tun device), and what the leakage tests ultimately audit.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netsim/ip.h"
+
+namespace vpna::netsim {
+
+struct Route {
+  Cidr prefix;                 // destination prefix
+  std::string interface_name;  // egress interface ("eth0", "tun0", ...)
+  std::optional<IpAddr> gateway;
+  int metric = 0;  // lower wins among equal prefix lengths
+};
+
+class RouteTable {
+ public:
+  // Adds a route. Routes are not deduplicated; lookup prefers longest
+  // prefix, then lowest metric, then insertion order.
+  void add(Route route);
+
+  // Removes all routes exactly matching the prefix + interface pair.
+  // Returns the number removed.
+  std::size_t remove(const Cidr& prefix, std::string_view interface_name);
+
+  // Removes every route that egresses via the named interface.
+  std::size_t remove_interface(std::string_view interface_name);
+
+  // Longest-prefix-match lookup. Only routes whose family matches `dst`
+  // are considered. Returns nullopt when no route covers dst (no implicit
+  // default route).
+  [[nodiscard]] std::optional<Route> lookup(const IpAddr& dst) const;
+
+  [[nodiscard]] const std::vector<Route>& routes() const noexcept {
+    return routes_;
+  }
+
+  // Human-readable dump, one route per line (used by the metadata
+  // collection test, mirroring `netstat -rn`).
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  std::vector<Route> routes_;
+};
+
+}  // namespace vpna::netsim

@@ -1,0 +1,74 @@
+#include "tlssim/handshake.h"
+
+#include "util/strings.h"
+
+namespace vpna::tlssim {
+
+std::string encode_client_hello(std::string_view sni) {
+  return "TLSH|" + std::string(sni);
+}
+
+std::optional<std::string> decode_client_hello(std::string_view payload) {
+  if (!util::starts_with(payload, "TLSH|")) return std::nullopt;
+  return std::string(payload.substr(5));
+}
+
+std::string encode_server_hello(const CertChain& chain) {
+  return "TLSS|" + chain.encode();
+}
+
+std::optional<CertChain> decode_server_hello(std::string_view payload) {
+  if (!util::starts_with(payload, "TLSS|")) return std::nullopt;
+  return CertChain::decode(payload.substr(5));
+}
+
+HandshakeResult tls_handshake(netsim::Network& net, netsim::Host& client,
+                              const netsim::IpAddr& server,
+                              std::string_view hostname, const CaStore& store) {
+  HandshakeResult out;
+
+  netsim::Packet p;
+  p.dst = server;
+  p.proto = netsim::Proto::kTcp;
+  p.src_port = client.next_ephemeral_port();
+  p.dst_port = netsim::kPortHttps;
+  p.payload = encode_client_hello(hostname);
+
+  netsim::TransactOptions opts;
+  opts.extra_round_trips = 2;  // TCP SYN + TLS flights
+  const auto result = net.transact(client, std::move(p), opts);
+  out.transport = result.status;
+  out.rtt_ms = result.rtt_ms;
+  if (!result.ok()) return out;
+
+  out.chain = decode_server_hello(result.reply);
+  if (out.chain) out.validation = store.validate(*out.chain, hostname);
+  return out;
+}
+
+void TlsTerminator::set_chain(std::string hostname, CertChain chain) {
+  chains_[std::move(hostname)] = std::move(chain);
+}
+
+const CertChain* TlsTerminator::chain_for(std::string_view hostname) const {
+  if (const auto it = chains_.find(hostname); it != chains_.end())
+    return &it->second;
+  // Fall back to a wildcard entry covering the host, if installed.
+  for (const auto& [name, chain] : chains_) {
+    if (!chain.certs.empty() && chain.certs.front().matches_host(hostname))
+      return &chain;
+  }
+  return nullptr;
+}
+
+std::optional<std::string> TlsTerminator::handle(netsim::ServiceContext& ctx) {
+  if (const auto sni = decode_client_hello(ctx.request.payload)) {
+    const auto* chain = chain_for(*sni);
+    if (chain == nullptr) return std::nullopt;  // handshake alert: no cert
+    return encode_server_hello(*chain);
+  }
+  if (app_ == nullptr) return std::nullopt;
+  return app_->handle(ctx);
+}
+
+}  // namespace vpna::tlssim

@@ -1,0 +1,65 @@
+// Virtual simulation time.
+//
+// All latencies, timeouts and timestamps in the simulator are expressed in
+// virtual microseconds managed by a SimClock. Nothing in the library ever
+// reads wall-clock time, which keeps runs reproducible and lets the tunnel
+// failure test "wait" three virtual minutes instantly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vpna::util {
+
+// Monotonic virtual time in microseconds since simulation start.
+class SimTime {
+ public:
+  constexpr SimTime() noexcept = default;
+  constexpr explicit SimTime(std::int64_t micros) noexcept : us_(micros) {}
+
+  [[nodiscard]] constexpr std::int64_t micros() const noexcept { return us_; }
+  [[nodiscard]] constexpr double millis() const noexcept { return us_ / 1e3; }
+  [[nodiscard]] constexpr double seconds() const noexcept { return us_ / 1e6; }
+
+  static constexpr SimTime from_millis(double ms) noexcept {
+    return SimTime(static_cast<std::int64_t>(ms * 1e3));
+  }
+  static constexpr SimTime from_seconds(double s) noexcept {
+    return SimTime(static_cast<std::int64_t>(s * 1e6));
+  }
+
+  constexpr SimTime operator+(SimTime o) const noexcept {
+    return SimTime(us_ + o.us_);
+  }
+  constexpr SimTime operator-(SimTime o) const noexcept {
+    return SimTime(us_ - o.us_);
+  }
+  constexpr auto operator<=>(const SimTime&) const noexcept = default;
+
+  // "12.345s" style rendering for logs.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::int64_t us_ = 0;
+};
+
+// The clock a simulated world advances. Components hold a reference to the
+// world's clock and timestamp events with `now()`.
+class SimClock {
+ public:
+  SimClock() noexcept = default;
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  // Advances time; deltas must be non-negative (monotonic clock).
+  void advance(SimTime delta) noexcept {
+    if (delta.micros() > 0) now_ = now_ + delta;
+  }
+  void advance_millis(double ms) noexcept { advance(SimTime::from_millis(ms)); }
+  void advance_seconds(double s) noexcept { advance(SimTime::from_seconds(s)); }
+
+ private:
+  SimTime now_{};
+};
+
+}  // namespace vpna::util

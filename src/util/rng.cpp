@@ -1,0 +1,120 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace vpna::util {
+
+namespace {
+
+// splitmix64: used to expand a 64-bit seed into generator state.
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+Rng::Rng(std::uint64_t seed) noexcept : seed_(seed) {
+  std::uint64_t x = seed;
+  for (auto& w : s_) w = splitmix64(x);
+}
+
+Rng Rng::fork(std::string_view label) const noexcept {
+  // Child seed depends only on the parent's seed and the label.
+  return Rng(seed_ ^ rotl(fnv1a(label), 17) ^ 0xa0761d6478bd642fULL);
+}
+
+std::uint64_t Rng::next() noexcept {
+  // xoshiro256**
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  if (lo >= hi) return lo;
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // Rejection-free modulo bias is negligible for simulator purposes when
+  // span << 2^64, but use Lemire's method for correctness anyway.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * span;
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < span) {
+    std::uint64_t t = (0 - span) % span;
+    while (l < t) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * span;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return lo + static_cast<std::int64_t>(m >> 64);
+}
+
+double Rng::uniform() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  // Box-Muller; draws two uniforms per call, discarding the second variate
+  // for implementation simplicity (determinism matters more than speed here).
+  double u1 = uniform();
+  double u2 = uniform();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * r * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+bool Rng::chance(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+std::size_t Rng::index(std::size_t n) noexcept {
+  if (n == 0) return 0;
+  return static_cast<std::size_t>(
+      uniform_int(0, static_cast<std::int64_t>(n) - 1));
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  if (k > n) throw std::invalid_argument("sample_indices: k > n");
+  std::vector<std::size_t> all(n);
+  for (std::size_t i = 0; i < n; ++i) all[i] = i;
+  // Partial Fisher-Yates: first k positions end up as the sample.
+  for (std::size_t i = 0; i < k; ++i) {
+    std::size_t j = i + index(n - i);
+    std::swap(all[i], all[j]);
+  }
+  all.resize(k);
+  return all;
+}
+
+}  // namespace vpna::util

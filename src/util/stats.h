@@ -1,0 +1,50 @@
+// Small statistics toolkit used by the analysis module and the benches:
+// summaries, quantiles, empirical CDFs, Pearson correlation and Spearman
+// rank correlation (the latter drives the vantage-point co-location
+// detector, which compares RTT *orderings* across endpoints).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace vpna::util {
+
+// Five-number-style summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double median = 0;
+  double stddev = 0;  // population standard deviation
+};
+
+// Computes a Summary; returns a zeroed Summary for an empty sample.
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+// Linear-interpolated quantile, q in [0,1]. Requires a non-empty sample.
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+// Empirical CDF evaluated at a fixed grid of x positions: for each x,
+// fraction of the sample <= x.
+[[nodiscard]] std::vector<double> ecdf_at(std::span<const double> sample,
+                                          std::span<const double> xs);
+
+// Pearson product-moment correlation. Returns 0 when either side has zero
+// variance or sizes mismatch/are < 2.
+[[nodiscard]] double pearson(std::span<const double> a,
+                             std::span<const double> b);
+
+// Spearman rank correlation (Pearson over fractional ranks, ties averaged).
+[[nodiscard]] double spearman(std::span<const double> a,
+                              std::span<const double> b);
+
+// Fractional ranks (1-based, ties get the average rank).
+[[nodiscard]] std::vector<double> ranks(std::span<const double> xs);
+
+// Renders "12.3%" style percentage with one decimal.
+[[nodiscard]] std::string percent(double fraction);
+
+}  // namespace vpna::util

@@ -1,0 +1,53 @@
+#include "util/table.h"
+
+#include <algorithm>
+
+namespace vpna::util {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      line += cell;
+      if (c + 1 < widths.size())
+        line += std::string(widths[c] - cell.size() + 2, ' ');
+    }
+    // Trim trailing spaces.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    line += '\n';
+    return line;
+  };
+
+  std::string out = render_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c)
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  out += std::string(total, '-') + '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string ascii_bar(double value, double max_value, std::size_t width) {
+  if (max_value <= 0.0 || value <= 0.0 || width == 0) return {};
+  auto cells = static_cast<std::size_t>(value / max_value * static_cast<double>(width));
+  cells = std::clamp<std::size_t>(cells, 1, width);
+  return std::string(cells, '#');
+}
+
+}  // namespace vpna::util

@@ -1,0 +1,35 @@
+// Plain-text table renderer used by the benchmark harness to print the
+// paper's tables and figure series side by side with measured values.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vpna::util {
+
+// A simple column-aligned ASCII table. Rows may have fewer cells than the
+// header; missing cells render empty.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  // Number of data rows added so far.
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  // Renders with a header underline and two-space column gaps.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Renders a horizontal ASCII bar of `width` cells proportional to
+// value/max_value (at least one cell when value > 0). Used for the
+// figure-style benches (payment methods, tunneling protocols, heat maps).
+[[nodiscard]] std::string ascii_bar(double value, double max_value,
+                                    std::size_t width);
+
+}  // namespace vpna::util

@@ -1,0 +1,91 @@
+// The VPN client: what runs on the measurement machine. Connecting to a
+// vantage point creates the tun interface, installs routes (a pinned host
+// route to the server plus a tunnel default), rewrites the OS resolver
+// configuration, and — depending on the provider's behaviour flags — blocks
+// IPv6 and arms a kill switch. `tick()` drives keepalive-based failure
+// detection; a client whose tunnel has died either fails closed (kill
+// switch) or fails open (routes torn down, traffic in the clear), which is
+// precisely what the §6.5 tunnel-failure test measures.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netsim/host.h"
+#include "netsim/network.h"
+#include "vpn/provider.h"
+
+namespace vpna::vpn {
+
+enum class ClientState : std::uint8_t {
+  kDisconnected,
+  kConnected,
+  kTunnelFailedClosed,  // failure detected, kill switch holding traffic
+  kTunnelFailedOpen,    // failure detected, traffic now bypasses the tunnel
+};
+
+[[nodiscard]] std::string_view client_state_name(ClientState s) noexcept;
+
+struct ConnectResult {
+  bool connected = false;
+  netsim::IpAddr assigned_addr;  // tunnel-internal client address
+  std::string error;
+};
+
+class VpnClient {
+ public:
+  // `session` seeds the tunnel-internal address assignment.
+  VpnClient(netsim::Network& net, netsim::Host& host, ProviderSpec spec,
+            std::uint32_t session = 1);
+  ~VpnClient();
+
+  VpnClient(const VpnClient&) = delete;
+  VpnClient& operator=(const VpnClient&) = delete;
+
+  // Connects to the vantage point with the given server address using the
+  // provider's first protocol. Saves and replaces host network state;
+  // disconnect() restores it.
+  ConnectResult connect(const netsim::IpAddr& server_addr);
+  void disconnect();
+
+  // Drives the client's own maintenance loop: sends a keepalive and applies
+  // the provider's failure policy once the tunnel has been silent longer
+  // than failure_detect_seconds. Call repeatedly while simulated time
+  // advances (the tunnel-failure test does).
+  void tick();
+
+  // Toggles the kill switch at runtime (the client UI checkbox). Only
+  // effective when the provider ships one.
+  void set_kill_switch(bool enabled);
+  [[nodiscard]] bool kill_switch_active() const noexcept {
+    return kill_switch_enabled_ && spec_.behavior.has_kill_switch;
+  }
+
+  [[nodiscard]] ClientState state() const noexcept { return state_; }
+  [[nodiscard]] const ProviderSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] netsim::IpAddr server_addr() const noexcept { return server_; }
+  [[nodiscard]] netsim::IpAddr assigned_addr() const noexcept {
+    return assigned_;
+  }
+
+ private:
+  void install_tunnel_state();
+  void remove_tunnel_state();
+  void fail_open();
+  void fail_closed();
+
+  netsim::Network& net_;
+  netsim::Host& host_;
+  ProviderSpec spec_;
+  std::uint32_t session_;
+
+  ClientState state_ = ClientState::kDisconnected;
+  bool kill_switch_enabled_ = false;
+  netsim::IpAddr server_;
+  netsim::IpAddr assigned_;
+  std::vector<netsim::IpAddr> saved_dns_;
+  std::optional<util::SimTime> first_keepalive_failure_;
+};
+
+}  // namespace vpna::vpn

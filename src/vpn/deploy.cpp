@@ -1,0 +1,73 @@
+#include "vpn/deploy.h"
+
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace vpna::vpn {
+
+DeployedProvider deploy_provider(inet::World& world, const ProviderSpec& spec,
+                                 bool blocklist_ranges) {
+  DeployedProvider out;
+  out.spec = spec;
+
+  for (const auto& vp_spec : spec.vantage_points) {
+    // An empty datacenter id means "rent a private slice in the physical
+    // city" — the default hosting arrangement for most vantage points.
+    inet::Datacenter* dc =
+        vp_spec.datacenter_id.empty()
+            ? &world.private_datacenter(spec.name, vp_spec.physical_city)
+            : world.datacenter_by_id(vp_spec.datacenter_id);
+    if (dc == nullptr)
+      throw std::logic_error("deploy: unknown datacenter " +
+                             vp_spec.datacenter_id);
+    if (dc->city.name != vp_spec.physical_city)
+      throw std::logic_error("deploy: datacenter " + vp_spec.datacenter_id +
+                             " is not in " + vp_spec.physical_city);
+
+    auto& host = world.spawn_server(
+        *dc, spec.name + "/" + vp_spec.id,
+        /*with_v6=*/spec.behavior.supports_ipv6, /*tenant=*/spec.name);
+    const auto addr = *host.primary_addr(netsim::IpFamily::kV4);
+
+    std::shared_ptr<netsim::Service> service =
+        std::make_shared<VpnServerService>(spec.name, spec.behavior,
+                                           world.zones());
+    if (vp_spec.reliability < 1.0) {
+      service = std::make_shared<FlakyService>(
+          std::move(service), vp_spec.reliability,
+          world.seed() ^ util::fnv1a(spec.name + "/" + vp_spec.id));
+    }
+    for (const auto protocol : spec.protocols) {
+      host.bind_service(netsim::Proto::kUdp, protocol_port(protocol), service);
+    }
+
+    // Virtual vantage points spoof the geo registration of their exact
+    // address (a per-IP geofeed entry) toward the advertised location. The
+    // longest-prefix rule in the geolocation registry makes the spoofed
+    // entry win over the datacenter's honest pool-level entry without
+    // contaminating neighbouring allocations.
+    if (vp_spec.is_virtual()) {
+      const auto advertised = geo::city_by_name(vp_spec.advertised_city);
+      if (!advertised)
+        throw std::logic_error("deploy: unknown advertised city " +
+                               vp_spec.advertised_city);
+      world.register_geo(netsim::Cidr(addr, 32), dc->city, *advertised);
+    }
+
+    if (blocklist_ranges)
+      world.blocklist_vpn_range(netsim::enclosing_block(addr));
+
+    DeployedVantagePoint deployed;
+    deployed.spec = vp_spec;
+    deployed.host = &host;
+    deployed.addr = addr;
+    deployed.datacenter_id = dc->id;
+    deployed.hosting_provider = dc->hosting_provider;
+    deployed.asn = dc->asn;
+    out.vantage_points.push_back(std::move(deployed));
+  }
+  return out;
+}
+
+}  // namespace vpna::vpn

@@ -1,0 +1,49 @@
+// Deployment: instantiates a ProviderSpec into a simulated world. Each
+// vantage point becomes a server host in its *physical* datacenter with the
+// provider's tunnel service bound on every supported protocol port. Virtual
+// vantage points additionally register a spoofed geolocation for their
+// address block (toward the advertised country), which is how providers
+// trick geo-IP databases in practice.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "inet/world.h"
+#include "vpn/provider.h"
+#include "vpn/server.h"
+
+namespace vpna::vpn {
+
+struct DeployedVantagePoint {
+  VantagePointSpec spec;
+  netsim::Host* host = nullptr;
+  netsim::IpAddr addr;
+  std::string datacenter_id;
+  std::string hosting_provider;
+  std::uint32_t asn = 0;
+};
+
+struct DeployedProvider {
+  ProviderSpec spec;
+  std::vector<DeployedVantagePoint> vantage_points;
+
+  [[nodiscard]] const DeployedVantagePoint* vantage_point(
+      std::string_view id) const {
+    for (const auto& vp : vantage_points)
+      if (vp.spec.id == id) return &vp;
+    return nullptr;
+  }
+};
+
+// Deploys every vantage point of `spec` into `world`. Throws on unknown
+// datacenter ids or cities. When `blocklist_ranges` is true the vantage
+// points' /24s are registered with VPN-blocking websites (they sit in
+// well-known hosting space; §6.3 notes how easily such blocks are
+// blacklisted).
+[[nodiscard]] DeployedProvider deploy_provider(inet::World& world,
+                                               const ProviderSpec& spec,
+                                               bool blocklist_ranges = true);
+
+}  // namespace vpna::vpn

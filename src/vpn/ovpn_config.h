@@ -1,0 +1,49 @@
+// OpenVPN-style configuration files. Providers without first-party clients
+// hand users these for third-party software (Tunnelblick/Viscosity in the
+// paper). The format carries the tunnel endpoint and routing intent, but —
+// as §6.5 observes — rarely the DNS/IPv6 hardening directives, so the
+// safety of a config-file setup depends on what the provider bothered to
+// include.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netsim/ip.h"
+#include "netsim/packet.h"
+#include "vpn/provider.h"
+
+namespace vpna::vpn {
+
+// The subset of OpenVPN directives the simulator models.
+struct OvpnConfig {
+  std::string remote_host;       // server address (dotted quad here)
+  std::uint16_t remote_port = netsim::kPortOpenVpn;
+  std::string proto = "udp";
+  bool redirect_gateway = false;          // route all traffic via the tunnel
+  std::vector<netsim::IpAddr> dhcp_dns;   // "dhcp-option DNS x.x.x.x"
+  bool block_outside_dns = false;         // Windows-ism; honored as a flag
+  bool block_ipv6 = false;                // "block-ipv6"
+  std::optional<std::string> remark;      // leading comment line
+
+  [[nodiscard]] std::string serialize() const;
+  // Parses the directives above; unknown lines are ignored (as real
+  // clients do). Returns nullopt only when no valid "remote" is present.
+  static std::optional<OvpnConfig> parse(std::string_view text);
+};
+
+// Emits the config a provider ships for one vantage point. Hardening
+// directives are included only when the provider's behaviour flags say the
+// provider configured them — a faithful rendering of why §6.5 found
+// config-file setups under-hardened.
+[[nodiscard]] OvpnConfig make_provider_config(const ProviderSpec& spec,
+                                              const netsim::IpAddr& server);
+
+// Builds the ProviderBehavior a *third-party* client would enact from a
+// parsed config: only what the file says, nothing more. Missing dhcp DNS
+// => system resolvers stay (DNS leak); missing block-ipv6 => IPv6 bypasses
+// the tunnel.
+[[nodiscard]] ProviderBehavior behavior_from_config(const OvpnConfig& config);
+
+}  // namespace vpna::vpn

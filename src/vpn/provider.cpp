@@ -1,0 +1,40 @@
+#include "vpn/provider.h"
+
+#include "netsim/packet.h"
+
+namespace vpna::vpn {
+
+std::string_view protocol_name(TunnelProtocol p) noexcept {
+  switch (p) {
+    case TunnelProtocol::kOpenVpn: return "OpenVPN";
+    case TunnelProtocol::kPptp: return "PPTP";
+    case TunnelProtocol::kIpsec: return "IPsec";
+    case TunnelProtocol::kSstp: return "SSTP";
+    case TunnelProtocol::kSsl: return "SSL";
+    case TunnelProtocol::kSsh: return "SSH";
+  }
+  return "?";
+}
+
+std::uint16_t protocol_port(TunnelProtocol p) noexcept {
+  switch (p) {
+    case TunnelProtocol::kOpenVpn: return netsim::kPortOpenVpn;
+    case TunnelProtocol::kPptp: return netsim::kPortPptp;
+    case TunnelProtocol::kIpsec: return netsim::kPortIpsec;
+    case TunnelProtocol::kSstp: return netsim::kPortSstp;
+    case TunnelProtocol::kSsl: return 4434;
+    case TunnelProtocol::kSsh: return 22;
+  }
+  return 0;
+}
+
+std::string_view subscription_name(SubscriptionType t) noexcept {
+  switch (t) {
+    case SubscriptionType::kPaid: return "Paid";
+    case SubscriptionType::kTrial: return "Trial";
+    case SubscriptionType::kFree: return "Free";
+  }
+  return "?";
+}
+
+}  // namespace vpna::vpn

@@ -1,0 +1,107 @@
+// The operational model of a commercial VPN provider: tunneling protocols,
+// vantage-point placement (physical or 'virtual'), and the behaviour flags
+// behind every phenomenon the paper's evaluation observes — transparent
+// proxying, content injection, DNS/IPv6 leakage, fail-open tunnel handling,
+// and geo-spoofed registrations.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netsim/ip.h"
+
+namespace vpna::vpn {
+
+enum class TunnelProtocol : std::uint8_t {
+  kOpenVpn,
+  kPptp,
+  kIpsec,
+  kSstp,
+  kSsl,
+  kSsh,
+};
+
+[[nodiscard]] std::string_view protocol_name(TunnelProtocol p) noexcept;
+[[nodiscard]] std::uint16_t protocol_port(TunnelProtocol p) noexcept;
+
+enum class SubscriptionType : std::uint8_t { kPaid, kTrial, kFree };
+[[nodiscard]] std::string_view subscription_name(SubscriptionType t) noexcept;
+
+// Per-provider behaviour. Defaults describe a well-behaved provider; the
+// ecosystem catalog flips flags per the paper's findings.
+struct ProviderBehavior {
+  // --- client configuration ---------------------------------------------------
+  // Whether the client rewrites the OS resolver configuration to the
+  // tunnel-internal resolver. When false the client *intends* to tunnel DNS
+  // but interface-scoped queries escape via the physical interface (the
+  // §6.5 DNS-leak failure mode).
+  bool redirects_dns = true;
+  // Whether the client blocks IPv6 when the service itself has no IPv6
+  // support. False => IPv6 traffic bypasses the tunnel entirely.
+  bool blocks_ipv6 = true;
+  bool supports_ipv6 = false;
+
+  // --- tunnel failure handling -------------------------------------------------
+  // Whether a kill switch exists in the client at all.
+  bool has_kill_switch = false;
+  // Whether it is enabled out of the box (the paper: market leaders ship it
+  // disabled, or scoped to a single app — unsafe defaults either way).
+  bool kill_switch_default_on = false;
+  // App-scoped kill switch (the NordVPN macOS design): on failure the
+  // client terminates a chosen application instead of blocking traffic
+  // system-wide — everything else on the machine still leaks.
+  bool kill_switch_per_app_only = false;
+  // Seconds of silence before the client notices the tunnel died. Clients
+  // slower than the observation window evade the failure test (§6.5 calls
+  // its own result a conservative estimate).
+  double failure_detect_seconds = 20.0;
+  // On detected failure with no (active) kill switch: true => the client
+  // tears down its tunnel routes and traffic flows in the clear.
+  bool fails_open = true;
+
+  // --- egress behaviour ---------------------------------------------------------
+  // Parses and regenerates HTTP requests in-path (§6.2.1's five detected
+  // transparent proxies).
+  bool transparent_proxy = false;
+  // Injects advertising JavaScript into HTTP pages (§6.1.3, trial tier).
+  bool injects_content = false;
+  // Answers DNS through its own resolver with manipulated records.
+  bool manipulates_dns = false;
+  // Re-terminates TLS with its own CA (not observed in the paper; kept for
+  // completeness and for negative tests).
+  bool intercepts_tls = false;
+};
+
+// One advertised exit server. `physical_city` differs from the advertised
+// city for 'virtual' vantage points; the deployment also spoofs the block's
+// geo registration toward the advertised location.
+struct VantagePointSpec {
+  std::string id;               // "us-1"
+  std::string advertised_city;
+  std::string advertised_country;  // ISO code
+  std::string physical_city;       // == advertised_city when honest
+  std::string datacenter_id;       // inet datacenter to deploy into
+  // Probability a connection attempt succeeds. The paper (§5.2) found
+  // vantage points outside North America/Europe markedly less reliable and
+  // had to re-collect data; 1.0 = always up.
+  double reliability = 1.0;
+
+  [[nodiscard]] bool is_virtual() const {
+    return physical_city != advertised_city;
+  }
+};
+
+struct ProviderSpec {
+  std::string name;
+  SubscriptionType subscription = SubscriptionType::kPaid;
+  std::vector<TunnelProtocol> protocols = {TunnelProtocol::kOpenVpn};
+  // Providers without first-party clients hand users OpenVPN configs for
+  // third-party software; the DNS/IPv6 leak tests only apply to first-party
+  // clients (§6.5).
+  bool has_custom_client = true;
+  ProviderBehavior behavior;
+  std::vector<VantagePointSpec> vantage_points;
+};
+
+}  // namespace vpna::vpn

@@ -1,0 +1,235 @@
+// Unit tests for the analysis layer over small, hand-built inputs.
+#include <gtest/gtest.h>
+
+#include "analysis/ecosystem_stats.h"
+#include "analysis/geo_analysis.h"
+#include "analysis/infrastructure.h"
+#include "analysis/report_aggregation.h"
+#include "ecosystem/testbed.h"
+
+namespace vpna::analysis {
+namespace {
+
+TEST(EcosystemStats, BusinessDistributionSumsTo200) {
+  const auto dist = business_location_distribution();
+  int total = 0;
+  for (const auto& [cc, n] : dist) total += n;
+  EXPECT_EQ(total, 200);
+  EXPECT_GT(dist.at("US"), 25);
+}
+
+TEST(EcosystemStats, ServerCdfIsMonotone) {
+  const auto cdf = server_count_cdf({100, 500, 750, 1000, 2000, 4000});
+  for (std::size_t i = 1; i < cdf.size(); ++i)
+    EXPECT_GE(cdf[i].fraction_at_or_below, cdf[i - 1].fraction_at_or_below);
+  // Figure 2's calibration point: ~80% at 750 or fewer.
+  EXPECT_NEAR(cdf[2].fraction_at_or_below, 0.80, 0.08);
+  EXPECT_DOUBLE_EQ(cdf.back().fraction_at_or_below, 1.0);
+}
+
+TEST(EcosystemStats, PricingTableHasFourPlans) {
+  const auto table = pricing_table();
+  ASSERT_EQ(table.size(), 4u);
+  EXPECT_EQ(table[0].plan, "Monthly");
+  // Annual is cheaper than monthly on average (Table 3).
+  EXPECT_LT(table[3].avg_monthly, table[0].avg_monthly);
+  for (const auto& row : table) {
+    EXPECT_GT(row.provider_count, 0);
+    EXPECT_LE(row.min_monthly, row.avg_monthly);
+    EXPECT_LE(row.avg_monthly, row.max_monthly);
+  }
+}
+
+TEST(EcosystemStats, TransparencyNumbers) {
+  const auto t = transparency_stats();
+  EXPECT_EQ(t.total, 200);
+  EXPECT_GT(t.without_privacy_policy, 30);
+  EXPECT_GT(t.without_terms_of_service, 60);
+  EXPECT_GE(t.min_policy_words, 70);
+  EXPECT_LE(t.max_policy_words, 10965);
+}
+
+TEST(Infrastructure, CensusCountsSharing) {
+  auto tb = ecosystem::build_testbed_subset(
+      {"IPVanish", "AirVPN", "CyberGhost", "Boxpn", "Anonine"});
+  const auto census = census_infrastructure(tb.providers, tb.world->whois());
+  EXPECT_GT(census.vantage_points, 0u);
+  // Aliased Anonine vantage points: distinct addresses < vantage points.
+  EXPECT_LT(census.distinct_addresses, census.vantage_points);
+  EXPECT_FALSE(census.exact_overlaps.empty());
+  for (const auto& overlap : census.exact_overlaps) {
+    EXPECT_TRUE(overlap.providers.contains("Boxpn"));
+    EXPECT_TRUE(overlap.providers.contains("Anonine"));
+  }
+  // 82.102.27.0/24 is used by all three of IPVanish/AirVPN/CyberGhost.
+  bool found_oslo_block = false;
+  for (const auto& block : census.blocks_with_3plus_providers) {
+    if (block.block.str() == "82.102.27.0/24") {
+      found_oslo_block = true;
+      EXPECT_EQ(block.asn, 9009u);
+      EXPECT_EQ(block.country_code, "NO");
+      EXPECT_GE(block.providers.size(), 3u);
+    }
+  }
+  EXPECT_TRUE(found_oslo_block);
+}
+
+TEST(GeoAnalysis, AgreementComparesClaimedCountry) {
+  auto tb = ecosystem::build_testbed_subset({"NordVPN", "HideMyAss"});
+  const auto mm = compare_with_database(tb.providers, tb.world->db_maxmind(),
+                                        "maxmind-like");
+  const auto gg = compare_with_database(tb.providers, tb.world->db_google(),
+                                        "google-like");
+  EXPECT_GT(mm.answered, 0);
+  EXPECT_GT(gg.answered, 0);
+  // HideMyAss's spoofed registrations drag google-like agreement well
+  // below maxmind-like agreement.
+  EXPECT_GT(mm.agreement_rate(), gg.agreement_rate());
+  // Many disagreements resolve to the US (Seattle/Miami homes).
+  EXPECT_GT(gg.disagreed_to_us, 0);
+}
+
+TEST(GeoAnalysis, PhysicsCheckFlagsVirtualVantagePoint) {
+  auto tb = ecosystem::build_testbed_subset({"Avira Phantom"});
+  const auto& provider = tb.providers[0];
+  // Find the virtual 'US' vantage point (physically Frankfurt).
+  const vpn::DeployedVantagePoint* virtual_vp = nullptr;
+  for (const auto& vp : provider.vantage_points)
+    if (vp.spec.is_virtual()) virtual_vp = &vp;
+  ASSERT_NE(virtual_vp, nullptr);
+
+  // Baseline: direct ping to the vantage point's public address.
+  const auto baseline = tb.world->network().ping(*tb.client, virtual_vp->addr);
+  ASSERT_TRUE(baseline.has_value());
+
+  vpn::VpnClient client(tb.world->network(), *tb.client, provider.spec, 1);
+  ASSERT_TRUE(client.connect(virtual_vp->addr).connected);
+  const auto series = measure_anchor_series(*tb.world, *tb.client);
+  client.disconnect();
+
+  const auto evidence =
+      check_vantage_physics(*tb.world, provider, *virtual_vp, series, *baseline);
+  ASSERT_TRUE(evidence.has_value());
+  EXPECT_TRUE(evidence->physically_impossible);
+  EXPECT_LT(evidence->observed_rtt_ms, evidence->min_possible_rtt_ms);
+  EXPECT_EQ(evidence->advertised_country, "US");
+}
+
+TEST(GeoAnalysis, PhysicsCheckPassesHonestVantagePoint) {
+  auto tb = ecosystem::build_testbed_subset({"NordVPN"});
+  const auto& provider = tb.providers[0];
+  const auto& vp = provider.vantage_points[1];  // honest placement
+  ASSERT_FALSE(vp.spec.is_virtual());
+
+  const auto baseline = tb.world->network().ping(*tb.client, vp.addr);
+  ASSERT_TRUE(baseline.has_value());
+
+  vpn::VpnClient client(tb.world->network(), *tb.client, provider.spec, 1);
+  ASSERT_TRUE(client.connect(vp.addr).connected);
+  const auto series = measure_anchor_series(*tb.world, *tb.client);
+  client.disconnect();
+
+  EXPECT_FALSE(check_vantage_physics(*tb.world, provider, vp, series, *baseline)
+                   .has_value());
+}
+
+TEST(GeoAnalysis, CoLocationPairsFoundForLeVpn) {
+  auto tb = ecosystem::build_testbed_subset({"Le VPN"});
+  const auto& provider = tb.providers[0];
+
+  std::vector<std::pair<const vpn::DeployedVantagePoint*, std::vector<double>>>
+      series;
+  std::uint32_t session = 1;
+  for (const auto& vp : provider.vantage_points) {
+    if (!vp.spec.is_virtual()) continue;
+    vpn::VpnClient client(tb.world->network(), *tb.client, provider.spec,
+                          session++);
+    ASSERT_TRUE(client.connect(vp.addr).connected);
+    series.emplace_back(&vp, measure_anchor_series(*tb.world, *tb.client));
+    client.disconnect();
+  }
+  ASSERT_GE(series.size(), 4u);
+
+  const auto pairs = find_colocated_pairs(provider.spec.name, series);
+  // All virtual Le VPN vantage points live in the same Paris rack: every
+  // cross-country pair should be flagged.
+  const std::size_t n = series.size();
+  EXPECT_EQ(pairs.size(), n * (n - 1) / 2);
+  for (const auto& pair : pairs) {
+    EXPECT_GT(pair.rank_correlation, 0.999);
+    EXPECT_LT(pair.mean_abs_diff_ms, 2.0);
+    EXPECT_NE(pair.country_a, pair.country_b);
+  }
+}
+
+TEST(GeoAnalysis, DistantVantagePointsNotCoLocated) {
+  auto tb = ecosystem::build_testbed_subset({"NordVPN"});
+  const auto& provider = tb.providers[0];
+
+  std::vector<std::pair<const vpn::DeployedVantagePoint*, std::vector<double>>>
+      series;
+  std::uint32_t session = 1;
+  for (std::size_t i = 1; i < provider.vantage_points.size() && i < 4; ++i) {
+    const auto& vp = provider.vantage_points[i];
+    vpn::VpnClient client(tb.world->network(), *tb.client, provider.spec,
+                          session++);
+    ASSERT_TRUE(client.connect(vp.addr).connected);
+    series.emplace_back(&vp, measure_anchor_series(*tb.world, *tb.client));
+    client.disconnect();
+  }
+  const auto pairs = find_colocated_pairs(provider.spec.name, series);
+  EXPECT_TRUE(pairs.empty());
+}
+
+TEST(ReportAggregation, RedirectRowsGroupByDestination) {
+  auto tb = ecosystem::build_testbed_subset({"CyberGhost", "FlyVPN"});
+  core::RunnerOptions opts;
+  opts.vantage_points_per_provider = 3;
+  core::TestRunner runner(tb, opts);
+  runner.collect_ground_truth();
+  const auto reports = runner.run_all();
+  const auto rows = aggregate_redirects(reports);
+  ASSERT_FALSE(rows.empty());
+  // CyberGhost sits behind TTK (Moscow) and TIB (Istanbul); FlyVPN behind
+  // Seoul and Bangkok. All four destinations should appear.
+  std::set<std::string> destinations;
+  for (const auto& row : rows) destinations.insert(row.destination_host);
+  EXPECT_TRUE(destinations.contains("fz139.ttk.ru"));
+  EXPECT_TRUE(destinations.contains("www.warning.or.kr"));
+  EXPECT_TRUE(destinations.contains("103.77.116.101"));
+}
+
+TEST(ReportAggregation, LeakageSummaryClassifiesProviders) {
+  auto tb = ecosystem::build_testbed_subset(
+      {"Freedome VPN", "WorldVPN", "NordVPN", "Mullvad"});
+  core::RunnerOptions opts;
+  opts.vantage_points_per_provider = 1;
+  opts.run_web_suites = false;
+  core::TestRunner runner(tb, opts);
+  const auto reports = runner.run_all();
+  const auto summary = aggregate_leakage(reports);
+  EXPECT_TRUE(summary.dns_leakers.contains("Freedome VPN"));
+  EXPECT_TRUE(summary.dns_leakers.contains("WorldVPN"));
+  EXPECT_FALSE(summary.dns_leakers.contains("NordVPN"));
+  EXPECT_TRUE(summary.ipv6_leakers.contains("WorldVPN"));
+  EXPECT_TRUE(summary.tunnel_failure_leakers.contains("NordVPN"));
+  EXPECT_EQ(summary.custom_client_providers, 3);  // Mullvad is config-file
+}
+
+TEST(ReportAggregation, ManipulationSummary) {
+  auto tb = ecosystem::build_testbed_subset(
+      {"Seed4.me", "CyberGhost", "NordVPN"});
+  core::RunnerOptions opts;
+  opts.vantage_points_per_provider = 2;
+  core::TestRunner runner(tb, opts);
+  runner.collect_ground_truth();
+  const auto reports = runner.run_all();
+  const auto summary = aggregate_manipulation(reports);
+  EXPECT_TRUE(summary.content_injectors.contains("Seed4.me"));
+  EXPECT_FALSE(summary.content_injectors.contains("NordVPN"));
+  EXPECT_TRUE(summary.transparent_proxies.contains("CyberGhost"));
+  EXPECT_TRUE(summary.tls_interceptors.empty());
+}
+
+}  // namespace
+}  // namespace vpna::analysis

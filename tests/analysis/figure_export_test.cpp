@@ -1,0 +1,96 @@
+// Figure-export tests: data shapes, rendering format and the measured
+// Figure 9 series.
+#include "analysis/figure_export.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "util/strings.h"
+
+namespace vpna::analysis {
+namespace {
+
+TEST(FigureData, RenderFormat) {
+  FigureData data;
+  data.name = "test";
+  data.column_names = {"label with space", "value"};
+  data.rows = {{"a b", "1"}, {"c", "2"}};
+  const auto text = data.render();
+  const auto lines = util::split(text, '\n');
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "# label_with_space value");
+  EXPECT_EQ(lines[1], "a_b 1");
+  EXPECT_EQ(lines[2], "c 2");
+}
+
+TEST(FigureExport, Fig1SortedDescendingAndSumsTo200) {
+  const auto data = export_fig1_business_locations();
+  EXPECT_EQ(data.column_names.size(), 2u);
+  int total = 0, prev = 1 << 30;
+  for (const auto& row : data.rows) {
+    const int n = std::stoi(row[1]);
+    EXPECT_LE(n, prev);
+    prev = n;
+    total += n;
+  }
+  EXPECT_EQ(total, 200);
+}
+
+TEST(FigureExport, Fig2MonotoneCdfGrid) {
+  const auto data = export_fig2_server_cdf();
+  ASSERT_GT(data.rows.size(), 50u);
+  double prev = -1;
+  for (const auto& row : data.rows) {
+    const double frac = std::stod(row[1]);
+    EXPECT_GE(frac, prev);
+    EXPECT_LE(frac, 1.0);
+    prev = frac;
+  }
+  EXPECT_DOUBLE_EQ(std::stod(data.rows.back()[1]), 1.0);
+}
+
+TEST(FigureExport, Fig4AndFig5HaveExpectedRows) {
+  EXPECT_EQ(export_fig4_payments().rows.size(), 3u);
+  EXPECT_EQ(export_fig5_protocols().rows.size(), 6u);
+  EXPECT_EQ(export_fig5_protocols().rows[0][0], "OpenVPN");
+}
+
+TEST(FigureExport, Fig9SeriesColumnsPerVantagePoint) {
+  auto tb = ecosystem::build_testbed_subset({"Le VPN"});
+  const auto data = export_fig9_series(tb, "Le VPN", 4);
+  // rank column + 4 vantage points.
+  ASSERT_EQ(data.column_names.size(), 5u);
+  ASSERT_FALSE(data.rows.empty());
+  // Each series is sorted ascending down the rows.
+  for (std::size_t col = 1; col < 5; ++col) {
+    double prev = 0;
+    for (const auto& row : data.rows) {
+      const double rtt = std::stod(row[col]);
+      EXPECT_GE(rtt, prev);
+      prev = rtt;
+    }
+  }
+}
+
+TEST(FigureExport, Fig9UnknownProviderYieldsEmpty) {
+  auto tb = ecosystem::build_testbed_subset({"Le VPN"});
+  const auto data = export_fig9_series(tb, "NoSuchVPN");
+  EXPECT_TRUE(data.rows.empty());
+}
+
+TEST(FigureExport, WriteFigureCreatesFile) {
+  FigureData data;
+  data.name = "unit_test_figure";
+  data.column_names = {"x", "y"};
+  data.rows = {{"1", "2"}};
+  const auto path = write_figure(data, "/tmp/vpna_fig_test");
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string first_line;
+  std::getline(in, first_line);
+  EXPECT_EQ(first_line, "# x y");
+}
+
+}  // namespace
+}  // namespace vpna::analysis

@@ -1,0 +1,119 @@
+// Report-writer tests: grading policy, CSV shape and scorecard ordering.
+#include "analysis/report_writer.h"
+
+#include <gtest/gtest.h>
+
+#include "util/strings.h"
+
+namespace vpna::analysis {
+namespace {
+
+core::ProviderReport make_report(std::string name) {
+  core::ProviderReport r;
+  r.provider = std::move(name);
+  r.subscription = vpn::SubscriptionType::kPaid;
+  r.has_custom_client = true;
+  core::VantagePointReport vp;
+  vp.provider = r.provider;
+  vp.vantage_id = "x-1";
+  vp.advertised_country = "DE";
+  vp.advertised_city = "Frankfurt";
+  vp.connected = true;
+  r.vantage_points.push_back(std::move(vp));
+  return r;
+}
+
+TEST(Grading, CleanProviderGetsA) {
+  EXPECT_EQ(grade_provider(make_report("Clean")), SafetyGrade::kA);
+}
+
+TEST(Grading, OneLetterPerFailureClass) {
+  auto r = make_report("Leaky");
+  r.vantage_points[0].tunnel_failure.probes_escaped_clear = 3;
+  EXPECT_EQ(grade_provider(r), SafetyGrade::kB);
+  r.vantage_points[0].dns_leak.plaintext_dns_on_physical_interface = 1;
+  EXPECT_EQ(grade_provider(r), SafetyGrade::kC);
+  r.vantage_points[0].ipv6_leak.v6_packets_on_physical_interface = 1;
+  EXPECT_EQ(grade_provider(r), SafetyGrade::kD);
+  r.vantage_points[0].proxy.proxy_detected = true;
+  EXPECT_EQ(grade_provider(r), SafetyGrade::kF);
+}
+
+TEST(Grading, TamperingIsAutomaticF) {
+  auto r = make_report("Injector");
+  core::PageObservation page;
+  page.hostname = "honeysite";
+  page.load_ok = true;
+  page.dom_matches_groundtruth = false;
+  r.vantage_points[0].dom_collection.pages.push_back(page);
+  EXPECT_EQ(grade_provider(r), SafetyGrade::kF);
+}
+
+TEST(Grading, DnsManipulationIsAutomaticF) {
+  auto r = make_report("Hijacker");
+  core::DnsMismatch mismatch;
+  mismatch.suspicious = true;
+  r.vantage_points[0].dns_manipulation.mismatches.push_back(mismatch);
+  EXPECT_EQ(grade_provider(r), SafetyGrade::kF);
+}
+
+TEST(GradeName, AllNamed) {
+  EXPECT_EQ(grade_name(SafetyGrade::kA), "A");
+  EXPECT_EQ(grade_name(SafetyGrade::kF), "F");
+}
+
+TEST(Csv, OneRowPerProviderWithHeader) {
+  const std::vector<core::ProviderReport> reports = {make_report("Alpha"),
+                                                     make_report("Beta")};
+  const auto csv = render_campaign_csv(reports);
+  const auto lines = util::split(csv, '\n');
+  // header + 2 rows + trailing empty from final newline
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_TRUE(lines[0].starts_with("provider,subscription"));
+  EXPECT_TRUE(lines[1].starts_with("\"Alpha\",Paid,first-party,1,1,0,0,0,0,0,A"));
+}
+
+TEST(Csv, FailuresEncodeAsOnes) {
+  auto r = make_report("Leaky");
+  r.vantage_points[0].dns_leak.plaintext_dns_on_physical_interface = 2;
+  r.vantage_points[0].tunnel_failure.probes_escaped_clear = 1;
+  const auto csv = render_campaign_csv({r});
+  EXPECT_NE(csv.find("\"Leaky\",Paid,first-party,1,1,1,0,1,0,0,C"),
+            std::string::npos)
+      << csv;
+}
+
+TEST(Markdown, ContainsGradeAndChecks) {
+  const auto md = render_provider_markdown(make_report("Clean"));
+  EXPECT_NE(md.find("## Clean"), std::string::npos);
+  EXPECT_NE(md.find("safety grade: **A**"), std::string::npos);
+  EXPECT_NE(md.find("| tunnel failure handling | pass |"), std::string::npos);
+  EXPECT_NE(md.find("`x-1` (Frankfurt, DE)"), std::string::npos);
+}
+
+TEST(Markdown, FlagsUnreachableVantagePoints) {
+  auto r = make_report("Flaky");
+  r.vantage_points[0].connected = false;
+  const auto md = render_provider_markdown(r);
+  EXPECT_NE(md.find("**unreachable**"), std::string::npos);
+}
+
+TEST(Scorecard, SortsBestGradesFirst) {
+  auto good = make_report("Zebra");  // name sorts last, grade sorts first
+  auto bad = make_report("Aardvark");
+  bad.vantage_points[0].dns_leak.plaintext_dns_on_physical_interface = 1;
+  const auto card = render_scorecard({bad, good});
+  const auto zebra = card.find("Zebra");
+  const auto aardvark = card.find("Aardvark");
+  ASSERT_NE(zebra, std::string::npos);
+  ASSERT_NE(aardvark, std::string::npos);
+  EXPECT_LT(zebra, aardvark);
+}
+
+TEST(Scorecard, StableNameOrderWithinGrade) {
+  const auto card = render_scorecard({make_report("Bravo"), make_report("Alpha")});
+  EXPECT_LT(card.find("Alpha"), card.find("Bravo"));
+}
+
+}  // namespace
+}  // namespace vpna::analysis

@@ -1,0 +1,100 @@
+// Traceroute-based location corroboration tests.
+#include "analysis/traceroute_locate.h"
+
+#include <gtest/gtest.h>
+
+#include "vpn/client.h"
+#include "vpn/deploy.h"
+
+namespace vpna::analysis {
+namespace {
+
+TEST(CityFromHopHostname, ParsesConvention) {
+  EXPECT_EQ(city_from_hop_hostname("edge.seattle.rentweb-bv.example"),
+            "seattle");
+  EXPECT_EQ(city_from_hop_hostname("core1.st-petersburg.backbone.example"),
+            "st-petersburg");
+  EXPECT_FALSE(city_from_hop_hostname("unrelated.host.name").has_value());
+  EXPECT_FALSE(city_from_hop_hostname("edge.").has_value());
+  EXPECT_FALSE(city_from_hop_hostname("").has_value());
+}
+
+TEST(ReverseDns, RoutersResolveToOperatorNames) {
+  inet::World w(909);
+  // A city core router.
+  const auto core_addr = w.network().router_addr(w.router_for_city("Seattle"));
+  const auto core_name = w.reverse_dns(core_addr);
+  ASSERT_TRUE(core_name.has_value());
+  EXPECT_EQ(*core_name, "core1.seattle.backbone.example");
+  // A datacenter edge router.
+  const auto* dc = w.datacenter_by_id("rentweb-sea");
+  const auto edge_name = w.reverse_dns(w.network().router_addr(dc->router));
+  ASSERT_TRUE(edge_name.has_value());
+  EXPECT_TRUE(edge_name->starts_with("edge.seattle."));
+  // Non-router addresses have no rDNS.
+  EXPECT_FALSE(w.reverse_dns(*netsim::IpAddr::parse("45.0.32.10")).has_value());
+}
+
+class TracerouteLocateFixture : public ::testing::Test {
+ protected:
+  TracerouteLocateFixture()
+      : world_(909), client_(world_.spawn_client("Chicago", "vm")) {}
+
+  inet::World world_;
+  netsim::Host& client_;
+};
+
+TEST_F(TracerouteLocateFixture, HonestVantagePointConfirmed) {
+  vpn::ProviderSpec spec;
+  spec.name = "HonestVPN";
+  spec.vantage_points = {{"jp-1", "Tokyo", "JP", "Tokyo", "sakura-tyo"}};
+  const auto deployed = vpn::deploy_provider(world_, spec);
+  vpn::VpnClient client(world_.network(), client_, spec);
+  ASSERT_TRUE(client.connect(deployed.vantage_points[0].addr).connected);
+
+  const auto located = locate_by_traceroute(world_, client_);
+  ASSERT_TRUE(located.best_city.has_value());
+  EXPECT_EQ(*located.best_city, "tokyo");
+  EXPECT_FALSE(traceroute_refutes_location(located, "Tokyo"));
+}
+
+TEST_F(TracerouteLocateFixture, VirtualVantagePointRefuted) {
+  vpn::ProviderSpec spec;
+  spec.name = "VirtualVPN";
+  spec.vantage_points = {{"kp-1", "Pyongyang", "KP", "Seattle", "rentweb-sea"}};
+  const auto deployed = vpn::deploy_provider(world_, spec);
+  vpn::VpnClient client(world_.network(), client_, spec);
+  ASSERT_TRUE(client.connect(deployed.vantage_points[0].addr).connected);
+
+  const auto located = locate_by_traceroute(world_, client_);
+  ASSERT_TRUE(located.best_city.has_value());
+  EXPECT_EQ(*located.best_city, "seattle");
+  EXPECT_TRUE(traceroute_refutes_location(located, "Pyongyang"));
+  // The evidence trail includes the facility's own edge router name.
+  bool saw_edge = false;
+  for (const auto& hostname : located.hop_hostnames)
+    if (hostname.starts_with("edge.seattle.")) saw_edge = true;
+  EXPECT_TRUE(saw_edge);
+}
+
+TEST_F(TracerouteLocateFixture, WithoutVpnLocatesTheClientItself) {
+  const auto located = locate_by_traceroute(world_, client_);
+  ASSERT_TRUE(located.best_city.has_value());
+  // First hop is Chicago's core router.
+  EXPECT_EQ(*located.best_city, "chicago");
+}
+
+TEST_F(TracerouteLocateFixture, NoRefutationWithoutEvidence) {
+  TracerouteLocation empty;
+  EXPECT_FALSE(traceroute_refutes_location(empty, "Anywhere"));
+}
+
+TEST_F(TracerouteLocateFixture, MultiWordCitySlugsCompareCorrectly) {
+  TracerouteLocation located;
+  located.best_city = "st-petersburg";
+  EXPECT_FALSE(traceroute_refutes_location(located, "St Petersburg"));
+  EXPECT_TRUE(traceroute_refutes_location(located, "Moscow"));
+}
+
+}  // namespace
+}  // namespace vpna::analysis

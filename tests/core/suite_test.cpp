@@ -1,0 +1,243 @@
+// Tests for the individual measurement tests (§5.3), run against small
+// purpose-built provider deployments.
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "core/runner.h"
+#include "vpn/client.h"
+
+namespace vpna::core {
+namespace {
+
+class SuiteFixture : public ::testing::Test {
+ protected:
+  SuiteFixture()
+      : tb_(ecosystem::build_testbed_subset(
+            {"NordVPN", "Seed4.me", "CyberGhost", "Freedome VPN", "WorldVPN",
+             "Mullvad", "HideMyAss", "FlyVPN"})) {}
+
+  // Connects the measurement VM to the given provider's n-th vantage point
+  // and returns the live client (caller keeps it alive during the test).
+  std::unique_ptr<vpn::VpnClient> connect(std::string_view provider,
+                                          std::size_t vp_index = 0) {
+    const auto* p = tb_.provider(provider);
+    EXPECT_NE(p, nullptr);
+    auto client = std::make_unique<vpn::VpnClient>(
+        tb_.world->network(), *tb_.client, p->spec, ++session_);
+    const auto res = client->connect(p->vantage_points.at(vp_index).addr);
+    EXPECT_TRUE(res.connected) << res.error;
+    return client;
+  }
+
+  ecosystem::Testbed tb_;
+  std::uint32_t session_ = 0;
+};
+
+TEST_F(SuiteFixture, GroundTruthCoversTestLists) {
+  const auto gt = collect_ground_truth(*tb_.world, *tb_.client);
+  // 55 DOM sites + 150 TLS sites + 2 honeysites have DOMs.
+  EXPECT_GE(gt.doms.size(), 200u);
+  EXPECT_NE(gt.dom("daily-courier-news.com"), nullptr);
+  EXPECT_NE(gt.dom(inet::honeysite_ads()), nullptr);
+  // TLS-capable sites have fingerprints.
+  EXPECT_GE(gt.cert_fingerprints.size(), 150u);
+  EXPECT_NE(gt.fingerprint("tls-portal-5.com"), nullptr);
+  EXPECT_EQ(gt.fingerprint("no-such-host.net"), nullptr);
+}
+
+TEST_F(SuiteFixture, DnsManipulationCleanProviderClean) {
+  auto vpn = connect("NordVPN");
+  const auto res = run_dns_manipulation_test(*tb_.world, *tb_.client);
+  EXPECT_GT(res.names_tested, 5);
+  EXPECT_FALSE(res.manipulation_detected());
+}
+
+TEST_F(SuiteFixture, RecursiveOriginSeesVpnResolver) {
+  auto vpn = connect("NordVPN");
+  const auto res =
+      run_recursive_dns_origin_test(*tb_.world, *tb_.client, "suite-t1");
+  ASSERT_TRUE(res.resolved);
+  ASSERT_TRUE(res.resolver_seen.has_value());
+  // Resolution happened from the vantage point, not from the client's ISP:
+  // the source belongs to a hosting provider.
+  EXPECT_FALSE(res.resolver_owner.empty());
+  EXPECT_NE(res.resolver_owner, "(unknown)");
+}
+
+TEST_F(SuiteFixture, RecursiveOriginWithoutVpnSeesIspResolver) {
+  const auto res =
+      run_recursive_dns_origin_test(*tb_.world, *tb_.client, "suite-t2");
+  ASSERT_TRUE(res.resolved);
+  ASSERT_TRUE(res.resolver_seen.has_value());
+  EXPECT_EQ(*res.resolver_seen, tb_.world->isp_resolver());
+}
+
+TEST_F(SuiteFixture, PingProbeCoversAnchorsAndRoots) {
+  auto vpn = connect("NordVPN");
+  const auto res = run_ping_probe_test(*tb_.world, *tb_.client);
+  EXPECT_EQ(res.targets.size(), 50u + 5u + 2u);
+  const auto series = res.anchor_series();
+  EXPECT_EQ(series.size(), 50u);
+  int reachable = 0;
+  for (const double rtt : series)
+    if (!std::isnan(rtt)) ++reachable;
+  EXPECT_EQ(reachable, 50);
+  EXPECT_FALSE(res.root_traceroute.empty());
+}
+
+TEST_F(SuiteFixture, GeoApiReflectsVantageCountry) {
+  auto vpn = connect("CyberGhost");  // first VP: ttk-mow (Moscow)
+  const auto res = run_geo_api_test(*tb_.world, *tb_.client);
+  ASSERT_TRUE(res.answered);
+  // The API is backed by the (noisy) google-like database: the answer must
+  // be exactly what that database believes about the egress address.
+  const auto expected =
+      tb_.world->db_google().lookup(tb_.provider("CyberGhost")->vantage_points[0].addr);
+  ASSERT_TRUE(expected.has_value());
+  EXPECT_EQ(res.country_code, expected->country_code);
+}
+
+TEST_F(SuiteFixture, ProxyDetectionFlagsCyberGhostNotNord) {
+  {
+    auto vpn = connect("NordVPN");
+    const auto res = run_proxy_detection_test(*tb_.world, *tb_.client);
+    ASSERT_TRUE(res.request_succeeded);
+    EXPECT_FALSE(res.proxy_detected);
+  }
+  {
+    auto vpn = connect("CyberGhost");
+    const auto res = run_proxy_detection_test(*tb_.world, *tb_.client);
+    ASSERT_TRUE(res.request_succeeded);
+    EXPECT_TRUE(res.proxy_detected);
+    // Parse-and-regenerate, not header injection.
+    EXPECT_TRUE(res.headers_rewritten);
+    EXPECT_FALSE(res.headers_added);
+  }
+}
+
+TEST_F(SuiteFixture, DnsLeakTestFlagsOnlyLeakers) {
+  {
+    auto vpn = connect("Freedome VPN");
+    const auto res = run_dns_leak_test(*tb_.world, *tb_.client);
+    EXPECT_TRUE(res.leaked());
+  }
+  {
+    auto vpn = connect("NordVPN");
+    const auto res = run_dns_leak_test(*tb_.world, *tb_.client);
+    EXPECT_FALSE(res.leaked());
+  }
+}
+
+TEST_F(SuiteFixture, Ipv6LeakTestFlagsOnlyLeakers) {
+  {
+    auto vpn = connect("WorldVPN");
+    const auto res = run_ipv6_leak_test(*tb_.world, *tb_.client);
+    EXPECT_GT(res.attempts, 0);
+    EXPECT_TRUE(res.leaked());
+    EXPECT_GT(res.v6_connections_succeeded_outside_tunnel, 0);
+  }
+  {
+    auto vpn = connect("NordVPN");
+    const auto res = run_ipv6_leak_test(*tb_.world, *tb_.client);
+    EXPECT_FALSE(res.leaked());
+  }
+}
+
+TEST_F(SuiteFixture, TunnelFailureLeaksForFailOpenProvider) {
+  const auto* nord = tb_.provider("NordVPN");
+  vpn::VpnClient client(tb_.world->network(), *tb_.client, nord->spec, 91);
+  ASSERT_TRUE(client.connect(nord->vantage_points[0].addr).connected);
+  const auto res =
+      run_tunnel_failure_test(*tb_.world, *tb_.client, client, 180);
+  EXPECT_TRUE(res.failure_induced);
+  EXPECT_TRUE(res.leaked());
+  EXPECT_EQ(res.final_state, vpn::ClientState::kTunnelFailedOpen);
+  client.disconnect();
+}
+
+TEST_F(SuiteFixture, DomCollectionDetectsInjectionOnlyForSeed4me) {
+  const auto gt = collect_ground_truth(*tb_.world, *tb_.client);
+  {
+    auto vpn = connect("Seed4.me");
+    const auto res = run_dom_collection_test(*tb_.world, *tb_.client, gt);
+    EXPECT_FALSE(res.modified_doms().empty());
+  }
+  {
+    auto vpn = connect("NordVPN", 1);  // a non-censored vantage point
+    const auto res = run_dom_collection_test(*tb_.world, *tb_.client, gt);
+    EXPECT_TRUE(res.modified_doms().empty());
+  }
+}
+
+TEST_F(SuiteFixture, DomCollectionSeesCensorshipFromRussianVantage) {
+  const auto gt = collect_ground_truth(*tb_.world, *tb_.client);
+  auto vpn = connect("CyberGhost");  // VP 0 = ttk-mow
+  const auto res = run_dom_collection_test(*tb_.world, *tb_.client, gt);
+  const auto redirects = res.unrelated_redirects();
+  ASSERT_FALSE(redirects.empty());
+  bool ttk = false;
+  for (const auto* page : redirects)
+    if (page->final_host == "fz139.ttk.ru") ttk = true;
+  EXPECT_TRUE(ttk);
+}
+
+TEST_F(SuiteFixture, TlsTestCleanThroughHonestProvider) {
+  const auto gt = collect_ground_truth(*tb_.world, *tb_.client);
+  auto vpn = connect("NordVPN", 1);
+  const auto res = run_tls_test(*tb_.world, *tb_.client, gt);
+  EXPECT_EQ(res.hosts.size(), 205u);
+  EXPECT_EQ(res.interception_count(), 0);
+  EXPECT_EQ(res.stripped_count(), 0);
+  // VPN-hostile sites 403 the egress (the paper found "more than a dozen").
+  EXPECT_GT(res.blocked_count(), 5);
+}
+
+TEST_F(SuiteFixture, PcapScanQuietForNormalRun) {
+  auto vpn = connect("NordVPN");
+  (void)run_dns_leak_test(*tb_.world, *tb_.client);
+  const auto res = run_pcap_scan(*tb_.client);
+  EXPECT_GT(res.packets_scanned, 0u);
+  EXPECT_FALSE(res.p2p_relaying_suspected());
+}
+
+TEST_F(SuiteFixture, RunnerProducesCompleteVantageReport) {
+  TestRunner runner(tb_);
+  runner.collect_ground_truth();
+  const auto report = runner.run_provider(*tb_.provider("Seed4.me"));
+  EXPECT_EQ(report.provider, "Seed4.me");
+  ASSERT_FALSE(report.vantage_points.empty());
+  const auto& vp = report.vantage_points.front();
+  EXPECT_TRUE(vp.connected);
+  EXPECT_FALSE(vp.metadata.routing_table.empty());
+  EXPECT_FALSE(vp.metadata.interfaces.empty());
+  EXPECT_EQ(vp.pings.anchor_series().size(), 50u);
+  EXPECT_TRUE(report.any_dom_modification());
+  EXPECT_TRUE(report.any_ipv6_leak());
+}
+
+TEST_F(SuiteFixture, RunnerRespectsClientModelForLeakTests) {
+  TestRunner runner(tb_);
+  runner.collect_ground_truth();
+  // Mullvad is a config-file provider here: leak tests are skipped.
+  const auto report = runner.run_provider(*tb_.provider("Mullvad"));
+  for (const auto& vp : report.vantage_points) {
+    EXPECT_EQ(vp.dns_leak.queries_issued, 0);
+    EXPECT_EQ(vp.ipv6_leak.attempts, 0);
+  }
+}
+
+TEST_F(SuiteFixture, RunnerSelectsGeographicallyDiverseVantagePoints) {
+  RunnerOptions opts;
+  opts.vantage_points_per_provider = 5;
+  opts.run_web_suites = false;
+  TestRunner runner(tb_, opts);
+  const auto report = runner.run_provider(*tb_.provider("HideMyAss"));
+  EXPECT_EQ(report.vantage_points.size(), 5u);
+  std::set<std::string> countries;
+  for (const auto& vp : report.vantage_points)
+    countries.insert(vp.advertised_country);
+  EXPECT_EQ(countries.size(), 5u);
+}
+
+}  // namespace
+}  // namespace vpna::core

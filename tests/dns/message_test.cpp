@@ -1,0 +1,115 @@
+#include "dns/message.h"
+
+#include <gtest/gtest.h>
+
+namespace vpna::dns {
+namespace {
+
+TEST(CanonicalName, LowercasesAndStripsDot) {
+  EXPECT_EQ(canonical_name("Example.COM."), "example.com");
+  EXPECT_EQ(canonical_name("a.b"), "a.b");
+  EXPECT_EQ(canonical_name(""), "");
+}
+
+TEST(InZone, ApexAndSubdomains) {
+  EXPECT_TRUE(in_zone("example.com", "example.com"));
+  EXPECT_TRUE(in_zone("www.example.com", "example.com"));
+  EXPECT_TRUE(in_zone("a.b.example.com", "example.com"));
+  EXPECT_FALSE(in_zone("badexample.com", "example.com"));
+  EXPECT_FALSE(in_zone("example.com", "www.example.com"));
+  EXPECT_FALSE(in_zone("example.org", "example.com"));
+}
+
+TEST(DnsQuery, EncodeDecodeRoundTrip) {
+  DnsQuery q;
+  q.id = 12345;
+  q.type = RrType::kAaaa;
+  q.name = "probe.rdns.example.net";
+  const auto decoded = DnsQuery::decode(q.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->id, q.id);
+  EXPECT_EQ(decoded->type, q.type);
+  EXPECT_EQ(decoded->name, q.name);
+}
+
+TEST(DnsQuery, DecodeCanonicalizesName) {
+  const auto decoded = DnsQuery::decode("DNSQ|7|0|WWW.Example.COM");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->name, "www.example.com");
+}
+
+TEST(DnsQuery, DecodeRejectsMalformed) {
+  EXPECT_FALSE(DnsQuery::decode(""));
+  EXPECT_FALSE(DnsQuery::decode("DNSR|1|0|x"));
+  EXPECT_FALSE(DnsQuery::decode("DNSQ|notanum|0|x"));
+  EXPECT_FALSE(DnsQuery::decode("DNSQ|1|9|x"));   // bad type
+  EXPECT_FALSE(DnsQuery::decode("DNSQ|1|0|"));    // empty name
+  EXPECT_FALSE(DnsQuery::decode("DNSQ|1|0"));     // missing field
+}
+
+TEST(DnsResponse, EncodeDecodeWithAddresses) {
+  DnsResponse r;
+  r.id = 99;
+  r.type = RrType::kA;
+  r.name = "example.com";
+  r.addresses = {*netsim::IpAddr::parse("1.2.3.4"),
+                 *netsim::IpAddr::parse("5.6.7.8")};
+  const auto decoded = DnsResponse::decode(r.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->rcode, Rcode::kNoError);
+  ASSERT_EQ(decoded->addresses.size(), 2u);
+  EXPECT_EQ(decoded->addresses[1].str(), "5.6.7.8");
+}
+
+TEST(DnsResponse, EncodeDecodeAaaa) {
+  DnsResponse r;
+  r.id = 3;
+  r.type = RrType::kAaaa;
+  r.name = "v6.example.com";
+  r.addresses = {*netsim::IpAddr::parse("2001:db8::5")};
+  const auto decoded = DnsResponse::decode(r.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->addresses[0].is_v6());
+}
+
+TEST(DnsResponse, EncodeDecodeErrorCodes) {
+  for (const auto rc : {Rcode::kNxDomain, Rcode::kServFail, Rcode::kRefused}) {
+    DnsResponse r;
+    r.id = 1;
+    r.name = "x.com";
+    r.rcode = rc;
+    const auto decoded = DnsResponse::decode(r.encode());
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->rcode, rc);
+    EXPECT_TRUE(decoded->addresses.empty());
+  }
+}
+
+TEST(DnsResponse, TxtRecords) {
+  DnsResponse r;
+  r.id = 4;
+  r.type = RrType::kTxt;
+  r.name = "probe.example";
+  r.texts = {"tag-abc", "tag-def"};
+  const auto decoded = DnsResponse::decode(r.encode());
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->texts.size(), 2u);
+  EXPECT_EQ(decoded->texts[0], "tag-abc");
+}
+
+TEST(DnsResponse, DecodeRejectsMalformed) {
+  EXPECT_FALSE(DnsResponse::decode("DNSQ|1|0|x"));
+  EXPECT_FALSE(DnsResponse::decode("DNSR|1|0|x|9||"));        // bad rcode
+  EXPECT_FALSE(DnsResponse::decode("DNSR|1|0|x|0|bogusip|"));  // bad address
+}
+
+TEST(Names, EnumNameFunctions) {
+  EXPECT_EQ(rrtype_name(RrType::kA), "A");
+  EXPECT_EQ(rrtype_name(RrType::kAaaa), "AAAA");
+  EXPECT_EQ(rrtype_name(RrType::kTxt), "TXT");
+  EXPECT_EQ(rcode_name(Rcode::kNoError), "NOERROR");
+  EXPECT_EQ(rcode_name(Rcode::kNxDomain), "NXDOMAIN");
+}
+
+}  // namespace
+}  // namespace vpna::dns

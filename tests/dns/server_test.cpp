@@ -1,0 +1,179 @@
+#include "dns/server.h"
+
+#include <gtest/gtest.h>
+
+#include "dns/client.h"
+
+namespace vpna::dns {
+namespace {
+
+// Fixture: client -- r0 --5ms-- r1 hosting a recursive resolver and an
+// authoritative server for "example.com" plus a wildcard logging zone.
+class DnsFixture : public ::testing::Test {
+ protected:
+  DnsFixture()
+      : net_(clock_, util::Rng(2), 0.0),
+        client_("client"),
+        resolver_host_("resolver"),
+        auth_host_("authority"),
+        zones_(std::make_shared<ZoneRegistry>()) {
+    const auto r0 = net_.add_router("r0");
+    const auto r1 = net_.add_router("r1");
+    net_.add_link(r0, r1, 5.0);
+
+    auto setup = [&](netsim::Host& h, netsim::IpAddr addr, netsim::RouterId r) {
+      h.add_interface("eth0", addr, std::nullopt);
+      h.routes().add(netsim::Route{*netsim::Cidr::parse("0.0.0.0/0"), "eth0",
+                                   std::nullopt, 0});
+      net_.attach_host(h, r, 0.5);
+    };
+    setup(client_, netsim::IpAddr::v4(71, 80, 0, 10), r0);
+    setup(resolver_host_, netsim::IpAddr::v4(8, 8, 8, 8), r1);
+    setup(auth_host_, netsim::IpAddr::v4(45, 0, 0, 53), r1);
+
+    authority_ = std::make_shared<AuthoritativeService>();
+    ZoneRecord rec;
+    rec.a = {netsim::IpAddr::v4(45, 0, 0, 80)};
+    rec.aaaa = {*netsim::IpAddr::parse("2a0e:100::80")};
+    authority_->add_record("www.example.com", rec);
+    ZoneRecord wild;
+    wild.a = {netsim::IpAddr::v4(45, 0, 0, 53)};
+    authority_->add_wildcard_zone("rdns.probe.net", wild);
+    auth_host_.bind_service(netsim::Proto::kUdp, netsim::kPortDns, authority_);
+
+    zones_->set_authority("example.com", netsim::IpAddr::v4(45, 0, 0, 53));
+    zones_->set_authority("rdns.probe.net", netsim::IpAddr::v4(45, 0, 0, 53));
+    resolver_ = std::make_shared<RecursiveResolverService>(zones_);
+    resolver_host_.bind_service(netsim::Proto::kUdp, netsim::kPortDns,
+                                resolver_);
+
+    client_.dns_servers().push_back(netsim::IpAddr::v4(8, 8, 8, 8));
+  }
+
+  util::SimClock clock_;
+  netsim::Network net_;
+  netsim::Host client_;
+  netsim::Host resolver_host_;
+  netsim::Host auth_host_;
+  std::shared_ptr<ZoneRegistry> zones_;
+  std::shared_ptr<AuthoritativeService> authority_;
+  std::shared_ptr<RecursiveResolverService> resolver_;
+};
+
+TEST_F(DnsFixture, ZoneRegistryLongestSuffix) {
+  zones_->set_authority("sub.example.com", netsim::IpAddr::v4(1, 1, 1, 1));
+  EXPECT_EQ(zones_->authority_for("www.sub.example.com")->str(), "1.1.1.1");
+  EXPECT_EQ(zones_->authority_for("www.example.com")->str(), "45.0.0.53");
+  EXPECT_FALSE(zones_->authority_for("other.net").has_value());
+}
+
+TEST_F(DnsFixture, RecursiveResolutionReturnsARecord) {
+  const auto res = query(net_, client_, netsim::IpAddr::v4(8, 8, 8, 8),
+                         "www.example.com", RrType::kA);
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res.addresses.size(), 1u);
+  EXPECT_EQ(res.addresses[0].str(), "45.0.0.80");
+}
+
+TEST_F(DnsFixture, RecursiveResolutionAaaa) {
+  const auto res = query(net_, client_, netsim::IpAddr::v4(8, 8, 8, 8),
+                         "www.example.com", RrType::kAaaa);
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res.addresses.size(), 1u);
+  EXPECT_TRUE(res.addresses[0].is_v6());
+}
+
+TEST_F(DnsFixture, NxDomainForUnknownName) {
+  const auto res = query(net_, client_, netsim::IpAddr::v4(8, 8, 8, 8),
+                         "missing.example.com", RrType::kA);
+  EXPECT_EQ(res.transport, netsim::TransactStatus::kOk);
+  EXPECT_EQ(res.rcode, Rcode::kNxDomain);
+}
+
+TEST_F(DnsFixture, NxDomainForUnknownZone) {
+  const auto res = query(net_, client_, netsim::IpAddr::v4(8, 8, 8, 8),
+                         "www.unknown-zone.org", RrType::kA);
+  EXPECT_EQ(res.rcode, Rcode::kNxDomain);
+}
+
+TEST_F(DnsFixture, AuthorityLogsResolverAddressNotClient) {
+  // The crux of the recursive-origin test: the authoritative server must
+  // see the recursive resolver's address, not the stub client's.
+  (void)query(net_, client_, netsim::IpAddr::v4(8, 8, 8, 8),
+              "tag-123.rdns.probe.net", RrType::kA);
+  ASSERT_EQ(authority_->query_log().size(), 1u);
+  EXPECT_EQ(authority_->query_log()[0].source.str(), "8.8.8.8");
+  EXPECT_EQ(authority_->query_log()[0].name, "tag-123.rdns.probe.net");
+}
+
+TEST_F(DnsFixture, WildcardZoneAnswersAnyLabel) {
+  for (const char* name : {"a.rdns.probe.net", "b.c.rdns.probe.net"}) {
+    const auto res =
+        query(net_, client_, netsim::IpAddr::v4(8, 8, 8, 8), name, RrType::kA);
+    EXPECT_TRUE(res.ok()) << name;
+  }
+}
+
+TEST_F(DnsFixture, OverrideHookHijacksResolution) {
+  resolver_->set_override(
+      [](std::string_view name, RrType) -> std::optional<ZoneRecord> {
+        if (name == "www.example.com") {
+          ZoneRecord forged;
+          forged.a = {netsim::IpAddr::v4(6, 6, 6, 6)};
+          return forged;
+        }
+        return std::nullopt;
+      });
+  const auto hijacked = query(net_, client_, netsim::IpAddr::v4(8, 8, 8, 8),
+                              "www.example.com", RrType::kA);
+  ASSERT_TRUE(hijacked.ok());
+  EXPECT_EQ(hijacked.addresses[0].str(), "6.6.6.6");
+  // Hijacked answers never reach the authority.
+  EXPECT_TRUE(authority_->query_log().empty());
+
+  // Non-overridden names still resolve honestly.
+  const auto honest = query(net_, client_, netsim::IpAddr::v4(8, 8, 8, 8),
+                            "tag.rdns.probe.net", RrType::kA);
+  EXPECT_TRUE(honest.ok());
+  EXPECT_EQ(authority_->query_log().size(), 1u);
+}
+
+TEST_F(DnsFixture, ResolveSystemUsesConfiguredServer) {
+  const auto res = resolve_system(net_, client_, "www.example.com", RrType::kA);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.server.str(), "8.8.8.8");
+}
+
+TEST_F(DnsFixture, ResolveSystemFailsWithNoServers) {
+  client_.dns_servers().clear();
+  const auto res = resolve_system(net_, client_, "www.example.com", RrType::kA);
+  EXPECT_FALSE(res.ok());
+}
+
+TEST_F(DnsFixture, ResolveSystemFallsBackToSecondServer) {
+  client_.dns_servers().insert(client_.dns_servers().begin(),
+                               netsim::IpAddr::v4(203, 0, 113, 1));  // dead
+  const auto res = resolve_system(net_, client_, "www.example.com", RrType::kA);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.server.str(), "8.8.8.8");
+}
+
+TEST_F(DnsFixture, ServFailWhenAuthorityUnreachable) {
+  net_.detach_host(auth_host_);
+  const auto res = query(net_, client_, netsim::IpAddr::v4(8, 8, 8, 8),
+                         "www.example.com", RrType::kA);
+  EXPECT_EQ(res.transport, netsim::TransactStatus::kOk);
+  EXPECT_EQ(res.rcode, Rcode::kServFail);
+}
+
+TEST_F(DnsFixture, QueryLogTimestampsAdvance) {
+  (void)query(net_, client_, netsim::IpAddr::v4(8, 8, 8, 8),
+              "one.rdns.probe.net", RrType::kA);
+  (void)query(net_, client_, netsim::IpAddr::v4(8, 8, 8, 8),
+              "two.rdns.probe.net", RrType::kA);
+  ASSERT_EQ(authority_->query_log().size(), 2u);
+  EXPECT_LT(authority_->query_log()[0].time, authority_->query_log()[1].time);
+}
+
+}  // namespace
+}  // namespace vpna::dns

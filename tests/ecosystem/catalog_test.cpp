@@ -1,0 +1,210 @@
+// Catalog calibration tests: the 200-provider catalog must land near every
+// aggregate the paper's §4 reports.
+#include "ecosystem/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace vpna::ecosystem {
+namespace {
+
+TEST(Catalog, HasExactly200UniqueProviders) {
+  const auto& all = catalog();
+  EXPECT_EQ(all.size(), 200u);
+  std::set<std::string> names;
+  for (const auto& e : all) names.insert(e.name);
+  EXPECT_EQ(names.size(), 200u);
+}
+
+TEST(Catalog, StableAcrossCalls) {
+  const auto& a = catalog();
+  const auto& b = catalog();
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a[7].claimed_server_count, b[7].claimed_server_count);
+}
+
+TEST(Catalog, LookupByName) {
+  EXPECT_NE(catalog_entry("NordVPN"), nullptr);
+  EXPECT_NE(catalog_entry("HideMyAss"), nullptr);
+  EXPECT_EQ(catalog_entry("NoSuchVPN"), nullptr);
+}
+
+TEST(Catalog, TopPopularAreTheEvaluatedLeaders) {
+  const auto top = top_popular(15);
+  ASSERT_EQ(top.size(), 15u);
+  EXPECT_EQ(top[0]->name, "NordVPN");
+  // All fifteen are part of the evaluated set.
+  for (const auto* e : top) EXPECT_FALSE(e->name.empty());
+}
+
+TEST(CatalogCalibration, FoundingYears) {
+  // §4: of the top 50, ~90% founded after 2005; pioneers date to 2005.
+  int after_2005 = 0;
+  int total = 0;
+  for (std::size_t i = 0; i < 50; ++i) {
+    ++total;
+    if (catalog()[i].founded_year > 2005) ++after_2005;
+  }
+  EXPECT_GE(after_2005, 40);
+  EXPECT_EQ(catalog_entry("HideMyAss")->founded_year, 2005);
+  EXPECT_EQ(catalog_entry("IPVanish")->founded_year, 2005);
+  EXPECT_EQ(catalog_entry("Ironsocket")->founded_year, 2005);
+}
+
+TEST(CatalogCalibration, ServerCountDistribution) {
+  // Figure 2: 80% of providers claim <= 750 servers.
+  int at_most_750 = 0;
+  for (const auto& e : catalog())
+    if (e.claimed_server_count <= 750) ++at_most_750;
+  EXPECT_NEAR(at_most_750, 160, 16);
+  // The market leaders claim 2000-4000.
+  EXPECT_GE(catalog_entry("NordVPN")->claimed_server_count, 2000);
+  EXPECT_GE(catalog_entry("Hotspot Shield")->claimed_server_count, 2000);
+}
+
+TEST(CatalogCalibration, PricingPlanCounts) {
+  // Table 3: 161 monthly / 55 quarterly / 57 six-month / 134 annual.
+  int monthly = 0, quarterly = 0, semi = 0, annual = 0, longer = 0;
+  for (const auto& e : catalog()) {
+    if (e.monthly.offered) ++monthly;
+    if (e.quarterly.offered) ++quarterly;
+    if (e.semiannual.offered) ++semi;
+    if (e.annual.offered) ++annual;
+    if (e.has_longer_than_annual) ++longer;
+  }
+  EXPECT_NEAR(monthly, 161, 15);
+  EXPECT_NEAR(quarterly, 55, 12);
+  EXPECT_NEAR(semi, 57, 12);
+  EXPECT_NEAR(annual, 134, 15);
+  EXPECT_NEAR(longer, 19, 8);
+}
+
+TEST(CatalogCalibration, PricingBoundsRespectPaper) {
+  for (const auto& e : catalog()) {
+    if (e.monthly.offered) {
+      EXPECT_GE(e.monthly.monthly_cost_usd, 0.99);
+      EXPECT_LE(e.monthly.monthly_cost_usd, 29.95);
+    }
+    if (e.annual.offered) {
+      EXPECT_GE(e.annual.monthly_cost_usd, 0.38);
+      EXPECT_LE(e.annual.monthly_cost_usd, 12.83);
+    }
+  }
+}
+
+TEST(CatalogCalibration, PaymentMethodRates) {
+  // Figure 4 / §4: credit 61%, online 59%, crypto 46%, and 32% take
+  // online + crypto without cards.
+  int cards = 0, online = 0, crypto = 0, no_cards_combo = 0;
+  for (const auto& e : catalog()) {
+    if (e.accepts_credit_cards) ++cards;
+    if (e.accepts_online_payments) ++online;
+    if (e.accepts_cryptocurrency) ++crypto;
+    if (!e.accepts_credit_cards && e.accepts_online_payments &&
+        e.accepts_cryptocurrency)
+      ++no_cards_combo;
+  }
+  EXPECT_NEAR(cards, 122, 18);
+  EXPECT_NEAR(online, 118, 18);
+  EXPECT_NEAR(crypto, 92, 18);
+  EXPECT_NEAR(no_cards_combo, 64, 14);
+}
+
+TEST(CatalogCalibration, ProtocolSupport) {
+  // Figure 5: OpenVPN and PPTP dominate.
+  int openvpn = 0, pptp = 0, ssh = 0;
+  for (const auto& e : catalog()) {
+    for (const auto p : e.protocols) {
+      if (p == vpn::TunnelProtocol::kOpenVpn) ++openvpn;
+      if (p == vpn::TunnelProtocol::kPptp) ++pptp;
+      if (p == vpn::TunnelProtocol::kSsh) ++ssh;
+    }
+  }
+  EXPECT_GT(openvpn, 160);
+  EXPECT_GT(pptp, 100);
+  EXPECT_LT(ssh, 40);
+  EXPECT_GT(openvpn, pptp);
+  EXPECT_GT(pptp, ssh);
+}
+
+TEST(CatalogCalibration, TransparencyRates) {
+  // §4: 25% missing privacy policy, 42% missing ToS, 45 no-logs claims.
+  int no_policy = 0, no_tos = 0, no_logs = 0;
+  for (const auto& e : catalog()) {
+    if (!e.has_privacy_policy) ++no_policy;
+    if (!e.has_terms_of_service) ++no_tos;
+    if (e.claims_no_logs) ++no_logs;
+  }
+  EXPECT_NEAR(no_policy, 50, 12);
+  EXPECT_NEAR(no_tos, 85, 15);
+  EXPECT_NEAR(no_logs, 45, 12);
+}
+
+TEST(CatalogCalibration, SocialAndAffiliate) {
+  int fb = 0, tw = 0, affiliate = 0;
+  for (const auto& e : catalog()) {
+    if (e.has_facebook) ++fb;
+    if (e.has_twitter) ++tw;
+    if (e.has_affiliate_program) ++affiliate;
+  }
+  EXPECT_NEAR(fb, 126, 16);
+  EXPECT_NEAR(tw, 131, 16);
+  EXPECT_NEAR(affiliate, 88, 16);
+}
+
+TEST(CatalogCalibration, BusinessLocations) {
+  // Figure 1: clustered in the US/UK/DE/SE/CA; exactly two China entries;
+  // offshore tail exists (Seychelles, Belize, Panama).
+  std::map<std::string, int> by_country;
+  for (const auto& e : catalog()) ++by_country[e.business_country];
+  EXPECT_GT(by_country["US"], 25);
+  EXPECT_GT(by_country["GB"], 10);
+  EXPECT_GE(by_country["SC"] + by_country["BZ"] + by_country["PA"], 5);
+  EXPECT_GE(by_country["CN"], 1);
+  EXPECT_LE(by_country["CN"], 4);
+  EXPECT_EQ(catalog_entry("NordVPN")->business_country, "PA");
+  EXPECT_EQ(catalog_entry("Seed4.me")->business_country, "CN");
+}
+
+TEST(CatalogCalibration, SelectionSourcesSumLikeTable2) {
+  std::array<int, kSelectionSourceCount> counts{};
+  for (const auto& e : catalog())
+    for (int s = 0; s < kSelectionSourceCount; ++s)
+      if (e.sources[static_cast<std::size_t>(s)]) ++counts[static_cast<std::size_t>(s)];
+  EXPECT_EQ(counts[0], 74);  // popular services: deterministic by index
+  EXPECT_NEAR(counts[1], 31, 12);   // reddit
+  EXPECT_NEAR(counts[2], 13, 8);    // personal recommendations
+  EXPECT_NEAR(counts[3], 78, 20);   // cheap & free
+  EXPECT_NEAR(counts[4], 53, 14);   // multi-language
+  EXPECT_NEAR(counts[5], 58, 20);   // many vantage points
+  // Every provider appears in at least one source (the union is 200).
+  for (const auto& e : catalog()) {
+    bool any = false;
+    for (const bool b : e.sources) any = any || b;
+    EXPECT_TRUE(any) << e.name;
+  }
+}
+
+TEST(CatalogCalibration, PolicyLengthRange) {
+  const auto* longest = &catalog()[0];
+  const auto* shortest = &catalog()[0];
+  for (const auto& e : catalog()) {
+    if (!e.has_privacy_policy) continue;
+    if (e.privacy_policy_words > longest->privacy_policy_words) longest = &e;
+    if (shortest->privacy_policy_words == 0 ||
+        (e.privacy_policy_words > 0 &&
+         e.privacy_policy_words < shortest->privacy_policy_words))
+      shortest = &e;
+  }
+  EXPECT_GE(shortest->privacy_policy_words, 70);
+  EXPECT_LE(longest->privacy_policy_words, 10965);
+}
+
+TEST(Catalog, HideMyAssClaims190Countries) {
+  EXPECT_GE(catalog_entry("HideMyAss")->claimed_country_count, 190);
+}
+
+}  // namespace
+}  // namespace vpna::ecosystem

@@ -1,0 +1,202 @@
+// Evaluated-provider set tests: the 62 specs must carry the behaviour
+// assignments and placement constraints the experiments depend on.
+#include "ecosystem/evaluated.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ecosystem/catalog.h"
+
+namespace vpna::ecosystem {
+namespace {
+
+TEST(Evaluated, SixtyTwoUniqueProviders) {
+  const auto& all = evaluated_providers();
+  EXPECT_EQ(all.size(), 62u);
+  std::set<std::string> names;
+  for (const auto& p : all) names.insert(p.spec.name);
+  EXPECT_EQ(names.size(), 62u);
+}
+
+TEST(Evaluated, FortyThreeCustomClients) {
+  EXPECT_EQ(evaluated_stats().with_custom_client, 43);
+}
+
+TEST(Evaluated, VantagePointTotalNearPaper) {
+  // Paper: data from 1,046 vantage points.
+  const auto stats = evaluated_stats();
+  EXPECT_GE(stats.vantage_points, 850);
+  EXPECT_LE(stats.vantage_points, 1200);
+}
+
+TEST(Evaluated, DnsLeakersMatchTable6) {
+  const auto stats = evaluated_stats();
+  EXPECT_EQ(stats.dns_leakers, 2);
+  EXPECT_FALSE(evaluated_provider("Freedome VPN")->spec.behavior.redirects_dns);
+  EXPECT_FALSE(evaluated_provider("WorldVPN")->spec.behavior.redirects_dns);
+}
+
+TEST(Evaluated, Ipv6LeakersMatchTable6) {
+  const auto stats = evaluated_stats();
+  EXPECT_EQ(stats.ipv6_leakers, 12);
+  for (const char* name :
+       {"Buffered VPN", "BulletVPN", "FlyVPN", "HideIPVPN", "Le VPN",
+        "LiquidVPN", "PrivateVPN", "Zoog VPN", "Private Tunnel", "Seed4.me",
+        "VPN.ht", "WorldVPN"}) {
+    const auto* p = evaluated_provider(name);
+    ASSERT_NE(p, nullptr) << name;
+    EXPECT_FALSE(p->spec.behavior.blocks_ipv6) << name;
+    EXPECT_FALSE(p->spec.behavior.supports_ipv6) << name;
+  }
+}
+
+TEST(Evaluated, FiveTransparentProxies) {
+  const auto stats = evaluated_stats();
+  EXPECT_EQ(stats.transparent_proxies, 5);
+  for (const char* name : {"AceVPN", "Freedome VPN", "SurfEasy", "CyberGhost",
+                           "VPN Gate"}) {
+    EXPECT_TRUE(evaluated_provider(name)->spec.behavior.transparent_proxy)
+        << name;
+  }
+}
+
+TEST(Evaluated, OneInjectorSeed4me) {
+  const auto stats = evaluated_stats();
+  EXPECT_EQ(stats.injectors, 1);
+  const auto* seed = evaluated_provider("Seed4.me");
+  EXPECT_TRUE(seed->spec.behavior.injects_content);
+  EXPECT_EQ(seed->subscription, vpn::SubscriptionType::kTrial);
+}
+
+TEST(Evaluated, SixVirtualLocationProviders) {
+  const auto stats = evaluated_stats();
+  EXPECT_EQ(stats.virtual_location_users, 6);
+  for (const char* name : {"HideMyAss", "Avira Phantom", "Le VPN",
+                           "Freedom IP", "MyIP.io", "VPNUK"}) {
+    const auto* p = evaluated_provider(name);
+    ASSERT_NE(p, nullptr) << name;
+    bool any_virtual = false;
+    for (const auto& vp : p->spec.vantage_points)
+      any_virtual = any_virtual || vp.is_virtual();
+    EXPECT_TRUE(any_virtual) << name;
+  }
+}
+
+TEST(Evaluated, TwentyFiveFailOpenWithinWindow) {
+  EXPECT_EQ(evaluated_stats().fail_open_within_window, 25);
+}
+
+TEST(Evaluated, MarketLeadersShipKillSwitchOff) {
+  for (const char* name : {"NordVPN", "ExpressVPN", "TunnelBear",
+                           "Hotspot Shield", "IPVanish"}) {
+    const auto* p = evaluated_provider(name);
+    ASSERT_NE(p, nullptr) << name;
+    EXPECT_TRUE(p->spec.behavior.has_kill_switch) << name;
+    EXPECT_FALSE(p->spec.behavior.kill_switch_default_on) << name;
+    EXPECT_TRUE(p->spec.behavior.fails_open) << name;
+    EXPECT_LE(p->spec.behavior.failure_detect_seconds, 180) << name;
+  }
+}
+
+TEST(Evaluated, HideMyAssHasManyVantagePointsFewHomes) {
+  const auto* hma = evaluated_provider("HideMyAss");
+  ASSERT_NE(hma, nullptr);
+  EXPECT_GE(hma->spec.vantage_points.size(), 140u);
+  std::set<std::string> homes;
+  int virtual_count = 0;
+  for (const auto& vp : hma->spec.vantage_points) {
+    homes.insert(vp.datacenter_id);
+    if (vp.is_virtual()) ++virtual_count;
+  }
+  EXPECT_LE(homes.size(), 10u);  // "fewer than 10 distinct data centers"
+  EXPECT_GT(virtual_count, 100);
+  // Including the famous North Korea listing.
+  bool has_kp = false;
+  for (const auto& vp : hma->spec.vantage_points)
+    if (vp.advertised_country == "KP") has_kp = true;
+  EXPECT_TRUE(has_kp);
+}
+
+TEST(Evaluated, AnonineSharesWithBoxpn) {
+  const auto* anonine = evaluated_provider("Anonine");
+  ASSERT_NE(anonine, nullptr);
+  EXPECT_EQ(anonine->shares_infrastructure_with, "Boxpn");
+  EXPECT_EQ(anonine->shared_vantage_ids.size(), 4u);
+}
+
+TEST(Evaluated, Table5MembershipsPlaced) {
+  // Spot-check the forced placements backing Table 5.
+  const auto has_dc = [](const char* provider, const char* dc) {
+    const auto* p = evaluated_provider(provider);
+    if (p == nullptr) return false;
+    for (const auto& vp : p->spec.vantage_points)
+      if (vp.datacenter_id == dc) return true;
+    return false;
+  };
+  EXPECT_TRUE(has_dc("IPVanish", "gigacloud-osl"));
+  EXPECT_TRUE(has_dc("AirVPN", "gigacloud-osl"));
+  EXPECT_TRUE(has_dc("CyberGhost", "gigacloud-osl"));
+  EXPECT_TRUE(has_dc("AceVPN", "rootbox-lux"));
+  EXPECT_TRUE(has_dc("RA4W VPN", "oceancompute-blr"));
+  EXPECT_TRUE(has_dc("TunnelBear", "stratalayer-mex"));
+  EXPECT_TRUE(has_dc("HideMyAss", "privatetier-zrh"));
+  EXPECT_TRUE(has_dc("Boxpn", "gigaline-kul"));
+  EXPECT_TRUE(has_dc("VPNLand", "leaplayer-sin"));
+}
+
+TEST(Evaluated, CensoredCountryPlacements) {
+  // Russia: ten providers spread over six ISPs (Table 4 counts).
+  int ru_providers = 0;
+  for (const auto& p : evaluated_providers()) {
+    for (const auto& vp : p.spec.vantage_points) {
+      if (vp.advertised_country == "RU" && !vp.is_virtual()) {
+        ++ru_providers;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(ru_providers, 10);
+}
+
+TEST(Evaluated, SubscriptionTypesFromAppendixA) {
+  EXPECT_EQ(evaluated_provider("NordVPN")->subscription,
+            vpn::SubscriptionType::kPaid);
+  EXPECT_EQ(evaluated_provider("TunnelBear")->subscription,
+            vpn::SubscriptionType::kFree);
+  EXPECT_EQ(evaluated_provider("VPN Gate")->subscription,
+            vpn::SubscriptionType::kFree);
+  EXPECT_EQ(evaluated_provider("Seed4.me")->subscription,
+            vpn::SubscriptionType::kTrial);
+  EXPECT_EQ(evaluated_provider("Avira Phantom")->subscription,
+            vpn::SubscriptionType::kTrial);
+}
+
+TEST(Evaluated, ManualProvidersHaveAboutFiveVantagePoints) {
+  int manual_total = 0, manual_count = 0;
+  for (const auto& p : evaluated_providers()) {
+    if (!p.spec.has_custom_client || p.spec.name == "HideMyAss") continue;
+    ++manual_count;
+    manual_total += static_cast<int>(p.spec.vantage_points.size());
+  }
+  ASSERT_GT(manual_count, 0);
+  const double avg = static_cast<double>(manual_total) / manual_count;
+  EXPECT_GE(avg, 4.5);
+  EXPECT_LE(avg, 8.0);
+}
+
+TEST(Evaluated, ConfigFileProvidersGetBroadAutomatedCoverage) {
+  for (const auto& p : evaluated_providers()) {
+    if (p.spec.has_custom_client) continue;
+    EXPECT_GE(p.spec.vantage_points.size(), 25u) << p.spec.name;
+  }
+}
+
+TEST(Evaluated, EveryProviderInCatalog) {
+  // All 62 evaluated names have full catalog entries too.
+  for (const auto& p : evaluated_providers())
+    EXPECT_NE(catalog_entry(p.spec.name), nullptr) << p.spec.name;
+}
+
+}  // namespace
+}  // namespace vpna::ecosystem

@@ -1,0 +1,93 @@
+// Testbed assembly tests: deploying subsets and the full evaluated set
+// into a world, including reseller IP aliasing.
+#include "ecosystem/testbed.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace vpna::ecosystem {
+namespace {
+
+TEST(TestbedSubset, DeploysNamedProvidersOnly) {
+  auto tb = build_testbed_subset({"NordVPN", "Seed4.me"});
+  EXPECT_EQ(tb.providers.size(), 2u);
+  EXPECT_NE(tb.provider("NordVPN"), nullptr);
+  EXPECT_NE(tb.provider("Seed4.me"), nullptr);
+  EXPECT_EQ(tb.provider("ExpressVPN"), nullptr);
+  EXPECT_NE(tb.client, nullptr);
+}
+
+TEST(TestbedSubset, UnknownNamesIgnored) {
+  auto tb = build_testbed_subset({"NordVPN", "NoSuchVPN"});
+  EXPECT_EQ(tb.providers.size(), 1u);
+}
+
+TEST(TestbedSubset, BoxpnAnonineShareExactAddresses) {
+  auto tb = build_testbed_subset({"Boxpn", "Anonine"});
+  const auto* boxpn = tb.provider("Boxpn");
+  const auto* anonine = tb.provider("Anonine");
+  ASSERT_NE(boxpn, nullptr);
+  ASSERT_NE(anonine, nullptr);
+
+  std::set<std::string> boxpn_addrs, anonine_addrs;
+  for (const auto& vp : boxpn->vantage_points)
+    boxpn_addrs.insert(vp.addr.str());
+  for (const auto& vp : anonine->vantage_points)
+    anonine_addrs.insert(vp.addr.str());
+
+  int shared = 0;
+  for (const auto& a : anonine_addrs)
+    if (boxpn_addrs.contains(a)) ++shared;
+  EXPECT_EQ(shared, 4);  // §6.3: four exactly-shared vantage points
+}
+
+TEST(TestbedSubset, ClientReachesWorldDirectly) {
+  auto tb = build_testbed_subset({"NordVPN"});
+  const auto rtt =
+      tb.world->network().ping(*tb.client, tb.world->google_dns());
+  ASSERT_TRUE(rtt.has_value());
+  EXPECT_LT(*rtt, 60.0);
+}
+
+TEST(FullTestbed, DeploysAll62) {
+  auto tb = build_testbed();
+  EXPECT_EQ(tb.providers.size(), 62u);
+  // Vantage-point total near the paper's 1,046 (plus the 4 aliased).
+  EXPECT_GE(tb.total_vantage_points(), 850u);
+  EXPECT_LE(tb.total_vantage_points(), 1250u);
+}
+
+TEST(FullTestbed, EveryVantagePointAnswersKeepalive) {
+  auto tb = build_testbed();
+  // Spot-check one vantage point per provider (a full sweep is covered by
+  // the campaign integration test).
+  for (const auto& p : tb.providers) {
+    ASSERT_FALSE(p.vantage_points.empty()) << p.spec.name;
+    const auto& vp = p.vantage_points.front();
+    netsim::Packet ka;
+    ka.dst = vp.addr;
+    ka.proto = netsim::Proto::kUdp;
+    ka.src_port = tb.client->next_ephemeral_port();
+    ka.dst_port = vpn::protocol_port(p.spec.protocols.front());
+    ka.payload = "VPN-KEEPALIVE";
+    const auto res = tb.world->network().transact(*tb.client, std::move(ka));
+    EXPECT_TRUE(res.ok()) << p.spec.name << "/" << vp.spec.id;
+    EXPECT_EQ(res.reply, "VPN-KEEPALIVE-ACK") << p.spec.name;
+  }
+}
+
+TEST(FullTestbed, DeterministicAddressAssignment) {
+  auto tb1 = build_testbed(42);
+  auto tb2 = build_testbed(42);
+  const auto* a = tb1.provider("NordVPN");
+  const auto* b = tb2.provider("NordVPN");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_EQ(a->vantage_points.size(), b->vantage_points.size());
+  for (std::size_t i = 0; i < a->vantage_points.size(); ++i)
+    EXPECT_EQ(a->vantage_points[i].addr, b->vantage_points[i].addr);
+}
+
+}  // namespace
+}  // namespace vpna::ecosystem

@@ -1,0 +1,143 @@
+#include "geo/geodb.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace vpna::geo {
+namespace {
+
+class GeoDbFixture : public ::testing::Test {
+ protected:
+  GeoDbFixture() : registry_(std::make_shared<AllocationRegistry>()) {
+    seattle_ = *city_by_name("Seattle");
+    tehran_ = *city_by_name("Tehran");
+    oslo_ = *city_by_name("Oslo");
+  }
+
+  void add_honest(std::string_view cidr, const City& city) {
+    Allocation a;
+    a.block = *netsim::Cidr::parse(cidr);
+    a.true_location = GeoRecord{std::string(city.country_code),
+                                std::string(city.name), city.location};
+    a.registered_location = a.true_location;
+    registry_->add(a);
+  }
+
+  void add_spoofed(std::string_view cidr, const City& true_city,
+                   const City& claimed_city) {
+    Allocation a;
+    a.block = *netsim::Cidr::parse(cidr);
+    a.true_location = GeoRecord{std::string(true_city.country_code),
+                                std::string(true_city.name), true_city.location};
+    a.registered_location =
+        GeoRecord{std::string(claimed_city.country_code),
+                  std::string(claimed_city.name), claimed_city.location};
+    registry_->add(a);
+  }
+
+  std::shared_ptr<AllocationRegistry> registry_;
+  City seattle_, tehran_, oslo_;
+};
+
+TEST_F(GeoDbFixture, RegistryLongestPrefixMatch) {
+  add_honest("45.0.0.0/16", oslo_);
+  add_spoofed("45.0.1.0/24", seattle_, tehran_);
+  const auto* a = registry_->find(*netsim::IpAddr::parse("45.0.1.55"));
+  ASSERT_NE(a, nullptr);
+  EXPECT_TRUE(a->spoofed());
+  const auto* b = registry_->find(*netsim::IpAddr::parse("45.0.2.55"));
+  ASSERT_NE(b, nullptr);
+  EXPECT_FALSE(b->spoofed());
+  EXPECT_EQ(registry_->find(*netsim::IpAddr::parse("46.0.0.1")), nullptr);
+}
+
+TEST_F(GeoDbFixture, LookupIsDeterministic) {
+  add_spoofed("45.0.1.0/24", seattle_, tehran_);
+  const auto db = make_maxmind_like(registry_, 99);
+  const auto first = db.lookup(*netsim::IpAddr::parse("45.0.1.10"));
+  for (int i = 0; i < 10; ++i) {
+    const auto again = db.lookup(*netsim::IpAddr::parse("45.0.1.10"));
+    ASSERT_EQ(first.has_value(), again.has_value());
+    if (first) {
+      EXPECT_EQ(first->country_code, again->country_code);
+    }
+  }
+}
+
+TEST_F(GeoDbFixture, UnknownAddressHasNoAnswer) {
+  const auto db = make_maxmind_like(registry_, 1);
+  EXPECT_FALSE(db.lookup(*netsim::IpAddr::parse("203.0.113.1")).has_value());
+}
+
+TEST_F(GeoDbFixture, FullFidelityProfileReportsTruth) {
+  add_honest("10.0.0.0/24", oslo_);
+  GeoIpDatabase perfect({"perfect", 0.0, 0.0, 1.0}, registry_, 5);
+  const auto rec = perfect.lookup(*netsim::IpAddr::parse("10.0.0.1"));
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->country_code, "NO");
+  EXPECT_EQ(rec->city, "Oslo");
+}
+
+TEST_F(GeoDbFixture, FullySusceptibleProfileBelievesSpoof) {
+  add_spoofed("10.0.0.0/24", seattle_, tehran_);
+  GeoIpDatabase gullible({"gullible", 1.0, 0.0, 1.0}, registry_, 5);
+  const auto rec = gullible.lookup(*netsim::IpAddr::parse("10.0.0.1"));
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->country_code, "IR");
+}
+
+TEST_F(GeoDbFixture, ImmuneProfileSeesThroughSpoof) {
+  add_spoofed("10.0.0.0/24", seattle_, tehran_);
+  GeoIpDatabase sharp({"sharp", 0.0, 0.0, 1.0}, registry_, 5);
+  const auto rec = sharp.lookup(*netsim::IpAddr::parse("10.0.0.1"));
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->country_code, "US");
+  EXPECT_EQ(rec->city, "Seattle");
+}
+
+TEST_F(GeoDbFixture, ZeroCoverageAnswersNothing) {
+  add_honest("10.0.0.0/24", oslo_);
+  GeoIpDatabase blind({"blind", 0.0, 0.0, 0.0}, registry_, 5);
+  EXPECT_FALSE(blind.lookup(*netsim::IpAddr::parse("10.0.0.1")).has_value());
+}
+
+TEST_F(GeoDbFixture, AggregateFidelityOrderingHolds) {
+  // Over many honest + spoofed blocks, agreement with the *claimed*
+  // location must order maxmind > ip2location > google (§6.4.1).
+  for (int i = 0; i < 160; ++i) {
+    const std::string cidr =
+        "45." + std::to_string(i / 64) + "." + std::to_string(i % 64 * 4) + ".0/24";
+    if (i % 5 == 0) {
+      add_spoofed(cidr, seattle_, tehran_);  // 20% virtual
+    } else {
+      add_honest(cidr, oslo_);
+    }
+  }
+  const auto mm = make_maxmind_like(registry_, 77);
+  const auto ip2 = make_ip2location_like(registry_, 77);
+  const auto gg = make_google_like(registry_, 77);
+
+  const auto agreement = [&](const GeoIpDatabase& db) {
+    int agree = 0, answered = 0;
+    for (const auto& alloc : registry_->allocations()) {
+      const auto rec = db.lookup(alloc.block.host_at(1));
+      if (!rec) continue;
+      ++answered;
+      if (rec->country_code == alloc.registered_location.country_code) ++agree;
+    }
+    return std::pair<double, int>(
+        static_cast<double>(agree) / static_cast<double>(answered), answered);
+  };
+
+  const auto [mm_rate, mm_n] = agreement(mm);
+  const auto [ip2_rate, ip2_n] = agreement(ip2);
+  const auto [gg_rate, gg_n] = agreement(gg);
+  EXPECT_GT(mm_rate, ip2_rate);
+  EXPECT_GT(ip2_rate, gg_rate);
+  // Google answers fewer queries than the other two.
+  EXPECT_LT(gg_n, mm_n);
+}
+
+}  // namespace
+}  // namespace vpna::geo

@@ -1,0 +1,73 @@
+#include "geo/geopoint.h"
+
+#include <gtest/gtest.h>
+
+#include "geo/cities.h"
+
+namespace vpna::geo {
+namespace {
+
+TEST(Haversine, ZeroForSamePoint) {
+  const GeoPoint p{40.0, -70.0};
+  EXPECT_DOUBLE_EQ(haversine_km(p, p), 0.0);
+}
+
+TEST(Haversine, Symmetric) {
+  const GeoPoint a{40.71, -74.01};
+  const GeoPoint b{51.51, -0.13};
+  EXPECT_DOUBLE_EQ(haversine_km(a, b), haversine_km(b, a));
+}
+
+TEST(Haversine, KnownDistances) {
+  // New York <-> London: ~5570 km.
+  const auto ny = *city_by_name("New York");
+  const auto lon = *city_by_name("London");
+  EXPECT_NEAR(haversine_km(ny.location, lon.location), 5570, 60);
+
+  // Tokyo <-> Osaka: ~400 km.
+  const auto tyo = *city_by_name("Tokyo");
+  const auto osa = *city_by_name("Osaka");
+  EXPECT_NEAR(haversine_km(tyo.location, osa.location), 400, 30);
+}
+
+TEST(Haversine, AntipodalIsBounded) {
+  const GeoPoint a{0, 0};
+  const GeoPoint b{0, 180};
+  // Half the Earth's circumference, ~20015 km.
+  EXPECT_NEAR(haversine_km(a, b), 20015, 30);
+}
+
+TEST(MinRtt, SpeedOfLightBound) {
+  const auto ny = *city_by_name("New York");
+  const auto lon = *city_by_name("London");
+  const double rtt = min_rtt_ms(ny.location, lon.location);
+  // 2 * 5570 km / 200 km/ms ≈ 55.7 ms.
+  EXPECT_NEAR(rtt, 55.7, 1.5);
+}
+
+TEST(MinRtt, ZeroForSamePlace) {
+  const GeoPoint p{10, 10};
+  EXPECT_DOUBLE_EQ(min_rtt_ms(p, p), 0.0);
+}
+
+TEST(LinkLatency, AlwaysAboveHalfMinRtt) {
+  // A real link's one-way latency must be at least the great-circle fiber
+  // time (stretch >= 1) plus overhead.
+  const auto cities_list = cities();
+  for (std::size_t i = 0; i < cities_list.size(); i += 7) {
+    for (std::size_t j = i + 1; j < cities_list.size(); j += 13) {
+      const double one_way_bound =
+          min_rtt_ms(cities_list[i].location, cities_list[j].location) / 2;
+      EXPECT_GE(link_latency_ms(cities_list[i].location, cities_list[j].location),
+                one_way_bound);
+    }
+  }
+}
+
+TEST(LinkLatency, HasEquipmentFloor) {
+  const GeoPoint p{10, 10};
+  EXPECT_GT(link_latency_ms(p, p), 0.0);
+}
+
+}  // namespace
+}  // namespace vpna::geo

@@ -1,0 +1,111 @@
+#include "http/url.h"
+
+#include <gtest/gtest.h>
+
+namespace vpna::http {
+namespace {
+
+TEST(Url, ParseBasics) {
+  const auto u = Url::parse("http://example.com/path/page");
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(u->scheme, "http");
+  EXPECT_EQ(u->host, "example.com");
+  EXPECT_EQ(u->path, "/path/page");
+  EXPECT_EQ(u->effective_port(), 80);
+}
+
+TEST(Url, ParseHttpsDefaultPort) {
+  const auto u = Url::parse("https://example.com");
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(u->path, "/");
+  EXPECT_EQ(u->effective_port(), 443);
+}
+
+TEST(Url, ParseExplicitPort) {
+  const auto u = Url::parse("http://example.com:8080/x");
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(u->port, 8080);
+  EXPECT_EQ(u->effective_port(), 8080);
+}
+
+TEST(Url, ParseIpLiteral) {
+  const auto u = Url::parse("http://195.175.254.2");
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(u->host, "195.175.254.2");
+}
+
+TEST(Url, HostLowercased) {
+  const auto u = Url::parse("HTTP://ExAmPle.COM/P");
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(u->host, "example.com");
+  EXPECT_EQ(u->path, "/P");  // path case preserved
+}
+
+TEST(Url, ParseRejectsMalformed) {
+  EXPECT_FALSE(Url::parse(""));
+  EXPECT_FALSE(Url::parse("example.com"));
+  EXPECT_FALSE(Url::parse("ftp://example.com"));
+  EXPECT_FALSE(Url::parse("http://"));
+  EXPECT_FALSE(Url::parse("http://host:0/x"));
+  EXPECT_FALSE(Url::parse("http://host:99999/x"));
+  EXPECT_FALSE(Url::parse("http://host:abc/x"));
+}
+
+TEST(Url, StrRoundTrip) {
+  const auto u = Url::parse("https://a.example.com:444/x/y");
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(u->str(), "https://a.example.com:444/x/y");
+  EXPECT_EQ(Url::parse(u->str()), *u);
+}
+
+TEST(Url, ResolveAbsolute) {
+  const auto base = *Url::parse("http://a.com/x");
+  const auto r = base.resolve("https://b.org/y");
+  EXPECT_EQ(r.scheme, "https");
+  EXPECT_EQ(r.host, "b.org");
+  EXPECT_EQ(r.path, "/y");
+}
+
+TEST(Url, ResolveAbsolutePath) {
+  const auto base = *Url::parse("http://a.com/x/deep");
+  const auto r = base.resolve("/top");
+  EXPECT_EQ(r.host, "a.com");
+  EXPECT_EQ(r.path, "/top");
+}
+
+TEST(RegisteredDomain, StripsSubdomains) {
+  EXPECT_EQ(registered_domain("www.example.com"), "example.com");
+  EXPECT_EQ(registered_domain("a.b.c.example.org"), "example.org");
+  EXPECT_EQ(registered_domain("example.com"), "example.com");
+}
+
+TEST(RegisteredDomain, MultiLabelSuffix) {
+  EXPECT_EQ(registered_domain("shop.example.co.uk"), "example.co.uk");
+  EXPECT_EQ(public_suffix("shop.example.co.uk"), "co.uk");
+}
+
+TEST(RegisteredDomain, NoKnownSuffixPassesThrough) {
+  EXPECT_EQ(registered_domain("localhost"), "localhost");
+  EXPECT_EQ(public_suffix("localhost"), "");
+}
+
+TEST(DomainsRelated, SameRegisteredDomain) {
+  EXPECT_TRUE(domains_related("a.example.com", "b.example.com"));
+  EXPECT_TRUE(domains_related("example.com", "www.example.com"));
+}
+
+TEST(DomainsRelated, SameLabelDifferentSuffix) {
+  // The paper's rule: http://a.example.com -> http://b.example.org counts
+  // as related.
+  EXPECT_TRUE(domains_related("a.example.com", "b.example.org"));
+  EXPECT_TRUE(domains_related("example.co.uk", "example.com"));
+}
+
+TEST(DomainsRelated, UnrelatedHosts) {
+  EXPECT_FALSE(domains_related("example.com", "other.com"));
+  EXPECT_FALSE(domains_related("warning.or.kr", "adult-theater-x.com"));
+  EXPECT_FALSE(domains_related("wikipedia.org", "195.175.254.2"));
+}
+
+}  // namespace
+}  // namespace vpna::http

@@ -1,0 +1,102 @@
+// Site-table invariants: the measurement target lists must keep the
+// structural properties the methodology depends on.
+#include "inet/sites.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace vpna::inet {
+namespace {
+
+TEST(DomTestSites, ExactlyFiftyFive) {
+  EXPECT_EQ(dom_test_sites().size(), 55u);
+}
+
+TEST(DomTestSites, NoneUpgradeToHttps) {
+  // §5.3.1: the DOM-collection list deliberately stays on plain HTTP to
+  // maximize the manipulation surface.
+  for (const auto& site : dom_test_sites())
+    EXPECT_FALSE(site.upgrades_to_https) << site.hostname;
+}
+
+TEST(DomTestSites, UniqueHostnames) {
+  std::set<std::string_view> names;
+  for (const auto& site : dom_test_sites()) names.insert(site.hostname);
+  EXPECT_EQ(names.size(), dom_test_sites().size());
+}
+
+TEST(DomTestSites, SensitiveCategoriesCovered) {
+  // The paper's list spans politics, pornography, government and defense.
+  std::set<SiteCategory> categories;
+  for (const auto& site : dom_test_sites()) categories.insert(site.category);
+  for (const auto required :
+       {SiteCategory::kPolitics, SiteCategory::kPornography,
+        SiteCategory::kGovernment, SiteCategory::kDefense,
+        SiteCategory::kFileSharing, SiteCategory::kStreaming}) {
+    EXPECT_TRUE(categories.contains(required))
+        << category_name(required);
+  }
+}
+
+TEST(DomTestSites, NationallyBlockedHostsPresent) {
+  std::set<std::string_view> names;
+  for (const auto& site : dom_test_sites()) names.insert(site.hostname);
+  // Table 4's host-specific censorship rows need these exact names.
+  EXPECT_TRUE(names.contains("wikipedia.org"));
+  EXPECT_TRUE(names.contains("jw.org"));
+  EXPECT_TRUE(names.contains("linkedin.com"));
+}
+
+TEST(DomTestSites, SomeStreamingSitesBlockVpns) {
+  int blocking = 0, empty200 = 0;
+  for (const auto& site : dom_test_sites()) {
+    if (site.blocks_vpn_ranges) ++blocking;
+    if (site.blocks_with_empty_200) ++empty200;
+  }
+  EXPECT_GE(blocking, 2);
+  EXPECT_GE(empty200, 1);  // the paper saw both 403 and empty-200 variants
+}
+
+TEST(TlsScanSites, OneHundredFifty) {
+  EXPECT_EQ(tls_scan_sites().size(), 150u);
+}
+
+TEST(TlsScanSites, MajorityUpgrade) {
+  int upgrades = 0;
+  for (const auto& site : tls_scan_sites())
+    if (site.upgrades_to_https) ++upgrades;
+  EXPECT_EQ(upgrades, 100);  // two thirds: stripping would be visible
+}
+
+TEST(TlsScanSites, SprinkleOfVpnHostileHosts) {
+  int hostile = 0;
+  for (const auto& site : tls_scan_sites())
+    if (site.blocks_vpn_ranges) ++hostile;
+  EXPECT_GE(hostile, 12);  // "more than a dozen"
+}
+
+TEST(TlsScanSites, AllHaveHttps) {
+  for (const auto& site : tls_scan_sites())
+    EXPECT_TRUE(site.https_available) << site.hostname;
+}
+
+TEST(InfraEndpoints, DistinctAndStable) {
+  const std::set<std::string_view> endpoints = {
+      honeysite_plain(), honeysite_ads(), header_echo_host(), geo_api_host(),
+      stun_host()};
+  EXPECT_EQ(endpoints.size(), 5u);
+  EXPECT_EQ(probe_dns_zone(), "rdns.probe-infra.net");
+}
+
+TEST(InfraEndpoints, NoOverlapWithTestSites) {
+  std::set<std::string_view> targets;
+  for (const auto& site : dom_test_sites()) targets.insert(site.hostname);
+  for (const auto& site : tls_scan_sites()) targets.insert(site.hostname);
+  for (const auto endpoint : {honeysite_plain(), honeysite_ads(),
+                              header_echo_host(), geo_api_host(), stun_host()})
+    EXPECT_FALSE(targets.contains(endpoint)) << endpoint;
+}
+
+}  // namespace
+}  // namespace vpna::inet

@@ -1,0 +1,288 @@
+#include "inet/world.h"
+
+#include <gtest/gtest.h>
+
+#include "dns/client.h"
+#include "http/client.h"
+
+namespace vpna::inet {
+namespace {
+
+// One world per suite: construction is the expensive part.
+World& world() {
+  static World w(20180131);
+  return w;
+}
+
+TEST(World, BackboneConnectsAllCities) {
+  auto& w = world();
+  // Ping between hosts in far-apart cities must work and respect physics.
+  auto& ny = w.spawn_client("New York", "probe-ny");
+  auto& syd = w.spawn_client("Sydney", "probe-syd");
+  const auto lat = w.network().base_latency_ms(ny, syd);
+  ASSERT_TRUE(lat.has_value());
+  const auto min_possible =
+      geo::min_rtt_ms(geo::city_by_name("New York")->location,
+                      geo::city_by_name("Sydney")->location) /
+      2;
+  EXPECT_GE(*lat, min_possible);
+  EXPECT_LT(*lat, 400.0);  // sane upper bound
+}
+
+TEST(World, DatacentersCoverPaperCountries) {
+  auto& w = world();
+  for (const char* cc : {"US", "GB", "DE", "NL", "RU", "TR", "KR", "TH", "NO",
+                         "LU", "IN", "MX", "CH", "IE", "MY", "SG"}) {
+    EXPECT_FALSE(w.datacenters_in(cc).empty()) << cc;
+  }
+  EXPECT_GE(w.datacenters().size(), 40u);
+}
+
+TEST(World, Table5BlocksExist) {
+  auto& w = world();
+  // The shared-infrastructure blocks from the paper's Table 5.
+  struct Expect {
+    const char* block;
+    std::uint32_t asn;
+    const char* cc;
+  };
+  for (const auto& e : std::vector<Expect>{{"82.102.27.0/24", 9009, "NO"},
+                                           {"94.242.192.0/18", 5577, "LU"},
+                                           {"139.59.0.0/18", 14061, "IN"},
+                                           {"169.57.0.0/17", 36351, "MX"},
+                                           {"179.43.128.0/18", 51852, "CH"},
+                                           {"185.108.128.0/22", 30900, "IE"},
+                                           {"202.176.4.0/24", 55720, "MY"},
+                                           {"209.58.176.0/21", 59253, "SG"}}) {
+    const auto rec = w.whois().lookup(netsim::Cidr::parse(e.block)->host_at(20));
+    ASSERT_TRUE(rec.has_value()) << e.block;
+    EXPECT_EQ(rec->asn, e.asn) << e.block;
+    EXPECT_EQ(rec->country_code, e.cc) << e.block;
+  }
+}
+
+TEST(World, SpawnServerAllocatesFromPool) {
+  auto& w = world();
+  auto* dc = w.datacenter_by_id("gigacloud-osl");
+  ASSERT_NE(dc, nullptr);
+  auto& s1 = w.spawn_server(*dc, "srv-a");
+  auto& s2 = w.spawn_server(*dc, "srv-b");
+  const auto a1 = s1.primary_addr(netsim::IpFamily::kV4);
+  const auto a2 = s2.primary_addr(netsim::IpFamily::kV4);
+  ASSERT_TRUE(a1 && a2);
+  EXPECT_NE(*a1, *a2);
+  EXPECT_TRUE(dc->pool4.contains(*a1));
+  EXPECT_TRUE(dc->pool4.contains(*a2));
+}
+
+TEST(World, PublicResolversResolveTestSites) {
+  auto& w = world();
+  auto& client = w.spawn_client("Chicago", "probe-dns");
+  for (const auto& resolver : {w.google_dns(), w.quad9_dns(), w.isp_resolver()}) {
+    const auto res = dns::query(w.network(), client, resolver,
+                                "daily-courier-news.com", dns::RrType::kA);
+    EXPECT_TRUE(res.ok()) << resolver.str();
+  }
+}
+
+TEST(World, AnycastResolverIsNearby) {
+  auto& w = world();
+  auto& tokyo_client = w.spawn_client("Tokyo", "probe-tokyo");
+  auto& ny_client = w.spawn_client("New York", "probe-nyc2");
+  const auto rtt_tokyo = w.network().ping(tokyo_client, w.google_dns());
+  const auto rtt_ny = w.network().ping(ny_client, w.google_dns());
+  ASSERT_TRUE(rtt_tokyo && rtt_ny);
+  // Both should hit a local replica: far lower than trans-Pacific RTT.
+  EXPECT_LT(*rtt_tokyo, 60.0);
+  EXPECT_LT(*rtt_ny, 60.0);
+}
+
+TEST(World, RootServersPingable) {
+  auto& w = world();
+  auto& client = w.spawn_client("Frankfurt", "probe-fra");
+  EXPECT_EQ(w.root_servers().size(), 5u);
+  for (const auto& root : w.root_servers()) {
+    const auto rtt = w.network().ping(client, root.addr);
+    ASSERT_TRUE(rtt.has_value()) << root.letter;
+    EXPECT_LT(*rtt, 80.0) << root.letter;  // always a replica in Europe
+  }
+}
+
+TEST(World, ProbeZoneLogsResolverOrigin) {
+  auto& w = world();
+  auto& client = w.spawn_client("Chicago", "probe-orig");
+  const auto before = w.probe_authority().query_log().size();
+  const std::string name = "tag-worldtest.rdns.probe-infra.net";
+  const auto res =
+      dns::query(w.network(), client, w.google_dns(), name, dns::RrType::kA);
+  ASSERT_TRUE(res.ok());
+  const auto& log = w.probe_authority().query_log();
+  ASSERT_EQ(log.size(), before + 1);
+  EXPECT_EQ(log.back().name, name);
+  // The authority saw the resolver (8.8.8.8), not the stub client.
+  EXPECT_EQ(log.back().source, w.google_dns());
+}
+
+TEST(World, WebSitesServePages) {
+  auto& w = world();
+  auto& client = w.spawn_client("Chicago", "probe-web");
+  http::HttpClient c(w.network(), client);
+  const auto res = c.fetch("http://daily-courier-news.com/");
+  ASSERT_TRUE(res.ok());
+  EXPECT_NE(res.body.find("daily-courier-news.com"), std::string::npos);
+}
+
+TEST(World, PageLoadsIncludeSubResources) {
+  auto& w = world();
+  auto& client = w.spawn_client("Chicago", "probe-web2");
+  http::HttpClient c(w.network(), client);
+  const auto load = c.load_page("http://daily-courier-news.com/");
+  ASSERT_TRUE(load.document.ok());
+  EXPECT_EQ(load.resources.size(), 4u);
+  for (const auto& r : load.resources) EXPECT_TRUE(r.ok());
+}
+
+TEST(World, TlsSitesPresentValidChains) {
+  auto& w = world();
+  auto& client = w.spawn_client("Chicago", "probe-tls");
+  const auto res = dns::query(w.network(), client, w.google_dns(),
+                              "tls-portal-5.com", dns::RrType::kA);
+  ASSERT_TRUE(res.ok());
+  const auto hs = tlssim::tls_handshake(w.network(), client, res.addresses[0],
+                                        "tls-portal-5.com", w.ca_store());
+  ASSERT_TRUE(hs.completed());
+  EXPECT_EQ(hs.validation, tlssim::ValidationStatus::kValid);
+  // And the fingerprint matches the world's ground truth.
+  EXPECT_EQ(hs.chain->leaf()->key_fingerprint,
+            w.true_cert_fingerprint("tls-portal-5.com"));
+}
+
+TEST(World, HttpsUpgradeSitesRedirect) {
+  auto& w = world();
+  auto& client = w.spawn_client("Chicago", "probe-upg");
+  http::HttpClient c(w.network(), client);
+  // tls-cloud-1.com has index 1: upgrades (1 % 3 != 0).
+  const auto res = c.fetch("http://tls-cloud-1.com/");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.final_url.scheme, "https");
+}
+
+TEST(World, HoneysitesAreStatic) {
+  auto& w = world();
+  auto& client = w.spawn_client("Chicago", "probe-honey");
+  http::HttpClient c(w.network(), client);
+  const auto a = c.fetch("http://" + std::string(honeysite_plain()) + "/");
+  const auto b = c.fetch("http://" + std::string(honeysite_plain()) + "/");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.body, b.body);
+  EXPECT_EQ(a.body, w.page_for(honeysite_plain())->html);
+
+  const auto ads = c.load_page("http://" + std::string(honeysite_ads()) + "/");
+  ASSERT_TRUE(ads.document.ok());
+  EXPECT_NE(ads.document.body.find("ad-slot"), std::string::npos);
+  // The ad network answers (invalid publisher -> unfilled slot, HTTP 200).
+  ASSERT_EQ(ads.resources.size(), 1u);
+  EXPECT_TRUE(ads.resources[0].ok());
+}
+
+TEST(World, HeaderEchoEndpointWorks) {
+  auto& w = world();
+  auto& client = w.spawn_client("Chicago", "probe-echo");
+  http::HttpClient c(w.network(), client);
+  const auto res = c.fetch("http://" + std::string(header_echo_host()) + "/");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.body, res.exchanges[0].request_serialized);
+}
+
+TEST(World, GeoApiLocatesResidentialClient) {
+  auto& w = world();
+  auto& client = w.spawn_client("Chicago", "probe-geo");
+  http::HttpClient c(w.network(), client);
+  const auto res = c.fetch("http://" + std::string(geo_api_host()) + "/");
+  ASSERT_TRUE(res.ok());
+  // The residential range is not registered in the geo registry, so the API
+  // answers "not found" — exactly like a fresh, unseen block.
+  EXPECT_NE(res.body.find("not found"), std::string::npos);
+}
+
+TEST(World, GeoDatabasesAnswerForDatacenterBlocks) {
+  auto& w = world();
+  const auto addr = netsim::Cidr::parse("82.102.27.0/24")->host_at(20);
+  const auto rec = w.db_maxmind().lookup(addr);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->country_code, "NO");
+}
+
+TEST(World, VpnBlocklistPropagatesToSites) {
+  auto& w = world();
+  auto* dc = w.datacenter_by_id("rentweb-sea");
+  ASSERT_NE(dc, nullptr);
+  auto& egress = w.spawn_server(*dc, "fake-egress");
+  w.blocklist_vpn_range(netsim::Cidr(*egress.primary_addr(netsim::IpFamily::kV4), 24));
+  egress.dns_servers().push_back(w.google_dns());
+  http::HttpClient c(w.network(), egress);
+  // tls-portal-0.com blocks VPN ranges (index 0 % 11 == 0).
+  const auto res = c.fetch("http://tls-portal-0.com/");
+  EXPECT_EQ(res.status, 403);
+}
+
+TEST(World, FiftyAnchorsDeployed) {
+  auto& w = world();
+  EXPECT_EQ(w.anchors().size(), 50u);
+  auto& client = w.spawn_client("Chicago", "probe-anchor");
+  int reachable = 0;
+  for (const auto& a : w.anchors())
+    if (w.network().ping(client, a.addr)) ++reachable;
+  EXPECT_EQ(reachable, 50);
+}
+
+TEST(World, AnchorRttRespectsPhysics) {
+  auto& w = world();
+  auto& client = w.spawn_client("Chicago", "probe-phys");
+  const auto chicago = geo::city_by_name("Chicago")->location;
+  for (const auto& a : w.anchors()) {
+    const auto rtt = w.network().ping(client, a.addr);
+    ASSERT_TRUE(rtt.has_value());
+    EXPECT_GE(*rtt + 1e-6, geo::min_rtt_ms(chicago, a.city.location))
+        << a.name;
+  }
+}
+
+TEST(World, CensorsInstalledForFiveCountries) {
+  auto& w = world();
+  std::set<std::string> countries;
+  for (const auto& c : w.censors()) countries.insert(c->policy().country_code);
+  EXPECT_EQ(countries, (std::set<std::string>{"TR", "KR", "RU", "NL", "TH"}));
+  EXPECT_GE(w.censors().size(), 12u);
+}
+
+TEST(World, SelfCheckCleanOnFreshWorld) {
+  auto& w = world();
+  const auto problems = w.self_check();
+  EXPECT_TRUE(problems.empty()) << (problems.empty() ? "" : problems.front());
+}
+
+TEST(World, SelfCheckCatchesDetachedInfrastructure) {
+  World w(31);
+  // Sabotage: remove an anchor host from the network.
+  auto* anchor_host =
+      w.network().host_by_addr(w.anchors().front().addr);
+  ASSERT_NE(anchor_host, nullptr);
+  w.network().detach_host(*anchor_host);
+  const auto problems = w.self_check();
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems.front().find("anchor unreachable"), std::string::npos);
+}
+
+TEST(World, DeterministicAcrossInstances) {
+  World w1(7), w2(7);
+  auto& c1 = w1.spawn_client("Chicago", "probe");
+  auto& c2 = w2.spawn_client("Chicago", "probe");
+  const auto r1 = w1.network().ping(c1, w1.google_dns());
+  const auto r2 = w2.network().ping(c2, w2.google_dns());
+  ASSERT_TRUE(r1 && r2);
+  EXPECT_DOUBLE_EQ(*r1, *r2);
+}
+
+}  // namespace
+}  // namespace vpna::inet

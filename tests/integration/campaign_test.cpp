@@ -1,0 +1,225 @@
+// Full-campaign integration test: deploys all 62 providers, runs the whole
+// suite, and checks that every headline finding of the paper's §6 emerges
+// with the right shape.
+#include <gtest/gtest.h>
+
+#include "analysis/geo_analysis.h"
+#include "analysis/infrastructure.h"
+#include "analysis/report_aggregation.h"
+#include "core/runner.h"
+
+namespace vpna {
+namespace {
+
+// One shared campaign for all assertions (the expensive part).
+struct Campaign {
+  ecosystem::Testbed tb;
+  std::vector<core::ProviderReport> reports;
+
+  Campaign() : tb(ecosystem::build_testbed()) {
+    core::RunnerOptions opts;
+    opts.vantage_points_per_provider = 3;  // keep the integration test fast
+    core::TestRunner runner(tb, opts);
+    runner.collect_ground_truth();
+    reports = runner.run_all();
+  }
+};
+
+Campaign& campaign() {
+  static Campaign c;
+  return c;
+}
+
+TEST(Campaign, AllProvidersConnectedSomewhere) {
+  int connected_providers = 0;
+  for (const auto& report : campaign().reports) {
+    bool any = false;
+    for (const auto& vp : report.vantage_points) any = any || vp.connected;
+    if (any) ++connected_providers;
+  }
+  EXPECT_EQ(connected_providers, 62);
+}
+
+TEST(Campaign, RedirectsConfinedToFiveCensoringCountries) {
+  const auto rows = analysis::aggregate_redirects(campaign().reports);
+  ASSERT_FALSE(rows.empty());
+  std::set<std::string> countries;
+  for (const auto& row : rows)
+    for (const auto& cc : row.vantage_countries) countries.insert(cc);
+  EXPECT_EQ(countries,
+            (std::set<std::string>{"TR", "KR", "RU", "NL", "TH"}));
+}
+
+TEST(Campaign, RedirectDestinationsMatchTable4) {
+  const auto rows = analysis::aggregate_redirects(campaign().reports);
+  std::map<std::string, std::size_t> providers_per_destination;
+  for (const auto& row : rows)
+    providers_per_destination[row.destination_host] = row.providers.size();
+
+  // Every Table 4 destination shows up.
+  for (const char* dest :
+       {"195.175.254.2", "www.warning.or.kr", "fz139.ttk.ru",
+        "zapret.hoztnode.net", "warning.rt.ru", "blocked.mts.ru",
+        "block.dtln.ru", "blackhole.beeline.ru", "www.ziggo.nl",
+        "213.46.185.10", "103.77.116.101"}) {
+    EXPECT_TRUE(providers_per_destination.contains(dest)) << dest;
+  }
+  // Ordering shape: Turkey > South Korea > any NL destination.
+  EXPECT_GT(providers_per_destination["195.175.254.2"],
+            providers_per_destination["www.warning.or.kr"]);
+  EXPECT_GT(providers_per_destination["www.warning.or.kr"],
+            providers_per_destination["www.ziggo.nl"]);
+  // The Russian per-ISP split: TTK serves the most providers.
+  EXPECT_GE(providers_per_destination["fz139.ttk.ru"],
+            providers_per_destination["zapret.hoztnode.net"]);
+  EXPECT_EQ(providers_per_destination["www.ziggo.nl"], 1u);
+  EXPECT_EQ(providers_per_destination["213.46.185.10"], 1u);
+}
+
+TEST(Campaign, NoTlsStrippingAnywhere) {
+  for (const auto& report : campaign().reports) {
+    for (const auto& vp : report.vantage_points) {
+      EXPECT_EQ(vp.tls.stripped_count(), 0)
+          << report.provider << "/" << vp.vantage_id;
+      for (const auto& host : vp.tls.hosts) {
+        EXPECT_TRUE(host.fingerprint_matches)
+            << report.provider << " intercepted " << host.hostname;
+      }
+    }
+  }
+}
+
+TEST(Campaign, FiveTransparentProxiesDetected) {
+  const auto summary = analysis::aggregate_manipulation(campaign().reports);
+  EXPECT_EQ(summary.transparent_proxies,
+            (std::set<std::string>{"AceVPN", "Freedome VPN", "SurfEasy",
+                                   "CyberGhost", "VPN Gate"}));
+}
+
+TEST(Campaign, OnlySeed4meInjectsContent) {
+  const auto summary = analysis::aggregate_manipulation(campaign().reports);
+  EXPECT_EQ(summary.content_injectors, (std::set<std::string>{"Seed4.me"}));
+  EXPECT_TRUE(summary.tls_interceptors.empty());
+}
+
+TEST(Campaign, LeakageMatchesTable6) {
+  const auto summary = analysis::aggregate_leakage(campaign().reports);
+  EXPECT_EQ(summary.dns_leakers,
+            (std::set<std::string>{"Freedome VPN", "WorldVPN"}));
+  EXPECT_EQ(summary.ipv6_leakers.size(), 12u);
+  for (const char* name :
+       {"Buffered VPN", "BulletVPN", "FlyVPN", "HideIPVPN", "Le VPN",
+        "LiquidVPN", "PrivateVPN", "Zoog VPN", "Private Tunnel", "Seed4.me",
+        "VPN.ht", "WorldVPN"}) {
+    EXPECT_TRUE(summary.ipv6_leakers.contains(name)) << name;
+  }
+}
+
+TEST(Campaign, TunnelFailureRateNear58Percent) {
+  const auto summary = analysis::aggregate_leakage(campaign().reports);
+  EXPECT_EQ(summary.tunnel_failure_applicable, 43);
+  EXPECT_EQ(summary.tunnel_failure_leakers.size(), 25u);
+  EXPECT_NEAR(summary.tunnel_failure_rate(), 0.58, 0.02);
+  for (const char* name : {"NordVPN", "ExpressVPN", "TunnelBear",
+                           "Hotspot Shield", "IPVanish"}) {
+    EXPECT_TRUE(summary.tunnel_failure_leakers.contains(name)) << name;
+  }
+}
+
+TEST(Campaign, InfrastructureSharingShapesHold) {
+  const auto census = analysis::census_infrastructure(
+      campaign().tb.providers, campaign().tb.world->whois());
+  // ~1000 vantage points; blocks heavily shared.
+  EXPECT_GE(census.vantage_points, 850u);
+  EXPECT_LT(census.distinct_addresses, census.vantage_points);
+  EXPECT_LT(census.distinct_blocks, census.distinct_addresses);
+  // The paper: 40 providers share CIDR space; >= 8 blocks have 3+ tenants.
+  EXPECT_GE(census.providers_sharing_blocks.size(), 35u);
+  EXPECT_GE(census.blocks_with_3plus_providers.size(), 8u);
+  // Exact-IP overlap: Boxpn/Anonine.
+  ASSERT_FALSE(census.exact_overlaps.empty());
+  for (const auto& overlap : census.exact_overlaps) {
+    EXPECT_TRUE(overlap.providers.contains("Boxpn"));
+    EXPECT_TRUE(overlap.providers.contains("Anonine"));
+  }
+}
+
+TEST(Campaign, GeoDatabaseAgreementOrdering) {
+  auto& c = campaign();
+  // §6.4.1 compared the ~626 measured vantage points, not the full fleet.
+  const auto set = analysis::select_geo_comparison_set(c.tb.providers);
+  EXPECT_NEAR(static_cast<double>(set.size()), 626, 40);
+  const auto mm =
+      analysis::compare_with_database(set, c.tb.world->db_maxmind(), "maxmind-like");
+  const auto ip2 = analysis::compare_with_database(
+      set, c.tb.world->db_ip2location(), "ip2location-like");
+  const auto gg =
+      analysis::compare_with_database(set, c.tb.world->db_google(), "google-like");
+
+  // §6.4.1 ordering and rough magnitudes: ~95% / ~90% / ~70%.
+  EXPECT_GT(mm.agreement_rate(), ip2.agreement_rate());
+  EXPECT_GT(ip2.agreement_rate(), gg.agreement_rate());
+  EXPECT_NEAR(mm.agreement_rate(), 0.95, 0.04);
+  EXPECT_NEAR(ip2.agreement_rate(), 0.90, 0.05);
+  EXPECT_NEAR(gg.agreement_rate(), 0.70, 0.08);
+  // Google answers fewer queries (coverage gap).
+  EXPECT_LT(gg.answered, mm.answered);
+  // A large share of disagreements resolve to the US.
+  const int gg_disagreements = gg.answered - gg.agreed;
+  EXPECT_GT(gg.disagreed_to_us, gg_disagreements / 5);
+}
+
+TEST(Campaign, GeoApiFollowsVantagePoint) {
+  // Every connected vantage point's geolocation API answer should resolve
+  // to *some* country; for honest vantage points it matches the claim.
+  int honest_checked = 0, honest_matched = 0;
+  for (const auto& report : campaign().reports) {
+    const auto* deployed = campaign().tb.provider(report.provider);
+    for (const auto& vp : report.vantage_points) {
+      if (!vp.connected || !vp.geo_api.answered) continue;
+      const auto* dvp = deployed->vantage_point(vp.vantage_id);
+      if (dvp == nullptr || dvp->spec.is_virtual()) continue;
+      ++honest_checked;
+      if (vp.geo_api.country_code == vp.advertised_country) ++honest_matched;
+    }
+  }
+  ASSERT_GT(honest_checked, 50);
+  // The google-like database has its own noise, but most match.
+  EXPECT_GT(static_cast<double>(honest_matched) / honest_checked, 0.85);
+}
+
+TEST(Campaign, NoP2pRelayingObserved) {
+  for (const auto& report : campaign().reports) {
+    for (const auto& vp : report.vantage_points) {
+      EXPECT_FALSE(vp.pcap.p2p_relaying_suspected())
+          << report.provider << "/" << vp.vantage_id;
+    }
+  }
+}
+
+TEST(Campaign, RecursiveOriginsResolveViaVpnInfrastructure) {
+  // Every tunnelled probe resolves via hosting infrastructure — except the
+  // two DNS-leaking providers, whose recursion correctly shows up at the
+  // client's residential ISP resolver (that's the leak).
+  int resolved = 0, via_hosting = 0;
+  std::set<std::string> not_via_hosting;
+  for (const auto& report : campaign().reports) {
+    for (const auto& vp : report.vantage_points) {
+      if (!vp.connected || !vp.recursive_origin.resolved) continue;
+      ++resolved;
+      if (!vp.recursive_origin.resolver_owner.empty() &&
+          vp.recursive_origin.resolver_owner != "(unknown)") {
+        ++via_hosting;
+      } else {
+        not_via_hosting.insert(report.provider);
+      }
+    }
+  }
+  ASSERT_GT(resolved, 100);
+  EXPECT_GT(via_hosting, resolved - 10);
+  EXPECT_EQ(not_via_hosting,
+            (std::set<std::string>{"Freedome VPN", "WorldVPN"}));
+}
+
+}  // namespace
+}  // namespace vpna

@@ -1,0 +1,61 @@
+// Cross-seed robustness: the reproduction's behavioural findings must not
+// depend on the world seed. Each seed builds a fresh world with different
+// jitter, database noise and address draws; the detections must be
+// identical because they are driven by provider behaviour, not chance.
+#include <gtest/gtest.h>
+
+#include "analysis/geo_analysis.h"
+#include "analysis/report_aggregation.h"
+#include "core/runner.h"
+
+namespace vpna {
+namespace {
+
+class SeedRobustness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedRobustness, BehaviouralFindingsSeedIndependent) {
+  auto tb = ecosystem::build_testbed_subset(
+      {"NordVPN", "Seed4.me", "CyberGhost", "Freedome VPN", "WorldVPN",
+       "Mullvad", "PrivateVPN"},
+      GetParam());
+  core::RunnerOptions opts;
+  opts.vantage_points_per_provider = 1;
+  core::TestRunner runner(tb, opts);
+  runner.collect_ground_truth();
+  const auto reports = runner.run_all();
+
+  const auto leakage = analysis::aggregate_leakage(reports);
+  EXPECT_EQ(leakage.dns_leakers,
+            (std::set<std::string>{"Freedome VPN", "WorldVPN"}))
+      << "seed " << GetParam();
+  EXPECT_TRUE(leakage.ipv6_leakers.contains("Seed4.me"));
+  EXPECT_TRUE(leakage.ipv6_leakers.contains("PrivateVPN"));
+  EXPECT_FALSE(leakage.ipv6_leakers.contains("NordVPN"));
+  EXPECT_TRUE(leakage.tunnel_failure_leakers.contains("NordVPN"));
+  EXPECT_FALSE(leakage.tunnel_failure_leakers.contains("Mullvad"));
+
+  const auto manipulation = analysis::aggregate_manipulation(reports);
+  EXPECT_EQ(manipulation.content_injectors,
+            (std::set<std::string>{"Seed4.me"}))
+      << "seed " << GetParam();
+  EXPECT_TRUE(manipulation.transparent_proxies.contains("CyberGhost"));
+  EXPECT_TRUE(manipulation.transparent_proxies.contains("Freedome VPN"));
+  EXPECT_TRUE(manipulation.tls_interceptors.empty());
+}
+
+TEST_P(SeedRobustness, GeoOrderingSeedIndependent) {
+  auto tb = ecosystem::build_testbed_subset({"HideMyAss", "NordVPN"},
+                                            GetParam());
+  const auto mm = analysis::compare_with_database(
+      tb.providers, tb.world->db_maxmind(), "maxmind-like");
+  const auto gg = analysis::compare_with_database(
+      tb.providers, tb.world->db_google(), "google-like");
+  EXPECT_GT(mm.agreement_rate(), gg.agreement_rate()) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedRobustness,
+                         ::testing::Values(1ULL, 42ULL, 20181031ULL,
+                                           0xdeadbeefULL));
+
+}  // namespace
+}  // namespace vpna

@@ -1,0 +1,142 @@
+#include "netsim/firewall.h"
+
+#include <gtest/gtest.h>
+
+namespace vpna::netsim {
+namespace {
+
+Packet out_packet(IpAddr dst, Proto proto = Proto::kUdp,
+                  std::uint16_t dst_port = 53) {
+  Packet p;
+  p.src = IpAddr::v4(71, 80, 0, 10);
+  p.dst = dst;
+  p.proto = proto;
+  p.dst_port = dst_port;
+  return p;
+}
+
+TEST(Firewall, DefaultAllow) {
+  Firewall fw;
+  EXPECT_TRUE(fw.allows(out_packet(IpAddr::v4(8, 8, 8, 8)), Direction::kOut));
+}
+
+TEST(Firewall, DenyByExactAddress) {
+  Firewall fw;
+  FwRule r;
+  r.action = FwAction::kDeny;
+  r.remote_addr = IpAddr::v4(1, 2, 3, 4);
+  fw.add_rule(r);
+  EXPECT_FALSE(fw.allows(out_packet(IpAddr::v4(1, 2, 3, 4)), Direction::kOut));
+  EXPECT_TRUE(fw.allows(out_packet(IpAddr::v4(1, 2, 3, 5)), Direction::kOut));
+}
+
+TEST(Firewall, FirstMatchWins) {
+  Firewall fw;
+  FwRule allow;
+  allow.action = FwAction::kAllow;
+  allow.remote_addr = IpAddr::v4(1, 2, 3, 4);
+  fw.add_rule(allow);
+  FwRule deny_all;
+  deny_all.action = FwAction::kDeny;
+  fw.add_rule(deny_all);
+  EXPECT_TRUE(fw.allows(out_packet(IpAddr::v4(1, 2, 3, 4)), Direction::kOut));
+  EXPECT_FALSE(fw.allows(out_packet(IpAddr::v4(9, 9, 9, 9)), Direction::kOut));
+}
+
+TEST(Firewall, DirectionScoping) {
+  Firewall fw;
+  FwRule r;
+  r.action = FwAction::kDeny;
+  r.direction = Direction::kOut;
+  fw.add_rule(r);
+  const auto p = out_packet(IpAddr::v4(5, 5, 5, 5));
+  EXPECT_FALSE(fw.allows(p, Direction::kOut));
+  EXPECT_TRUE(fw.allows(p, Direction::kIn));
+}
+
+TEST(Firewall, InboundMatchesSourceSide) {
+  Firewall fw;
+  FwRule r;
+  r.action = FwAction::kDeny;
+  r.direction = Direction::kIn;
+  r.remote_addr = IpAddr::v4(6, 6, 6, 6);
+  fw.add_rule(r);
+  Packet p;
+  p.src = IpAddr::v4(6, 6, 6, 6);
+  p.dst = IpAddr::v4(71, 80, 0, 10);
+  EXPECT_FALSE(fw.allows(p, Direction::kIn));
+}
+
+TEST(Firewall, PrefixRule) {
+  Firewall fw;
+  FwRule r;
+  r.action = FwAction::kDeny;
+  r.remote_prefix = Cidr::parse("10.0.0.0/8");
+  fw.add_rule(r);
+  EXPECT_FALSE(fw.allows(out_packet(IpAddr::v4(10, 99, 0, 1)), Direction::kOut));
+  EXPECT_TRUE(fw.allows(out_packet(IpAddr::v4(11, 0, 0, 1)), Direction::kOut));
+}
+
+TEST(Firewall, ProtoAndPortRules) {
+  Firewall fw;
+  FwRule r;
+  r.action = FwAction::kDeny;
+  r.proto = Proto::kUdp;
+  r.remote_port = 53;
+  fw.add_rule(r);
+  EXPECT_FALSE(fw.allows(out_packet(IpAddr::v4(8, 8, 8, 8), Proto::kUdp, 53),
+                         Direction::kOut));
+  EXPECT_TRUE(fw.allows(out_packet(IpAddr::v4(8, 8, 8, 8), Proto::kTcp, 53),
+                        Direction::kOut));
+  EXPECT_TRUE(fw.allows(out_packet(IpAddr::v4(8, 8, 8, 8), Proto::kUdp, 443),
+                        Direction::kOut));
+}
+
+TEST(Firewall, FamilyRuleBlocksOnlyThatFamily) {
+  // The kill-switch style "block all IPv6" rule.
+  Firewall fw;
+  FwRule r;
+  r.action = FwAction::kDeny;
+  r.family = IpFamily::kV6;
+  fw.add_rule(r);
+  EXPECT_TRUE(fw.allows(out_packet(IpAddr::v4(8, 8, 8, 8)), Direction::kOut));
+  EXPECT_FALSE(
+      fw.allows(out_packet(*IpAddr::parse("2001:db8::1")), Direction::kOut));
+}
+
+TEST(Firewall, RemoveByLabel) {
+  Firewall fw;
+  FwRule r1;
+  r1.action = FwAction::kDeny;
+  r1.label = "killswitch";
+  FwRule r2;
+  r2.action = FwAction::kDeny;
+  r2.label = "induced-failure";
+  fw.add_rule(r1);
+  fw.add_rule(r2);
+  EXPECT_EQ(fw.remove_label("killswitch"), 1u);
+  EXPECT_EQ(fw.rules().size(), 1u);
+  EXPECT_EQ(fw.rules()[0].label, "induced-failure");
+}
+
+TEST(Firewall, AllowExceptionThenDenyAll) {
+  // The induced-tunnel-failure pattern: allow a fixed set, deny the rest.
+  Firewall fw;
+  FwRule keep;
+  keep.action = FwAction::kAllow;
+  keep.remote_addr = IpAddr::v4(193, 0, 14, 10);
+  keep.label = "induced-failure";
+  fw.add_rule(keep);
+  FwRule deny;
+  deny.action = FwAction::kDeny;
+  deny.label = "induced-failure";
+  fw.add_rule(deny);
+
+  EXPECT_TRUE(fw.allows(out_packet(IpAddr::v4(193, 0, 14, 10)), Direction::kOut));
+  EXPECT_FALSE(fw.allows(out_packet(IpAddr::v4(45, 0, 32, 10)), Direction::kOut));
+  EXPECT_EQ(fw.remove_label("induced-failure"), 2u);
+  EXPECT_TRUE(fw.allows(out_packet(IpAddr::v4(45, 0, 32, 10)), Direction::kOut));
+}
+
+}  // namespace
+}  // namespace vpna::netsim

@@ -1,0 +1,151 @@
+#include "netsim/ip.h"
+
+#include <gtest/gtest.h>
+
+namespace vpna::netsim {
+namespace {
+
+TEST(IpAddr, V4Construction) {
+  const auto a = IpAddr::v4(8, 8, 8, 8);
+  EXPECT_TRUE(a.is_v4());
+  EXPECT_EQ(a.str(), "8.8.8.8");
+  EXPECT_EQ(a.v4_value(), 0x08080808u);
+  EXPECT_EQ(IpAddr::v4(0xC0A80001u).str(), "192.168.0.1");
+}
+
+TEST(IpAddr, V4Parse) {
+  const auto a = IpAddr::parse("203.0.113.7");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->str(), "203.0.113.7");
+}
+
+TEST(IpAddr, V4ParseRejectsMalformed) {
+  EXPECT_FALSE(IpAddr::parse("1.2.3"));
+  EXPECT_FALSE(IpAddr::parse("1.2.3.4.5"));
+  EXPECT_FALSE(IpAddr::parse("256.1.1.1"));
+  EXPECT_FALSE(IpAddr::parse("a.b.c.d"));
+  EXPECT_FALSE(IpAddr::parse(""));
+  EXPECT_FALSE(IpAddr::parse("1..2.3"));
+}
+
+TEST(IpAddr, V6GroupsAndString) {
+  const auto a = IpAddr::v6_groups({0x2001, 0xdb8, 0, 0, 0, 0, 0, 1});
+  EXPECT_TRUE(a.is_v6());
+  EXPECT_EQ(a.str(), "2001:db8::1");
+}
+
+TEST(IpAddr, V6ParseRoundTrip) {
+  for (const char* text :
+       {"2001:db8::1", "::1", "::", "fe80::aaaa:bbbb", "1:2:3:4:5:6:7:8"}) {
+    const auto a = IpAddr::parse(text);
+    ASSERT_TRUE(a.has_value()) << text;
+    const auto b = IpAddr::parse(a->str());
+    ASSERT_TRUE(b.has_value()) << a->str();
+    EXPECT_EQ(*a, *b) << text;
+  }
+}
+
+TEST(IpAddr, V6ParseRejectsMalformed) {
+  EXPECT_FALSE(IpAddr::parse("1:2:3"));
+  EXPECT_FALSE(IpAddr::parse("::1::2"));
+  EXPECT_FALSE(IpAddr::parse("1:2:3:4:5:6:7:8:9"));
+  EXPECT_FALSE(IpAddr::parse("gggg::1"));
+}
+
+TEST(IpAddr, UnspecifiedDetection) {
+  EXPECT_TRUE(IpAddr().is_unspecified());
+  EXPECT_TRUE(IpAddr::parse("::")->is_unspecified());
+  EXPECT_FALSE(IpAddr::v4(1, 0, 0, 0).is_unspecified());
+}
+
+TEST(IpAddr, V4ValueThrowsOnV6) {
+  const auto a = IpAddr::v6_groups({1, 0, 0, 0, 0, 0, 0, 0});
+  EXPECT_THROW((void)a.v4_value(), std::logic_error);
+}
+
+TEST(IpAddr, OrderingIsFamilyMajor) {
+  const auto v4 = IpAddr::v4(255, 255, 255, 255);
+  const auto v6 = IpAddr::parse("::1");
+  EXPECT_LT(v4, *v6);
+}
+
+TEST(Cidr, MasksNetworkAddress) {
+  const Cidr c(IpAddr::v4(10, 1, 2, 3), 8);
+  EXPECT_EQ(c.network().str(), "10.0.0.0");
+  EXPECT_EQ(c.str(), "10.0.0.0/8");
+}
+
+TEST(Cidr, ContainsMatchesPrefix) {
+  const auto c = Cidr::parse("192.168.0.0/16");
+  ASSERT_TRUE(c.has_value());
+  EXPECT_TRUE(c->contains(IpAddr::v4(192, 168, 42, 1)));
+  EXPECT_FALSE(c->contains(IpAddr::v4(192, 169, 0, 1)));
+  EXPECT_FALSE(c->contains(*IpAddr::parse("2001:db8::1")));
+}
+
+TEST(Cidr, NonOctetAlignedPrefix) {
+  const auto c = Cidr::parse("10.0.0.0/10");
+  ASSERT_TRUE(c.has_value());
+  EXPECT_TRUE(c->contains(IpAddr::v4(10, 63, 255, 255)));
+  EXPECT_FALSE(c->contains(IpAddr::v4(10, 64, 0, 0)));
+}
+
+TEST(Cidr, V6Prefix) {
+  const auto c = Cidr::parse("2001:db8::/32");
+  ASSERT_TRUE(c.has_value());
+  EXPECT_TRUE(c->contains(*IpAddr::parse("2001:db8:1234::1")));
+  EXPECT_FALSE(c->contains(*IpAddr::parse("2001:db9::1")));
+}
+
+TEST(Cidr, ParseRejectsMalformed) {
+  EXPECT_FALSE(Cidr::parse("10.0.0.0"));
+  EXPECT_FALSE(Cidr::parse("10.0.0.0/33"));
+  EXPECT_FALSE(Cidr::parse("10.0.0.0/-1"));
+  EXPECT_FALSE(Cidr::parse("2001:db8::/129"));
+  EXPECT_FALSE(Cidr::parse("notanip/8"));
+}
+
+TEST(Cidr, HostAt) {
+  const auto c = Cidr::parse("10.0.0.0/24");
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->host_at(5).str(), "10.0.0.5");
+  EXPECT_THROW((void)c->host_at(256), std::out_of_range);
+}
+
+TEST(Cidr, HostAtV6Throws) {
+  const auto c = Cidr::parse("2001:db8::/32");
+  ASSERT_TRUE(c.has_value());
+  EXPECT_THROW((void)c->host_at(1), std::logic_error);
+}
+
+TEST(Cidr, ZeroPrefixContainsEverything) {
+  const Cidr all(IpAddr::v4(0, 0, 0, 0), 0);
+  EXPECT_TRUE(all.contains(IpAddr::v4(1, 2, 3, 4)));
+  EXPECT_TRUE(all.contains(IpAddr::v4(255, 255, 255, 255)));
+}
+
+TEST(Cidr, EqualAfterMasking) {
+  const Cidr a(IpAddr::v4(10, 0, 0, 1), 24);
+  const Cidr b(IpAddr::v4(10, 0, 0, 200), 24);
+  EXPECT_EQ(a, b);
+}
+
+TEST(EnclosingBlock, V4SlashTwentyFour) {
+  const auto b = enclosing_block(IpAddr::v4(82, 102, 27, 99));
+  EXPECT_EQ(b.str(), "82.102.27.0/24");
+}
+
+TEST(EnclosingBlock, V6SlashFortyEight) {
+  const auto b = enclosing_block(*IpAddr::parse("2a0e:100:aaaa::1"));
+  EXPECT_EQ(b.prefix_len(), 48);
+}
+
+TEST(IpAddrHash, DistinguishesFamilies) {
+  const std::hash<IpAddr> h;
+  const auto v4 = IpAddr::v4(0, 0, 0, 1);
+  const auto v6 = IpAddr::parse("::1");
+  EXPECT_NE(h(v4), h(*v6));
+}
+
+}  // namespace
+}  // namespace vpna::netsim

@@ -1,0 +1,206 @@
+// Edge-case tests for the network fabric: forwarding loops, middlebox
+// in-place modification, nested transactions, ephemeral ports, traceroute
+// boundary behaviour, and status naming.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "netsim/network.h"
+
+namespace vpna::netsim {
+namespace {
+
+class EdgeFixture : public ::testing::Test {
+ protected:
+  EdgeFixture() : net_(clock_, util::Rng(9), 0.0), a_("a"), b_("b") {
+    r0_ = net_.add_router("r0");
+    r1_ = net_.add_router("r1");
+    net_.add_link(r0_, r1_, 5.0);
+    setup(a_, IpAddr::v4(10, 0, 0, 1), r0_);
+    setup(b_, IpAddr::v4(10, 0, 0, 2), r1_);
+  }
+
+  void setup(Host& h, IpAddr addr, RouterId r) {
+    h.add_interface("eth0", addr, std::nullopt);
+    h.routes().add(Route{*Cidr::parse("0.0.0.0/0"), "eth0", std::nullopt, 0});
+    net_.attach_host(h, r, 0.5);
+  }
+
+  Packet to_b(Proto proto = Proto::kUdp, std::uint16_t port = 9) {
+    Packet p;
+    p.dst = IpAddr::v4(10, 0, 0, 2);
+    p.proto = proto;
+    p.dst_port = port;
+    p.payload = "x";
+    return p;
+  }
+
+  util::SimClock clock_;
+  Network net_;
+  Host a_;
+  Host b_;
+  RouterId r0_ = 0, r1_ = 0;
+};
+
+TEST_F(EdgeFixture, TunnelRoutedThroughItselfIsDroppedNotInfinite) {
+  // A tunnel whose outer destination is routed back into the tunnel: the
+  // recursion guard must drop it instead of recursing forever.
+  a_.add_interface("tun0", IpAddr::v4(10, 8, 0, 2), std::nullopt);
+  a_.routes().remove_interface("eth0");
+  a_.routes().add(Route{*Cidr::parse("0.0.0.0/0"), "tun0", std::nullopt, 0});
+  a_.set_tunnel_hook("tun0", [](const Packet& inner) -> std::optional<Packet> {
+    Packet outer;
+    outer.dst = IpAddr::v4(10, 0, 0, 2);  // routed via tun0 again
+    outer.proto = Proto::kUdp;
+    outer.dst_port = 1194;
+    outer.payload = encode_inner(inner);
+    return outer;
+  });
+  net_.refresh_host(a_);
+  const auto res = net_.transact(a_, to_b());
+  EXPECT_EQ(res.status, TransactStatus::kDropped);
+}
+
+TEST_F(EdgeFixture, TunnelHookReturningNulloptDrops) {
+  a_.add_interface("tun0", IpAddr::v4(10, 8, 0, 2), std::nullopt);
+  a_.routes().add(Route{*Cidr::parse("10.0.0.2/32"), "tun0", std::nullopt, 0});
+  a_.set_tunnel_hook("tun0",
+                     [](const Packet&) -> std::optional<Packet> {
+                       return std::nullopt;  // tunnel down, failing closed
+                     });
+  net_.refresh_host(a_);
+  const auto res = net_.transact(a_, to_b());
+  EXPECT_EQ(res.status, TransactStatus::kDropped);
+  EXPECT_TRUE(res.via_tunnel);
+}
+
+TEST_F(EdgeFixture, MiddleboxMayModifyInFlight) {
+  class Rewriter final : public Middlebox {
+   public:
+    Verdict on_transit(Packet& p) override {
+      p.payload = "rewritten";
+      return {};  // pass, modified
+    }
+  };
+  net_.set_middlebox(r1_, std::make_shared<Rewriter>());
+  b_.bind_service(Proto::kUdp, 9,
+                  std::make_shared<LambdaService>(
+                      [](ServiceContext& ctx) -> std::optional<std::string> {
+                        return "got:" + ctx.request.payload;
+                      }));
+  const auto res = net_.transact(a_, to_b());
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.reply, "got:rewritten");
+}
+
+TEST_F(EdgeFixture, NestedServiceTransactionsCompose) {
+  // b's service calls through to a second host (proxy pattern); latencies
+  // accumulate across the nesting.
+  Host c("c");
+  setup(c, IpAddr::v4(10, 0, 0, 3), r1_);
+  c.bind_service(Proto::kUdp, 9,
+                 std::make_shared<LambdaService>(
+                     [](ServiceContext&) -> std::optional<std::string> {
+                       return "from-c";
+                     }));
+  b_.bind_service(
+      Proto::kUdp, 9,
+      std::make_shared<LambdaService>(
+          [](ServiceContext& ctx) -> std::optional<std::string> {
+            Packet fwd;
+            fwd.dst = IpAddr::v4(10, 0, 0, 3);
+            fwd.proto = Proto::kUdp;
+            fwd.src_port = ctx.host.next_ephemeral_port();
+            fwd.dst_port = 9;
+            const auto res = ctx.network.transact(ctx.host, std::move(fwd));
+            if (!res.ok()) return std::nullopt;
+            return "via-b:" + res.reply;
+          }));
+  const auto direct = net_.transact(a_, to_b());
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(direct.reply, "via-b:from-c");
+  // The nested hop's time is part of the measured RTT.
+  EXPECT_GT(direct.rtt_ms, 11.0);
+}
+
+TEST_F(EdgeFixture, EphemeralPortsAdvanceAndWrap) {
+  Host h("ports");
+  const auto first = h.next_ephemeral_port();
+  EXPECT_GE(first, 49152);
+  std::uint16_t prev = first;
+  bool wrapped = false;
+  for (int i = 0; i < 70000; ++i) {
+    const auto p = h.next_ephemeral_port();
+    if (p < prev) wrapped = true;
+    EXPECT_GE(p, 49152);
+    prev = p;
+  }
+  EXPECT_TRUE(wrapped);
+}
+
+TEST_F(EdgeFixture, TracerouteToUnreachableStopsEarly) {
+  const auto tr = net_.traceroute(a_, IpAddr::v4(203, 0, 113, 1), 30);
+  EXPECT_FALSE(tr.reached);
+  EXPECT_LE(tr.hops.size(), 1u);
+}
+
+TEST_F(EdgeFixture, TracerouteMaxTtlCapsProbes) {
+  const auto tr = net_.traceroute(a_, IpAddr::v4(10, 0, 0, 2), 1);
+  EXPECT_FALSE(tr.reached);
+  ASSERT_EQ(tr.hops.size(), 1u);
+  EXPECT_EQ(*tr.hops[0].router, net_.router_addr(r0_));
+}
+
+TEST_F(EdgeFixture, StatusNamesCoverAllValues) {
+  for (const auto status :
+       {TransactStatus::kOk, TransactStatus::kNoRoute,
+        TransactStatus::kInterfaceDown, TransactStatus::kBlockedLocal,
+        TransactStatus::kBlockedRemote, TransactStatus::kNoSuchHost,
+        TransactStatus::kNoService, TransactStatus::kNoReply,
+        TransactStatus::kDropped, TransactStatus::kTtlExpired}) {
+    EXPECT_NE(status_name(status), "unknown");
+    EXPECT_FALSE(status_name(status).empty());
+  }
+}
+
+TEST_F(EdgeFixture, UnspecifiedSourceGetsFilledFromEgressInterface) {
+  b_.bind_service(Proto::kUdp, 9,
+                  std::make_shared<LambdaService>(
+                      [](ServiceContext& ctx) -> std::optional<std::string> {
+                        return ctx.request.src.str();
+                      }));
+  Packet p = to_b();
+  p.src = IpAddr();  // unspecified
+  const auto res = net_.transact(a_, std::move(p));
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.reply, "10.0.0.1");
+}
+
+TEST_F(EdgeFixture, DisconnectedRouterPairHasNoPath) {
+  const auto island = net_.add_router("island");
+  Host h("islander");
+  h.add_interface("eth0", IpAddr::v4(10, 0, 0, 9), std::nullopt);
+  h.routes().add(Route{*Cidr::parse("0.0.0.0/0"), "eth0", std::nullopt, 0});
+  net_.attach_host(h, island, 0.5);
+  const auto res = net_.transact(a_, [&] {
+    Packet p;
+    p.dst = IpAddr::v4(10, 0, 0, 9);
+    p.proto = Proto::kUdp;
+    p.dst_port = 9;
+    return p;
+  }());
+  EXPECT_EQ(res.status, TransactStatus::kNoRoute);
+  EXPECT_FALSE(net_.base_latency_ms(a_, h).has_value());
+}
+
+TEST_F(EdgeFixture, SendingFromUnattachedHostFails) {
+  Host lonely("lonely");
+  lonely.add_interface("eth0", IpAddr::v4(172, 16, 0, 1), std::nullopt);
+  lonely.routes().add(
+      Route{*Cidr::parse("0.0.0.0/0"), "eth0", std::nullopt, 0});
+  const auto res = net_.transact(lonely, to_b());
+  EXPECT_EQ(res.status, TransactStatus::kNoRoute);
+}
+
+}  // namespace
+}  // namespace vpna::netsim

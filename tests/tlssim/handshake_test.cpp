@@ -1,0 +1,125 @@
+#include "tlssim/handshake.h"
+
+#include <gtest/gtest.h>
+
+namespace vpna::tlssim {
+namespace {
+
+TEST(WireForms, ClientHelloRoundTrip) {
+  const auto payload = encode_client_hello("www.example.com");
+  const auto sni = decode_client_hello(payload);
+  ASSERT_TRUE(sni.has_value());
+  EXPECT_EQ(*sni, "www.example.com");
+  EXPECT_FALSE(decode_client_hello("GET / HTTP/1.1").has_value());
+}
+
+TEST(WireForms, ServerHelloRoundTrip) {
+  const auto chain = issue_chain("x.com", "CA", 5);
+  const auto decoded = decode_server_hello(encode_server_hello(chain));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->leaf()->key_fingerprint, chain.leaf()->key_fingerprint);
+  EXPECT_FALSE(decode_server_hello("TLSH|x").has_value());
+}
+
+class HandshakeFixture : public ::testing::Test {
+ protected:
+  HandshakeFixture() : net_(clock_, util::Rng(4), 0.0), client_("c"), server_("s") {
+    const auto r0 = net_.add_router("r0");
+    const auto r1 = net_.add_router("r1");
+    net_.add_link(r0, r1, 5.0);
+    client_.add_interface("eth0", netsim::IpAddr::v4(71, 80, 0, 10), std::nullopt);
+    client_.routes().add(netsim::Route{*netsim::Cidr::parse("0.0.0.0/0"),
+                                       "eth0", std::nullopt, 0});
+    net_.attach_host(client_, r0, 0.5);
+    server_.add_interface("eth0", netsim::IpAddr::v4(45, 0, 0, 10), std::nullopt);
+    server_.routes().add(netsim::Route{*netsim::Cidr::parse("0.0.0.0/0"),
+                                       "eth0", std::nullopt, 0});
+    net_.attach_host(server_, r1, 0.5);
+
+    store_.trust("SimTrust Root CA");
+    terminator_ = std::make_shared<TlsTerminator>(nullptr);
+    terminator_->set_chain(
+        "www.site.com", issue_chain("www.site.com", "SimTrust Root CA", 1));
+    server_.bind_service(netsim::Proto::kTcp, netsim::kPortHttps, terminator_);
+  }
+
+  util::SimClock clock_;
+  netsim::Network net_;
+  netsim::Host client_;
+  netsim::Host server_;
+  CaStore store_;
+  std::shared_ptr<TlsTerminator> terminator_;
+};
+
+TEST_F(HandshakeFixture, SuccessfulHandshakeValidates) {
+  const auto hs = tls_handshake(net_, client_, netsim::IpAddr::v4(45, 0, 0, 10),
+                                "www.site.com", store_);
+  ASSERT_TRUE(hs.completed());
+  EXPECT_EQ(hs.validation, ValidationStatus::kValid);
+  EXPECT_GT(hs.rtt_ms, 0.0);
+}
+
+TEST_F(HandshakeFixture, UnknownSniFailsHandshake) {
+  const auto hs = tls_handshake(net_, client_, netsim::IpAddr::v4(45, 0, 0, 10),
+                                "other.com", store_);
+  EXPECT_FALSE(hs.completed());
+  EXPECT_EQ(hs.transport, netsim::TransactStatus::kNoReply);
+}
+
+TEST_F(HandshakeFixture, InterceptionChainFailsValidation) {
+  terminator_->set_chain("www.site.com",
+                         issue_chain("www.site.com", "Intercept CA", 9));
+  const auto hs = tls_handshake(net_, client_, netsim::IpAddr::v4(45, 0, 0, 10),
+                                "www.site.com", store_);
+  ASSERT_TRUE(hs.completed());
+  EXPECT_EQ(hs.validation, ValidationStatus::kUntrustedRoot);
+  EXPECT_EQ(hs.chain->root()->issuer, "Intercept CA");
+}
+
+TEST_F(HandshakeFixture, HandshakeRttExceedsPlainExchange) {
+  // TLS costs extra flights: its RTT must exceed a bare ping.
+  const auto ping = net_.ping(client_, netsim::IpAddr::v4(45, 0, 0, 10));
+  ASSERT_TRUE(ping.has_value());
+  const auto hs = tls_handshake(net_, client_, netsim::IpAddr::v4(45, 0, 0, 10),
+                                "www.site.com", store_);
+  ASSERT_TRUE(hs.completed());
+  EXPECT_GT(hs.rtt_ms, *ping * 1.9);
+}
+
+TEST_F(HandshakeFixture, WildcardChainServesSubdomains) {
+  terminator_->set_chain("*.site.com",
+                         issue_chain("*.site.com", "SimTrust Root CA", 2));
+  const auto hs = tls_handshake(net_, client_, netsim::IpAddr::v4(45, 0, 0, 10),
+                                "api.site.com", store_);
+  ASSERT_TRUE(hs.completed());
+  EXPECT_EQ(hs.validation, ValidationStatus::kValid);
+}
+
+TEST_F(HandshakeFixture, AppDataDelegation) {
+  auto app = std::make_shared<netsim::LambdaService>(
+      [](netsim::ServiceContext&) -> std::optional<std::string> {
+        return "app-data-response";
+      });
+  auto term = std::make_shared<TlsTerminator>(app);
+  term->set_chain("www.site.com",
+                  issue_chain("www.site.com", "SimTrust Root CA", 1));
+  server_.bind_service(netsim::Proto::kTcp, netsim::kPortHttps, term);
+
+  netsim::Packet p;
+  p.dst = netsim::IpAddr::v4(45, 0, 0, 10);
+  p.proto = netsim::Proto::kTcp;
+  p.dst_port = netsim::kPortHttps;
+  p.payload = "anything non-TLSH";
+  const auto res = net_.transact(client_, std::move(p));
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.reply, "app-data-response");
+}
+
+TEST_F(HandshakeFixture, UnreachableServer) {
+  const auto hs = tls_handshake(net_, client_, netsim::IpAddr::v4(9, 9, 9, 9),
+                                "www.site.com", store_);
+  EXPECT_FALSE(hs.completed());
+}
+
+}  // namespace
+}  // namespace vpna::tlssim

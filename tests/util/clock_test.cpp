@@ -1,0 +1,43 @@
+#include "util/clock.h"
+
+#include <gtest/gtest.h>
+
+namespace vpna::util {
+namespace {
+
+TEST(SimTime, Conversions) {
+  const auto t = SimTime::from_millis(1500);
+  EXPECT_EQ(t.micros(), 1500000);
+  EXPECT_DOUBLE_EQ(t.millis(), 1500.0);
+  EXPECT_DOUBLE_EQ(t.seconds(), 1.5);
+}
+
+TEST(SimTime, Arithmetic) {
+  const auto a = SimTime::from_seconds(2);
+  const auto b = SimTime::from_seconds(0.5);
+  EXPECT_DOUBLE_EQ((a + b).seconds(), 2.5);
+  EXPECT_DOUBLE_EQ((a - b).seconds(), 1.5);
+  EXPECT_LT(b, a);
+}
+
+TEST(SimClock, StartsAtZero) {
+  SimClock c;
+  EXPECT_EQ(c.now().micros(), 0);
+}
+
+TEST(SimClock, AdvancesMonotonically) {
+  SimClock c;
+  c.advance_millis(10);
+  c.advance_seconds(1);
+  EXPECT_DOUBLE_EQ(c.now().millis(), 1010.0);
+}
+
+TEST(SimClock, IgnoresNegativeDeltas) {
+  SimClock c;
+  c.advance_millis(5);
+  c.advance(SimTime::from_millis(-100));
+  EXPECT_DOUBLE_EQ(c.now().millis(), 5.0);
+}
+
+}  // namespace
+}  // namespace vpna::util

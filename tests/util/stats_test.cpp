@@ -1,0 +1,117 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace vpna::util {
+namespace {
+
+TEST(Summarize, EmptySample) {
+  const auto s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Summarize, BasicSample) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const auto s = summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.max, 5);
+  EXPECT_DOUBLE_EQ(s.mean, 3);
+  EXPECT_DOUBLE_EQ(s.median, 3);
+  EXPECT_NEAR(s.stddev, 1.4142, 1e-3);
+}
+
+TEST(Quantile, MedianAndExtremes) {
+  const std::vector<double> xs = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 10);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 40);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 25);
+}
+
+TEST(Quantile, InterpolatesLinearly) {
+  const std::vector<double> xs = {0, 10};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+}
+
+TEST(Quantile, ThrowsOnEmpty) {
+  EXPECT_THROW((void)quantile({}, 0.5), std::invalid_argument);
+}
+
+TEST(Quantile, ClampsOutOfRangeQ) {
+  const std::vector<double> xs = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(quantile(xs, -0.5), 1);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.5), 3);
+}
+
+TEST(Ecdf, EvaluatesFractions) {
+  const std::vector<double> sample = {1, 2, 3, 4};
+  const std::vector<double> grid = {0.5, 2, 10};
+  const auto cdf = ecdf_at(sample, grid);
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0], 0.0);
+  EXPECT_DOUBLE_EQ(cdf[1], 0.5);
+  EXPECT_DOUBLE_EQ(cdf[2], 1.0);
+}
+
+TEST(Ecdf, EmptySampleGivesZeros) {
+  const std::vector<double> grid = {1, 2};
+  const auto cdf = ecdf_at({}, grid);
+  EXPECT_DOUBLE_EQ(cdf[0], 0.0);
+  EXPECT_DOUBLE_EQ(cdf[1], 0.0);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> a = {1, 2, 3, 4};
+  const std::vector<double> b = {2, 4, 6, 8};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectAnticorrelation) {
+  const std::vector<double> a = {1, 2, 3, 4};
+  const std::vector<double> b = {8, 6, 4, 2};
+  EXPECT_NEAR(pearson(a, b), -1.0, 1e-12);
+}
+
+TEST(Pearson, ZeroVarianceGivesZero) {
+  const std::vector<double> a = {1, 1, 1};
+  const std::vector<double> b = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson(a, b), 0.0);
+}
+
+TEST(Pearson, SizeMismatchGivesZero) {
+  const std::vector<double> a = {1, 2};
+  const std::vector<double> b = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson(a, b), 0.0);
+}
+
+TEST(Ranks, AveragesTies) {
+  const std::vector<double> xs = {10, 20, 20, 30};
+  const auto r = ranks(xs);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(Spearman, MonotoneNonlinearIsPerfect) {
+  const std::vector<double> a = {1, 2, 3, 4, 5};
+  const std::vector<double> b = {1, 4, 9, 16, 25};  // monotone in a
+  EXPECT_NEAR(spearman(a, b), 1.0, 1e-12);
+}
+
+TEST(Spearman, ReversedOrderIsMinusOne) {
+  const std::vector<double> a = {1, 2, 3, 4};
+  const std::vector<double> b = {9, 7, 5, 3};
+  EXPECT_NEAR(spearman(a, b), -1.0, 1e-12);
+}
+
+TEST(Percent, Formats) {
+  EXPECT_EQ(percent(0.1234), "12.3%");
+  EXPECT_EQ(percent(1.0), "100.0%");
+}
+
+}  // namespace
+}  // namespace vpna::util

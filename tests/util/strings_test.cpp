@@ -1,0 +1,68 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace vpna::util {
+namespace {
+
+TEST(Split, BasicFields) {
+  const auto v = split("a,b,c", ',');
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], "a");
+  EXPECT_EQ(v[2], "c");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  const auto v = split("a,,c,", ',');
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[1], "");
+  EXPECT_EQ(v[3], "");
+}
+
+TEST(Split, SingleField) {
+  const auto v = split("abc", ',');
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], "abc");
+}
+
+TEST(Join, RoundTripsWithSplit) {
+  const std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(join(parts, "-"), "x-y-z");
+  EXPECT_EQ(split(join(parts, ","), ','), parts);
+}
+
+TEST(Join, EmptyVector) { EXPECT_EQ(join({}, ","), ""); }
+
+TEST(Trim, StripsWhitespace) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("a"), "a");
+}
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(to_lower("HeLLo-123"), "hello-123");
+}
+
+TEST(StartsEndsWith, Basics) {
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_FALSE(starts_with("fo", "foo"));
+  EXPECT_TRUE(ends_with("foobar", "bar"));
+  EXPECT_FALSE(ends_with("ar", "bar"));
+  EXPECT_TRUE(contains("abcdef", "cde"));
+  EXPECT_FALSE(contains("abcdef", "xyz"));
+}
+
+TEST(Format, PrintfSemantics) {
+  EXPECT_EQ(format("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(format("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(format("plain"), "plain");
+}
+
+TEST(Format, LongOutput) {
+  const std::string big(500, 'a');
+  EXPECT_EQ(format("%s", big.c_str()).size(), 500u);
+}
+
+}  // namespace
+}  // namespace vpna::util

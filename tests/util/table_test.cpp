@@ -1,0 +1,63 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace vpna::util {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"Name", "Value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const auto s = t.render();
+  EXPECT_NE(s.find("Name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"A", "B"});
+  t.add_row({"xxxx", "y"});
+  const auto s = t.render();
+  // "B" in the header must start at the same column as "y" in the row.
+  const auto lines = [&] {
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+      if (c == '\n') {
+        out.push_back(cur);
+        cur.clear();
+      } else {
+        cur += c;
+      }
+    }
+    return out;
+  }();
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_EQ(lines[0].find('B'), lines[2].find('y'));
+}
+
+TEST(TextTable, ShortRowsRenderEmptyCells) {
+  TextTable t({"A", "B", "C"});
+  t.add_row({"only-a"});
+  EXPECT_NE(t.render().find("only-a"), std::string::npos);
+}
+
+TEST(AsciiBar, ProportionalLength) {
+  EXPECT_EQ(ascii_bar(50, 100, 10).size(), 5u);
+  EXPECT_EQ(ascii_bar(100, 100, 10).size(), 10u);
+}
+
+TEST(AsciiBar, MinimumOneCellForPositive) {
+  EXPECT_EQ(ascii_bar(0.001, 100, 10).size(), 1u);
+}
+
+TEST(AsciiBar, ZeroAndDegenerateInputs) {
+  EXPECT_TRUE(ascii_bar(0, 100, 10).empty());
+  EXPECT_TRUE(ascii_bar(5, 0, 10).empty());
+  EXPECT_TRUE(ascii_bar(5, 100, 0).empty());
+}
+
+}  // namespace
+}  // namespace vpna::util

@@ -1,0 +1,201 @@
+// Deployment tests: vantage-point placement, virtual-location geo spoofing,
+// and the physics that betrays it.
+#include <gtest/gtest.h>
+
+#include "vpn/deploy.h"
+
+namespace vpna::vpn {
+namespace {
+
+TEST(Deploy, PlacesVantagePointsInDeclaredDatacenters) {
+  inet::World w(811);
+  ProviderSpec spec;
+  spec.name = "SpreadVPN";
+  spec.vantage_points = {
+      {"us-1", "Seattle", "US", "Seattle", "rentweb-sea"},
+      {"jp-1", "Tokyo", "JP", "Tokyo", "sakura-tyo"},
+  };
+  const auto deployed = deploy_provider(w, spec);
+  ASSERT_EQ(deployed.vantage_points.size(), 2u);
+  EXPECT_TRUE(w.datacenter_by_id("rentweb-sea")->pool4.contains(
+      deployed.vantage_points[0].addr));
+  EXPECT_TRUE(w.datacenter_by_id("sakura-tyo")->pool4.contains(
+      deployed.vantage_points[1].addr));
+  EXPECT_EQ(deployed.vantage_point("jp-1")->hosting_provider, "SakuraDC");
+}
+
+TEST(Deploy, RejectsUnknownDatacenter) {
+  inet::World w(811);
+  ProviderSpec spec;
+  spec.name = "BadVPN";
+  spec.vantage_points = {{"x", "Seattle", "US", "Seattle", "no-such-dc"}};
+  EXPECT_THROW((void)deploy_provider(w, spec), std::logic_error);
+}
+
+TEST(Deploy, RejectsCityDatacenterMismatch) {
+  inet::World w(811);
+  ProviderSpec spec;
+  spec.name = "BadVPN";
+  spec.vantage_points = {{"x", "Tokyo", "JP", "Tokyo", "rentweb-sea"}};
+  EXPECT_THROW((void)deploy_provider(w, spec), std::logic_error);
+}
+
+TEST(Deploy, HonestVantagePointGeolocatesTruthfully) {
+  inet::World w(811);
+  ProviderSpec spec;
+  spec.name = "HonestVPN";
+  spec.vantage_points = {{"no-1", "Oslo", "NO", "Oslo", "gigacloud-osl"}};
+  const auto deployed = deploy_provider(w, spec);
+  const auto rec = w.db_maxmind().lookup(deployed.vantage_points[0].addr);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->country_code, "NO");
+}
+
+TEST(Deploy, VirtualVantagePointFoolsRegistrationTrustingDb) {
+  inet::World w(811);
+  ProviderSpec spec;
+  spec.name = "VirtualVPN";
+  // Advertises Pyongyang; physically in Seattle (the HideMyAss pattern).
+  spec.vantage_points = {
+      {"kp-1", "Pyongyang", "KP", "Seattle", "rentweb-sea"}};
+  const auto deployed = deploy_provider(w, spec);
+  const auto addr = deployed.vantage_points[0].addr;
+
+  // Registration-trusting database believes the spoof...
+  const auto mm = w.db_maxmind().lookup(addr);
+  ASSERT_TRUE(mm.has_value());
+  EXPECT_EQ(mm->country_code, "KP");
+  // ...the measurement-backed one does not.
+  const auto gg = w.db_google().lookup(addr);
+  ASSERT_TRUE(gg.has_value());
+  EXPECT_EQ(gg->country_code, "US");
+}
+
+TEST(Deploy, VirtualVantagePointBetrayedByRttPhysics) {
+  inet::World w(811);
+  ProviderSpec spec;
+  spec.name = "VirtualVPN";
+  spec.vantage_points = {
+      {"kp-1", "Pyongyang", "KP", "Seattle", "rentweb-sea"}};
+  const auto deployed = deploy_provider(w, spec);
+
+  // Ping the vantage point from an anchor-like host in Seattle: the RTT is
+  // far below what's physically possible if it were in Pyongyang.
+  auto& seattle_probe = w.spawn_client("Seattle", "probe-sea");
+  const auto rtt =
+      w.network().ping(seattle_probe, deployed.vantage_points[0].addr);
+  ASSERT_TRUE(rtt.has_value());
+  const auto claimed = geo::city_by_name("Pyongyang")->location;
+  const auto probe_loc = geo::city_by_name("Seattle")->location;
+  EXPECT_LT(*rtt, geo::min_rtt_ms(probe_loc, claimed));
+}
+
+TEST(Deploy, WhoisStillShowsHostingProvider) {
+  inet::World w(811);
+  ProviderSpec spec;
+  spec.name = "VirtualVPN";
+  spec.vantage_points = {
+      {"kp-1", "Pyongyang", "KP", "Seattle", "rentweb-sea"}};
+  const auto deployed = deploy_provider(w, spec);
+  const auto rec = w.whois().lookup(deployed.vantage_points[0].addr);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->organisation, "RentWeb BV");
+  EXPECT_EQ(rec->country_code, "US");
+}
+
+TEST(Deploy, SmallSharedFacilityYieldsSharedBlocks) {
+  // Two providers renting in the same budget facility (a /24 pool with no
+  // room for tenant slices) end up in the same block — the §6.3
+  // infrastructure-sharing signal.
+  inet::World w(811);
+  ProviderSpec a;
+  a.name = "AlphaVPN";
+  a.vantage_points = {{"no-1", "Oslo", "NO", "Oslo", "gigacloud-osl"}};
+  ProviderSpec b;
+  b.name = "BetaVPN";
+  b.vantage_points = {{"no-1", "Oslo", "NO", "Oslo", "gigacloud-osl"}};
+  const auto da = deploy_provider(w, a);
+  const auto db = deploy_provider(w, b);
+  EXPECT_EQ(netsim::enclosing_block(da.vantage_points[0].addr),
+            netsim::enclosing_block(db.vantage_points[0].addr));
+  EXPECT_NE(da.vantage_points[0].addr, db.vantage_points[0].addr);
+}
+
+TEST(Deploy, LargeFacilitySlicesPerTenant) {
+  // In a facility with a large pool, each tenant rents its own /24: no
+  // accidental block sharing.
+  inet::World w(811);
+  ProviderSpec a;
+  a.name = "AlphaVPN";
+  a.vantage_points = {{"ch-1", "Zurich", "CH", "Zurich", "privatetier-zrh"}};
+  ProviderSpec b;
+  b.name = "BetaVPN";
+  b.vantage_points = {{"ch-1", "Zurich", "CH", "Zurich", "privatetier-zrh"}};
+  const auto da = deploy_provider(w, a);
+  const auto db = deploy_provider(w, b);
+  EXPECT_NE(netsim::enclosing_block(da.vantage_points[0].addr),
+            netsim::enclosing_block(db.vantage_points[0].addr));
+  // Both slices still fall inside the facility's WHOIS allocation.
+  const auto ra = w.whois().lookup(da.vantage_points[0].addr);
+  const auto rb = w.whois().lookup(db.vantage_points[0].addr);
+  ASSERT_TRUE(ra && rb);
+  EXPECT_EQ(ra->block, rb->block);
+  EXPECT_EQ(ra->block.str(), "179.43.128.0/18");
+}
+
+TEST(Deploy, PrivatePlacementCreatesDedicatedFacility) {
+  // An empty datacenter id rents a provider-private /24 in the city.
+  inet::World w(811);
+  ProviderSpec spec;
+  spec.name = "SoloVPN";
+  spec.vantage_points = {{"jp-1", "Tokyo", "JP", "Tokyo", ""},
+                         {"jp-2", "Tokyo", "JP", "Tokyo", ""}};
+  const auto deployed = deploy_provider(w, spec);
+  ASSERT_EQ(deployed.vantage_points.size(), 2u);
+  // Both vantage points share the provider's private /24...
+  EXPECT_EQ(netsim::enclosing_block(deployed.vantage_points[0].addr),
+            netsim::enclosing_block(deployed.vantage_points[1].addr));
+  // ...whose WHOIS record names a reseller, not a public hosting brand.
+  const auto rec = w.whois().lookup(deployed.vantage_points[0].addr);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->block.prefix_len(), 24);
+  // And the geo registry knows the facility's honest location.
+  const auto geo_rec = w.db_maxmind().lookup(deployed.vantage_points[0].addr);
+  ASSERT_TRUE(geo_rec.has_value());
+  EXPECT_EQ(geo_rec->country_code, "JP");
+}
+
+TEST(Deploy, MultipleProtocolsBound) {
+  inet::World w(811);
+  ProviderSpec spec;
+  spec.name = "MultiProtoVPN";
+  spec.protocols = {TunnelProtocol::kOpenVpn, TunnelProtocol::kPptp,
+                    TunnelProtocol::kIpsec};
+  spec.vantage_points = {{"de-1", "Frankfurt", "DE", "Frankfurt", "hosteu-fra"}};
+  const auto deployed = deploy_provider(w, spec);
+  auto* host = deployed.vantage_points[0].host;
+  EXPECT_NE(host->find_service(netsim::Proto::kUdp, netsim::kPortOpenVpn),
+            nullptr);
+  EXPECT_NE(host->find_service(netsim::Proto::kUdp, netsim::kPortPptp), nullptr);
+  EXPECT_NE(host->find_service(netsim::Proto::kUdp, netsim::kPortIpsec), nullptr);
+}
+
+TEST(Deploy, ProtocolMetadataConsistent) {
+  EXPECT_EQ(protocol_name(TunnelProtocol::kOpenVpn), "OpenVPN");
+  EXPECT_EQ(protocol_port(TunnelProtocol::kOpenVpn), netsim::kPortOpenVpn);
+  EXPECT_EQ(protocol_name(TunnelProtocol::kPptp), "PPTP");
+  EXPECT_EQ(subscription_name(SubscriptionType::kFree), "Free");
+}
+
+TEST(Deploy, VantagePointLookupById) {
+  inet::World w(811);
+  ProviderSpec spec;
+  spec.name = "X";
+  spec.vantage_points = {{"a-1", "Oslo", "NO", "Oslo", "gigacloud-osl"}};
+  const auto deployed = deploy_provider(w, spec);
+  EXPECT_NE(deployed.vantage_point("a-1"), nullptr);
+  EXPECT_EQ(deployed.vantage_point("zz"), nullptr);
+}
+
+}  // namespace
+}  // namespace vpna::vpn

@@ -1,0 +1,146 @@
+// OpenVPN-configuration tests: round-trips, hardening directives, and the
+// §6.5 consequence — a third-party client enacts only what the file says.
+#include "vpn/ovpn_config.h"
+
+#include <gtest/gtest.h>
+
+#include "core/leakage_tests.h"
+#include "dns/client.h"
+#include "vpn/client.h"
+#include "vpn/deploy.h"
+
+namespace vpna::vpn {
+namespace {
+
+TEST(OvpnConfig, SerializeParseRoundTrip) {
+  OvpnConfig config;
+  config.remark = "TestVPN generated profile";
+  config.remote_host = "45.1.192.10";
+  config.remote_port = 1194;
+  config.redirect_gateway = true;
+  config.dhcp_dns = {tunnel_gateway_addr()};
+  config.block_outside_dns = true;
+  config.block_ipv6 = true;
+
+  const auto parsed = OvpnConfig::parse(config.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->remote_host, config.remote_host);
+  EXPECT_EQ(parsed->remote_port, config.remote_port);
+  EXPECT_TRUE(parsed->redirect_gateway);
+  ASSERT_EQ(parsed->dhcp_dns.size(), 1u);
+  EXPECT_EQ(parsed->dhcp_dns[0], tunnel_gateway_addr());
+  EXPECT_TRUE(parsed->block_outside_dns);
+  EXPECT_TRUE(parsed->block_ipv6);
+  EXPECT_EQ(parsed->remark, config.remark);
+}
+
+TEST(OvpnConfig, ParseIgnoresUnknownDirectives) {
+  const auto parsed = OvpnConfig::parse(
+      "client\nnobind\nremote 10.1.2.3 1194\ncipher AES-256-GCM\n"
+      "remote-cert-tls server\n");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->remote_host, "10.1.2.3");
+  EXPECT_FALSE(parsed->redirect_gateway);
+}
+
+TEST(OvpnConfig, ParseRequiresRemote) {
+  EXPECT_FALSE(OvpnConfig::parse("client\ndev tun\n").has_value());
+  EXPECT_FALSE(OvpnConfig::parse("").has_value());
+}
+
+TEST(OvpnConfig, ParseToleratesMalformedFields) {
+  const auto parsed = OvpnConfig::parse(
+      "remote 10.0.0.1 notaport\ndhcp-option DNS not-an-ip\n");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->remote_port, netsim::kPortOpenVpn);  // default kept
+  EXPECT_TRUE(parsed->dhcp_dns.empty());
+}
+
+TEST(OvpnConfig, HardenedProviderEmitsHardenedConfig) {
+  ProviderSpec spec;
+  spec.name = "CarefulVPN";
+  const auto config =
+      make_provider_config(spec, netsim::IpAddr::v4(45, 1, 192, 10));
+  EXPECT_FALSE(config.dhcp_dns.empty());
+  EXPECT_TRUE(config.block_outside_dns);
+  EXPECT_TRUE(config.block_ipv6);
+  const auto text = config.serialize();
+  EXPECT_NE(text.find("dhcp-option DNS 10.8.0.1"), std::string::npos);
+  EXPECT_NE(text.find("block-ipv6"), std::string::npos);
+}
+
+TEST(OvpnConfig, CarelessProviderOmitsHardening) {
+  ProviderSpec spec;
+  spec.name = "CarelessVPN";
+  spec.behavior.redirects_dns = false;
+  spec.behavior.blocks_ipv6 = false;
+  const auto config =
+      make_provider_config(spec, netsim::IpAddr::v4(45, 1, 192, 10));
+  EXPECT_TRUE(config.dhcp_dns.empty());
+  EXPECT_FALSE(config.block_outside_dns);
+  EXPECT_FALSE(config.block_ipv6);
+}
+
+TEST(OvpnConfig, BehaviorFromConfigEnactsOnlyTheFile) {
+  OvpnConfig bare;
+  bare.remote_host = "45.1.192.10";
+  const auto bare_behavior = behavior_from_config(bare);
+  EXPECT_FALSE(bare_behavior.redirects_dns);
+  EXPECT_FALSE(bare_behavior.blocks_ipv6);
+  EXPECT_TRUE(bare_behavior.fails_open);
+  EXPECT_FALSE(bare_behavior.has_kill_switch);
+
+  OvpnConfig hardened = bare;
+  hardened.dhcp_dns = {tunnel_gateway_addr()};
+  hardened.block_ipv6 = true;
+  const auto hardened_behavior = behavior_from_config(hardened);
+  EXPECT_TRUE(hardened_behavior.redirects_dns);
+  EXPECT_TRUE(hardened_behavior.blocks_ipv6);
+}
+
+// End-to-end: the same provider, reached once through its own (clean)
+// client behaviour and once through a bare config in a third-party client,
+// leaks only in the second case — the §6.5 mechanism.
+TEST(OvpnConfig, BareConfigLeaksWhereFirstPartyClientDoesNot) {
+  inet::World world(808);
+  auto& vm = world.spawn_client("Chicago", "vm");
+
+  ProviderSpec provider;
+  provider.name = "DualModeVPN";
+  provider.vantage_points = {
+      {"de-1", "Frankfurt", "DE", "Frankfurt", "hosteu-fra"}};
+  const auto deployed = deploy_provider(world, provider);
+  const auto server = deployed.vantage_points[0].addr;
+
+  // First-party client: provider behaviour, no leaks.
+  {
+    VpnClient client(world.network(), vm, provider, 1);
+    ASSERT_TRUE(client.connect(server).connected);
+    vm.capture().clear();
+    EXPECT_FALSE(core::run_dns_leak_test(world, vm).leaked());
+    EXPECT_FALSE(core::run_ipv6_leak_test(world, vm).leaked());
+    client.disconnect();
+  }
+
+  // Third-party client driven by a config the provider stripped bare.
+  {
+    OvpnConfig config = make_provider_config(provider, server);
+    config.dhcp_dns.clear();
+    config.block_outside_dns = false;
+    config.block_ipv6 = false;
+    const auto reparsed = OvpnConfig::parse(config.serialize());
+    ASSERT_TRUE(reparsed.has_value());
+
+    ProviderSpec third_party = provider;
+    third_party.behavior = behavior_from_config(*reparsed);
+    VpnClient client(world.network(), vm, third_party, 2);
+    ASSERT_TRUE(client.connect(server).connected);
+    vm.capture().clear();
+    EXPECT_TRUE(core::run_dns_leak_test(world, vm).leaked());
+    EXPECT_TRUE(core::run_ipv6_leak_test(world, vm).leaked());
+    client.disconnect();
+  }
+}
+
+}  // namespace
+}  // namespace vpna::vpn

@@ -1,0 +1,123 @@
+// Vantage-point reliability tests (§5.2's flaky endpoints) and the
+// runner's re-collection behaviour.
+#include <gtest/gtest.h>
+
+#include "core/runner.h"
+#include "vpn/client.h"
+#include "vpn/deploy.h"
+#include "vpn/server.h"
+
+namespace vpna::vpn {
+namespace {
+
+TEST(FlakyService, DropsDeterministicFraction) {
+  auto inner = std::make_shared<netsim::LambdaService>(
+      [](netsim::ServiceContext&) -> std::optional<std::string> {
+        return "ok";
+      });
+  FlakyService flaky(inner, /*reliability=*/0.7, /*seed=*/99);
+
+  util::SimClock clock;
+  netsim::Network net(clock, util::Rng(1), 0.0);
+  netsim::Host host("h");
+  netsim::Packet req;
+  req.payload = std::string(VpnServerService::kKeepalive);
+  netsim::ServiceContext ctx{net, host, req};
+
+  int answered = 0;
+  constexpr int kAttempts = 500;
+  for (int i = 0; i < kAttempts; ++i)
+    if (flaky.handle(ctx)) ++answered;
+  EXPECT_NEAR(static_cast<double>(answered) / kAttempts, 0.7, 0.08);
+  EXPECT_EQ(flaky.dropped(), static_cast<std::size_t>(kAttempts - answered));
+}
+
+TEST(FlakyService, SameSeedSameSequence) {
+  auto inner = std::make_shared<netsim::LambdaService>(
+      [](netsim::ServiceContext&) -> std::optional<std::string> {
+        return "ok";
+      });
+  util::SimClock clock;
+  netsim::Network net(clock, util::Rng(1), 0.0);
+  netsim::Host host("h");
+  netsim::Packet req;
+  req.payload = std::string(VpnServerService::kKeepalive);
+  netsim::ServiceContext ctx{net, host, req};
+
+  std::vector<bool> first, second;
+  {
+    FlakyService flaky(inner, 0.5, 1234);
+    for (int i = 0; i < 50; ++i) first.push_back(flaky.handle(ctx).has_value());
+  }
+  {
+    FlakyService flaky(inner, 0.5, 1234);
+    for (int i = 0; i < 50; ++i) second.push_back(flaky.handle(ctx).has_value());
+  }
+  EXPECT_EQ(first, second);
+}
+
+TEST(Reliability, RegionalAssignmentInEvaluatedSet) {
+  // Sao Paulo is the one South American physical site in the generic pool:
+  // vantage points hosted there must carry degraded reliability.
+  int flaky_vps = 0, solid_vps = 0;
+  for (const auto& p : ecosystem::evaluated_providers()) {
+    for (const auto& vp : p.spec.vantage_points) {
+      if (vp.physical_city == "Sao Paulo") {
+        EXPECT_NEAR(vp.reliability, 0.70, 1e-9) << p.spec.name;
+        ++flaky_vps;
+      } else {
+        EXPECT_GT(vp.reliability, 0.9) << p.spec.name << "/" << vp.id
+                                       << " in " << vp.physical_city;
+        ++solid_vps;
+      }
+    }
+  }
+  EXPECT_GT(solid_vps, 800);
+}
+
+TEST(Reliability, FlakyVantagePointSometimesRefusesConnections) {
+  inet::World world(5150);
+  ProviderSpec spec;
+  spec.name = "FlakyVPN";
+  spec.vantage_points = {{"br-1", "Sao Paulo", "BR", "Sao Paulo", "sam-gru"}};
+  spec.vantage_points[0].reliability = 0.5;
+  const auto deployed = deploy_provider(world, spec);
+  auto& vm = world.spawn_client("Chicago", "vm");
+
+  int successes = 0, failures = 0;
+  for (std::uint32_t i = 1; i <= 30; ++i) {
+    VpnClient client(world.network(), vm, spec, i);
+    if (client.connect(deployed.vantage_points[0].addr).connected) {
+      ++successes;
+      client.disconnect();
+    } else {
+      ++failures;
+    }
+  }
+  EXPECT_GT(successes, 5);
+  EXPECT_GT(failures, 5);
+}
+
+TEST(Reliability, RunnerRetriesThroughFlakiness) {
+  // With three attempts per vantage point, a 0.7-reliable endpoint fails
+  // all three with probability 2.7% — the campaign still collects it.
+  auto tb = ecosystem::build_testbed_subset({"NordVPN"});
+  // Force one vantage point flaky.
+  auto* provider = const_cast<vpn::DeployedProvider*>(tb.provider("NordVPN"));
+  ASSERT_NE(provider, nullptr);
+
+  core::RunnerOptions opts;
+  opts.vantage_points_per_provider = 2;
+  opts.run_web_suites = false;
+  opts.tunnel_failure_window_s = 0;
+  opts.connect_attempts = 3;
+  core::TestRunner runner(tb, opts);
+  const auto report = runner.run_provider(*provider);
+  int connected = 0;
+  for (const auto& vp : report.vantage_points)
+    if (vp.connected) ++connected;
+  EXPECT_EQ(connected, 2);
+}
+
+}  // namespace
+}  // namespace vpna::vpn
