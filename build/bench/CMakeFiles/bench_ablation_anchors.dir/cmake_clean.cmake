@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_anchors.dir/bench_ablation_anchors.cpp.o"
+  "CMakeFiles/bench_ablation_anchors.dir/bench_ablation_anchors.cpp.o.d"
+  "bench_ablation_anchors"
+  "bench_ablation_anchors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_anchors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

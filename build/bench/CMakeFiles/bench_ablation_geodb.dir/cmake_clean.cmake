@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_geodb.dir/bench_ablation_geodb.cpp.o"
+  "CMakeFiles/bench_ablation_geodb.dir/bench_ablation_geodb.cpp.o.d"
+  "bench_ablation_geodb"
+  "bench_ablation_geodb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_geodb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

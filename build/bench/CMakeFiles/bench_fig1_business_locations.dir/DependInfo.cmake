@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig1_business_locations.cpp" "bench/CMakeFiles/bench_fig1_business_locations.dir/bench_fig1_business_locations.cpp.o" "gcc" "bench/CMakeFiles/bench_fig1_business_locations.dir/bench_fig1_business_locations.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/vpna_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vpna_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecosystem/CMakeFiles/vpna_ecosystem.dir/DependInfo.cmake"
+  "/root/repo/build/src/vpn/CMakeFiles/vpna_vpn.dir/DependInfo.cmake"
+  "/root/repo/build/src/inet/CMakeFiles/vpna_inet.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlssim/CMakeFiles/vpna_tlssim.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/vpna_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/vpna_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/vpna_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/vpna_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vpna_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_business_locations.dir/bench_fig1_business_locations.cpp.o"
+  "CMakeFiles/bench_fig1_business_locations.dir/bench_fig1_business_locations.cpp.o.d"
+  "bench_fig1_business_locations"
+  "bench_fig1_business_locations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_business_locations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

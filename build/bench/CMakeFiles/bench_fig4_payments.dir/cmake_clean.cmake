@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_payments.dir/bench_fig4_payments.cpp.o"
+  "CMakeFiles/bench_fig4_payments.dir/bench_fig4_payments.cpp.o.d"
+  "bench_fig4_payments"
+  "bench_fig4_payments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_payments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

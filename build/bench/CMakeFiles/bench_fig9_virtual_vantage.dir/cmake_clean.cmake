@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_virtual_vantage.dir/bench_fig9_virtual_vantage.cpp.o"
+  "CMakeFiles/bench_fig9_virtual_vantage.dir/bench_fig9_virtual_vantage.cpp.o.d"
+  "bench_fig9_virtual_vantage"
+  "bench_fig9_virtual_vantage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_virtual_vantage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

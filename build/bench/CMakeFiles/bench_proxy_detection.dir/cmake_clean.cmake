@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_proxy_detection.dir/bench_proxy_detection.cpp.o"
+  "CMakeFiles/bench_proxy_detection.dir/bench_proxy_detection.cpp.o.d"
+  "bench_proxy_detection"
+  "bench_proxy_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_proxy_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

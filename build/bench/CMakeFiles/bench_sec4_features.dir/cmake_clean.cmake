@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec4_features.dir/bench_sec4_features.cpp.o"
+  "CMakeFiles/bench_sec4_features.dir/bench_sec4_features.cpp.o.d"
+  "bench_sec4_features"
+  "bench_sec4_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_review_sites.dir/bench_table1_review_sites.cpp.o"
+  "CMakeFiles/bench_table1_review_sites.dir/bench_table1_review_sites.cpp.o.d"
+  "bench_table1_review_sites"
+  "bench_table1_review_sites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_review_sites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

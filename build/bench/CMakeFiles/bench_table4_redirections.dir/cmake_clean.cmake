@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_redirections.dir/bench_table4_redirections.cpp.o"
+  "CMakeFiles/bench_table4_redirections.dir/bench_table4_redirections.cpp.o.d"
+  "bench_table4_redirections"
+  "bench_table4_redirections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_redirections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_shared_blocks.dir/bench_table5_shared_blocks.cpp.o"
+  "CMakeFiles/bench_table5_shared_blocks.dir/bench_table5_shared_blocks.cpp.o.d"
+  "bench_table5_shared_blocks"
+  "bench_table5_shared_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_shared_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

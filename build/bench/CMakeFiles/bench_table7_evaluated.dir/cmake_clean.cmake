@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_evaluated.dir/bench_table7_evaluated.cpp.o"
+  "CMakeFiles/bench_table7_evaluated.dir/bench_table7_evaluated.cpp.o.d"
+  "bench_table7_evaluated"
+  "bench_table7_evaluated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_evaluated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

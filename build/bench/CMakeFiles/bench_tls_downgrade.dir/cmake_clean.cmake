@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tls_downgrade.dir/bench_tls_downgrade.cpp.o"
+  "CMakeFiles/bench_tls_downgrade.dir/bench_tls_downgrade.cpp.o.d"
+  "bench_tls_downgrade"
+  "bench_tls_downgrade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tls_downgrade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

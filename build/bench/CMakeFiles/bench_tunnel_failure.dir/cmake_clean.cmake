@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tunnel_failure.dir/bench_tunnel_failure.cpp.o"
+  "CMakeFiles/bench_tunnel_failure.dir/bench_tunnel_failure.cpp.o.d"
+  "bench_tunnel_failure"
+  "bench_tunnel_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tunnel_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_webrtc_leak.dir/bench_webrtc_leak.cpp.o"
+  "CMakeFiles/bench_webrtc_leak.dir/bench_webrtc_leak.cpp.o.d"
+  "bench_webrtc_leak"
+  "bench_webrtc_leak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_webrtc_leak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_provider.dir/audit_provider.cpp.o"
+  "CMakeFiles/audit_provider.dir/audit_provider.cpp.o.d"
+  "audit_provider"
+  "audit_provider.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_provider.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

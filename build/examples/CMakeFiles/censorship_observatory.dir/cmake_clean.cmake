@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/censorship_observatory.dir/censorship_observatory.cpp.o"
+  "CMakeFiles/censorship_observatory.dir/censorship_observatory.cpp.o.d"
+  "censorship_observatory"
+  "censorship_observatory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/censorship_observatory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

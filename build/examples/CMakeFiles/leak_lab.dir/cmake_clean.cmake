@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leak_lab.dir/leak_lab.cpp.o"
+  "CMakeFiles/leak_lab.dir/leak_lab.cpp.o.d"
+  "leak_lab"
+  "leak_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leak_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtual_location_hunt.dir/virtual_location_hunt.cpp.o"
+  "CMakeFiles/virtual_location_hunt.dir/virtual_location_hunt.cpp.o.d"
+  "virtual_location_hunt"
+  "virtual_location_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtual_location_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

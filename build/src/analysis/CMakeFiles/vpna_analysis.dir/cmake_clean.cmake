@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpna_analysis.dir/ecosystem_stats.cpp.o"
+  "CMakeFiles/vpna_analysis.dir/ecosystem_stats.cpp.o.d"
+  "CMakeFiles/vpna_analysis.dir/figure_export.cpp.o"
+  "CMakeFiles/vpna_analysis.dir/figure_export.cpp.o.d"
+  "CMakeFiles/vpna_analysis.dir/geo_analysis.cpp.o"
+  "CMakeFiles/vpna_analysis.dir/geo_analysis.cpp.o.d"
+  "CMakeFiles/vpna_analysis.dir/infrastructure.cpp.o"
+  "CMakeFiles/vpna_analysis.dir/infrastructure.cpp.o.d"
+  "CMakeFiles/vpna_analysis.dir/report_aggregation.cpp.o"
+  "CMakeFiles/vpna_analysis.dir/report_aggregation.cpp.o.d"
+  "CMakeFiles/vpna_analysis.dir/report_writer.cpp.o"
+  "CMakeFiles/vpna_analysis.dir/report_writer.cpp.o.d"
+  "CMakeFiles/vpna_analysis.dir/traceroute_locate.cpp.o"
+  "CMakeFiles/vpna_analysis.dir/traceroute_locate.cpp.o.d"
+  "libvpna_analysis.a"
+  "libvpna_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpna_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

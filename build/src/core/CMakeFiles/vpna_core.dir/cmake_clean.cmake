@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpna_core.dir/groundtruth.cpp.o"
+  "CMakeFiles/vpna_core.dir/groundtruth.cpp.o.d"
+  "CMakeFiles/vpna_core.dir/infrastructure_tests.cpp.o"
+  "CMakeFiles/vpna_core.dir/infrastructure_tests.cpp.o.d"
+  "CMakeFiles/vpna_core.dir/leakage_tests.cpp.o"
+  "CMakeFiles/vpna_core.dir/leakage_tests.cpp.o.d"
+  "CMakeFiles/vpna_core.dir/manipulation_tests.cpp.o"
+  "CMakeFiles/vpna_core.dir/manipulation_tests.cpp.o.d"
+  "CMakeFiles/vpna_core.dir/proxy_detection.cpp.o"
+  "CMakeFiles/vpna_core.dir/proxy_detection.cpp.o.d"
+  "CMakeFiles/vpna_core.dir/runner.cpp.o"
+  "CMakeFiles/vpna_core.dir/runner.cpp.o.d"
+  "libvpna_core.a"
+  "libvpna_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpna_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

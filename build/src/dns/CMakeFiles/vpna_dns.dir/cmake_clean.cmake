@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpna_dns.dir/client.cpp.o"
+  "CMakeFiles/vpna_dns.dir/client.cpp.o.d"
+  "CMakeFiles/vpna_dns.dir/message.cpp.o"
+  "CMakeFiles/vpna_dns.dir/message.cpp.o.d"
+  "CMakeFiles/vpna_dns.dir/server.cpp.o"
+  "CMakeFiles/vpna_dns.dir/server.cpp.o.d"
+  "libvpna_dns.a"
+  "libvpna_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpna_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpna_ecosystem.dir/catalog.cpp.o"
+  "CMakeFiles/vpna_ecosystem.dir/catalog.cpp.o.d"
+  "CMakeFiles/vpna_ecosystem.dir/evaluated.cpp.o"
+  "CMakeFiles/vpna_ecosystem.dir/evaluated.cpp.o.d"
+  "CMakeFiles/vpna_ecosystem.dir/review_sites.cpp.o"
+  "CMakeFiles/vpna_ecosystem.dir/review_sites.cpp.o.d"
+  "CMakeFiles/vpna_ecosystem.dir/testbed.cpp.o"
+  "CMakeFiles/vpna_ecosystem.dir/testbed.cpp.o.d"
+  "libvpna_ecosystem.a"
+  "libvpna_ecosystem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpna_ecosystem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpna_geo.dir/cities.cpp.o"
+  "CMakeFiles/vpna_geo.dir/cities.cpp.o.d"
+  "CMakeFiles/vpna_geo.dir/geodb.cpp.o"
+  "CMakeFiles/vpna_geo.dir/geodb.cpp.o.d"
+  "CMakeFiles/vpna_geo.dir/geopoint.cpp.o"
+  "CMakeFiles/vpna_geo.dir/geopoint.cpp.o.d"
+  "libvpna_geo.a"
+  "libvpna_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpna_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpna_http.dir/client.cpp.o"
+  "CMakeFiles/vpna_http.dir/client.cpp.o.d"
+  "CMakeFiles/vpna_http.dir/message.cpp.o"
+  "CMakeFiles/vpna_http.dir/message.cpp.o.d"
+  "CMakeFiles/vpna_http.dir/server.cpp.o"
+  "CMakeFiles/vpna_http.dir/server.cpp.o.d"
+  "CMakeFiles/vpna_http.dir/url.cpp.o"
+  "CMakeFiles/vpna_http.dir/url.cpp.o.d"
+  "libvpna_http.a"
+  "libvpna_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpna_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpna_inet.dir/censor.cpp.o"
+  "CMakeFiles/vpna_inet.dir/censor.cpp.o.d"
+  "CMakeFiles/vpna_inet.dir/sites.cpp.o"
+  "CMakeFiles/vpna_inet.dir/sites.cpp.o.d"
+  "CMakeFiles/vpna_inet.dir/whois.cpp.o"
+  "CMakeFiles/vpna_inet.dir/whois.cpp.o.d"
+  "CMakeFiles/vpna_inet.dir/world.cpp.o"
+  "CMakeFiles/vpna_inet.dir/world.cpp.o.d"
+  "libvpna_inet.a"
+  "libvpna_inet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpna_inet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

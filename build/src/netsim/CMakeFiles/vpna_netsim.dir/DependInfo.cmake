@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/capture.cpp" "src/netsim/CMakeFiles/vpna_netsim.dir/capture.cpp.o" "gcc" "src/netsim/CMakeFiles/vpna_netsim.dir/capture.cpp.o.d"
+  "/root/repo/src/netsim/firewall.cpp" "src/netsim/CMakeFiles/vpna_netsim.dir/firewall.cpp.o" "gcc" "src/netsim/CMakeFiles/vpna_netsim.dir/firewall.cpp.o.d"
+  "/root/repo/src/netsim/host.cpp" "src/netsim/CMakeFiles/vpna_netsim.dir/host.cpp.o" "gcc" "src/netsim/CMakeFiles/vpna_netsim.dir/host.cpp.o.d"
+  "/root/repo/src/netsim/ip.cpp" "src/netsim/CMakeFiles/vpna_netsim.dir/ip.cpp.o" "gcc" "src/netsim/CMakeFiles/vpna_netsim.dir/ip.cpp.o.d"
+  "/root/repo/src/netsim/network.cpp" "src/netsim/CMakeFiles/vpna_netsim.dir/network.cpp.o" "gcc" "src/netsim/CMakeFiles/vpna_netsim.dir/network.cpp.o.d"
+  "/root/repo/src/netsim/packet.cpp" "src/netsim/CMakeFiles/vpna_netsim.dir/packet.cpp.o" "gcc" "src/netsim/CMakeFiles/vpna_netsim.dir/packet.cpp.o.d"
+  "/root/repo/src/netsim/routing.cpp" "src/netsim/CMakeFiles/vpna_netsim.dir/routing.cpp.o" "gcc" "src/netsim/CMakeFiles/vpna_netsim.dir/routing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vpna_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

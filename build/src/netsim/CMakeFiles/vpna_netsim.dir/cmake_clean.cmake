@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpna_netsim.dir/capture.cpp.o"
+  "CMakeFiles/vpna_netsim.dir/capture.cpp.o.d"
+  "CMakeFiles/vpna_netsim.dir/firewall.cpp.o"
+  "CMakeFiles/vpna_netsim.dir/firewall.cpp.o.d"
+  "CMakeFiles/vpna_netsim.dir/host.cpp.o"
+  "CMakeFiles/vpna_netsim.dir/host.cpp.o.d"
+  "CMakeFiles/vpna_netsim.dir/ip.cpp.o"
+  "CMakeFiles/vpna_netsim.dir/ip.cpp.o.d"
+  "CMakeFiles/vpna_netsim.dir/network.cpp.o"
+  "CMakeFiles/vpna_netsim.dir/network.cpp.o.d"
+  "CMakeFiles/vpna_netsim.dir/packet.cpp.o"
+  "CMakeFiles/vpna_netsim.dir/packet.cpp.o.d"
+  "CMakeFiles/vpna_netsim.dir/routing.cpp.o"
+  "CMakeFiles/vpna_netsim.dir/routing.cpp.o.d"
+  "libvpna_netsim.a"
+  "libvpna_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpna_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

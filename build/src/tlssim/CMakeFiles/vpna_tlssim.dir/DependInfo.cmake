@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tlssim/cert.cpp" "src/tlssim/CMakeFiles/vpna_tlssim.dir/cert.cpp.o" "gcc" "src/tlssim/CMakeFiles/vpna_tlssim.dir/cert.cpp.o.d"
+  "/root/repo/src/tlssim/handshake.cpp" "src/tlssim/CMakeFiles/vpna_tlssim.dir/handshake.cpp.o" "gcc" "src/tlssim/CMakeFiles/vpna_tlssim.dir/handshake.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vpna_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/vpna_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpna_tlssim.dir/cert.cpp.o"
+  "CMakeFiles/vpna_tlssim.dir/cert.cpp.o.d"
+  "CMakeFiles/vpna_tlssim.dir/handshake.cpp.o"
+  "CMakeFiles/vpna_tlssim.dir/handshake.cpp.o.d"
+  "libvpna_tlssim.a"
+  "libvpna_tlssim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpna_tlssim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for vpna_tlssim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpna_util.dir/rng.cpp.o"
+  "CMakeFiles/vpna_util.dir/rng.cpp.o.d"
+  "CMakeFiles/vpna_util.dir/stats.cpp.o"
+  "CMakeFiles/vpna_util.dir/stats.cpp.o.d"
+  "CMakeFiles/vpna_util.dir/strings.cpp.o"
+  "CMakeFiles/vpna_util.dir/strings.cpp.o.d"
+  "CMakeFiles/vpna_util.dir/table.cpp.o"
+  "CMakeFiles/vpna_util.dir/table.cpp.o.d"
+  "libvpna_util.a"
+  "libvpna_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpna_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

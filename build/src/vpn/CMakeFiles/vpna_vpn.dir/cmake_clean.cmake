@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpna_vpn.dir/client.cpp.o"
+  "CMakeFiles/vpna_vpn.dir/client.cpp.o.d"
+  "CMakeFiles/vpna_vpn.dir/deploy.cpp.o"
+  "CMakeFiles/vpna_vpn.dir/deploy.cpp.o.d"
+  "CMakeFiles/vpna_vpn.dir/ovpn_config.cpp.o"
+  "CMakeFiles/vpna_vpn.dir/ovpn_config.cpp.o.d"
+  "CMakeFiles/vpna_vpn.dir/provider.cpp.o"
+  "CMakeFiles/vpna_vpn.dir/provider.cpp.o.d"
+  "CMakeFiles/vpna_vpn.dir/server.cpp.o"
+  "CMakeFiles/vpna_vpn.dir/server.cpp.o.d"
+  "libvpna_vpn.a"
+  "libvpna_vpn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpna_vpn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ecosystem.dir/ecosystem/catalog_test.cpp.o"
+  "CMakeFiles/test_ecosystem.dir/ecosystem/catalog_test.cpp.o.d"
+  "CMakeFiles/test_ecosystem.dir/ecosystem/evaluated_test.cpp.o"
+  "CMakeFiles/test_ecosystem.dir/ecosystem/evaluated_test.cpp.o.d"
+  "CMakeFiles/test_ecosystem.dir/ecosystem/testbed_test.cpp.o"
+  "CMakeFiles/test_ecosystem.dir/ecosystem/testbed_test.cpp.o.d"
+  "test_ecosystem"
+  "test_ecosystem.pdb"
+  "test_ecosystem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ecosystem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

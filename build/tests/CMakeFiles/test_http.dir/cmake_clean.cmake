@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_http.dir/http/client_options_test.cpp.o"
+  "CMakeFiles/test_http.dir/http/client_options_test.cpp.o.d"
+  "CMakeFiles/test_http.dir/http/client_server_test.cpp.o"
+  "CMakeFiles/test_http.dir/http/client_server_test.cpp.o.d"
+  "CMakeFiles/test_http.dir/http/message_test.cpp.o"
+  "CMakeFiles/test_http.dir/http/message_test.cpp.o.d"
+  "CMakeFiles/test_http.dir/http/url_test.cpp.o"
+  "CMakeFiles/test_http.dir/http/url_test.cpp.o.d"
+  "test_http"
+  "test_http.pdb"
+  "test_http[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inet.dir/inet/censor_test.cpp.o"
+  "CMakeFiles/test_inet.dir/inet/censor_test.cpp.o.d"
+  "CMakeFiles/test_inet.dir/inet/sites_test.cpp.o"
+  "CMakeFiles/test_inet.dir/inet/sites_test.cpp.o.d"
+  "CMakeFiles/test_inet.dir/inet/world_test.cpp.o"
+  "CMakeFiles/test_inet.dir/inet/world_test.cpp.o.d"
+  "test_inet"
+  "test_inet.pdb"
+  "test_inet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

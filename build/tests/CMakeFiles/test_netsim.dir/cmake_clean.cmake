@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netsim.dir/netsim/capture_test.cpp.o"
+  "CMakeFiles/test_netsim.dir/netsim/capture_test.cpp.o.d"
+  "CMakeFiles/test_netsim.dir/netsim/firewall_test.cpp.o"
+  "CMakeFiles/test_netsim.dir/netsim/firewall_test.cpp.o.d"
+  "CMakeFiles/test_netsim.dir/netsim/ip_test.cpp.o"
+  "CMakeFiles/test_netsim.dir/netsim/ip_test.cpp.o.d"
+  "CMakeFiles/test_netsim.dir/netsim/network_edge_test.cpp.o"
+  "CMakeFiles/test_netsim.dir/netsim/network_edge_test.cpp.o.d"
+  "CMakeFiles/test_netsim.dir/netsim/network_test.cpp.o"
+  "CMakeFiles/test_netsim.dir/netsim/network_test.cpp.o.d"
+  "CMakeFiles/test_netsim.dir/netsim/packet_test.cpp.o"
+  "CMakeFiles/test_netsim.dir/netsim/packet_test.cpp.o.d"
+  "CMakeFiles/test_netsim.dir/netsim/routing_test.cpp.o"
+  "CMakeFiles/test_netsim.dir/netsim/routing_test.cpp.o.d"
+  "test_netsim"
+  "test_netsim.pdb"
+  "test_netsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tlssim.dir/tlssim/cert_test.cpp.o"
+  "CMakeFiles/test_tlssim.dir/tlssim/cert_test.cpp.o.d"
+  "CMakeFiles/test_tlssim.dir/tlssim/handshake_test.cpp.o"
+  "CMakeFiles/test_tlssim.dir/tlssim/handshake_test.cpp.o.d"
+  "test_tlssim"
+  "test_tlssim.pdb"
+  "test_tlssim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tlssim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vpn.dir/vpn/deploy_test.cpp.o"
+  "CMakeFiles/test_vpn.dir/vpn/deploy_test.cpp.o.d"
+  "CMakeFiles/test_vpn.dir/vpn/egress_test.cpp.o"
+  "CMakeFiles/test_vpn.dir/vpn/egress_test.cpp.o.d"
+  "CMakeFiles/test_vpn.dir/vpn/leak_test.cpp.o"
+  "CMakeFiles/test_vpn.dir/vpn/leak_test.cpp.o.d"
+  "CMakeFiles/test_vpn.dir/vpn/ovpn_config_test.cpp.o"
+  "CMakeFiles/test_vpn.dir/vpn/ovpn_config_test.cpp.o.d"
+  "CMakeFiles/test_vpn.dir/vpn/reliability_test.cpp.o"
+  "CMakeFiles/test_vpn.dir/vpn/reliability_test.cpp.o.d"
+  "CMakeFiles/test_vpn.dir/vpn/server_test.cpp.o"
+  "CMakeFiles/test_vpn.dir/vpn/server_test.cpp.o.d"
+  "CMakeFiles/test_vpn.dir/vpn/tunnel_test.cpp.o"
+  "CMakeFiles/test_vpn.dir/vpn/tunnel_test.cpp.o.d"
+  "test_vpn"
+  "test_vpn.pdb"
+  "test_vpn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vpn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
