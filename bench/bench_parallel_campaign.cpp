@@ -1,0 +1,60 @@
+// Parallel campaign engine: wall-clock speedup vs worker count on the full
+// 62-provider campaign, plus a byte-identity check of every payload
+// against the serial baseline (the determinism contract, measured rather
+// than assumed).
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "analysis/report_aggregation.h"
+#include "bench_common.h"
+#include "core/parallel_campaign.h"
+#include "util/rng.h"
+
+using namespace vpna;
+
+int main() {
+  bench::print_header("parallel-campaign",
+                      "speedup vs worker count, full 62-provider campaign");
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("hardware concurrency: %u\n\n", hw);
+
+  core::CampaignOptions opts;
+  opts.runner.vantage_points_per_provider = 3;
+
+  opts.jobs = 1;
+  core::ParallelCampaign serial(opts);
+  const auto baseline = serial.run();
+  const auto serial_payload = analysis::serialize_campaign_payload(baseline);
+  const double serial_s = baseline.wall_s;
+  std::printf("%-8s %10s %10s %8s %8s %8s  %s\n", "jobs", "wall(s)", "speedup",
+              "steals", "retries", "eff(%)", "payload");
+  std::printf("%-8zu %10.2f %10s %8s %8llu %8s  %s\n",
+              static_cast<std::size_t>(1), serial_s, "1.00x", "-",
+              static_cast<unsigned long long>(
+                  analysis::summarize_campaign(baseline).retries),
+              "-", "baseline");
+
+  for (std::size_t jobs : {2u, 4u, 8u}) {
+    opts.jobs = jobs;
+    core::ParallelCampaign campaign(opts);
+    const auto result = campaign.run();
+    const auto payload = analysis::serialize_campaign_payload(result);
+    const auto engine = analysis::summarize_campaign(result);
+    const bool identical =
+        payload.size() == serial_payload.size() &&
+        util::fnv1a(payload) == util::fnv1a(serial_payload) &&
+        payload == serial_payload;
+    std::printf("%-8zu %10.2f %9.2fx %8llu %8llu %8.0f  %s\n", jobs,
+                result.wall_s, serial_s / result.wall_s,
+                static_cast<unsigned long long>(engine.steals),
+                static_cast<unsigned long long>(engine.retries),
+                100.0 * engine.parallel_efficiency(),
+                identical ? "byte-identical" : "DIVERGED");
+  }
+
+  bench::note("speedup saturates at min(jobs, cores); on a 1-core runner "
+              "every row sits near 1.00x while the payload check still "
+              "exercises the determinism contract");
+  return 0;
+}

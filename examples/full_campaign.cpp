@@ -2,39 +2,48 @@
 // test suite, and write the artefacts the paper published — a ranked
 // selection-guide scorecard, per-provider Markdown reports, and a raw CSV.
 //
-//   ./full_campaign [output-dir]        (default: current directory)
-#include <chrono>
+//   ./full_campaign [output-dir] [--jobs N]
+//
+// Default output-dir is the current directory. --jobs selects the parallel
+// campaign engine's worker count (0 = hardware concurrency, 1 = serial);
+// results are byte-identical at any worker count for the same seed.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 
 #include "analysis/report_aggregation.h"
 #include "analysis/report_writer.h"
-#include "core/runner.h"
+#include "core/parallel_campaign.h"
 
 using namespace vpna;
 
 int main(int argc, char** argv) {
-  const std::filesystem::path out_dir = argc > 1 ? argv[1] : ".";
+  std::filesystem::path out_dir = ".";
+  std::size_t jobs = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "usage: full_campaign [output-dir] [--jobs N]\n");
+        return 2;
+      }
+      jobs = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else {
+      out_dir = argv[i];
+    }
+  }
   std::filesystem::create_directories(out_dir);
 
-  const auto t0 = std::chrono::steady_clock::now();
-  std::printf("building testbed (62 providers)...\n");
-  auto tb = ecosystem::build_testbed();
-  std::printf("  %zu vantage points deployed\n", tb.total_vantage_points());
-  for (const auto& problem : tb.world->self_check())
-    std::printf("  WORLD PROBLEM: %s\n", problem.c_str());
+  core::CampaignOptions opts;
+  opts.runner.vantage_points_per_provider = 3;
+  opts.jobs = jobs;
+  opts.shard_attempts = 2;
 
-  core::RunnerOptions opts;
-  opts.vantage_points_per_provider = 3;
-  core::TestRunner runner(tb, opts);
-  std::printf("collecting ground truth...\n");
-  runner.collect_ground_truth();
-  std::printf("running the full suite against every provider...\n");
-  const auto reports = runner.run_all();
-  const auto elapsed = std::chrono::duration<double>(
-                           std::chrono::steady_clock::now() - t0)
-                           .count();
+  std::printf("running the full 62-provider campaign (jobs=%zu)...\n", jobs);
+  core::ParallelCampaign campaign(opts);
+  const auto result = campaign.run();
+  const auto& reports = result.providers;
 
   // Artefacts.
   {
@@ -51,11 +60,20 @@ int main(int argc, char** argv) {
   // Console summary.
   const auto leakage = analysis::aggregate_leakage(reports);
   const auto manipulation = analysis::aggregate_manipulation(reports);
+  const auto engine = analysis::summarize_campaign(result);
   int grade_counts[5] = {};
   for (const auto& report : reports)
     ++grade_counts[static_cast<int>(analysis::grade_provider(report))];
 
-  std::printf("\ncampaign complete in %.1fs (wall clock)\n", elapsed);
+  std::printf("\ncampaign complete in %.1fs (wall clock)\n", result.wall_s);
+  std::printf("  engine: %zu workers, %llu shard runs, %llu steals, "
+              "%llu retries, %.0f%% efficiency\n",
+              engine.jobs, static_cast<unsigned long long>(engine.tasks_run),
+              static_cast<unsigned long long>(engine.steals),
+              static_cast<unsigned long long>(engine.retries),
+              100.0 * engine.parallel_efficiency());
+  if (engine.failed_shards > 0)
+    std::printf("  FAILED SHARDS: %zu\n", engine.failed_shards);
   std::printf("  tunnel-failure leakers: %zu of %d\n",
               leakage.tunnel_failure_leakers.size(),
               leakage.tunnel_failure_applicable);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "analysis/report_writer.h"
+
 namespace vpna::analysis {
 
 std::vector<RedirectRow> aggregate_redirects(
@@ -71,6 +73,39 @@ ManipulationSummary aggregate_manipulation(
     if (intercepted_tls) out.tls_interceptors.insert(provider.provider);
     if (blocked) ++out.providers_with_blocked_403;
   }
+  return out;
+}
+
+CampaignEngineSummary summarize_campaign(const core::CampaignReport& report) {
+  CampaignEngineSummary out;
+  out.providers = report.providers.size();
+  out.failed_shards = report.failed_providers.size();
+  out.jobs = report.jobs;
+  out.wall_s = report.wall_s;
+  for (const auto& provider : report.providers) {
+    out.vantage_points_tested += provider.vantage_points.size();
+    for (const auto& vp : provider.vantage_points) {
+      if (vp.connected) {
+        ++out.connected_providers;
+        break;
+      }
+    }
+  }
+  for (const auto& w : report.workers) {
+    out.tasks_run += w.tasks_run;
+    out.steals += w.steals;
+    out.retries += w.retries;
+    out.timeouts += w.timeouts;
+    out.busy_wall_s += w.busy_wall_s;
+    out.busy_cpu_s += w.busy_cpu_s;
+  }
+  return out;
+}
+
+std::string serialize_campaign_payload(const core::CampaignReport& report) {
+  std::string out = render_campaign_csv(report.providers);
+  for (const auto& provider : report.providers)
+    out += render_provider_markdown(provider);
   return out;
 }
 

@@ -4,11 +4,13 @@
 // and injection findings (§6.1.3).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "core/parallel_campaign.h"
 #include "core/runner.h"
 
 namespace vpna::analysis {
@@ -52,5 +54,39 @@ struct ManipulationSummary {
 
 [[nodiscard]] ManipulationSummary aggregate_manipulation(
     const std::vector<core::ProviderReport>& reports);
+
+// Campaign-engine rollup: payload stats (deterministic) plus the pooled
+// worker counters and wall clock (scheduling telemetry — varies run to
+// run, never part of the byte-identity surface).
+struct CampaignEngineSummary {
+  std::size_t providers = 0;
+  std::size_t connected_providers = 0;
+  std::size_t vantage_points_tested = 0;
+  std::size_t failed_shards = 0;
+  std::size_t jobs = 0;
+  std::uint64_t tasks_run = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t timeouts = 0;
+  double busy_wall_s = 0.0;
+  double busy_cpu_s = 0.0;
+  double wall_s = 0.0;
+
+  // Fraction of the workers' combined capacity spent inside shard tasks.
+  [[nodiscard]] double parallel_efficiency() const {
+    const double capacity = static_cast<double>(jobs) * wall_s;
+    return capacity <= 0.0 ? 0.0 : busy_wall_s / capacity;
+  }
+};
+
+[[nodiscard]] CampaignEngineSummary summarize_campaign(
+    const core::CampaignReport& report);
+
+// Canonical serialization of a campaign's deterministic payload (the
+// provider reports only — no worker counters, no timings). Two campaigns
+// over the same seed must serialize byte-identically at any worker count;
+// the determinism suite and bench compare exactly these bytes.
+[[nodiscard]] std::string serialize_campaign_payload(
+    const core::CampaignReport& report);
 
 }  // namespace vpna::analysis

@@ -1,0 +1,142 @@
+#include "core/parallel_campaign.h"
+
+#include <chrono>
+#include <future>
+#include <stdexcept>
+
+#include "ecosystem/evaluated.h"
+
+namespace vpna::core {
+
+ProviderReport run_provider_shard(const std::string& name,
+                                  std::uint64_t campaign_seed,
+                                  const RunnerOptions& options) {
+  auto shard = ecosystem::build_provider_shard(name, campaign_seed);
+  if (!shard.world)
+    throw std::invalid_argument("run_provider_shard: unknown provider " + name);
+  TestRunner runner(shard, options);
+  runner.collect_ground_truth();
+  const auto* deployed = shard.provider(name);
+  if (deployed == nullptr)
+    throw std::runtime_error("run_provider_shard: shard missing " + name);
+  return runner.run_provider(*deployed);
+}
+
+namespace {
+
+// Canonicalize to catalog order, dropping unknown names and duplicates.
+std::vector<std::string> canonical_selection(
+    const std::vector<std::string>& names) {
+  std::vector<std::string> out;
+  for (const auto& ep : ecosystem::evaluated_providers()) {
+    if (names.empty()) {
+      out.push_back(ep.spec.name);
+      continue;
+    }
+    for (const auto& name : names) {
+      if (name == ep.spec.name) {
+        out.push_back(ep.spec.name);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+// Placeholder for a shard that failed every attempt: keeps the provider's
+// slot (and catalog order) in the report without fabricating measurements.
+ProviderReport failed_shard_report(const std::string& name) {
+  ProviderReport report;
+  report.provider = name;
+  const auto* ep = ecosystem::evaluated_provider(name);
+  if (ep != nullptr) {
+    report.subscription = ep->spec.subscription;
+    report.has_custom_client = ep->spec.has_custom_client;
+  }
+  return report;
+}
+
+}  // namespace
+
+ParallelCampaign::ParallelCampaign(CampaignOptions options)
+    : options_(std::move(options)) {}
+
+CampaignReport ParallelCampaign::run(const std::vector<std::string>& names,
+                                     std::uint64_t seed) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto selection = canonical_selection(names);
+
+  CampaignReport report;
+  report.seed = seed;
+  report.providers.resize(selection.size());
+
+  const int attempts = options_.shard_attempts < 1 ? 1 : options_.shard_attempts;
+
+  if (options_.jobs == 1) {
+    // Serial path: the identical shard tasks, run in-caller in catalog
+    // order. No pool, no threads — the determinism baseline.
+    report.jobs = 1;
+    util::WorkerCounters serial;
+    for (std::size_t i = 0; i < selection.size(); ++i) {
+      bool done = false;
+      for (int attempt = 1; attempt <= attempts && !done; ++attempt) {
+        ++serial.tasks_run;
+        const auto shard_t0 = std::chrono::steady_clock::now();
+        try {
+          report.providers[i] =
+              run_provider_shard(selection[i], seed, options_.runner);
+          done = true;
+        } catch (...) {
+          if (attempt < attempts) {
+            ++serial.retries;
+          } else {
+            report.providers[i] = failed_shard_report(selection[i]);
+            report.failed_providers.push_back(selection[i]);
+          }
+        }
+        serial.busy_wall_s += std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - shard_t0)
+                                  .count();
+      }
+    }
+    report.workers.push_back(serial);
+  } else {
+    util::TaskPool pool(options_.jobs);
+    report.jobs = pool.worker_count();
+    util::TaskOptions task_opts;
+    task_opts.max_attempts = attempts;
+    task_opts.timeout_s = options_.shard_timeout_s;
+
+    std::vector<std::future<ProviderReport>> futures;
+    futures.reserve(selection.size());
+    const RunnerOptions runner_opts = options_.runner;
+    for (const auto& name : selection) {
+      futures.push_back(pool.submit(
+          [name, seed, runner_opts] {
+            return run_provider_shard(name, seed, runner_opts);
+          },
+          task_opts));
+    }
+    // Merge in canonical catalog order — the futures vector is already in
+    // that order, regardless of which worker ran which shard when.
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      try {
+        report.providers[i] = futures[i].get();
+      } catch (...) {
+        report.providers[i] = failed_shard_report(selection[i]);
+        report.failed_providers.push_back(selection[i]);
+      }
+    }
+    // The last shard's promise resolves before its worker finishes its
+    // counter bookkeeping; drain the pool so the snapshot is complete.
+    pool.wait_idle();
+    report.workers = pool.counters();
+  }
+
+  report.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return report;
+}
+
+}  // namespace vpna::core

@@ -1,0 +1,70 @@
+// Parallel campaign engine: shards the §5.3 evaluation at provider
+// granularity across a work-stealing pool, with a hard determinism
+// contract — every provider runs in its own isolated shard testbed whose
+// world seed derives only from (campaign seed, provider name), and shard
+// reports merge back in canonical catalog order, so the aggregated report
+// is byte-identical at any worker count and under any scheduling order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/runner.h"
+#include "util/task_pool.h"
+
+namespace vpna::core {
+
+struct CampaignOptions {
+  // Per-vantage-point suite options, applied inside every shard runner.
+  RunnerOptions runner;
+  // Worker threads; 0 = hardware concurrency, 1 = serial (in-caller)
+  // execution of the very same shard tasks.
+  std::size_t jobs = 1;
+  // Shard-level retry/timeout policy (generalizes connect_attempts one
+  // level up: a whole provider shard that throws or overruns its budget is
+  // re-run from scratch — shards are pure, so a re-run is identical).
+  int shard_attempts = 1;
+  double shard_timeout_s = 0.0;  // 0 = no budget
+};
+
+// The aggregated campaign result. `providers` is the deterministic payload
+// (canonical catalog order); `workers`/`wall_s` are scheduling telemetry
+// and legitimately vary run to run — serialize only `providers` when
+// comparing campaigns for equivalence.
+struct CampaignReport {
+  std::uint64_t seed = 0;
+  std::size_t jobs = 1;
+  std::vector<ProviderReport> providers;
+  // Providers whose shard failed every attempt (empty in healthy runs);
+  // a placeholder report with connected=false vantage points remains in
+  // `providers` so catalog order is preserved.
+  std::vector<std::string> failed_providers;
+  std::vector<util::WorkerCounters> workers;
+  double wall_s = 0.0;
+};
+
+// Runs the full suite for one provider in an isolated shard testbed built
+// by ecosystem::build_provider_shard(name, campaign_seed). Pure: the
+// result depends only on (name, campaign_seed, options). Throws
+// std::invalid_argument for unknown provider names.
+[[nodiscard]] ProviderReport run_provider_shard(const std::string& name,
+                                                std::uint64_t campaign_seed,
+                                                const RunnerOptions& options);
+
+class ParallelCampaign {
+ public:
+  explicit ParallelCampaign(CampaignOptions options = {});
+
+  // Runs shards for the named providers; an empty list means the full
+  // evaluated catalog. Names are canonicalized to catalog order (unknown
+  // names dropped, duplicates collapsed) before sharding, so the caller's
+  // ordering never influences the result.
+  [[nodiscard]] CampaignReport run(const std::vector<std::string>& names = {},
+                                   std::uint64_t seed = 20181031);
+
+ private:
+  CampaignOptions options_;
+};
+
+}  // namespace vpna::core

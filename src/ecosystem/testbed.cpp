@@ -1,6 +1,9 @@
 #include "ecosystem/testbed.h"
 
 #include <algorithm>
+#include <set>
+
+#include "util/rng.h"
 
 namespace vpna::ecosystem {
 
@@ -61,11 +64,37 @@ Testbed build_testbed(std::uint64_t seed) {
 Testbed build_testbed_subset(const std::vector<std::string>& names,
                              std::uint64_t seed) {
   std::vector<const EvaluatedProvider*> selection;
+  std::set<std::string> seen;
   for (const auto& name : names) {
     const auto* ep = evaluated_provider(name);
-    if (ep != nullptr) selection.push_back(ep);
+    if (ep != nullptr && seen.insert(ep->spec.name).second)
+      selection.push_back(ep);
   }
   return build(selection, seed);
+}
+
+std::uint64_t shard_seed(std::uint64_t campaign_seed,
+                         std::string_view provider_name) {
+  // Same mixing discipline as Rng::fork: the derived seed depends only on
+  // (campaign seed, provider name).
+  return util::Rng(campaign_seed).fork(provider_name).seed();
+}
+
+Testbed build_provider_shard(std::string_view name,
+                             std::uint64_t campaign_seed) {
+  const auto* target = evaluated_provider(name);
+  if (target == nullptr) return {};
+
+  // Catalog-order selection of {target} ∪ {reseller partner}: the partner
+  // must be deployed in the shard for vantage-point aliasing to resolve.
+  std::vector<const EvaluatedProvider*> selection;
+  for (const auto& ep : evaluated_providers()) {
+    if (ep.spec.name == target->spec.name ||
+        (!target->shares_infrastructure_with.empty() &&
+         ep.spec.name == target->shares_infrastructure_with))
+      selection.push_back(&ep);
+  }
+  return build(selection, shard_seed(campaign_seed, target->spec.name));
 }
 
 }  // namespace vpna::ecosystem

@@ -3,7 +3,9 @@
 // state of every experiment in the paper's §6.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "ecosystem/evaluated.h"
@@ -37,8 +39,26 @@ struct Testbed {
 [[nodiscard]] Testbed build_testbed(std::uint64_t seed = 20181031);
 
 // Deploys a named subset (for cheaper tests): only providers whose names
-// appear in `names`.
+// appear in `names`. Unknown names are ignored and duplicates deploy once
+// (first occurrence wins), so a subset never contains two providers with
+// the same name.
 [[nodiscard]] Testbed build_testbed_subset(
     const std::vector<std::string>& names, std::uint64_t seed = 20181031);
+
+// Stable per-provider shard seed for parallel campaigns: derived only from
+// the campaign seed and the provider name, never from worker id, worker
+// count or scheduling order — the root of the engine's determinism
+// guarantee (same campaign seed => identical shard worlds at any --jobs).
+[[nodiscard]] std::uint64_t shard_seed(std::uint64_t campaign_seed,
+                                       std::string_view provider_name);
+
+// Builds the single-provider testbed a campaign worker runs in isolation:
+// a fresh world seeded with shard_seed(campaign_seed, name), holding the
+// named provider plus — when it resells another provider's infrastructure —
+// that partner, so reseller vantage-point aliasing (Anonine/Boxpn exact-IP
+// overlap) survives shard deployment. Returns an empty testbed (no world)
+// for unknown names.
+[[nodiscard]] Testbed build_provider_shard(std::string_view name,
+                                           std::uint64_t campaign_seed);
 
 }  // namespace vpna::ecosystem

@@ -77,6 +77,90 @@ TEST(FullTestbed, EveryVantagePointAnswersKeepalive) {
   }
 }
 
+TEST(TestbedSubset, UnknownProviderLookupReturnsNull) {
+  auto tb = build_testbed_subset({"NordVPN"});
+  EXPECT_EQ(tb.provider("NoSuchVPN"), nullptr);
+  EXPECT_EQ(tb.provider(""), nullptr);
+}
+
+TEST(TestbedSubset, EmptyNameListYieldsEmptyWorkingTestbed) {
+  auto tb = build_testbed_subset({});
+  EXPECT_TRUE(tb.providers.empty());
+  EXPECT_EQ(tb.total_vantage_points(), 0u);
+  // The world and measurement client still exist and function.
+  ASSERT_NE(tb.world, nullptr);
+  ASSERT_NE(tb.client, nullptr);
+  const auto rtt = tb.world->network().ping(*tb.client, tb.world->google_dns());
+  EXPECT_TRUE(rtt.has_value());
+}
+
+TEST(TestbedSubset, DuplicateNamesDeployOnce) {
+  auto tb = build_testbed_subset({"NordVPN", "NordVPN", "NordVPN"});
+  ASSERT_EQ(tb.providers.size(), 1u);
+  EXPECT_EQ(tb.providers[0].spec.name, "NordVPN");
+}
+
+TEST(TestbedSubset, DuplicateResellerPairStillAliasesOnce) {
+  auto tb = build_testbed_subset({"Anonine", "Boxpn", "Anonine", "Boxpn"});
+  ASSERT_EQ(tb.providers.size(), 2u);
+  const auto* anonine = tb.provider("Anonine");
+  ASSERT_NE(anonine, nullptr);
+  int shared = 0;
+  for (const auto& vp : anonine->vantage_points)
+    if (vp.spec.id.rfind("shared-", 0) == 0) ++shared;
+  EXPECT_EQ(shared, 4);
+}
+
+TEST(ProviderShard, DeploysTargetAndResellerPartner) {
+  auto shard = build_provider_shard("Anonine", 20181031);
+  ASSERT_NE(shard.world, nullptr);
+  ASSERT_EQ(shard.providers.size(), 2u);
+  const auto* anonine = shard.provider("Anonine");
+  const auto* boxpn = shard.provider("Boxpn");
+  ASSERT_NE(anonine, nullptr);
+  ASSERT_NE(boxpn, nullptr);
+
+  // The §6.3 exact-IP overlap must survive shard deployment.
+  std::set<std::string> boxpn_addrs;
+  for (const auto& vp : boxpn->vantage_points)
+    boxpn_addrs.insert(vp.addr.str());
+  int shared = 0;
+  for (const auto& vp : anonine->vantage_points)
+    if (boxpn_addrs.contains(vp.addr.str())) ++shared;
+  EXPECT_EQ(shared, 4);
+}
+
+TEST(ProviderShard, NonResellerShardDeploysAlone) {
+  auto shard = build_provider_shard("NordVPN", 20181031);
+  ASSERT_NE(shard.world, nullptr);
+  EXPECT_EQ(shard.providers.size(), 1u);
+  EXPECT_NE(shard.client, nullptr);
+}
+
+TEST(ProviderShard, UnknownNameYieldsEmptyTestbed) {
+  auto shard = build_provider_shard("NoSuchVPN", 20181031);
+  EXPECT_EQ(shard.world, nullptr);
+  EXPECT_TRUE(shard.providers.empty());
+}
+
+TEST(ProviderShard, SeedDerivationIsStableAndNameSensitive) {
+  EXPECT_EQ(shard_seed(1, "NordVPN"), shard_seed(1, "NordVPN"));
+  EXPECT_NE(shard_seed(1, "NordVPN"), shard_seed(2, "NordVPN"));
+  EXPECT_NE(shard_seed(1, "NordVPN"), shard_seed(1, "ExpressVPN"));
+}
+
+TEST(ProviderShard, SameSeedYieldsIdenticalShardWorlds) {
+  auto a = build_provider_shard("ExpressVPN", 42);
+  auto b = build_provider_shard("ExpressVPN", 42);
+  const auto* pa = a.provider("ExpressVPN");
+  const auto* pb = b.provider("ExpressVPN");
+  ASSERT_NE(pa, nullptr);
+  ASSERT_NE(pb, nullptr);
+  ASSERT_EQ(pa->vantage_points.size(), pb->vantage_points.size());
+  for (std::size_t i = 0; i < pa->vantage_points.size(); ++i)
+    EXPECT_EQ(pa->vantage_points[i].addr, pb->vantage_points[i].addr);
+}
+
 TEST(FullTestbed, DeterministicAddressAssignment) {
   auto tb1 = build_testbed(42);
   auto tb2 = build_testbed(42);
