@@ -1,0 +1,67 @@
+#!/bin/sh
+# Runs every bench executable and aggregates their machine-readable output
+# into one JSON document.
+#
+#   bench/run_all.sh [build-dir] [out.json]
+#
+# Defaults: build-dir = ./build, out.json = BENCH_PR2.json. The regeneration
+# benches emit one `BENCH_JSON {...}` trailer line each (see
+# bench/bench_common.h); bench_perf_simulator is google-benchmark and is run
+# with --benchmark_format=json. The aggregate maps bench name -> its JSON.
+set -eu
+
+build_dir="${1:-build}"
+out="${2:-BENCH_PR2.json}"
+bench_dir="$build_dir/bench"
+
+if [ ! -d "$bench_dir" ]; then
+    echo "error: $bench_dir not found (build first: cmake --build $build_dir -j)" >&2
+    exit 1
+fi
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+status=0
+for exe in "$bench_dir"/bench_*; do
+    [ -x "$exe" ] || continue
+    name="$(basename "$exe")"
+    case "$name" in
+    *.*) continue ;; # skip non-executables on odd filesystems
+    esac
+    echo "running $name..."
+    if [ "$name" = "bench_perf_simulator" ]; then
+        if ! "$exe" --benchmark_format=json \
+            --benchmark_min_time=0.2 >"$tmp/$name.json" 2>"$tmp/$name.err"; then
+            echo "  FAILED (see stderr below)" >&2
+            cat "$tmp/$name.err" >&2
+            status=1
+        fi
+    else
+        if ! "$exe" >"$tmp/$name.out" 2>&1; then
+            echo "  FAILED:" >&2
+            tail -5 "$tmp/$name.out" >&2
+            status=1
+        fi
+        sed -n 's/^BENCH_JSON //p' "$tmp/$name.out" >"$tmp/$name.json"
+    fi
+done
+
+python3 - "$tmp" "$out" <<'EOF'
+import json, pathlib, sys
+
+tmp, out = pathlib.Path(sys.argv[1]), pathlib.Path(sys.argv[2])
+agg = {}
+for path in sorted(tmp.glob("*.json")):
+    text = path.read_text().strip()
+    if not text:
+        continue
+    try:
+        agg[path.stem] = json.loads(text)
+    except json.JSONDecodeError as err:
+        print(f"warning: {path.name}: {err}", file=sys.stderr)
+out.write_text(json.dumps(agg, indent=2, sort_keys=True) + "\n")
+print(f"wrote {out} ({len(agg)} benches)")
+EOF
+
+exit "$status"

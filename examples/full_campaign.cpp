@@ -2,11 +2,20 @@
 // test suite, and write the artefacts the paper published — a ranked
 // selection-guide scorecard, per-provider Markdown reports, and a raw CSV.
 //
-//   ./full_campaign [output-dir] [--jobs N]
+//   ./full_campaign [output-dir] [--jobs N] [--trace FILE] [--metrics FILE]
+//                   [--trace-hops]
 //
 // Default output-dir is the current directory. --jobs selects the parallel
 // campaign engine's worker count (0 = hardware concurrency, 1 = serial);
 // results are byte-identical at any worker count for the same seed.
+//
+// --trace writes a Chrome trace-event JSON of the whole campaign in
+// sim-time (load it in https://ui.perfetto.dev; one lane per provider
+// shard) and also enables the metrics registry; --metrics dumps the merged
+// metrics as text (canonical section first, scheduling telemetry below the
+// marker). --trace-hops additionally records a per-router instant for every
+// packet hop — detailed, and much larger output. Exit status is non-zero
+// when any provider shard failed every attempt.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -16,19 +25,41 @@
 #include "analysis/report_aggregation.h"
 #include "analysis/report_writer.h"
 #include "core/parallel_campaign.h"
+#include "obs/export.h"
 
 using namespace vpna;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: full_campaign [output-dir] [--jobs N] [--trace FILE] "
+               "[--metrics FILE] [--trace-hops]\n");
+  return 2;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::filesystem::path out_dir = ".";
   std::size_t jobs = 1;
+  std::filesystem::path trace_path;
+  std::filesystem::path metrics_path;
+  bool trace_hops = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0) {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "usage: full_campaign [output-dir] [--jobs N]\n");
-        return 2;
-      }
+      if (i + 1 >= argc) return usage();
       jobs = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      if (i + 1 >= argc) return usage();
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      if (i + 1 >= argc) return usage();
+      metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-hops") == 0) {
+      trace_hops = true;
+    } else if (argv[i][0] == '-') {
+      return usage();
     } else {
       out_dir = argv[i];
     }
@@ -39,6 +70,10 @@ int main(int argc, char** argv) {
   opts.runner.vantage_points_per_provider = 3;
   opts.jobs = jobs;
   opts.shard_attempts = 2;
+  // Any observability output requires the shards to run traced.
+  opts.trace.enabled =
+      !trace_path.empty() || !metrics_path.empty() || trace_hops;
+  opts.trace.packet_hops = trace_hops;
 
   std::printf("running the full 62-provider campaign (jobs=%zu)...\n", jobs);
   core::ParallelCampaign campaign(opts);
@@ -55,6 +90,18 @@ int main(int argc, char** argv) {
     guide << analysis::render_scorecard(reports);
     for (const auto& report : reports)
       guide << "\n" << analysis::render_provider_markdown(report);
+    // Traced runs get the deterministic metrics appendix (the appendix is
+    // canonical, so scorecard.md stays byte-identical at any --jobs).
+    guide << analysis::render_instrumentation_appendix(result);
+  }
+  if (!trace_path.empty()) {
+    std::ofstream trace(trace_path);
+    trace << obs::chrome_trace_json(result.traces);
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream metrics(metrics_path);
+    metrics << analysis::campaign_metrics(result).render_text(
+        /*include_volatile=*/true);
   }
 
   // Console summary.
@@ -88,5 +135,12 @@ int main(int argc, char** argv) {
   std::printf("wrote %s and %s\n",
               (out_dir / "scorecard.md").string().c_str(),
               (out_dir / "campaign.csv").string().c_str());
-  return 0;
+  if (!trace_path.empty())
+    std::printf("wrote %s (open in https://ui.perfetto.dev)\n",
+                trace_path.string().c_str());
+  if (!metrics_path.empty())
+    std::printf("wrote %s\n", metrics_path.string().c_str());
+  // A shard that failed every attempt means the campaign payload is
+  // incomplete: fail the invocation so scripted runs notice.
+  return engine.failed_shards > 0 ? 1 : 0;
 }

@@ -134,4 +134,55 @@ std::string render_scorecard(const std::vector<core::ProviderReport>& reports) {
   return out;
 }
 
+obs::MetricsRegistry campaign_metrics(const core::CampaignReport& report) {
+  auto merged = obs::merged_metrics(report.traces);
+  if (report.traces.empty()) return merged;
+
+  // Engine scheduling telemetry, folded in as volatile `pool.*` metrics:
+  // useful to a human reading the full dump, nondeterministic by nature,
+  // so the canonical rendering (include_volatile = false) excludes it.
+  util::WorkerCounters total;
+  for (const auto& w : report.workers) {
+    total.tasks_run += w.tasks_run;
+    total.steals += w.steals;
+    total.retries += w.retries;
+    total.timeouts += w.timeouts;
+    total.busy_wall_s += w.busy_wall_s;
+    total.busy_cpu_s += w.busy_cpu_s;
+  }
+  const auto fold_counter = [&merged](std::string_view name,
+                                      std::uint64_t value) {
+    merged.add(name, value);
+    merged.set_volatile(name);
+  };
+  fold_counter("pool.tasks_run", total.tasks_run);
+  fold_counter("pool.steals", total.steals);
+  fold_counter("pool.retries", total.retries);
+  fold_counter("pool.timeouts", total.timeouts);
+  const auto fold_gauge = [&merged](std::string_view name, double value) {
+    merged.set_gauge(name, value);
+    merged.set_volatile(name);
+  };
+  fold_gauge("pool.jobs", static_cast<double>(report.jobs));
+  fold_gauge("pool.busy_wall_s", total.busy_wall_s);
+  fold_gauge("pool.busy_cpu_s", total.busy_cpu_s);
+  fold_gauge("pool.wall_s", report.wall_s);
+  return merged;
+}
+
+std::string render_instrumentation_appendix(
+    const core::CampaignReport& report) {
+  const auto metrics = campaign_metrics(report);
+  if (metrics.empty()) return {};
+  std::string out = "\n## Appendix: instrumentation\n\n";
+  out += util::format(
+      "Deterministic campaign metrics (merged from %zu shards; scheduling "
+      "telemetry excluded — identical at any `--jobs`).\n\n",
+      report.traces.size());
+  out += "```\n";
+  out += metrics.render_text(/*include_volatile=*/false);
+  out += "```\n";
+  return out;
+}
+
 }  // namespace vpna::analysis

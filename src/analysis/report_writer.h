@@ -7,7 +7,9 @@
 #include <string>
 #include <vector>
 
+#include "core/parallel_campaign.h"
 #include "core/runner.h"
+#include "obs/metrics.h"
 
 namespace vpna::analysis {
 
@@ -36,5 +38,18 @@ enum class SafetyGrade : std::uint8_t { kA, kB, kC, kD, kF };
 // name within a grade).
 [[nodiscard]] std::string render_scorecard(
     const std::vector<core::ProviderReport>& reports);
+
+// Campaign-wide metrics: every shard's deterministic registry merged in
+// canonical catalog order, plus the engine's pool counters folded in as
+// volatile `pool.*` metrics (scheduling telemetry, excluded from the
+// canonical rendering). Empty when the campaign ran without tracing.
+[[nodiscard]] obs::MetricsRegistry campaign_metrics(
+    const core::CampaignReport& report);
+
+// "Instrumentation" appendix for the scorecard: the canonical (volatile
+// metrics excluded) text dump of campaign_metrics(), fenced as Markdown.
+// Deterministic at any worker count; empty string when there are no traces.
+[[nodiscard]] std::string render_instrumentation_appendix(
+    const core::CampaignReport& report);
 
 }  // namespace vpna::analysis

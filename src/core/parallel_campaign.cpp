@@ -5,8 +5,32 @@
 #include <stdexcept>
 
 #include "ecosystem/evaluated.h"
+#include "obs/trace.h"
 
 namespace vpna::core {
+
+namespace {
+
+// The shard body shared by the plain and traced entry points; assumes any
+// desired obs binding is already installed on the calling thread.
+ProviderReport run_shard_body(const std::string& name,
+                              std::uint64_t campaign_seed,
+                              const RunnerOptions& options,
+                              ecosystem::Testbed& shard) {
+  obs::Span root("shard.run", "campaign");
+  if (root) {
+    root.arg("provider", name);
+    root.arg("seed", static_cast<std::int64_t>(campaign_seed));
+  }
+  TestRunner runner(shard, options);
+  runner.collect_ground_truth();
+  const auto* deployed = shard.provider(name);
+  if (deployed == nullptr)
+    throw std::runtime_error("run_provider_shard: shard missing " + name);
+  return runner.run_provider(*deployed);
+}
+
+}  // namespace
 
 ProviderReport run_provider_shard(const std::string& name,
                                   std::uint64_t campaign_seed,
@@ -14,12 +38,33 @@ ProviderReport run_provider_shard(const std::string& name,
   auto shard = ecosystem::build_provider_shard(name, campaign_seed);
   if (!shard.world)
     throw std::invalid_argument("run_provider_shard: unknown provider " + name);
-  TestRunner runner(shard, options);
-  runner.collect_ground_truth();
-  const auto* deployed = shard.provider(name);
-  if (deployed == nullptr)
-    throw std::runtime_error("run_provider_shard: shard missing " + name);
-  return runner.run_provider(*deployed);
+  return run_shard_body(name, campaign_seed, options, shard);
+}
+
+ProviderReport run_provider_shard(const std::string& name,
+                                  std::uint64_t campaign_seed,
+                                  const RunnerOptions& options,
+                                  const obs::TraceConfig& trace,
+                                  obs::ShardTrace* out) {
+  if (!trace.enabled || out == nullptr)
+    return run_provider_shard(name, campaign_seed, options);
+
+  auto shard = ecosystem::build_provider_shard(name, campaign_seed);
+  if (!shard.world)
+    throw std::invalid_argument("run_provider_shard: unknown provider " + name);
+
+  obs::TraceRecorder recorder(trace);
+  recorder.bind_clock(&shard.world->network().clock());
+  obs::MetricsRegistry metrics;
+  ProviderReport report;
+  {
+    obs::ScopedObservation scope(&recorder, &metrics);
+    report = run_shard_body(name, campaign_seed, options, shard);
+  }
+  out->shard = name;
+  out->events = recorder.take_events();
+  out->metrics = std::move(metrics);
+  return report;
 }
 
 namespace {
@@ -56,6 +101,16 @@ ProviderReport failed_shard_report(const std::string& name) {
   return report;
 }
 
+// Keeps a failed shard's slot in the traces vector: the shard name with no
+// events and (at most) a failure counter, so trace alignment with
+// `providers` survives shard failures.
+obs::ShardTrace failed_shard_trace(const std::string& name) {
+  obs::ShardTrace trace;
+  trace.shard = name;
+  trace.metrics.add("shard.failed");
+  return trace;
+}
+
 }  // namespace
 
 ParallelCampaign::ParallelCampaign(CampaignOptions options)
@@ -69,6 +124,8 @@ CampaignReport ParallelCampaign::run(const std::vector<std::string>& names,
   CampaignReport report;
   report.seed = seed;
   report.providers.resize(selection.size());
+  const bool traced = options_.trace.enabled;
+  if (traced) report.traces.resize(selection.size());
 
   const int attempts = options_.shard_attempts < 1 ? 1 : options_.shard_attempts;
 
@@ -83,14 +140,20 @@ CampaignReport ParallelCampaign::run(const std::vector<std::string>& names,
         ++serial.tasks_run;
         const auto shard_t0 = std::chrono::steady_clock::now();
         try {
-          report.providers[i] =
-              run_provider_shard(selection[i], seed, options_.runner);
+          // Fresh trace per attempt, so a retried shard's trace contains
+          // only the successful run — identical to the first-try trace.
+          obs::ShardTrace trace;
+          report.providers[i] = run_provider_shard(
+              selection[i], seed, options_.runner, options_.trace,
+              traced ? &trace : nullptr);
+          if (traced) report.traces[i] = std::move(trace);
           done = true;
         } catch (...) {
           if (attempt < attempts) {
             ++serial.retries;
           } else {
             report.providers[i] = failed_shard_report(selection[i]);
+            if (traced) report.traces[i] = failed_shard_trace(selection[i]);
             report.failed_providers.push_back(selection[i]);
           }
         }
@@ -107,13 +170,24 @@ CampaignReport ParallelCampaign::run(const std::vector<std::string>& names,
     task_opts.max_attempts = attempts;
     task_opts.timeout_s = options_.shard_timeout_s;
 
-    std::vector<std::future<ProviderReport>> futures;
+    // A shard's report and its trace travel together through the future so
+    // a retry can never pair one attempt's report with another's trace.
+    struct ShardOutcome {
+      ProviderReport report;
+      obs::ShardTrace trace;
+    };
+
+    std::vector<std::future<ShardOutcome>> futures;
     futures.reserve(selection.size());
     const RunnerOptions runner_opts = options_.runner;
+    const obs::TraceConfig trace_cfg = options_.trace;
     for (const auto& name : selection) {
       futures.push_back(pool.submit(
-          [name, seed, runner_opts] {
-            return run_provider_shard(name, seed, runner_opts);
+          [name, seed, runner_opts, trace_cfg, traced] {
+            ShardOutcome out;
+            out.report = run_provider_shard(name, seed, runner_opts, trace_cfg,
+                                            traced ? &out.trace : nullptr);
+            return out;
           },
           task_opts));
     }
@@ -121,9 +195,12 @@ CampaignReport ParallelCampaign::run(const std::vector<std::string>& names,
     // that order, regardless of which worker ran which shard when.
     for (std::size_t i = 0; i < futures.size(); ++i) {
       try {
-        report.providers[i] = futures[i].get();
+        auto outcome = futures[i].get();
+        report.providers[i] = std::move(outcome.report);
+        if (traced) report.traces[i] = std::move(outcome.trace);
       } catch (...) {
         report.providers[i] = failed_shard_report(selection[i]);
+        if (traced) report.traces[i] = failed_shard_trace(selection[i]);
         report.failed_providers.push_back(selection[i]);
       }
     }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/runner.h"
+#include "obs/export.h"
 #include "util/task_pool.h"
 
 namespace vpna::core {
@@ -26,6 +27,12 @@ struct CampaignOptions {
   // re-run from scratch — shards are pure, so a re-run is identical).
   int shard_attempts = 1;
   double shard_timeout_s = 0.0;  // 0 = no budget
+  // Observability: when trace.enabled, every shard runs under its own
+  // TraceRecorder + MetricsRegistry (bound to the shard's sim clock) and
+  // the per-shard observations come back in CampaignReport::traces. Trace
+  // content is part of the determinism contract: byte-identical exports at
+  // any `jobs` (unless trace.capture_wall opts into wall-clock data).
+  obs::TraceConfig trace;
 };
 
 // The aggregated campaign result. `providers` is the deterministic payload
@@ -40,6 +47,10 @@ struct CampaignReport {
   // a placeholder report with connected=false vantage points remains in
   // `providers` so catalog order is preserved.
   std::vector<std::string> failed_providers;
+  // Per-shard observations, aligned with `providers` (canonical catalog
+  // order); empty when tracing is disabled. Deterministic payload: the
+  // trace-determinism suite byte-compares its exports across worker counts.
+  std::vector<obs::ShardTrace> traces;
   std::vector<util::WorkerCounters> workers;
   double wall_s = 0.0;
 };
@@ -51,6 +62,16 @@ struct CampaignReport {
 [[nodiscard]] ProviderReport run_provider_shard(const std::string& name,
                                                 std::uint64_t campaign_seed,
                                                 const RunnerOptions& options);
+
+// Traced variant: runs the shard under a fresh TraceRecorder/MetricsRegistry
+// bound to the shard world's sim clock and returns the observation through
+// `out` (ignored when !trace.enabled or out == nullptr). Still pure — the
+// trace is as deterministic as the report.
+[[nodiscard]] ProviderReport run_provider_shard(const std::string& name,
+                                                std::uint64_t campaign_seed,
+                                                const RunnerOptions& options,
+                                                const obs::TraceConfig& trace,
+                                                obs::ShardTrace* out);
 
 class ParallelCampaign {
  public:

@@ -1,5 +1,6 @@
 #include "core/runner.h"
 
+#include "obs/trace.h"
 #include "util/strings.h"
 #include "vpn/client.h"
 
@@ -39,6 +40,7 @@ TestRunner::TestRunner(ecosystem::Testbed& testbed, RunnerOptions options)
     : testbed_(testbed), options_(options) {}
 
 void TestRunner::collect_ground_truth() {
+  obs::Span span("runner.ground_truth", "core");
   truth_ = core::collect_ground_truth(*testbed_.world, *testbed_.client);
 }
 
@@ -64,6 +66,17 @@ MetadataSnapshot collect_metadata(const netsim::Host& host) {
 VantagePointReport TestRunner::run_vantage_point(
     const vpn::DeployedProvider& provider,
     const vpn::DeployedVantagePoint& vp, std::uint32_t session) {
+  obs::Span vp_span("runner.vantage_point", "core");
+  if (vp_span) {
+    vp_span.arg("provider", provider.spec.name);
+    vp_span.arg("vantage", vp.spec.id);
+  }
+  // Runs `fn` under a sim-time span named after the test.
+  const auto timed = [](std::string_view name, auto&& fn) {
+    obs::Span span(name, "test");
+    return fn();
+  };
+
   VantagePointReport report;
   report.provider = provider.spec.name;
   report.vantage_id = vp.spec.id;
@@ -87,42 +100,76 @@ VantagePointReport TestRunner::run_vantage_point(
     if (connect.connected) break;
   }
   report.connected = connect.connected;
-  if (!connect.connected) return report;
+  obs::count("runner.vantage_points");
+  if (!connect.connected) {
+    obs::count("runner.connect_failures");
+    if (vp_span) vp_span.arg("connected", "false");
+    return report;
+  }
 
   report.metadata = collect_metadata(client);
 
   // Interception & manipulation suites.
-  report.dns_manipulation = run_dns_manipulation_test(world, client);
+  report.dns_manipulation = timed("test.dns_manipulation", [&] {
+    return run_dns_manipulation_test(world, client);
+  });
   if (options_.run_web_suites) {
-    report.dom_collection = run_dom_collection_test(world, client, truth_);
-    report.tls = run_tls_test(world, client, truth_);
+    report.dom_collection = timed("test.dom_collection", [&] {
+      return run_dom_collection_test(world, client, truth_);
+    });
+    report.tls =
+        timed("test.tls", [&] { return run_tls_test(world, client, truth_); });
   }
-  report.proxy = run_proxy_detection_test(world, client);
+  report.proxy = timed("test.proxy_detection", [&] {
+    return run_proxy_detection_test(world, client);
+  });
 
   // Infrastructure suites.
-  report.recursive_origin = run_recursive_dns_origin_test(
-      world, client,
-      util::format("t%u-%s-%s", session, provider.spec.name.c_str(),
-                   vp.spec.id.c_str()));
-  report.pings = run_ping_probe_test(world, client);
-  report.geo_api = run_geo_api_test(world, client);
+  report.recursive_origin = timed("test.recursive_origin", [&] {
+    return run_recursive_dns_origin_test(
+        world, client,
+        util::format("t%u-%s-%s", session, provider.spec.name.c_str(),
+                     vp.spec.id.c_str()));
+  });
+  report.pings =
+      timed("test.pings", [&] { return run_ping_probe_test(world, client); });
+  report.geo_api =
+      timed("test.geo_api", [&] { return run_geo_api_test(world, client); });
 
   // Leakage suites. DNS/IPv6 leak tests only apply to first-party clients
   // (manual OpenVPN configurations require hand-set DNS/IPv6 state, §6.5).
   if (provider.spec.has_custom_client || !options_.respect_client_model) {
-    report.dns_leak = run_dns_leak_test(world, client);
-    report.ipv6_leak = run_ipv6_leak_test(world, client);
+    report.dns_leak =
+        timed("test.dns_leak", [&] { return run_dns_leak_test(world, client); });
+    report.ipv6_leak = timed("test.ipv6_leak",
+                             [&] { return run_ipv6_leak_test(world, client); });
   }
-  report.tunnel_failure = run_tunnel_failure_test(
-      world, client, vpn_client, options_.tunnel_failure_window_s);
+  report.tunnel_failure = timed("test.tunnel_failure", [&] {
+    return run_tunnel_failure_test(world, client, vpn_client,
+                                   options_.tunnel_failure_window_s);
+  });
 
-  report.pcap = run_pcap_scan(client);
+  report.pcap = timed("test.pcap_scan", [&] { return run_pcap_scan(client); });
+
+  // Per-suite outcome counters: the campaign-level pass/fail surface.
+  if (report.dns_manipulation.manipulation_detected())
+    obs::count("test.dns_manipulation.detected");
+  if (!report.dom_collection.modified_doms().empty())
+    obs::count("test.dom_collection.modified");
+  if (report.tls.interception_count() > 0) obs::count("test.tls.intercepted");
+  if (report.proxy.proxy_detected) obs::count("test.proxy_detection.detected");
+  if (report.dns_leak.leaked()) obs::count("test.dns_leak.leaked");
+  if (report.ipv6_leak.leaked()) obs::count("test.ipv6_leak.leaked");
+  if (report.tunnel_failure.leaked()) obs::count("test.tunnel_failure.leaked");
 
   vpn_client.disconnect();
   return report;
 }
 
 ProviderReport TestRunner::run_provider(const vpn::DeployedProvider& provider) {
+  obs::Span span("runner.provider", "core");
+  if (span) span.arg("provider", provider.spec.name);
+
   ProviderReport report;
   report.provider = provider.spec.name;
   report.subscription = provider.spec.subscription;

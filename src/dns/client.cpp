@@ -1,10 +1,18 @@
 #include "dns/client.h"
 
+#include "obs/trace.h"
+
 namespace vpna::dns {
 
 LookupResult query(netsim::Network& net, netsim::Host& host,
                    const netsim::IpAddr& server, std::string_view name,
                    RrType type) {
+  obs::Span span("dns.query", "dns");
+  if (span) {
+    span.arg("name", name);
+    span.arg("server", server.str());
+  }
+
   LookupResult out;
   out.server = server;
 
@@ -23,16 +31,33 @@ LookupResult query(netsim::Network& net, netsim::Host& host,
   const auto result = net.transact(host, std::move(p));
   out.transport = result.status;
   out.rtt_ms = result.rtt_ms;
-  if (!result.ok()) return out;
+
+  obs::count("dns.lookups");
+  obs::observe("dns.rtt_ms", out.rtt_ms, obs::kRttBucketsMs);
+  const auto finish = [&span](const LookupResult& r) {
+    if (!span) return;
+    span.arg("transport", netsim::status_name(r.transport));
+    span.arg("rcode", static_cast<std::int64_t>(r.rcode));
+    span.arg("answers", static_cast<std::int64_t>(r.addresses.size()));
+  };
+  if (!result.ok()) {
+    obs::count("dns.failures");
+    finish(out);
+    return out;
+  }
 
   const auto resp = DnsResponse::decode(result.reply);
   if (!resp || resp->id != q.id) {
     out.transport = netsim::TransactStatus::kDropped;
+    obs::count("dns.failures");
+    finish(out);
     return out;
   }
   out.rcode = resp->rcode;
   out.addresses = resp->addresses;
   out.texts = resp->texts;
+  if (!out.ok()) obs::count("dns.failures");
+  finish(out);
   return out;
 }
 

@@ -1,5 +1,7 @@
 #include "dns/server.h"
 
+#include "obs/trace.h"
+
 namespace vpna::dns {
 
 void ZoneRegistry::set_authority(std::string zone, netsim::IpAddr server) {
@@ -39,6 +41,12 @@ std::optional<std::string> AuthoritativeService::handle(
   query_log_.push_back(QueryLogEntry{ctx.network.clock().now(),
                                      ctx.request.src, query->name,
                                      query->type});
+  obs::count("dns.server.authoritative_queries");
+  if (obs::tracing()) {
+    obs::Instant serve("dns.serve", "dns");
+    serve.arg("name", query->name);
+    serve.arg("authority", "authoritative");
+  }
 
   DnsResponse resp;
   resp.id = query->id;
@@ -86,6 +94,8 @@ std::optional<std::string> RecursiveResolverService::handle(
   const auto query = DnsQuery::decode(ctx.request.payload);
   if (!query) return std::nullopt;
 
+  obs::count("dns.server.recursive_queries");
+
   DnsResponse resp;
   resp.id = query->id;
   resp.type = query->type;
@@ -93,6 +103,12 @@ std::optional<std::string> RecursiveResolverService::handle(
 
   if (override_) {
     if (const auto forged = override_(query->name, query->type)) {
+      // A manipulated answer — exactly what the §6.1 tests hunt for.
+      obs::count("dns.server.forged_answers");
+      if (obs::tracing()) {
+        obs::Instant forged_ev("dns.forged_answer", "dns");
+        forged_ev.arg("name", query->name);
+      }
       switch (query->type) {
         case RrType::kA: resp.addresses = forged->a; break;
         case RrType::kAaaa: resp.addresses = forged->aaaa; break;

@@ -1,6 +1,7 @@
 #include "http/client.h"
 
 #include "dns/client.h"
+#include "obs/trace.h"
 
 namespace vpna::http {
 
@@ -83,6 +84,23 @@ std::optional<ExchangeRecord> HttpClient::exchange(const Url& url,
 }
 
 FetchResult HttpClient::fetch(const Url& url, const FetchOptions& opts) {
+  obs::Span span("http.fetch", "http");
+  if (span) span.arg("url", url.str());
+  obs::count("http.fetches");
+  const auto finish = [&span](FetchResult& r) -> FetchResult& {
+    if (r.error != FetchError::kNone) obs::count("http.fetch_errors");
+    if (!r.exchanges.empty())
+      obs::count("http.exchanges", r.exchanges.size());
+    if (span) {
+      span.arg("status", static_cast<std::int64_t>(r.status));
+      span.arg("error", fetch_error_name(r.error));
+      span.arg("redirects",
+               static_cast<std::int64_t>(
+                   r.exchanges.empty() ? 0 : r.exchanges.size() - 1));
+    }
+    return r;
+  };
+
   FetchResult out;
   Url current = url;
   for (int hop = 0; hop <= opts.max_redirects; ++hop) {
@@ -91,7 +109,7 @@ FetchResult HttpClient::fetch(const Url& url, const FetchOptions& opts) {
     if (!rec) {
       out.error = error;
       out.final_url = current;
-      return out;
+      return finish(out);
     }
     out.exchanges.push_back(*rec);
     const HttpResponse resp = [&] {
@@ -106,7 +124,7 @@ FetchResult HttpClient::fetch(const Url& url, const FetchOptions& opts) {
       if (!location) {
         out.error = FetchError::kMalformedResponse;
         out.final_url = current;
-        return out;
+        return finish(out);
       }
       current = current.resolve(*location);
       continue;
@@ -114,11 +132,11 @@ FetchResult HttpClient::fetch(const Url& url, const FetchOptions& opts) {
     out.final_url = current;
     out.status = rec->status;
     out.body = rec->body;
-    return out;
+    return finish(out);
   }
   out.error = FetchError::kTooManyRedirects;
   out.final_url = current;
-  return out;
+  return finish(out);
 }
 
 FetchResult HttpClient::fetch(std::string_view url_text,
@@ -134,6 +152,10 @@ FetchResult HttpClient::fetch(std::string_view url_text,
 
 PageLoadResult HttpClient::load_page(std::string_view url_text,
                                      const FetchOptions& opts) {
+  obs::Span span("http.page_load", "http");
+  if (span) span.arg("url", url_text);
+  obs::count("http.page_loads");
+
   PageLoadResult out;
   out.requested_urls.emplace_back(url_text);
   out.document = fetch(url_text, opts);
@@ -154,6 +176,8 @@ PageLoadResult HttpClient::load_page(std::string_view url_text,
     out.requested_urls.push_back(res_url);
     out.resources.push_back(fetch(res_url, opts));
   }
+  if (span)
+    span.arg("resources", static_cast<std::int64_t>(out.resources.size()));
   return out;
 }
 

@@ -4,6 +4,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace vpna::netsim {
 
 std::string_view status_name(TransactStatus s) noexcept {
@@ -156,6 +158,33 @@ std::optional<double> Network::base_latency_ms(const Host& a, const Host& b) con
 
 TransactResult Network::transact(Host& from, Packet packet,
                                  const TransactOptions& opts) {
+  // Fast path: nothing observing this thread — skip straight to delivery.
+  // This keeps the disabled-tracing per-packet cost to two thread-local
+  // reads and adds no allocations (the acceptance bar for the hot path).
+  if (!obs::tracing() && obs::meter() == nullptr)
+    return transact_impl(from, std::move(packet), opts);
+
+  obs::Span span("net.transact", "netsim");
+  if (span) {
+    span.arg("host", from.name());
+    span.arg("dst", packet.dst.str());
+    span.arg("proto", proto_name(packet.proto));
+    span.arg("dst_port", static_cast<std::int64_t>(packet.dst_port));
+  }
+  auto result = transact_impl(from, std::move(packet), opts);
+  if (span) {
+    span.arg("status", status_name(result.status));
+    if (result.via_tunnel) span.arg("via_tunnel", "true");
+  }
+  obs::count(std::string("net.transact.") +
+             std::string(status_name(result.status)));
+  if (result.via_tunnel) obs::count("net.via_tunnel");
+  obs::observe("net.rtt_ms", result.rtt_ms, obs::kRttBucketsMs);
+  return result;
+}
+
+TransactResult Network::transact_impl(Host& from, Packet packet,
+                                      const TransactOptions& opts) {
   struct DepthGuard {
     int& d;
     explicit DepthGuard(int& depth) : d(depth) { ++d; }
@@ -278,12 +307,20 @@ TransactResult Network::deliver(Host& from, const Attachment& from_att,
     return r;
   }
 
+  obs::observe("net.path_hops", static_cast<double>(p->routers.size()),
+               obs::kHopBuckets);
+
   // Walk the router path: TTL decrements per router, middleboxes inspect.
   double elapsed_one_way = from_att.access_latency_ms;
   double per_hop =
       p->routers.size() > 1 ? p->latency_ms / static_cast<double>(p->routers.size() - 1) : 0.0;
   for (std::size_t i = 0; i < p->routers.size(); ++i) {
     if (i > 0) elapsed_one_way += per_hop;
+    if (obs::packet_hops_enabled()) {
+      obs::Instant hop("net.hop", "netsim");
+      hop.arg("router", routers_[p->routers[i]].name);
+      hop.arg("ttl", static_cast<std::int64_t>(packet.ttl - 1));
+    }
     packet.ttl -= 1;
     if (packet.ttl <= 0) {
       r.status = TransactStatus::kTtlExpired;
@@ -295,7 +332,15 @@ TransactResult Network::deliver(Host& from, const Attachment& from_att,
     auto& router = routers_[p->routers[i]];
     if (router.middlebox) {
       const auto verdict = router.middlebox->on_transit(packet);
+      if (verdict.action != Middlebox::Action::kPass && obs::tracing()) {
+        obs::Instant mb("net.middlebox", "netsim");
+        mb.arg("router", router.name);
+        mb.arg("action", verdict.action == Middlebox::Action::kDrop
+                             ? "drop"
+                             : "respond");
+      }
       if (verdict.action == Middlebox::Action::kDrop) {
+        obs::count("net.middlebox.drop");
         r.status = TransactStatus::kDropped;
         r.rtt_ms = opts.timeout_ms;
         clock_.advance_millis(opts.timeout_ms);
@@ -304,6 +349,7 @@ TransactResult Network::deliver(Host& from, const Attachment& from_att,
       if (verdict.action == Middlebox::Action::kRespond) {
         // The middlebox answers in place of the destination; to the sender
         // this is indistinguishable from a genuine reply.
+        obs::count("net.middlebox.respond");
         r.status = TransactStatus::kOk;
         r.reply = verdict.response_payload;
         r.responder = packet.dst;

@@ -122,7 +122,9 @@ class Network {
   // Sends `packet` from `from`, waits for the reply, advances the clock by
   // the consumed time, and records captures on both hosts. Synchronous and
   // re-entrant: services may call transact() themselves (tunnel endpoints,
-  // proxies do).
+  // proxies do). When an obs recorder/registry is bound to the calling
+  // thread, each transaction opens a sim-time span and feeds the net.*
+  // metrics; with nothing bound the instrumentation is a thread-local read.
   TransactResult transact(Host& from, Packet packet,
                           const TransactOptions& opts = {});
 
@@ -161,6 +163,10 @@ class Network {
   // Dijkstra with memoization keyed on (src, dst).
   [[nodiscard]] const PathInfo* path(RouterId a, RouterId b) const;
   double jitter() ;
+
+  // transact() minus the tracing/metrics wrapper (the recursive core).
+  TransactResult transact_impl(Host& from, Packet packet,
+                               const TransactOptions& opts);
 
   // The directly-routed delivery step (no tunnel handling): walks the router
   // path, applies middleboxes and TTL, delivers to the destination service

@@ -1,0 +1,172 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace vpna::obs {
+
+namespace {
+
+thread_local MetricsRegistry* t_meter = nullptr;
+
+// Renders a double without trailing noise ("3", "0.25", "12.5").
+std::string num(double v) {
+  std::string s = util::format("%.6g", v);
+  return s;
+}
+
+}  // namespace
+
+void MetricsRegistry::add(std::string_view name, std::uint64_t delta) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) {
+    it->second += delta;
+    return;
+  }
+  counters_.emplace(std::string(name), delta);
+}
+
+void MetricsRegistry::set_gauge(std::string_view name, double value) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) {
+    it->second = value;
+    return;
+  }
+  gauges_.emplace(std::string(name), value);
+}
+
+void MetricsRegistry::observe(std::string_view name, double value,
+                              std::span<const double> bounds) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    HistogramData data;
+    data.bounds.assign(bounds.begin(), bounds.end());
+    data.counts.assign(bounds.size() + 1, 0);
+    it = histograms_.emplace(std::string(name), std::move(data)).first;
+  }
+  HistogramData& h = it->second;
+  std::size_t bucket = h.bounds.size();  // +inf by default
+  for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+    if (value <= h.bounds[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++h.counts[bucket];
+  ++h.total;
+  h.sum += value;
+}
+
+void MetricsRegistry::set_volatile(std::string_view name) {
+  volatile_.emplace(std::string(name));
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, value] : other.counters_) {
+    const auto it = counters_.find(name);
+    if (it != counters_.end())
+      it->second += value;
+    else
+      counters_.emplace(name, value);
+  }
+  for (const auto& [name, value] : other.gauges_) {
+    const auto it = gauges_.find(name);
+    if (it != gauges_.end())
+      it->second = std::max(it->second, value);
+    else
+      gauges_.emplace(name, value);
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    const auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, h);
+      continue;
+    }
+    HistogramData& mine = it->second;
+    if (mine.bounds != h.bounds) continue;  // mismatched buckets: skip
+    for (std::size_t i = 0; i < mine.counts.size(); ++i)
+      mine.counts[i] += h.counts[i];
+    mine.total += h.total;
+    mine.sum += h.sum;
+  }
+  for (const auto& name : other.volatile_) volatile_.insert(name);
+}
+
+std::string MetricsRegistry::render_text(bool include_volatile) const {
+  std::string out;
+  const auto render_section = [&](bool want_volatile) {
+    for (const auto& [name, value] : counters_) {
+      if (volatile_.contains(name) != want_volatile) continue;
+      out += util::format("counter %s %llu\n", name.c_str(),
+                          static_cast<unsigned long long>(value));
+    }
+    for (const auto& [name, value] : gauges_) {
+      if (volatile_.contains(name) != want_volatile) continue;
+      out += util::format("gauge %s %s\n", name.c_str(), num(value).c_str());
+    }
+    for (const auto& [name, h] : histograms_) {
+      if (volatile_.contains(name) != want_volatile) continue;
+      out += util::format("histogram %s count=%llu sum=%s\n", name.c_str(),
+                          static_cast<unsigned long long>(h.total),
+                          num(h.sum).c_str());
+      for (std::size_t i = 0; i < h.counts.size(); ++i) {
+        const std::string le =
+            i < h.bounds.size() ? num(h.bounds[i]) : std::string("inf");
+        out += util::format("  le_%s %llu\n", le.c_str(),
+                            static_cast<unsigned long long>(h.counts[i]));
+      }
+    }
+  };
+
+  out += "# metrics (deterministic; canonical compare surface)\n";
+  render_section(false);
+  if (!include_volatile) return out;
+  const bool any_volatile = !volatile_.empty();
+  if (any_volatile) {
+    out += std::string(kVolatileMetricsMarker) + "\n";
+    render_section(true);
+  }
+  return out;
+}
+
+std::uint64_t MetricsRegistry::counter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::optional<double> MetricsRegistry::gauge(std::string_view name) const {
+  const auto it = gauges_.find(name);
+  if (it == gauges_.end()) return std::nullopt;
+  return it->second;
+}
+
+const HistogramData* MetricsRegistry::histogram(std::string_view name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+MetricsRegistry* meter() noexcept { return t_meter; }
+
+namespace detail {
+MetricsRegistry* exchange_meter(MetricsRegistry* next) noexcept {
+  MetricsRegistry* prev = t_meter;
+  t_meter = next;
+  return prev;
+}
+}  // namespace detail
+
+void count(std::string_view name, std::uint64_t delta) {
+  if (t_meter != nullptr) t_meter->add(name, delta);
+}
+
+void observe(std::string_view name, double value,
+             std::span<const double> bounds) {
+  if (t_meter != nullptr) t_meter->observe(name, value, bounds);
+}
+
+void set_gauge(std::string_view name, double value) {
+  if (t_meter != nullptr) t_meter->set_gauge(name, value);
+}
+
+}  // namespace vpna::obs

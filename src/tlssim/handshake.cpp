@@ -1,5 +1,6 @@
 #include "tlssim/handshake.h"
 
+#include "obs/trace.h"
 #include "util/strings.h"
 
 namespace vpna::tlssim {
@@ -25,6 +26,13 @@ std::optional<CertChain> decode_server_hello(std::string_view payload) {
 HandshakeResult tls_handshake(netsim::Network& net, netsim::Host& client,
                               const netsim::IpAddr& server,
                               std::string_view hostname, const CaStore& store) {
+  obs::Span span("tls.handshake", "tls");
+  if (span) {
+    span.arg("sni", hostname);
+    span.arg("server", server.str());
+  }
+  obs::count("tls.handshakes");
+
   HandshakeResult out;
 
   netsim::Packet p;
@@ -39,10 +47,17 @@ HandshakeResult tls_handshake(netsim::Network& net, netsim::Host& client,
   const auto result = net.transact(client, std::move(p), opts);
   out.transport = result.status;
   out.rtt_ms = result.rtt_ms;
-  if (!result.ok()) return out;
+  if (!result.ok()) {
+    obs::count("tls.handshake_failures");
+    if (span) span.arg("transport", netsim::status_name(out.transport));
+    return out;
+  }
 
   out.chain = decode_server_hello(result.reply);
   if (out.chain) out.validation = store.validate(*out.chain, hostname);
+  if (span) span.arg("validation", validation_name(out.validation));
+  if (out.validation != ValidationStatus::kValid)
+    obs::count("tls.validation_failures");
   return out;
 }
 

@@ -95,6 +95,10 @@ class TaskPool {
   using Task = std::function<void(WorkerCounters&)>;
 
   struct Worker {
+    // Guards both queue and counters. Every counter write — the steal bump
+    // in try_acquire and the post-task delta merge in worker_loop — happens
+    // under this mutex, and counters() reads under it too, so a concurrent
+    // snapshot can lag in-flight tasks but never observes a torn update.
     mutable std::mutex mu;
     std::deque<Task> queue;
     WorkerCounters counters;

@@ -1,5 +1,6 @@
 #include "vpn/client.h"
 
+#include "obs/trace.h"
 #include "vpn/server.h"
 
 namespace vpna::vpn {
@@ -30,6 +31,12 @@ VpnClient::~VpnClient() {
 }
 
 ConnectResult VpnClient::connect(const netsim::IpAddr& server_addr) {
+  obs::Span span("vpn.connect", "vpn");
+  if (span) {
+    span.arg("provider", spec_.name);
+    span.arg("server", server_addr.str());
+  }
+
   ConnectResult out;
   if (state_ != ClientState::kDisconnected) {
     out.error = "already connected";
@@ -50,6 +57,8 @@ ConnectResult VpnClient::connect(const netsim::IpAddr& server_addr) {
   const auto res = net_.transact(host_, std::move(hello));
   if (!res.ok() || res.reply != VpnServerService::kKeepaliveAck) {
     out.error = "server unreachable: " + std::string(status_name(res.status));
+    obs::count("vpn.connect.fail");
+    if (span) span.arg("result", out.error);
     return out;
   }
 
@@ -59,6 +68,8 @@ ConnectResult VpnClient::connect(const netsim::IpAddr& server_addr) {
   first_keepalive_failure_.reset();
   out.connected = true;
   out.assigned_addr = assigned_;
+  obs::count("vpn.connect.ok");
+  if (span) span.arg("result", "connected");
   return out;
 }
 
@@ -141,6 +152,11 @@ void VpnClient::remove_tunnel_state() {
 
 void VpnClient::disconnect() {
   if (state_ == ClientState::kDisconnected) return;
+  if (obs::tracing()) {
+    obs::Instant ev("vpn.disconnect", "vpn");
+    ev.arg("provider", spec_.name);
+    ev.arg("from_state", client_state_name(state_));
+  }
   remove_tunnel_state();
   state_ = ClientState::kDisconnected;
   first_keepalive_failure_.reset();
@@ -204,12 +220,21 @@ void VpnClient::tick() {
   const double silent_s = (now - *first_keepalive_failure_).seconds();
   if (silent_s < spec_.behavior.failure_detect_seconds) return;
 
+  // Tunnel declared dead: record the failure transition the §6.5 test
+  // measures before applying the provider's policy.
+  if (obs::tracing()) {
+    obs::Instant ev("vpn.tunnel_failure", "vpn");
+    ev.arg("provider", spec_.name);
+    ev.arg("silent_s", static_cast<std::int64_t>(silent_s));
+  }
   if (kill_switch_active() && !spec_.behavior.kill_switch_per_app_only) {
+    obs::count("vpn.tunnel_failure.closed");
     fail_closed();
   } else if (spec_.behavior.fails_open) {
     // Either no (active) kill switch, or an app-scoped one: the chosen
     // application gets terminated but the rest of the system's traffic
     // falls back to the physical interface — a leak all the same.
+    obs::count("vpn.tunnel_failure.open");
     fail_open();
   }
   // else: the client hangs with dead tunnel routes in place — accidentally

@@ -1,0 +1,220 @@
+// Unit tests for the obs subsystem: recorder semantics (nesting, sim
+// timestamps, thread binding), metrics registry (merge, volatile rendering)
+// and the exporters' canonical output.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <thread>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/clock.h"
+
+namespace vpna::obs {
+namespace {
+
+TraceConfig enabled_config() {
+  TraceConfig config;
+  config.enabled = true;
+  return config;
+}
+
+TEST(TraceRecorder, SpansNestWithParentAndDepth) {
+  TraceRecorder rec(enabled_config());
+  util::SimClock clock;
+  rec.bind_clock(&clock);
+
+  ScopedObservation scope(&rec, nullptr);
+  {
+    Span outer("outer", "test");
+    clock.advance_millis(2.0);
+    {
+      Span inner("inner", "test");
+      clock.advance_millis(3.0);
+    }
+    Instant point("point", "test");
+  }
+
+  ASSERT_EQ(rec.events().size(), 3u);
+  const auto& outer = rec.events()[0];
+  const auto& inner = rec.events()[1];
+  const auto& point = rec.events()[2];
+
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.parent, 0u);
+  EXPECT_EQ(outer.depth, 0u);
+  EXPECT_EQ(outer.sim_ts_us, 0);
+  EXPECT_EQ(outer.sim_dur_us, 5000);
+
+  EXPECT_EQ(inner.parent, outer.id);
+  EXPECT_EQ(inner.depth, 1u);
+  EXPECT_EQ(inner.sim_ts_us, 2000);
+  EXPECT_EQ(inner.sim_dur_us, 3000);
+
+  EXPECT_EQ(point.phase, 'i');
+  EXPECT_EQ(point.parent, outer.id);
+  EXPECT_EQ(point.sim_ts_us, 5000);
+  EXPECT_EQ(point.sim_dur_us, 0);
+
+  EXPECT_EQ(rec.open_spans(), 0u);
+}
+
+TEST(TraceRecorder, SpanArgsLand) {
+  TraceRecorder rec(enabled_config());
+  ScopedObservation scope(&rec, nullptr);
+  {
+    Span span("s", "test");
+    span.arg("str", "value");
+    span.arg("int", static_cast<std::int64_t>(42));
+    span.arg("dbl", 1.5);
+  }
+  ASSERT_EQ(rec.events().size(), 1u);
+  const auto& args = rec.events()[0].args;
+  ASSERT_EQ(args.size(), 3u);
+  EXPECT_EQ(args[0].key, "str");
+  EXPECT_EQ(args[0].value, "value");
+  EXPECT_EQ(args[1].value, "42");
+  EXPECT_EQ(args[2].key, "dbl");
+}
+
+TEST(TraceRecorder, UnboundThreadMakesSpansNoOps) {
+  // No ScopedObservation: Span/Instant must be inert (and cheap).
+  EXPECT_EQ(tracer(), nullptr);
+  EXPECT_FALSE(tracing());
+  Span span("orphan", "test");
+  EXPECT_FALSE(span);
+  Instant point("orphan", "test");
+  EXPECT_FALSE(point);
+  count("orphan.counter");  // metrics helper is a no-op too
+}
+
+TEST(TraceRecorder, BindingIsPerThread) {
+  TraceRecorder rec(enabled_config());
+  ScopedObservation scope(&rec, nullptr);
+  ASSERT_TRUE(tracing());
+  bool other_thread_traced = true;
+  std::thread other([&] { other_thread_traced = tracing(); });
+  other.join();
+  EXPECT_FALSE(other_thread_traced);
+}
+
+TEST(TraceRecorder, ScopedObservationRestoresPreviousBinding) {
+  TraceRecorder a(enabled_config());
+  TraceRecorder b(enabled_config());
+  ScopedObservation outer(&a, nullptr);
+  EXPECT_EQ(tracer(), &a);
+  {
+    ScopedObservation inner(&b, nullptr);
+    EXPECT_EQ(tracer(), &b);
+  }
+  EXPECT_EQ(tracer(), &a);
+}
+
+TEST(MetricsRegistry, CountersGaugesHistograms) {
+  MetricsRegistry reg;
+  reg.add("requests");
+  reg.add("requests", 2);
+  reg.set_gauge("load", 0.5);
+  reg.observe("rtt_ms", 3.0, kRttBucketsMs);
+  reg.observe("rtt_ms", 80.0, kRttBucketsMs);
+
+  EXPECT_EQ(reg.counter("requests"), 3u);
+  EXPECT_EQ(reg.gauge("load"), 0.5);
+  const auto* hist = reg.histogram("rtt_ms");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->total, 2u);
+  EXPECT_DOUBLE_EQ(hist->sum, 83.0);
+  EXPECT_EQ(hist->counts[1], 1u);  // 3.0 in (1, 5]
+}
+
+TEST(MetricsRegistry, MergeAddsCountersAndKeepsMaxGauge) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.add("c", 2);
+  b.add("c", 3);
+  a.set_gauge("g", 1.0);
+  b.set_gauge("g", 4.0);
+  a.observe("h", 1.0, kHopBuckets);
+  b.observe("h", 2.0, kHopBuckets);
+
+  a.merge(b);
+  EXPECT_EQ(a.counter("c"), 5u);
+  EXPECT_EQ(a.gauge("g"), 4.0);
+  EXPECT_EQ(a.histogram("h")->total, 2u);
+}
+
+TEST(MetricsRegistry, VolatileMetricsRenderBelowTheMarker) {
+  MetricsRegistry reg;
+  reg.add("sim.counter", 7);
+  reg.add("pool.steals", 3);
+  reg.set_volatile("pool.steals");
+
+  const auto full = reg.render_text(true);
+  const auto canonical = reg.render_text(false);
+
+  EXPECT_NE(full.find(kVolatileMetricsMarker), std::string::npos);
+  EXPECT_NE(full.find("pool.steals"), std::string::npos);
+  EXPECT_EQ(canonical.find(kVolatileMetricsMarker), std::string::npos);
+  EXPECT_EQ(canonical.find("pool.steals"), std::string::npos);
+  EXPECT_NE(canonical.find("sim.counter"), std::string::npos);
+  // The canonical form is a prefix of the full form.
+  EXPECT_EQ(full.substr(0, canonical.size()), canonical);
+}
+
+TEST(Export, ChromeTraceShapeAndCanonicalOrder) {
+  util::SimClock clock;
+  std::vector<ShardTrace> shards(2);
+
+  // Shard order is Alpha then Beta, but Beta's span begins earlier in sim
+  // time, so the canonical export must list Beta's event first.
+  shards[0].shard = "Alpha";
+  {
+    TraceRecorder rec(enabled_config());
+    rec.bind_clock(&clock);
+    ScopedObservation scope(&rec, nullptr);
+    clock.advance_millis(5.0);
+    { Span span("late", "test"); clock.advance_millis(1.0); }
+    shards[0].events = rec.take_events();
+  }
+  shards[1].shard = "Beta";
+  {
+    util::SimClock fresh;
+    TraceRecorder rec(enabled_config());
+    rec.bind_clock(&fresh);
+    ScopedObservation scope(&rec, nullptr);
+    { Span span("early", "test"); fresh.advance_millis(1.0); }
+    shards[1].events = rec.take_events();
+  }
+
+  const auto json = chrome_trace_json(shards);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);  // metadata
+  EXPECT_NE(json.find("\"Alpha\""), std::string::npos);
+  EXPECT_NE(json.find("\"Beta\""), std::string::npos);
+  // Beta's event (ts 0) sorts before Alpha's (ts 5000).
+  EXPECT_LT(json.find("\"early\""), json.find("\"late\""));
+
+  const auto jsonl = trace_jsonl(shards);
+  EXPECT_LT(jsonl.find("\"early\""), jsonl.find("\"late\""));
+  // Every JSONL line is a JSON object.
+  EXPECT_EQ(jsonl.front(), '{');
+  EXPECT_EQ(jsonl.back(), '\n');
+}
+
+TEST(Export, MergedMetricsFoldsAllShards) {
+  std::vector<ShardTrace> shards(2);
+  shards[0].shard = "A";
+  shards[0].metrics.add("net.transact.ok", 2);
+  shards[1].shard = "B";
+  shards[1].metrics.add("net.transact.ok", 3);
+  EXPECT_EQ(merged_metrics(shards).counter("net.transact.ok"), 5u);
+}
+
+TEST(Export, JsonEscapeHandlesSpecials) {
+  EXPECT_EQ(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+}  // namespace
+}  // namespace vpna::obs

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <stdexcept>
@@ -165,6 +166,40 @@ TEST(TaskPool, WaitIdleBlocksUntilEverythingFinished) {
     });
   pool.wait_idle();
   EXPECT_EQ(done.load(), 50);
+}
+
+// Snapshots counters from the main thread while workers are mid-flight.
+// The contract (task_pool.h): every counter write happens under the owning
+// worker's mutex, so a concurrent snapshot may lag but never tears — and
+// this test is the TSan witness for that claim (VPNA_SANITIZE=thread).
+TEST(TaskPool, ConcurrentCounterSnapshotsAreConsistent) {
+  TaskPool pool(4);
+  std::atomic<bool> running{true};
+  std::vector<std::future<void>> futures;
+  futures.reserve(500);
+  for (int i = 0; i < 500; ++i)
+    futures.push_back(pool.submit(
+        [] { std::this_thread::sleep_for(std::chrono::microseconds(50)); }));
+
+  std::uint64_t snapshots = 0;
+  while (running.load()) {
+    const auto per_worker = pool.counters();
+    EXPECT_EQ(per_worker.size(), pool.worker_count());
+    const auto total = pool.total_counters();
+    // tasks_run only grows and never exceeds what was submitted (no
+    // retries/timeouts in this workload).
+    EXPECT_LE(total.tasks_run, 500u);
+    EXPECT_GE(total.busy_wall_s, 0.0);
+    ++snapshots;
+    if (std::all_of(futures.begin(), futures.end(), [](auto& f) {
+          return f.wait_for(std::chrono::seconds(0)) ==
+                 std::future_status::ready;
+        }))
+      running = false;
+  }
+  pool.wait_idle();
+  EXPECT_GT(snapshots, 0u);
+  EXPECT_EQ(pool.total_counters().tasks_run, 500u);
 }
 
 TEST(TaskPool, SmokeStressManySmallTasks) {
