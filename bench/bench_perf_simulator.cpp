@@ -130,6 +130,18 @@ void BM_FullTestbedConstruction(benchmark::State& state) {
 }
 BENCHMARK(BM_FullTestbedConstruction)->Unit(benchmark::kMillisecond);
 
+void BM_SharedPlaneTestbedConstruction(benchmark::State& state) {
+  // Same as BM_FullTestbedConstruction but adopting the process-wide
+  // routing plane, the way campaign shards build their worlds.
+  const auto plane = ecosystem::shared_backbone_plane();
+  for (auto _ : state) {
+    auto tb = ecosystem::build_testbed(
+        static_cast<std::uint64_t>(state.iterations()) + 1, plane);
+    benchmark::DoNotOptimize(tb.total_vantage_points());
+  }
+}
+BENCHMARK(BM_SharedPlaneTestbedConstruction)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 BENCHMARK_MAIN();

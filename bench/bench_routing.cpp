@@ -1,0 +1,199 @@
+// Packet-plane fast-path microbench: LPM route lookup vs the naive scan,
+// all-pairs path resolution on a frozen (plane-served) vs unfrozen
+// (on-demand Dijkstra) network, cold vs shared-plane campaign shard setup,
+// and end-to-end transact packets/sec. The numbers back the PR 3
+// acceptance bar (≥2x on the packet hot path).
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "ecosystem/testbed.h"
+#include "inet/world.h"
+#include "netsim/network.h"
+#include "util/rng.h"
+
+using namespace vpna;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+// --- 1. route lookup: LPM index vs linear scan ------------------------------
+
+netsim::IpAddr random_v4(util::Rng& rng) {
+  return netsim::IpAddr::v4(static_cast<std::uint32_t>(rng.next() >> 32));
+}
+
+void bench_route_lookup(std::size_t n_routes, const char* label) {
+  util::Rng rng(1);
+  netsim::RouteTable table;
+  table.add({*netsim::Cidr::parse("0.0.0.0/0"), "eth0", std::nullopt, 0});
+  // Realistic prefix-length mix (BGP-style concentration on a few
+  // lengths); the probe cost scales with distinct lengths, not routes.
+  constexpr std::array<int, 4> kLens = {8, 16, 24, 32};
+  for (std::size_t i = 1; i < n_routes; ++i) {
+    const int len = kLens[rng.index(kLens.size())];
+    table.add({netsim::Cidr(random_v4(rng), len),
+               i % 2 ? "tun0" : "eth0", std::nullopt,
+               static_cast<int>(rng.uniform_int(0, 3))});
+  }
+  std::vector<netsim::IpAddr> queries;
+  for (int i = 0; i < 4096; ++i) queries.push_back(random_v4(rng));
+
+  // Best-of-rounds per implementation (see bench_transact_pps on why).
+  constexpr int kRounds = 10;
+  std::size_t sink = 0;
+  double lpm_ms = 1e18, naive_ms = 1e18;
+  for (int r = 0; r < kRounds; ++r) {
+    auto t0 = Clock::now();
+    for (const auto& q : queries) sink += table.lookup(q)->interface_name.size();
+    lpm_ms = std::min(lpm_ms, ms_since(t0));
+    t0 = Clock::now();
+    for (const auto& q : queries)
+      sink += table.lookup_naive(q)->interface_name.size();
+    naive_ms = std::min(naive_ms, ms_since(t0));
+  }
+  const double n_lookups = 4096.0;
+
+  std::printf("%-26s lpm %7.1f ns/op   naive %9.1f ns/op   (%zu)\n", label,
+              1e6 * lpm_ms / n_lookups, 1e6 * naive_ms / n_lookups, sink);
+  bench::compare(label, "linear scan",
+                 util::format("%.1f ns/lookup, %.1fx vs naive",
+                              1e6 * lpm_ms / n_lookups, naive_ms / lpm_ms));
+}
+
+// --- 2. all-pairs path resolution: plane vs per-pair Dijkstra ---------------
+
+void bench_path_resolution() {
+  // A world-sized core (~137 routers: 90 cities + 47 datacenters) built
+  // twice with identical wiring; one side freezes.
+  constexpr std::size_t kRouters = 137;
+  util::Rng rng(2);
+  std::vector<std::array<double, 3>> edges;  // (a, b, latency)
+  for (std::size_t i = 1; i < kRouters; ++i)
+    edges.push_back({static_cast<double>(i),
+                     static_cast<double>(rng.uniform_int(0, static_cast<std::int64_t>(i) - 1)),
+                     rng.uniform(0.5, 40.0)});
+  for (std::size_t e = 0; e < 3 * kRouters; ++e) {
+    const auto a = rng.index(kRouters), b = rng.index(kRouters);
+    if (a != b)
+      edges.push_back({static_cast<double>(a), static_cast<double>(b),
+                       rng.uniform(0.5, 40.0)});
+  }
+
+  const auto build = [&](netsim::Network& net,
+                         std::vector<std::unique_ptr<netsim::Host>>& hosts) {
+    for (std::size_t i = 0; i < kRouters; ++i) net.add_router("r");
+    for (const auto& e : edges)
+      net.add_link(static_cast<netsim::RouterId>(e[0]),
+                   static_cast<netsim::RouterId>(e[1]), e[2]);
+    for (std::size_t i = 0; i < kRouters; ++i) {
+      hosts.push_back(std::make_unique<netsim::Host>("h"));
+      net.attach_host(*hosts.back(), static_cast<netsim::RouterId>(i), 0.3);
+    }
+  };
+  const auto all_pairs = [&](netsim::Network& net,
+                             std::vector<std::unique_ptr<netsim::Host>>& hosts) {
+    double acc = 0;
+    for (auto& a : hosts)
+      for (auto& b : hosts) acc += net.base_latency_ms(*a, *b).value_or(0);
+    return acc;
+  };
+
+  util::SimClock ca, cb;
+  netsim::Network cold(ca, util::Rng(3), 0.0), warm(cb, util::Rng(3), 0.0);
+  std::vector<std::unique_ptr<netsim::Host>> cold_hosts, warm_hosts;
+  build(cold, cold_hosts);
+  build(warm, warm_hosts);
+  warm.freeze_topology();
+
+  auto t0 = Clock::now();
+  const double cold_acc = all_pairs(cold, cold_hosts);
+  const double dijkstra_ms = ms_since(t0);
+  t0 = Clock::now();
+  const double warm_acc = all_pairs(warm, warm_hosts);
+  const double plane_ms = ms_since(t0);
+
+  std::printf("all-pairs (%zu routers):  dijkstra %8.1f ms   plane %6.1f ms"
+              "   identical=%s\n",
+              kRouters, dijkstra_ms, plane_ms,
+              cold_acc == warm_acc ? "yes" : "NO");
+  bench::compare("all-pairs path resolution", "per-pair Dijkstra",
+                 util::format("%.1f ms vs %.1f ms cold (%.1fx)", plane_ms,
+                              dijkstra_ms, dijkstra_ms / plane_ms));
+}
+
+// --- 3. shard setup: cold vs shared plane -----------------------------------
+
+void bench_shard_setup() {
+  constexpr int kShards = 3;
+  // Prime the process-wide plane outside the timed region (a campaign pays
+  // this once, not per shard).
+  const auto plane = ecosystem::shared_backbone_plane();
+
+  auto t0 = Clock::now();
+  for (int i = 0; i < kShards; ++i) {
+    auto tb = ecosystem::build_provider_shard("NordVPN", 100 + i);
+    if (!tb.world) return;
+  }
+  const double cold_ms = ms_since(t0) / kShards;
+  t0 = Clock::now();
+  for (int i = 0; i < kShards; ++i) {
+    auto tb = ecosystem::build_provider_shard("NordVPN", 100 + i, plane);
+    if (!tb.world) return;
+  }
+  const double shared_ms = ms_since(t0) / kShards;
+
+  std::printf("shard setup:  cold %8.1f ms   shared-plane %8.1f ms\n", cold_ms,
+              shared_ms);
+  bench::compare("provider shard setup", "cold per-shard plane",
+                 util::format("%.1f ms vs %.1f ms cold", shared_ms, cold_ms));
+}
+
+// --- 4. end-to-end transact throughput ---------------------------------------
+
+void bench_transact_pps() {
+  inet::World world(1234);
+  auto& client = world.spawn_client("Chicago", "bench-vm");
+  const auto dst = world.anchors()[10].addr;
+  // Warm the path cache the way a campaign does, then measure steady state.
+  // Best-of-rounds: on a shared/1-CPU box the scheduler inflates individual
+  // rounds by 2-3x, so the minimum is the real per-packet cost.
+  (void)world.network().ping(client, dst);
+  constexpr int kRounds = 8;
+  constexpr int kPackets = 50000;
+  double best_ms = 1e18;
+  for (int round = 0; round < kRounds; ++round) {
+    const auto t0 = Clock::now();
+    for (int i = 0; i < kPackets; ++i) (void)world.network().ping(client, dst);
+    best_ms = std::min(best_ms, ms_since(t0));
+  }
+  const double pps = kPackets / (best_ms / 1000.0);
+  std::printf("transact:  %.0f packets/sec (%.0f ns/packet, best of %d)\n",
+              pps, 1e6 * best_ms / kPackets, kRounds);
+  bench::compare("transact throughput", "473.5 ns/packet @ PR2",
+                 util::format("%.0f ns/packet, %.2fM pps",
+                              1e6 * best_ms / kPackets, pps / 1e6));
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("routing-fastpath",
+                      "LPM lookup, routing plane, shard setup, transact pps");
+  bench_route_lookup(8, "route lookup (8 routes)");
+  bench_route_lookup(64, "route lookup (64 routes)");
+  bench_route_lookup(512, "route lookup (512 routes)");
+  bench_route_lookup(4096, "route lookup (4096 routes)");
+  bench_path_resolution();
+  bench_shard_setup();
+  bench_transact_pps();
+  return 0;
+}

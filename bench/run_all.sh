@@ -2,20 +2,47 @@
 # Runs every bench executable and aggregates their machine-readable output
 # into one JSON document.
 #
-#   bench/run_all.sh [build-dir] [out.json]
+#   bench/run_all.sh [build-dir] [out.json] [--compare old.json]
 #
-# Defaults: build-dir = ./build, out.json = BENCH_PR2.json. The regeneration
+# Defaults: build-dir = ./build, out.json = BENCH_PR3.json. The regeneration
 # benches emit one `BENCH_JSON {...}` trailer line each (see
 # bench/bench_common.h); bench_perf_simulator is google-benchmark and is run
 # with --benchmark_format=json. The aggregate maps bench name -> its JSON.
+#
+# --compare old.json prints per-bench wall-ms deltas against a previous
+# aggregate and exits non-zero if any bench_perf_simulator benchmark
+# regressed by more than 25%. The regeneration benches' wall_ms deltas are
+# informational only (they include one-time setup and are noisy).
 set -eu
 
+compare=""
+positional=""
+while [ $# -gt 0 ]; do
+    case "$1" in
+    --compare)
+        [ $# -ge 2 ] || { echo "error: --compare needs a file" >&2; exit 2; }
+        compare="$2"
+        shift 2
+        ;;
+    *)
+        positional="$positional $1"
+        shift
+        ;;
+    esac
+done
+# shellcheck disable=SC2086
+set -- $positional
+
 build_dir="${1:-build}"
-out="${2:-BENCH_PR2.json}"
+out="${2:-BENCH_PR3.json}"
 bench_dir="$build_dir/bench"
 
 if [ ! -d "$bench_dir" ]; then
     echo "error: $bench_dir not found (build first: cmake --build $build_dir -j)" >&2
+    exit 1
+fi
+if [ -n "$compare" ] && [ ! -f "$compare" ]; then
+    echo "error: compare baseline $compare not found" >&2
     exit 1
 fi
 
@@ -63,5 +90,49 @@ for path in sorted(tmp.glob("*.json")):
 out.write_text(json.dumps(agg, indent=2, sort_keys=True) + "\n")
 print(f"wrote {out} ({len(agg)} benches)")
 EOF
+
+if [ -n "$compare" ]; then
+    python3 - "$out" "$compare" <<'EOF' || status=1
+import json, sys
+
+REGRESSION_LIMIT = 0.25  # fail on >25% slowdown of a perf-simulator benchmark
+
+new = json.load(open(sys.argv[1]))
+old = json.load(open(sys.argv[2]))
+
+print(f"\n=== compare vs {sys.argv[2]} ===")
+
+# Regeneration benches: informational wall-ms deltas.
+for name in sorted(set(new) & set(old)):
+    if name == "bench_perf_simulator":
+        continue
+    nw, ow = new[name].get("wall_ms"), old[name].get("wall_ms")
+    if nw is None or ow is None or ow == 0:
+        continue
+    print(f"{name:36s} {ow:10.1f} ms -> {nw:10.1f} ms  ({nw / ow:5.2f}x)")
+
+# Perf-simulator benchmarks: gate on >25% real_time regression.
+failed = []
+new_bm = {b["name"]: b for b in new.get("bench_perf_simulator", {}).get("benchmarks", [])}
+old_bm = {b["name"]: b for b in old.get("bench_perf_simulator", {}).get("benchmarks", [])}
+for name in sorted(set(new_bm) & set(old_bm)):
+    nb, ob = new_bm[name], old_bm[name]
+    if nb.get("time_unit") != ob.get("time_unit") or not ob.get("real_time"):
+        continue
+    ratio = nb["real_time"] / ob["real_time"]
+    verdict = ""
+    if ratio > 1 + REGRESSION_LIMIT:
+        verdict = "  REGRESSION"
+        failed.append(name)
+    print(f"{name:36s} {ob['real_time']:10.1f} -> {nb['real_time']:10.1f} "
+          f"{nb.get('time_unit', ''):2s} ({ratio:5.2f}x){verdict}")
+
+if failed:
+    print(f"\nFAIL: {len(failed)} benchmark(s) regressed more than "
+          f"{REGRESSION_LIMIT:.0%}: {', '.join(failed)}", file=sys.stderr)
+    sys.exit(1)
+print("compare: no perf-simulator regression above the threshold")
+EOF
+fi
 
 exit "$status"

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "ecosystem/evaluated.h"
+#include "ecosystem/testbed.h"
 #include "obs/trace.h"
 
 namespace vpna::core {
@@ -32,24 +33,26 @@ ProviderReport run_shard_body(const std::string& name,
 
 }  // namespace
 
-ProviderReport run_provider_shard(const std::string& name,
-                                  std::uint64_t campaign_seed,
-                                  const RunnerOptions& options) {
-  auto shard = ecosystem::build_provider_shard(name, campaign_seed);
+ProviderReport run_provider_shard(
+    const std::string& name, std::uint64_t campaign_seed,
+    const RunnerOptions& options,
+    std::shared_ptr<const netsim::RoutingPlane> plane) {
+  auto shard =
+      ecosystem::build_provider_shard(name, campaign_seed, std::move(plane));
   if (!shard.world)
     throw std::invalid_argument("run_provider_shard: unknown provider " + name);
   return run_shard_body(name, campaign_seed, options, shard);
 }
 
-ProviderReport run_provider_shard(const std::string& name,
-                                  std::uint64_t campaign_seed,
-                                  const RunnerOptions& options,
-                                  const obs::TraceConfig& trace,
-                                  obs::ShardTrace* out) {
+ProviderReport run_provider_shard(
+    const std::string& name, std::uint64_t campaign_seed,
+    const RunnerOptions& options, const obs::TraceConfig& trace,
+    obs::ShardTrace* out, std::shared_ptr<const netsim::RoutingPlane> plane) {
   if (!trace.enabled || out == nullptr)
-    return run_provider_shard(name, campaign_seed, options);
+    return run_provider_shard(name, campaign_seed, options, std::move(plane));
 
-  auto shard = ecosystem::build_provider_shard(name, campaign_seed);
+  auto shard =
+      ecosystem::build_provider_shard(name, campaign_seed, std::move(plane));
   if (!shard.world)
     throw std::invalid_argument("run_provider_shard: unknown provider " + name);
 
@@ -129,6 +132,12 @@ CampaignReport ParallelCampaign::run(const std::vector<std::string>& names,
 
   const int attempts = options_.shard_attempts < 1 ? 1 : options_.shard_attempts;
 
+  // One all-pairs plane serves every shard (their core topologies are
+  // identical); computed up front so no shard pays the Dijkstra sweep.
+  const std::shared_ptr<const netsim::RoutingPlane> plane =
+      options_.share_routing_plane ? ecosystem::shared_backbone_plane()
+                                   : nullptr;
+
   if (options_.jobs == 1) {
     // Serial path: the identical shard tasks, run in-caller in catalog
     // order. No pool, no threads — the determinism baseline.
@@ -145,7 +154,7 @@ CampaignReport ParallelCampaign::run(const std::vector<std::string>& names,
           obs::ShardTrace trace;
           report.providers[i] = run_provider_shard(
               selection[i], seed, options_.runner, options_.trace,
-              traced ? &trace : nullptr);
+              traced ? &trace : nullptr, plane);
           if (traced) report.traces[i] = std::move(trace);
           done = true;
         } catch (...) {
@@ -183,10 +192,11 @@ CampaignReport ParallelCampaign::run(const std::vector<std::string>& names,
     const obs::TraceConfig trace_cfg = options_.trace;
     for (const auto& name : selection) {
       futures.push_back(pool.submit(
-          [name, seed, runner_opts, trace_cfg, traced] {
+          [name, seed, runner_opts, trace_cfg, traced, plane] {
             ShardOutcome out;
             out.report = run_provider_shard(name, seed, runner_opts, trace_cfg,
-                                            traced ? &out.trace : nullptr);
+                                            traced ? &out.trace : nullptr,
+                                            plane);
             return out;
           },
           task_opts));

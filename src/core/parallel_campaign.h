@@ -7,10 +7,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/runner.h"
+#include "netsim/routing_plane.h"
 #include "obs/export.h"
 #include "util/task_pool.h"
 
@@ -27,6 +29,11 @@ struct CampaignOptions {
   // re-run from scratch — shards are pure, so a re-run is identical).
   int shard_attempts = 1;
   double shard_timeout_s = 0.0;  // 0 = no budget
+  // Share one all-pairs routing plane (ecosystem::shared_backbone_plane())
+  // across all shard worlds instead of letting each shard compute its own.
+  // Read-only sharing: results are identical either way (the cross-shard
+  // determinism test proves it); off only for A/B benchmarking.
+  bool share_routing_plane = true;
   // Observability: when trace.enabled, every shard runs under its own
   // TraceRecorder + MetricsRegistry (bound to the shard's sim clock) and
   // the per-shard observations come back in CampaignReport::traces. Trace
@@ -57,21 +64,24 @@ struct CampaignReport {
 
 // Runs the full suite for one provider in an isolated shard testbed built
 // by ecosystem::build_provider_shard(name, campaign_seed). Pure: the
-// result depends only on (name, campaign_seed, options). Throws
+// result depends only on (name, campaign_seed, options) — `plane` is a
+// read-only accelerator handed to the shard world (nullptr = the shard
+// computes its own) and never changes the result. Throws
 // std::invalid_argument for unknown provider names.
-[[nodiscard]] ProviderReport run_provider_shard(const std::string& name,
-                                                std::uint64_t campaign_seed,
-                                                const RunnerOptions& options);
+[[nodiscard]] ProviderReport run_provider_shard(
+    const std::string& name, std::uint64_t campaign_seed,
+    const RunnerOptions& options,
+    std::shared_ptr<const netsim::RoutingPlane> plane = nullptr);
 
 // Traced variant: runs the shard under a fresh TraceRecorder/MetricsRegistry
 // bound to the shard world's sim clock and returns the observation through
 // `out` (ignored when !trace.enabled or out == nullptr). Still pure — the
 // trace is as deterministic as the report.
-[[nodiscard]] ProviderReport run_provider_shard(const std::string& name,
-                                                std::uint64_t campaign_seed,
-                                                const RunnerOptions& options,
-                                                const obs::TraceConfig& trace,
-                                                obs::ShardTrace* out);
+[[nodiscard]] ProviderReport run_provider_shard(
+    const std::string& name, std::uint64_t campaign_seed,
+    const RunnerOptions& options, const obs::TraceConfig& trace,
+    obs::ShardTrace* out,
+    std::shared_ptr<const netsim::RoutingPlane> plane = nullptr);
 
 class ParallelCampaign {
  public:

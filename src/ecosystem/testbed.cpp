@@ -26,9 +26,10 @@ void alias_shared_vantage_points(vpn::DeployedProvider& target,
 }
 
 Testbed build(const std::vector<const EvaluatedProvider*>& selection,
-              std::uint64_t seed) {
+              std::uint64_t seed,
+              std::shared_ptr<const netsim::RoutingPlane> plane) {
   Testbed tb;
-  tb.world = std::make_unique<inet::World>(seed);
+  tb.world = std::make_unique<inet::World>(seed, std::move(plane));
   tb.providers.reserve(selection.size());
 
   for (const auto* ep : selection) {
@@ -55,14 +56,16 @@ Testbed build(const std::vector<const EvaluatedProvider*>& selection,
 
 }  // namespace
 
-Testbed build_testbed(std::uint64_t seed) {
+Testbed build_testbed(std::uint64_t seed,
+                      std::shared_ptr<const netsim::RoutingPlane> plane) {
   std::vector<const EvaluatedProvider*> all;
   for (const auto& ep : evaluated_providers()) all.push_back(&ep);
-  return build(all, seed);
+  return build(all, seed, std::move(plane));
 }
 
 Testbed build_testbed_subset(const std::vector<std::string>& names,
-                             std::uint64_t seed) {
+                             std::uint64_t seed,
+                             std::shared_ptr<const netsim::RoutingPlane> plane) {
   std::vector<const EvaluatedProvider*> selection;
   std::set<std::string> seen;
   for (const auto& name : names) {
@@ -70,7 +73,7 @@ Testbed build_testbed_subset(const std::vector<std::string>& names,
     if (ep != nullptr && seen.insert(ep->spec.name).second)
       selection.push_back(ep);
   }
-  return build(selection, seed);
+  return build(selection, seed, std::move(plane));
 }
 
 std::uint64_t shard_seed(std::uint64_t campaign_seed,
@@ -80,8 +83,8 @@ std::uint64_t shard_seed(std::uint64_t campaign_seed,
   return util::Rng(campaign_seed).fork(provider_name).seed();
 }
 
-Testbed build_provider_shard(std::string_view name,
-                             std::uint64_t campaign_seed) {
+Testbed build_provider_shard(std::string_view name, std::uint64_t campaign_seed,
+                             std::shared_ptr<const netsim::RoutingPlane> plane) {
   const auto* target = evaluated_provider(name);
   if (target == nullptr) return {};
 
@@ -94,7 +97,20 @@ Testbed build_provider_shard(std::string_view name,
          ep.spec.name == target->shares_infrastructure_with))
       selection.push_back(&ep);
   }
-  return build(selection, shard_seed(campaign_seed, target->spec.name));
+  return build(selection, shard_seed(campaign_seed, target->spec.name),
+               std::move(plane));
+}
+
+std::shared_ptr<const netsim::RoutingPlane> shared_backbone_plane() {
+  // Built once per process from a throwaway world. The core topology is a
+  // deterministic function of the city/datacenter catalogs (not the seed),
+  // so this plane matches every World the process will ever construct —
+  // adopt_routing_plane() verifies that by fingerprint.
+  static const std::shared_ptr<const netsim::RoutingPlane> plane = [] {
+    inet::World scout(0);
+    return scout.network().routing_plane();
+  }();
+  return plane;
 }
 
 }  // namespace vpna::ecosystem

@@ -35,15 +35,20 @@ struct Testbed {
 
 // Builds a world (seeded) and deploys every evaluated provider into it.
 // Reseller-shared vantage points (Anonine/Boxpn) alias onto the partner's
-// hosts, yielding exact-IP overlap in the census.
-[[nodiscard]] Testbed build_testbed(std::uint64_t seed = 20181031);
+// hosts, yielding exact-IP overlap in the census. `plane`, when given, is
+// adopted by the world's network instead of recomputing all-pairs routes
+// (see shared_backbone_plane()).
+[[nodiscard]] Testbed build_testbed(
+    std::uint64_t seed = 20181031,
+    std::shared_ptr<const netsim::RoutingPlane> plane = nullptr);
 
 // Deploys a named subset (for cheaper tests): only providers whose names
 // appear in `names`. Unknown names are ignored and duplicates deploy once
 // (first occurrence wins), so a subset never contains two providers with
 // the same name.
 [[nodiscard]] Testbed build_testbed_subset(
-    const std::vector<std::string>& names, std::uint64_t seed = 20181031);
+    const std::vector<std::string>& names, std::uint64_t seed = 20181031,
+    std::shared_ptr<const netsim::RoutingPlane> plane = nullptr);
 
 // Stable per-provider shard seed for parallel campaigns: derived only from
 // the campaign seed and the provider name, never from worker id, worker
@@ -58,7 +63,17 @@ struct Testbed {
 // that partner, so reseller vantage-point aliasing (Anonine/Boxpn exact-IP
 // overlap) survives shard deployment. Returns an empty testbed (no world)
 // for unknown names.
-[[nodiscard]] Testbed build_provider_shard(std::string_view name,
-                                           std::uint64_t campaign_seed);
+[[nodiscard]] Testbed build_provider_shard(
+    std::string_view name, std::uint64_t campaign_seed,
+    std::shared_ptr<const netsim::RoutingPlane> plane = nullptr);
+
+// The all-pairs routing plane of the backbone + datacenter core every
+// World builds, computed once per process (from a throwaway world) and
+// shared from then on. Worlds constructed with this plane skip their own
+// all-pairs sweep; the fingerprint check in adopt_routing_plane() guards
+// the contract. Thread-safe (static initialization); the plane itself is
+// immutable.
+[[nodiscard]] std::shared_ptr<const netsim::RoutingPlane>
+shared_backbone_plane();
 
 }  // namespace vpna::ecosystem

@@ -107,7 +107,8 @@ geo::City require_city(std::string_view name) {
 
 }  // namespace
 
-World::World(std::uint64_t seed)
+World::World(std::uint64_t seed,
+             std::shared_ptr<const netsim::RoutingPlane> shared_plane)
     : seed_(seed),
       rng_(seed),
       network_(std::make_unique<netsim::Network>(clock_, util::Rng(seed).fork("network-jitter"))),
@@ -116,6 +117,12 @@ World::World(std::uint64_t seed)
       site_directory_(std::make_shared<SiteDirectory>()) {
   build_backbone();
   build_datacenters();
+  // The router fabric is complete: later routers (private facilities) are
+  // single-link leaves, so the core can freeze here and path resolution
+  // runs on the routing plane — adopted when a compatible one was handed
+  // in, computed locally otherwise.
+  network_->freeze_topology();
+  if (shared_plane != nullptr) network_->adopt_routing_plane(std::move(shared_plane));
   build_dns();
   build_web();
   build_anchors();

@@ -63,7 +63,14 @@ struct RootServer {
 
 class World {
  public:
-  explicit World(std::uint64_t seed);
+  // `shared_plane`, when given, must have been produced by another World's
+  // network (any seed: the backbone + datacenter core is seed-independent)
+  // and is adopted instead of recomputing all-pairs routes — this is how
+  // campaign shards skip the per-shard Dijkstra sweep. Pass nullptr to
+  // build the plane locally on first path query.
+  explicit World(std::uint64_t seed,
+                 std::shared_ptr<const netsim::RoutingPlane> shared_plane =
+                     nullptr);
 
   World(const World&) = delete;
   World& operator=(const World&) = delete;

@@ -4,10 +4,11 @@
 
 namespace vpna::netsim {
 
-void CaptureBuffer::record(util::SimTime time, Direction dir,
-                           std::string interface_name, const Packet& packet) {
-  if (!enabled_) return;
-  records_.push_back(CaptureRecord{time, dir, std::move(interface_name), packet});
+void CaptureBuffer::record_impl(util::SimTime time, Direction dir,
+                                std::string_view interface_name,
+                                const Packet& packet) {
+  records_.push_back(
+      CaptureRecord{time, dir, std::string(interface_name), packet});
 }
 
 std::vector<CaptureRecord> CaptureBuffer::on_interface(

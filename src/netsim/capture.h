@@ -31,8 +31,14 @@ struct CaptureRecord {
 // memory-bounded — exactly like only running tcpdump on the test machine.
 class CaptureBuffer {
  public:
-  void record(util::SimTime time, Direction dir, std::string interface_name,
-              const Packet& packet);
+  // `interface_name` is only materialized into a std::string when the
+  // buffer is enabled, so disabled hosts pay no allocation per packet (and
+  // the disabled check inlines into the caller).
+  void record(util::SimTime time, Direction dir,
+              std::string_view interface_name, const Packet& packet) {
+    if (!enabled_) return;
+    record_impl(time, dir, interface_name, packet);
+  }
 
   void set_enabled(bool enabled) noexcept { enabled_ = enabled; }
   [[nodiscard]] bool enabled() const noexcept { return enabled_; }
@@ -57,6 +63,9 @@ class CaptureBuffer {
   [[nodiscard]] std::string dump(std::size_t max_lines = 200) const;
 
  private:
+  void record_impl(util::SimTime time, Direction dir,
+                   std::string_view interface_name, const Packet& packet);
+
   bool enabled_ = true;
   std::vector<CaptureRecord> records_;
 };

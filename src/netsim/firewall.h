@@ -42,6 +42,9 @@ class Firewall {
 
   [[nodiscard]] bool allows(const Packet& packet,
                             Direction direction) const noexcept {
+    // No rules — the default-allow answer, without the call (most hosts in
+    // a campaign never install a rule; this sits on the per-packet path).
+    if (rules_.empty()) return true;
     return evaluate(packet, direction) == FwAction::kAllow;
   }
 

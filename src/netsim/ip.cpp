@@ -42,12 +42,6 @@ IpAddr IpAddr::v6_groups(const std::array<std::uint16_t, 8>& groups) noexcept {
   return v6(b);
 }
 
-bool IpAddr::is_unspecified() const noexcept {
-  for (auto b : bytes_)
-    if (b != 0) return false;
-  return true;
-}
-
 std::uint32_t IpAddr::v4_value() const {
   if (!is_v4()) throw std::logic_error("v4_value on IPv6 address");
   return (static_cast<std::uint32_t>(bytes_[0]) << 24) |
@@ -214,12 +208,6 @@ std::optional<Cidr> Cidr::parse(std::string_view text) {
   const int max = addr->is_v4() ? 32 : 128;
   if (plen < 0 || plen > max) return std::nullopt;
   return Cidr(*addr, plen);
-}
-
-bool Cidr::contains(const IpAddr& addr) const noexcept {
-  if (addr.family() != network_.family()) return false;
-  const auto masked = mask_bytes(addr.bytes(), prefix_len_);
-  return masked == network_.bytes();
 }
 
 IpAddr Cidr::host_at(std::uint32_t n) const {

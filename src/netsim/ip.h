@@ -44,7 +44,11 @@ class IpAddr {
   [[nodiscard]] IpFamily family() const noexcept { return family_; }
   [[nodiscard]] bool is_v4() const noexcept { return family_ == IpFamily::kV4; }
   [[nodiscard]] bool is_v6() const noexcept { return family_ == IpFamily::kV6; }
-  [[nodiscard]] bool is_unspecified() const noexcept;
+  [[nodiscard]] bool is_unspecified() const noexcept {
+    for (auto b : bytes_)
+      if (b != 0) return false;
+    return true;
+  }
 
   // IPv4 value in host order. Requires is_v4().
   [[nodiscard]] std::uint32_t v4_value() const;
@@ -52,6 +56,23 @@ class IpAddr {
   // Raw bytes (4 meaningful for v4, 16 for v6).
   [[nodiscard]] const std::array<std::uint8_t, 16>& bytes() const noexcept {
     return bytes_;
+  }
+
+  // Copy with every bit past `prefix_len` cleared — the enclosing network
+  // address, same family. The LPM probe calls this per bucket, so it skips
+  // the range validation Cidr's constructor does.
+  [[nodiscard]] IpAddr masked(int prefix_len) const noexcept {
+    IpAddr out = *this;
+    int bits = prefix_len;
+    for (auto& b : out.bytes_) {
+      if (bits >= 8) {
+        bits -= 8;
+        continue;
+      }
+      b &= static_cast<std::uint8_t>(bits > 0 ? 0xff00u >> bits : 0);
+      bits = 0;
+    }
+    return out;
   }
 
   // Canonical text form ("8.8.8.8", "2001:db8::1").
@@ -80,8 +101,23 @@ class Cidr {
   [[nodiscard]] int prefix_len() const noexcept { return prefix_len_; }
   [[nodiscard]] IpFamily family() const noexcept { return network_.family(); }
 
-  // True if `addr` is within this prefix (families must match).
-  [[nodiscard]] bool contains(const IpAddr& addr) const noexcept;
+  // True if `addr` is within this prefix (families must match). Compares
+  // only the prefix bits — network_ is masked on construction, so this is
+  // equivalent to masking `addr` and comparing whole addresses.
+  [[nodiscard]] bool contains(const IpAddr& addr) const noexcept {
+    if (addr.family() != network_.family()) return false;
+    const auto& a = addr.bytes();
+    const auto& n = network_.bytes();
+    int bits = prefix_len_;
+    std::size_t i = 0;
+    for (; bits >= 8; bits -= 8, ++i)
+      if (a[i] != n[i]) return false;
+    if (bits > 0) {
+      const auto mask = static_cast<std::uint8_t>(0xff00u >> bits);
+      if ((a[i] & mask) != n[i]) return false;
+    }
+    return true;
+  }
 
   // The n-th host address within the prefix (v4 only; n counts from the
   // network address). Requires the result to stay inside the prefix.

@@ -1,6 +1,9 @@
 #include "netsim/network.h"
 
 #include <algorithm>
+#include <array>
+#include <cassert>
+#include <cstring>
 #include <queue>
 #include <stdexcept>
 
@@ -24,12 +27,33 @@ std::string_view status_name(TransactStatus s) noexcept {
   return "unknown";
 }
 
+namespace {
+
+// Per-status metric names, built once: the hot path must not concatenate
+// strings per packet (obs::count takes a string_view).
+constexpr std::array<std::string_view, 10> kTransactMetricNames = {
+    "net.transact.ok",           "net.transact.no-route",
+    "net.transact.interface-down", "net.transact.blocked-local",
+    "net.transact.blocked-remote", "net.transact.no-such-host",
+    "net.transact.no-service",   "net.transact.no-reply",
+    "net.transact.dropped",      "net.transact.ttl-expired",
+};
+
+}  // namespace
+
 Network::Network(util::SimClock& clock, util::Rng rng, double jitter_stddev_ms)
     : clock_(clock), rng_(std::move(rng)), jitter_stddev_ms_(jitter_stddev_ms) {}
 
 RouterId Network::add_router(std::string name) {
+  ++topology_epoch_;
   routers_.push_back(Router{std::move(name), nullptr, {}});
-  path_cache_.clear();
+  if (frozen_) {
+    // A new router hangs off the frozen core as a (future) leaf; existing
+    // paths are unaffected, so both the plane and the path cache survive.
+    leaf_links_.emplace_back();
+  } else {
+    path_cache_.clear();
+  }
   return static_cast<RouterId>(routers_.size() - 1);
 }
 
@@ -37,9 +61,98 @@ void Network::add_link(RouterId a, RouterId b, double latency_ms) {
   if (a >= routers_.size() || b >= routers_.size())
     throw std::out_of_range("add_link: unknown router");
   if (latency_ms < 0) throw std::invalid_argument("add_link: negative latency");
+  ++topology_epoch_;
   routers_[a].links.emplace_back(b, latency_ms);
   routers_[b].links.emplace_back(a, latency_ms);
+  if (!frozen_) {
+    path_cache_.clear();
+    return;
+  }
+  const bool a_core = a < frozen_count_;
+  const bool b_core = b < frozen_count_;
+  if (a_core == b_core) {
+    // Core rewiring (or a link between two post-freeze routers): the plane
+    // no longer describes the graph; fall back to on-demand Dijkstra.
+    invalidate_routing_plane();
+    return;
+  }
+  const RouterId leaf = a_core ? b : a;
+  const RouterId gateway = a_core ? a : b;
+  auto& link = leaf_links_[leaf - frozen_count_];
+  if (link.gateway != kNoRouter) {
+    // Second link on a leaf: no longer a single-homed extension.
+    invalidate_routing_plane();
+    return;
+  }
+  link.gateway = gateway;
+  link.latency_ms = latency_ms;
+  // A fresh leaf link only adds paths (never cached while unreachable:
+  // path() does not memoize failures), so the cache stays valid.
+}
+
+void Network::freeze_topology() {
+  if (frozen_) throw std::logic_error("freeze_topology: already frozen");
+  frozen_ = true;
+  frozen_count_ = routers_.size();
+  // FNV-1a over the router/link structure. Link latencies hash by bit
+  // pattern; two networks built by the same deterministic code agree.
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(frozen_count_);
+  for (const auto& router : routers_) {
+    mix(router.links.size());
+    for (const auto& [peer, latency] : router.links) {
+      mix(peer);
+      std::uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(latency));
+      std::memcpy(&bits, &latency, sizeof(bits));
+      mix(bits);
+    }
+  }
+  fingerprint_ = h;
+}
+
+void Network::invalidate_routing_plane() {
+  frozen_ = false;
+  frozen_count_ = 0;
+  fingerprint_ = 0;
+  plane_ = nullptr;
+  leaf_links_.clear();
   path_cache_.clear();
+}
+
+std::shared_ptr<const RoutingPlane> Network::routing_plane() const {
+  if (!frozen_) return nullptr;
+  if (!plane_) {
+    // Core adjacency only: links to post-freeze leaves are filtered out
+    // (they cannot carry transit traffic), preserving core link order so
+    // Dijkstra tie-breaking matches the on-demand fallback.
+    RoutingPlane::Adjacency adjacency(frozen_count_);
+    for (std::size_t r = 0; r < frozen_count_; ++r) {
+      adjacency[r].reserve(routers_[r].links.size());
+      for (const auto& [peer, latency] : routers_[r].links)
+        if (peer < frozen_count_) adjacency[r].emplace_back(peer, latency);
+    }
+    plane_ = RoutingPlane::build(adjacency, fingerprint_);
+  }
+  return plane_;
+}
+
+void Network::adopt_routing_plane(std::shared_ptr<const RoutingPlane> plane) {
+  if (!frozen_)
+    throw std::logic_error("adopt_routing_plane: topology not frozen");
+  if (plane == nullptr)
+    throw std::logic_error("adopt_routing_plane: null plane");
+  if (plane->fingerprint() != fingerprint_ ||
+      plane->router_count() != frozen_count_)
+    throw std::logic_error(
+        "adopt_routing_plane: plane fingerprint does not match this topology");
+  plane_ = std::move(plane);
 }
 
 const std::string& Network::router_name(RouterId id) const {
@@ -61,32 +174,104 @@ void Network::clear_middlebox(RouterId id) { routers_.at(id).middlebox = nullptr
 void Network::attach_host(Host& host, RouterId router, double access_latency_ms) {
   if (router >= routers_.size())
     throw std::out_of_range("attach_host: unknown router");
-  if (attachment_of(host) != nullptr)
+  if (host_index_.contains(&host))
     throw std::logic_error("attach_host: host already attached: " + host.name());
-  attachments_.push_back(Attachment{&host, router, access_latency_ms});
-  refresh_host(host);
+  attachments_.push_back(Attachment{&host, router, access_latency_ms, {}});
+  host_index_.emplace(&host, attachments_.size() - 1);
+  index_attachment(attachments_.size() - 1);
+  debug_check_address_index();
 }
 
 void Network::detach_host(Host& host) {
-  std::erase_if(attachments_,
-                [&](const Attachment& a) { return a.host == &host; });
-  reindex_addresses();
+  const auto it = host_index_.find(&host);
+  if (it == host_index_.end()) return;
+  const std::size_t slot = it->second;
+  unindex_attachment(slot);
+  attachments_[slot].host = nullptr;  // tombstone; slot indices stay stable
+  host_index_.erase(it);
+  debug_check_address_index();
 }
 
 void Network::refresh_host(Host& host) {
-  (void)host;
-  reindex_addresses();
+  const auto it = host_index_.find(&host);
+  if (it == host_index_.end()) return;
+  unindex_attachment(it->second);
+  index_attachment(it->second);
+  debug_check_address_index();
+}
+
+void Network::index_attachment(std::size_t slot) {
+  auto& att = attachments_[slot];
+  const auto add = [&](const IpAddr& addr) {
+    auto& slots = addr_to_attachment_[addr];
+    // Keep slots ascending (= attach order), matching a full rebuild, so
+    // anycast tie-breaking is independent of refresh history.
+    slots.insert(std::lower_bound(slots.begin(), slots.end(), slot), slot);
+    att.indexed_addrs.push_back(addr);
+  };
+  for (const auto& iface : att.host->interfaces()) {
+    if (iface.name == "lo") continue;
+    if (iface.addr4) add(*iface.addr4);
+    if (iface.addr6) add(*iface.addr6);
+  }
+}
+
+void Network::unindex_attachment(std::size_t slot) {
+  auto& att = attachments_[slot];
+  for (const auto& addr : att.indexed_addrs) {
+    const auto it = addr_to_attachment_.find(addr);
+    if (it == addr_to_attachment_.end()) continue;
+    std::erase(it->second, slot);
+    if (it->second.empty()) addr_to_attachment_.erase(it);
+  }
+  att.indexed_addrs.clear();
 }
 
 void Network::reindex_addresses() {
+  // Full rebuild: the fallback (and the debug-check oracle) for the
+  // incremental index maintained by index/unindex_attachment.
   addr_to_attachment_.clear();
+  host_index_.clear();
   for (std::size_t i = 0; i < attachments_.size(); ++i) {
-    for (const auto& iface : attachments_[i].host->interfaces()) {
+    auto& att = attachments_[i];
+    att.indexed_addrs.clear();
+    if (att.host == nullptr) continue;
+    host_index_.emplace(att.host, i);
+    for (const auto& iface : att.host->interfaces()) {
       if (iface.name == "lo") continue;
-      if (iface.addr4) addr_to_attachment_[*iface.addr4].push_back(i);
-      if (iface.addr6) addr_to_attachment_[*iface.addr6].push_back(i);
+      if (iface.addr4) {
+        addr_to_attachment_[*iface.addr4].push_back(i);
+        att.indexed_addrs.push_back(*iface.addr4);
+      }
+      if (iface.addr6) {
+        addr_to_attachment_[*iface.addr6].push_back(i);
+        att.indexed_addrs.push_back(*iface.addr6);
+      }
     }
   }
+}
+
+void Network::debug_check_address_index() const {
+#ifndef NDEBUG
+  std::unordered_map<IpAddr, std::vector<std::size_t>> expected;
+  for (std::size_t i = 0; i < attachments_.size(); ++i) {
+    const auto& att = attachments_[i];
+    if (att.host == nullptr) continue;
+    assert(host_index_.contains(att.host) && host_index_.at(att.host) == i);
+    for (const auto& iface : att.host->interfaces()) {
+      if (iface.name == "lo") continue;
+      if (iface.addr4) expected[*iface.addr4].push_back(i);
+      if (iface.addr6) expected[*iface.addr6].push_back(i);
+    }
+  }
+  assert(expected.size() == addr_to_attachment_.size());
+  for (const auto& [addr, slots] : expected) {
+    const auto it = addr_to_attachment_.find(addr);
+    assert(it != addr_to_attachment_.end() && it->second == slots);
+    (void)slots;
+    (void)it;
+  }
+#endif
 }
 
 Host* Network::host_by_addr(const IpAddr& addr) const {
@@ -96,9 +281,51 @@ Host* Network::host_by_addr(const IpAddr& addr) const {
 }
 
 const Network::Attachment* Network::attachment_of(const Host& host) const {
-  for (const auto& a : attachments_)
-    if (a.host == &host) return &a;
-  return nullptr;
+  const auto it = host_index_.find(&host);
+  if (it == host_index_.end()) return nullptr;
+  return &attachments_[it->second];
+}
+
+double Network::link_latency(RouterId u, RouterId v) const {
+  double best = 1e18;
+  for (const auto& [peer, latency] : routers_[u].links)
+    if (peer == v && latency < best) best = latency;
+  return best;
+}
+
+bool Network::plane_path(RouterId a, RouterId b, PathInfo& out) const {
+  out.routers.clear();
+  out.latency_ms = 0.0;
+  if (a == b) {
+    out.routers.push_back(a);
+    return true;
+  }
+  // Map post-freeze leaf routers to their core gateway.
+  RouterId core_a = a;
+  RouterId core_b = b;
+  if (a >= frozen_count_) {
+    const auto& leaf = leaf_links_[a - frozen_count_];
+    if (leaf.gateway == kNoRouter) return false;  // not linked yet
+    core_a = leaf.gateway;
+  }
+  if (b >= frozen_count_) {
+    const auto& leaf = leaf_links_[b - frozen_count_];
+    if (leaf.gateway == kNoRouter) return false;
+    core_b = leaf.gateway;
+  }
+  if (a != core_a) out.routers.push_back(a);
+  if (core_a == core_b) {
+    out.routers.push_back(core_a);
+  } else if (!plane_->append_path(core_a, core_b, out.routers)) {
+    out.routers.clear();
+    return false;
+  }
+  if (b != core_b) out.routers.push_back(b);
+  // Re-sum latency left to right along the path — the same order Dijkstra
+  // accumulated it — so plane paths and fallback paths agree bit-for-bit.
+  for (std::size_t i = 0; i + 1 < out.routers.size(); ++i)
+    out.latency_ms += link_latency(out.routers[i], out.routers[i + 1]);
+  return true;
 }
 
 const Network::PathInfo* Network::path(RouterId a, RouterId b) const {
@@ -106,37 +333,42 @@ const Network::PathInfo* Network::path(RouterId a, RouterId b) const {
   if (const auto it = path_cache_.find(key); it != path_cache_.end())
     return &it->second;
 
-  // Dijkstra from a.
-  constexpr double kInf = 1e18;
-  std::vector<double> dist(routers_.size(), kInf);
-  std::vector<RouterId> prev(routers_.size(), 0xffffffffu);
-  using QE = std::pair<double, RouterId>;
-  std::priority_queue<QE, std::vector<QE>, std::greater<>> q;
-  dist[a] = 0;
-  q.emplace(0.0, a);
-  while (!q.empty()) {
-    const auto [d, u] = q.top();
-    q.pop();
-    if (d > dist[u]) continue;
-    for (const auto& [v, w] : routers_[u].links) {
-      if (dist[u] + w < dist[v]) {
-        dist[v] = dist[u] + w;
-        prev[v] = u;
-        q.emplace(dist[v], v);
+  PathInfo info;
+  if (frozen_) {
+    (void)routing_plane();  // ensure plane_ is built
+    if (!plane_path(a, b, info)) return nullptr;
+  } else {
+    // On-demand Dijkstra from a (the pre-freeze fallback).
+    constexpr double kInf = 1e18;
+    std::vector<double> dist(routers_.size(), kInf);
+    std::vector<RouterId> prev(routers_.size(), kNoRouter);
+    using QE = std::pair<double, RouterId>;
+    std::priority_queue<QE, std::vector<QE>, std::greater<>> q;
+    dist[a] = 0;
+    q.emplace(0.0, a);
+    while (!q.empty()) {
+      const auto [d, u] = q.top();
+      q.pop();
+      if (d > dist[u]) continue;
+      for (const auto& [v, w] : routers_[u].links) {
+        if (dist[u] + w < dist[v]) {
+          dist[v] = dist[u] + w;
+          prev[v] = u;
+          q.emplace(dist[v], v);
+        }
       }
     }
-  }
-  if (dist[b] >= kInf) return nullptr;
+    if (dist[b] >= kInf) return nullptr;
 
-  PathInfo info;
-  info.latency_ms = dist[b];
-  for (RouterId cur = b;;) {
-    info.routers.push_back(cur);
-    if (cur == a) break;
-    cur = prev[cur];
-    if (cur == 0xffffffffu) return nullptr;  // unreachable (shouldn't happen)
+    info.latency_ms = dist[b];
+    for (RouterId cur = b;;) {
+      info.routers.push_back(cur);
+      if (cur == a) break;
+      cur = prev[cur];
+      if (cur == kNoRouter) return nullptr;  // unreachable (shouldn't happen)
+    }
+    std::reverse(info.routers.begin(), info.routers.end());
   }
-  std::reverse(info.routers.begin(), info.routers.end());
   const auto [it, inserted] = path_cache_.emplace(key, std::move(info));
   (void)inserted;
   return &it->second;
@@ -162,7 +394,7 @@ TransactResult Network::transact(Host& from, Packet packet,
   // This keeps the disabled-tracing per-packet cost to two thread-local
   // reads and adds no allocations (the acceptance bar for the hot path).
   if (!obs::tracing() && obs::meter() == nullptr)
-    return transact_impl(from, std::move(packet), opts);
+    return transact_impl(from, packet, opts);
 
   obs::Span span("net.transact", "netsim");
   if (span) {
@@ -171,19 +403,18 @@ TransactResult Network::transact(Host& from, Packet packet,
     span.arg("proto", proto_name(packet.proto));
     span.arg("dst_port", static_cast<std::int64_t>(packet.dst_port));
   }
-  auto result = transact_impl(from, std::move(packet), opts);
+  auto result = transact_impl(from, packet, opts);
   if (span) {
     span.arg("status", status_name(result.status));
     if (result.via_tunnel) span.arg("via_tunnel", "true");
   }
-  obs::count(std::string("net.transact.") +
-             std::string(status_name(result.status)));
+  obs::count(kTransactMetricNames[static_cast<std::size_t>(result.status)]);
   if (result.via_tunnel) obs::count("net.via_tunnel");
   obs::observe("net.rtt_ms", result.rtt_ms, obs::kRttBucketsMs);
   return result;
 }
 
-TransactResult Network::transact_impl(Host& from, Packet packet,
+TransactResult Network::transact_impl(Host& from, Packet& packet,
                                       const TransactOptions& opts) {
   struct DepthGuard {
     int& d;
@@ -251,7 +482,7 @@ TransactResult Network::transact_impl(Host& from, Packet packet,
     outer_result.via_tunnel = true;
     if (!outer_result.ok()) return outer_result;
     // Decapsulate the tunnel reply back into the inner reply.
-    const auto inner_reply = decode_inner(outer_result.reply);
+    auto inner_reply = decode_inner(outer_result.reply);
     if (!inner_reply) {
       outer_result.status = TransactStatus::kDropped;
       outer_result.reply.clear();
@@ -259,7 +490,7 @@ TransactResult Network::transact_impl(Host& from, Packet packet,
     }
     from.capture().record(clock_.now(), Direction::kIn, iface->name,
                           *inner_reply);
-    outer_result.reply = inner_reply->payload;
+    outer_result.reply = std::move(inner_reply->payload);
     outer_result.responder = inner_reply->src;
     // ICMP errors generated beyond the tunnel surface as the corresponding
     // transaction status (traceroute through a VPN depends on this).
@@ -269,11 +500,12 @@ TransactResult Network::transact_impl(Host& from, Packet packet,
   }
 
   // 6. Direct delivery.
-  return deliver(from, *from_att, std::move(packet), opts);
+  return deliver(from, *from_att, packet, opts);
 }
 
 TransactResult Network::deliver(Host& from, const Attachment& from_att,
-                                Packet packet, const TransactOptions& opts) {
+                                Packet& packet,
+                                const TransactOptions& opts) {
   TransactResult r;
 
   // Find the destination attachment; with anycast replicas, the replica
@@ -314,9 +546,10 @@ TransactResult Network::deliver(Host& from, const Attachment& from_att,
   double elapsed_one_way = from_att.access_latency_ms;
   double per_hop =
       p->routers.size() > 1 ? p->latency_ms / static_cast<double>(p->routers.size() - 1) : 0.0;
+  const bool trace_hops = obs::packet_hops_enabled();
   for (std::size_t i = 0; i < p->routers.size(); ++i) {
     if (i > 0) elapsed_one_way += per_hop;
-    if (obs::packet_hops_enabled()) {
+    if (trace_hops) {
       obs::Instant hop("net.hop", "netsim");
       hop.arg("router", routers_[p->routers[i]].name);
       hop.arg("ttl", static_cast<std::int64_t>(packet.ttl - 1));
@@ -331,7 +564,7 @@ TransactResult Network::deliver(Host& from, const Attachment& from_att,
     }
     auto& router = routers_[p->routers[i]];
     if (router.middlebox) {
-      const auto verdict = router.middlebox->on_transit(packet);
+      auto verdict = router.middlebox->on_transit(packet);
       if (verdict.action != Middlebox::Action::kPass && obs::tracing()) {
         obs::Instant mb("net.middlebox", "netsim");
         mb.arg("router", router.name);
@@ -351,7 +584,7 @@ TransactResult Network::deliver(Host& from, const Attachment& from_att,
         // this is indistinguishable from a genuine reply.
         obs::count("net.middlebox.respond");
         r.status = TransactStatus::kOk;
-        r.reply = verdict.response_payload;
+        r.reply = std::move(verdict.response_payload);
         r.responder = packet.dst;
         r.rtt_ms = 2 * elapsed_one_way + jitter();
         clock_.advance_millis(r.rtt_ms);
@@ -370,7 +603,7 @@ TransactResult Network::deliver(Host& from, const Attachment& from_att,
   }
 
   // Capture on the destination's receiving interface.
-  std::string dst_iface = "eth0";
+  std::string_view dst_iface = "eth0";
   for (const auto& i : dst_host->interfaces()) {
     if ((packet.dst.is_v4() && i.addr4 == packet.dst) ||
         (packet.dst.is_v6() && i.addr6 == packet.dst)) {
@@ -405,7 +638,7 @@ TransactResult Network::deliver(Host& from, const Attachment& from_att,
   clock_.advance_millis(elapsed_one_way);
   const auto t_before = clock_.now();
   ServiceContext ctx{*this, *dst_host, packet};
-  const auto reply = service->handle(ctx);
+  auto reply = service->handle(ctx);
   const double service_ms = (clock_.now() - t_before).millis();
 
   if (!reply) {
@@ -422,7 +655,7 @@ TransactResult Network::deliver(Host& from, const Attachment& from_att,
   reply_packet.proto = packet.proto;
   reply_packet.src_port = packet.dst_port;
   reply_packet.dst_port = packet.src_port;
-  reply_packet.payload = *reply;
+  reply_packet.payload = std::move(*reply);
   dst_host->capture().record(clock_.now(), Direction::kOut, dst_iface,
                              reply_packet);
 
@@ -431,7 +664,7 @@ TransactResult Network::deliver(Host& from, const Attachment& from_att,
       elapsed_one_way + 2 * elapsed_one_way * static_cast<double>(opts.extra_round_trips);
   clock_.advance_millis(return_ms + jitter());
 
-  std::string from_iface = "eth0";
+  std::string_view from_iface = "eth0";
   for (const auto& i : from.interfaces()) {
     if ((reply_packet.dst.is_v4() && i.addr4 == reply_packet.dst) ||
         (reply_packet.dst.is_v6() && i.addr6 == reply_packet.dst)) {
@@ -442,8 +675,8 @@ TransactResult Network::deliver(Host& from, const Attachment& from_att,
   from.capture().record(clock_.now(), Direction::kIn, from_iface, reply_packet);
 
   r.status = TransactStatus::kOk;
-  r.reply = reply_packet.payload;
   r.responder = reply_packet.src;
+  r.reply = std::move(reply_packet.payload);
   r.rtt_ms = 2 * elapsed_one_way * round_trips + service_ms + jitter();
   return r;
 }

@@ -16,12 +16,11 @@
 
 #include "netsim/host.h"
 #include "netsim/packet.h"
+#include "netsim/routing_plane.h"
 #include "util/clock.h"
 #include "util/rng.h"
 
 namespace vpna::netsim {
-
-using RouterId = std::uint32_t;
 
 // In-path packet inspector/modifier attached to a router. `on_transit` may
 // mutate the packet, let it pass, drop it, or answer it in place of the
@@ -106,6 +105,36 @@ class Network {
   void set_middlebox(RouterId id, std::shared_ptr<Middlebox> mb);
   void clear_middlebox(RouterId id);
 
+  // --- routing plane ---------------------------------------------------------
+  // Declares the current topology the frozen "core". Path resolution then
+  // runs on an all-pairs routing plane (built lazily or adopted) instead of
+  // per-pair Dijkstra. Routers added later are treated as single-link leaf
+  // extensions hanging off the core — exactly how provider facilities attach
+  // — and keep the plane valid; rewiring the core (a new core-core link, or
+  // a second link on a leaf) discards the plane and falls back to on-demand
+  // Dijkstra. Throws if already frozen.
+  void freeze_topology();
+  [[nodiscard]] bool topology_frozen() const noexcept { return frozen_; }
+  // Hash of the frozen core's routers and links; two networks that built
+  // the same topology in the same order agree. Valid only while frozen.
+  [[nodiscard]] std::uint64_t topology_fingerprint() const noexcept {
+    return fingerprint_;
+  }
+  // Bumps on every add_router/add_link, frozen or not; lets callers detect
+  // topology mutations made after they sampled the plane.
+  [[nodiscard]] std::uint64_t topology_epoch() const noexcept {
+    return topology_epoch_;
+  }
+  // The plane for the frozen core, building it on first use. Returns
+  // nullptr when not frozen (or the plane was invalidated by core
+  // rewiring). The result is immutable and safe to share across threads
+  // and across Network instances with the same fingerprint.
+  [[nodiscard]] std::shared_ptr<const RoutingPlane> routing_plane() const;
+  // Installs a plane precomputed elsewhere (typically shared across
+  // campaign shards). Throws std::logic_error unless this network is
+  // frozen and the plane's fingerprint matches topology_fingerprint().
+  void adopt_routing_plane(std::shared_ptr<const RoutingPlane> plane);
+
   // --- host attachment --------------------------------------------------------
   // Registers a host at a router; all the host's global addresses become
   // routable. `access_latency_ms` is the one-way host<->router latency.
@@ -149,9 +178,12 @@ class Network {
     std::vector<std::pair<RouterId, double>> links;
   };
   struct Attachment {
-    Host* host = nullptr;
+    Host* host = nullptr;  // nullptr = detached slot (kept so indices stay stable)
     RouterId router = 0;
     double access_latency_ms = 0.3;
+    // The host addresses currently present in addr_to_attachment_, so
+    // detach/refresh can unindex incrementally.
+    std::vector<IpAddr> indexed_addrs;
   };
   struct PathInfo {
     std::vector<RouterId> routers;  // from src router to dst router inclusive
@@ -160,29 +192,60 @@ class Network {
 
   [[nodiscard]] const Attachment* attachment_of(const Host& host) const;
   void reindex_addresses();
-  // Dijkstra with memoization keyed on (src, dst).
+  // Incremental index maintenance for one attachment slot.
+  void index_attachment(std::size_t slot);
+  void unindex_attachment(std::size_t slot);
+  // Debug-build invariant: the incremental index equals a full rebuild.
+  void debug_check_address_index() const;
+  // Path with memoization keyed on (src, dst): reconstructed from the
+  // routing plane when frozen, per-pair Dijkstra otherwise.
   [[nodiscard]] const PathInfo* path(RouterId a, RouterId b) const;
+  // Fills `out` from the plane (core next-hop walk plus leaf extensions).
+  // Returns false when unreachable. Pre: plane_ is set.
+  bool plane_path(RouterId a, RouterId b, PathInfo& out) const;
+  // Smallest latency among (possibly parallel) links u->v; used to re-sum
+  // a reconstructed path's latency in the same order Dijkstra accumulated
+  // it, keeping plane and Dijkstra latencies bit-identical.
+  [[nodiscard]] double link_latency(RouterId u, RouterId v) const;
+  void invalidate_routing_plane();
   double jitter() ;
 
   // transact() minus the tracing/metrics wrapper (the recursive core).
-  TransactResult transact_impl(Host& from, Packet packet,
+  TransactResult transact_impl(Host& from, Packet& packet,
                                const TransactOptions& opts);
 
   // The directly-routed delivery step (no tunnel handling): walks the router
   // path, applies middleboxes and TTL, delivers to the destination service
   // and routes the reply back. Returns consumed one-way-or-round-trip time
   // in the result.
-  TransactResult deliver(Host& from, const Attachment& from_att, Packet packet,
+  TransactResult deliver(Host& from, const Attachment& from_att,
+                         Packet& packet,
                          const TransactOptions& opts);
 
   util::SimClock& clock_;
   util::Rng rng_;
   double jitter_stddev_ms_;
   std::vector<Router> routers_;
+  // Append-only slots (detach tombstones instead of erasing) so the address
+  // index and host map can reference attachments by stable index.
   std::vector<Attachment> attachments_;
-  // Address -> attachment indices; more than one entry means anycast.
+  // Host -> attachment slot; O(1) replacement for the per-packet scan.
+  std::unordered_map<const Host*, std::size_t> host_index_;
+  // Address -> attachment slots, ascending (attach order); more than one
+  // entry means anycast.
   std::unordered_map<IpAddr, std::vector<std::size_t>> addr_to_attachment_;
   mutable std::unordered_map<std::uint64_t, PathInfo> path_cache_;
+  // Routing-plane state (see freeze_topology()).
+  bool frozen_ = false;
+  std::size_t frozen_count_ = 0;   // routers covered by the plane
+  std::uint64_t fingerprint_ = 0;  // of the frozen core
+  std::uint64_t topology_epoch_ = 0;
+  mutable std::shared_ptr<const RoutingPlane> plane_;
+  struct LeafLink {
+    RouterId gateway = kNoRouter;  // kNoRouter = no link yet (unreachable)
+    double latency_ms = 0.0;
+  };
+  std::vector<LeafLink> leaf_links_;  // index: router id - frozen_count_
   int transact_depth_ = 0;  // recursion guard
 };
 

@@ -1,0 +1,75 @@
+// Topology-epoch routing plane: all-pairs shortest-path data precomputed
+// over a frozen router topology and shared read-only between simulations
+// that build the same graph (every campaign shard constructs an identical
+// backbone + datacenter core, so one plane serves all of them).
+//
+// The plane stores, for every source router, the parent array of its
+// shortest-path tree — enough to reconstruct any path by a next-hop walk
+// with no per-query Dijkstra and no allocation beyond the caller's reused
+// buffer. Tie-breaking matches Network's on-demand Dijkstra exactly
+// (min-heap ordered by (distance, router id); strict-improvement
+// relaxation keeps the first-found predecessor), so a frozen network
+// forwards packets along byte-identical paths.
+//
+// A plane is keyed by a topology fingerprint (hash of the frozen router
+// and link set). Sharing contract: a Network only adopts a plane whose
+// fingerprint matches its own frozen core; mutating topology after the
+// freeze bumps the network's epoch and either extends the plane (single
+// -link leaf routers) or discards it (core rewiring).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace vpna::netsim {
+
+using RouterId = std::uint32_t;
+
+inline constexpr RouterId kNoRouter = 0xffffffffu;
+
+class RoutingPlane {
+ public:
+  // adjacency[r] lists (peer, one-way latency ms) in link insertion order —
+  // the order matters for Dijkstra tie-breaking and must match the order
+  // Network stores links in.
+  using Adjacency = std::vector<std::vector<std::pair<RouterId, double>>>;
+
+  // Runs one Dijkstra per source over the adjacency and freezes the result.
+  [[nodiscard]] static std::shared_ptr<const RoutingPlane> build(
+      const Adjacency& adjacency, std::uint64_t fingerprint);
+
+  [[nodiscard]] std::size_t router_count() const noexcept { return n_; }
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept {
+    return fingerprint_;
+  }
+
+  // Predecessor of v on the shortest path from src; kNoRouter when v == src
+  // or v is unreachable from src.
+  [[nodiscard]] RouterId parent(RouterId src, RouterId v) const noexcept {
+    return parent_[static_cast<std::size_t>(src) * n_ + v];
+  }
+
+  [[nodiscard]] bool reachable(RouterId src, RouterId dst) const noexcept {
+    return src == dst || parent(src, dst) != kNoRouter;
+  }
+
+  // Appends the router sequence src..dst (inclusive) to `out`. Returns
+  // false (appending nothing) when dst is unreachable from src.
+  bool append_path(RouterId src, RouterId dst,
+                   std::vector<RouterId>& out) const;
+
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return parent_.size() * sizeof(RouterId);
+  }
+
+ private:
+  RoutingPlane() = default;
+
+  std::size_t n_ = 0;
+  std::uint64_t fingerprint_ = 0;
+  std::vector<RouterId> parent_;  // n_ * n_, row per source
+};
+
+}  // namespace vpna::netsim

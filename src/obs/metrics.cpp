@@ -6,9 +6,11 @@
 
 namespace vpna::obs {
 
-namespace {
-
+namespace detail {
 thread_local MetricsRegistry* t_meter = nullptr;
+}  // namespace detail
+
+namespace {
 
 // Renders a double without trailing noise ("3", "0.25", "12.5").
 std::string num(double v) {
@@ -146,8 +148,6 @@ const HistogramData* MetricsRegistry::histogram(std::string_view name) const {
   return it == histograms_.end() ? nullptr : &it->second;
 }
 
-MetricsRegistry* meter() noexcept { return t_meter; }
-
 namespace detail {
 MetricsRegistry* exchange_meter(MetricsRegistry* next) noexcept {
   MetricsRegistry* prev = t_meter;
@@ -155,18 +155,5 @@ MetricsRegistry* exchange_meter(MetricsRegistry* next) noexcept {
   return prev;
 }
 }  // namespace detail
-
-void count(std::string_view name, std::uint64_t delta) {
-  if (t_meter != nullptr) t_meter->add(name, delta);
-}
-
-void observe(std::string_view name, double value,
-             std::span<const double> bounds) {
-  if (t_meter != nullptr) t_meter->observe(name, value, bounds);
-}
-
-void set_gauge(std::string_view name, double value) {
-  if (t_meter != nullptr) t_meter->set_gauge(name, value);
-}
 
 }  // namespace vpna::obs

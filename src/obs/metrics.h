@@ -82,19 +82,31 @@ class MetricsRegistry {
   std::set<std::string, std::less<>> volatile_;
 };
 
-// The registry bound to this thread by ScopedObservation, or nullptr.
-[[nodiscard]] MetricsRegistry* meter() noexcept;
-
 namespace detail {
+// The thread-bound registry. Exposed (as a detail) so the no-meter checks
+// below inline into the per-packet hot path; use meter()/ScopedObservation.
+extern thread_local MetricsRegistry* t_meter;
+
 // Swaps the thread-bound registry, returning the previous one. Used by
 // ScopedObservation (trace.h); not part of the instrumentation API.
 MetricsRegistry* exchange_meter(MetricsRegistry* next) noexcept;
 }  // namespace detail
 
+// The registry bound to this thread by ScopedObservation, or nullptr.
+[[nodiscard]] inline MetricsRegistry* meter() noexcept {
+  return detail::t_meter;
+}
+
 // Free helpers targeting the bound registry; no-ops when none is bound.
-void count(std::string_view name, std::uint64_t delta = 1);
-void observe(std::string_view name, double value,
-             std::span<const double> bounds);
-void set_gauge(std::string_view name, double value);
+inline void count(std::string_view name, std::uint64_t delta = 1) {
+  if (auto* m = detail::t_meter) m->add(name, delta);
+}
+inline void observe(std::string_view name, double value,
+                    std::span<const double> bounds) {
+  if (auto* m = detail::t_meter) m->observe(name, value, bounds);
+}
+inline void set_gauge(std::string_view name, double value) {
+  if (auto* m = detail::t_meter) m->set_gauge(name, value);
+}
 
 }  // namespace vpna::obs

@@ -6,9 +6,12 @@
 
 namespace vpna::obs {
 
-namespace {
-
+namespace detail {
 thread_local TraceRecorder* t_tracer = nullptr;
+}  // namespace detail
+using detail::t_tracer;
+
+namespace {
 
 double wall_now_ms() {
   return std::chrono::duration<double, std::milli>(
@@ -78,14 +81,6 @@ void TraceRecorder::add_arg(std::uint32_t id, std::string_view key,
   if (id == 0 || id > events_.size()) return;
   events_[id - 1].args.push_back(
       TraceArg{std::string(key), std::string(value)});
-}
-
-TraceRecorder* tracer() noexcept { return t_tracer; }
-
-bool tracing() noexcept { return t_tracer != nullptr; }
-
-bool packet_hops_enabled() noexcept {
-  return t_tracer != nullptr && t_tracer->config().packet_hops;
 }
 
 ScopedObservation::ScopedObservation(TraceRecorder* recorder,

@@ -93,11 +93,24 @@ class TraceRecorder {
   std::vector<double> wall_starts_;        // parallel to stack_ (capture_wall)
 };
 
+namespace detail {
+// The thread-bound recorder. Exposed (as a detail) so the no-tracer checks
+// below inline into the per-packet hot path; use tracer()/ScopedObservation.
+extern thread_local TraceRecorder* t_tracer;
+}  // namespace detail
+
 // The recorder bound to this thread by ScopedObservation, or nullptr.
-[[nodiscard]] TraceRecorder* tracer() noexcept;
-[[nodiscard]] bool tracing() noexcept;
+[[nodiscard]] inline TraceRecorder* tracer() noexcept {
+  return detail::t_tracer;
+}
+[[nodiscard]] inline bool tracing() noexcept {
+  return detail::t_tracer != nullptr;
+}
 // True when per-packet hop instants were requested (implies tracing()).
-[[nodiscard]] bool packet_hops_enabled() noexcept;
+[[nodiscard]] inline bool packet_hops_enabled() noexcept {
+  return detail::t_tracer != nullptr &&
+         detail::t_tracer->config().packet_hops;
+}
 
 // Binds a recorder and a metrics registry to the current thread for the
 // scope's lifetime, restoring the previous binding on destruction. Either

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "analysis/report_aggregation.h"
+#include "ecosystem/testbed.h"
 
 namespace vpna {
 namespace {
@@ -115,6 +116,38 @@ TEST(ParallelCampaign, UnknownShardNameThrows) {
   core::RunnerOptions opts;
   EXPECT_THROW(core::run_provider_shard("NoSuchVPN", 1, opts),
                std::invalid_argument);
+}
+
+TEST(ParallelCampaign, SharedPlaneAndPerShardPlanesYieldIdenticalPayloads) {
+  // The routing plane is a pure accelerator: a campaign whose shards adopt
+  // one process-wide plane must produce the same bytes as one where every
+  // shard computes all-pairs routes for itself.
+  const std::uint64_t seed = 20181031;
+  auto opts = subset_options(4);
+  opts.share_routing_plane = true;
+  core::ParallelCampaign shared(opts);
+  opts.share_routing_plane = false;
+  core::ParallelCampaign per_shard(opts);
+  EXPECT_EQ(analysis::serialize_campaign_payload(shared.run(kSubset, seed)),
+            analysis::serialize_campaign_payload(per_shard.run(kSubset, seed)));
+}
+
+TEST(ParallelCampaign, ShardAdoptsSharedPlaneByFingerprint) {
+  // Direct shard-level check: handing the process-wide plane to a shard
+  // build is accepted (fingerprints agree across worlds and seeds).
+  const auto plane = ecosystem::shared_backbone_plane();
+  ASSERT_NE(plane, nullptr);
+  core::RunnerOptions opts;
+  opts.vantage_points_per_provider = 1;
+  const auto with = core::run_provider_shard("Seed4.me", 42, opts, plane);
+  const auto without = core::run_provider_shard("Seed4.me", 42, opts);
+  ASSERT_EQ(with.vantage_points.size(), without.vantage_points.size());
+  for (std::size_t i = 0; i < with.vantage_points.size(); ++i) {
+    EXPECT_EQ(with.vantage_points[i].egress_addr,
+              without.vantage_points[i].egress_addr);
+    EXPECT_EQ(with.vantage_points[i].connected,
+              without.vantage_points[i].connected);
+  }
 }
 
 }  // namespace

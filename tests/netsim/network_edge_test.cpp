@@ -202,5 +202,66 @@ TEST_F(EdgeFixture, SendingFromUnattachedHostFails) {
   EXPECT_EQ(res.status, TransactStatus::kNoRoute);
 }
 
+// --- incremental address index (attach/detach/refresh) ---------------------
+
+TEST_F(EdgeFixture, DetachRemovesAddressesAndReattachRestoresThem) {
+  ASSERT_TRUE(net_.ping(a_, IpAddr::v4(10, 0, 0, 2)).has_value());
+  net_.detach_host(b_);
+  EXPECT_EQ(net_.host_by_addr(IpAddr::v4(10, 0, 0, 2)), nullptr);
+  const auto res = net_.transact(a_, to_b(Proto::kIcmpEcho));
+  EXPECT_EQ(res.status, TransactStatus::kNoSuchHost);
+  net_.attach_host(b_, r1_, 0.5);
+  EXPECT_EQ(net_.host_by_addr(IpAddr::v4(10, 0, 0, 2)), &b_);
+  EXPECT_TRUE(net_.ping(a_, IpAddr::v4(10, 0, 0, 2)).has_value());
+}
+
+TEST_F(EdgeFixture, DetachingUnattachedHostIsANoop) {
+  Host lonely("lonely");
+  net_.detach_host(lonely);
+  EXPECT_TRUE(net_.ping(a_, IpAddr::v4(10, 0, 0, 2)).has_value());
+}
+
+TEST_F(EdgeFixture, RefreshTracksInterfaceChanges) {
+  b_.add_interface("eth1", IpAddr::v4(10, 0, 0, 20), std::nullopt);
+  // Not visible until refreshed.
+  EXPECT_EQ(net_.host_by_addr(IpAddr::v4(10, 0, 0, 20)), nullptr);
+  net_.refresh_host(b_);
+  EXPECT_EQ(net_.host_by_addr(IpAddr::v4(10, 0, 0, 20)), &b_);
+  b_.remove_interface("eth1");
+  net_.refresh_host(b_);
+  EXPECT_EQ(net_.host_by_addr(IpAddr::v4(10, 0, 0, 20)), nullptr);
+  // The untouched address survives both refreshes.
+  EXPECT_EQ(net_.host_by_addr(IpAddr::v4(10, 0, 0, 2)), &b_);
+}
+
+TEST_F(EdgeFixture, AnycastPrefersClosestReplicaAcrossChurn) {
+  // Two replicas of 8.8.8.8: one at r1 (5ms from a_) and one behind a
+  // farther router. Detaching and re-attaching replicas must keep routing
+  // to the closest live one.
+  const auto r2 = net_.add_router("r2");
+  net_.add_link(r1_, r2, 50.0);
+  const IpAddr anycast = IpAddr::v4(8, 8, 8, 8);
+  Host near("near"), far("far");
+  near.add_interface("eth0", anycast, std::nullopt);
+  far.add_interface("eth0", anycast, std::nullopt);
+  net_.attach_host(near, r1_, 0.5);
+  net_.attach_host(far, r2, 0.5);
+
+  // 0.5 + 5 + 0.5 each way = 12ms RTT to the near replica.
+  auto rtt = net_.ping(a_, anycast);
+  ASSERT_TRUE(rtt.has_value());
+  EXPECT_NEAR(*rtt, 12.0, 1e-9);
+
+  net_.detach_host(near);
+  rtt = net_.ping(a_, anycast);
+  ASSERT_TRUE(rtt.has_value());
+  EXPECT_NEAR(*rtt, 112.0, 1e-9);  // 0.5 + 55 + 0.5 each way
+
+  net_.attach_host(near, r1_, 0.5);
+  rtt = net_.ping(a_, anycast);
+  ASSERT_TRUE(rtt.has_value());
+  EXPECT_NEAR(*rtt, 12.0, 1e-9);
+}
+
 }  // namespace
 }  // namespace vpna::netsim

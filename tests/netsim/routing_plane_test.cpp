@@ -1,0 +1,268 @@
+#include "netsim/routing_plane.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "netsim/network.h"
+#include "util/rng.h"
+
+namespace vpna::netsim {
+namespace {
+
+// Independent reference: plain Dijkstra distances (no path reconstruction),
+// the oracle the plane's parent matrix is checked against.
+std::vector<double> reference_distances(const RoutingPlane::Adjacency& adj,
+                                        RouterId src) {
+  constexpr double kInf = 1e18;
+  std::vector<double> dist(adj.size(), kInf);
+  using QE = std::pair<double, RouterId>;
+  std::priority_queue<QE, std::vector<QE>, std::greater<>> q;
+  dist[src] = 0;
+  q.emplace(0.0, src);
+  while (!q.empty()) {
+    const auto [d, u] = q.top();
+    q.pop();
+    if (d > dist[u]) continue;
+    for (const auto& [v, w] : adj[u])
+      if (dist[u] + w < dist[v]) {
+        dist[v] = dist[u] + w;
+        q.emplace(dist[v], v);
+      }
+  }
+  return dist;
+}
+
+// Random connected graph: spanning tree plus extra (possibly parallel)
+// edges, mirroring how Network stores each undirected link in both rows.
+RoutingPlane::Adjacency random_graph(util::Rng& rng, std::size_t n,
+                                     std::size_t extra_edges) {
+  RoutingPlane::Adjacency adj(n);
+  const auto link = [&](RouterId a, RouterId b, double w) {
+    adj[a].emplace_back(b, w);
+    adj[b].emplace_back(a, w);
+  };
+  for (std::size_t i = 1; i < n; ++i)
+    link(static_cast<RouterId>(i),
+         static_cast<RouterId>(rng.uniform_int(0, static_cast<std::int64_t>(i) - 1)),
+         rng.uniform(0.5, 40.0));
+  for (std::size_t e = 0; e < extra_edges; ++e) {
+    const auto a = static_cast<RouterId>(rng.index(n));
+    const auto b = static_cast<RouterId>(rng.index(n));
+    if (a == b) continue;
+    link(a, b, rng.uniform(0.5, 40.0));
+  }
+  return adj;
+}
+
+double min_link(const RoutingPlane::Adjacency& adj, RouterId u, RouterId v) {
+  double best = 1e18;
+  for (const auto& [peer, w] : adj[u])
+    if (peer == v && w < best) best = w;
+  return best;
+}
+
+TEST(RoutingPlane, RandomGraphsMatchReferenceDijkstra) {
+  util::Rng rng(20180331);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(2, 40));
+    const auto adj = random_graph(rng, n, n);
+    const auto plane = RoutingPlane::build(adj, /*fingerprint=*/trial);
+    ASSERT_EQ(plane->router_count(), n);
+
+    std::vector<RouterId> path;
+    for (RouterId src = 0; src < n; ++src) {
+      const auto dist = reference_distances(adj, src);
+      for (RouterId dst = 0; dst < n; ++dst) {
+        ASSERT_TRUE(plane->reachable(src, dst));  // graphs are connected
+        path.clear();
+        ASSERT_TRUE(plane->append_path(src, dst, path));
+        ASSERT_GE(path.size(), 1u);
+        EXPECT_EQ(path.front(), src);
+        EXPECT_EQ(path.back(), dst);
+        // Every step is a real edge, and the fold-left sum of minimal link
+        // weights reproduces the reference distance exactly (the same
+        // accumulation order Dijkstra used).
+        double total = 0.0;
+        for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+          const double w = min_link(adj, path[i], path[i + 1]);
+          ASSERT_LT(w, 1e18);
+          total += w;
+        }
+        EXPECT_EQ(total, dist[dst]);
+      }
+    }
+  }
+}
+
+TEST(RoutingPlane, DisconnectedPairsReportUnreachable) {
+  // Two components: {0,1} and {2,3}.
+  RoutingPlane::Adjacency adj(4);
+  adj[0].emplace_back(1, 1.0);
+  adj[1].emplace_back(0, 1.0);
+  adj[2].emplace_back(3, 2.0);
+  adj[3].emplace_back(2, 2.0);
+  const auto plane = RoutingPlane::build(adj, 1);
+  EXPECT_TRUE(plane->reachable(0, 1));
+  EXPECT_FALSE(plane->reachable(0, 2));
+  EXPECT_FALSE(plane->reachable(3, 1));
+  std::vector<RouterId> path{99};
+  EXPECT_FALSE(plane->append_path(0, 3, path));
+  EXPECT_EQ(path.size(), 1u);  // nothing appended on failure
+}
+
+// Builds the same random topology into two Networks and compares frozen
+// (plane-served) against never-frozen (on-demand Dijkstra) path latencies
+// for every router pair — they must agree exactly, including for leaf
+// routers attached after the freeze.
+TEST(RoutingPlane, FrozenNetworkMatchesUnfrozenExactly) {
+  util::Rng rng(424242);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(3, 25));
+    const auto adj = random_graph(rng, n, n / 2);
+
+    util::SimClock clock_a, clock_b;
+    Network frozen(clock_a, util::Rng(7), /*jitter_stddev_ms=*/0.0);
+    Network baseline(clock_b, util::Rng(7), /*jitter_stddev_ms=*/0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      frozen.add_router("r");
+      baseline.add_router("r");
+    }
+    // Insert each undirected edge once, in identical order.
+    for (RouterId u = 0; u < n; ++u)
+      for (const auto& [v, w] : adj[u])
+        if (u < v) {
+          frozen.add_link(u, v, w);
+          baseline.add_link(u, v, w);
+        }
+    frozen.freeze_topology();
+    ASSERT_TRUE(frozen.topology_frozen());
+    ASSERT_NE(frozen.routing_plane(), nullptr);
+
+    // Post-freeze single-link leaves (the private-datacenter pattern).
+    const std::size_t leaves = 3;
+    for (std::size_t l = 0; l < leaves; ++l) {
+      const auto gw = static_cast<RouterId>(rng.index(n));
+      const double w = rng.uniform(0.1, 5.0);
+      const auto fl = frozen.add_router("leaf");
+      const auto bl = baseline.add_router("leaf");
+      ASSERT_EQ(fl, bl);
+      frozen.add_link(fl, gw, w);
+      baseline.add_link(bl, gw, w);
+    }
+    ASSERT_TRUE(frozen.topology_frozen());  // leaves keep the plane valid
+
+    const std::size_t total = n + leaves;
+    std::vector<std::unique_ptr<Host>> hosts_a, hosts_b;
+    for (std::size_t i = 0; i < total; ++i) {
+      hosts_a.push_back(std::make_unique<Host>("h"));
+      hosts_b.push_back(std::make_unique<Host>("h"));
+      frozen.attach_host(*hosts_a[i], static_cast<RouterId>(i), 0.25);
+      baseline.attach_host(*hosts_b[i], static_cast<RouterId>(i), 0.25);
+    }
+    for (std::size_t i = 0; i < total; ++i)
+      for (std::size_t j = 0; j < total; ++j) {
+        const auto la = frozen.base_latency_ms(*hosts_a[i], *hosts_a[j]);
+        const auto lb = baseline.base_latency_ms(*hosts_b[i], *hosts_b[j]);
+        ASSERT_EQ(la.has_value(), lb.has_value());
+        if (la) {
+          EXPECT_EQ(*la, *lb) << "pair " << i << "->" << j;
+        }
+      }
+  }
+}
+
+class FrozenTriangle : public ::testing::Test {
+ protected:
+  FrozenTriangle() : net_(clock_, util::Rng(3), 0.0) {
+    a_ = net_.add_router("a");
+    b_ = net_.add_router("b");
+    c_ = net_.add_router("c");
+    net_.add_link(a_, b_, 5.0);
+    net_.add_link(b_, c_, 5.0);
+    net_.add_link(a_, c_, 20.0);
+    net_.freeze_topology();
+  }
+  util::SimClock clock_;
+  Network net_;
+  RouterId a_ = 0, b_ = 0, c_ = 0;
+};
+
+TEST_F(FrozenTriangle, EpochBumpsOnEveryMutation) {
+  const auto e0 = net_.topology_epoch();
+  const auto leaf = net_.add_router("leaf");
+  EXPECT_EQ(net_.topology_epoch(), e0 + 1);
+  net_.add_link(leaf, a_, 1.0);
+  EXPECT_EQ(net_.topology_epoch(), e0 + 2);
+}
+
+TEST_F(FrozenTriangle, AdoptRejectsMismatchedFingerprint) {
+  // A plane from a different topology (two routers, one link).
+  util::SimClock clock2;
+  Network other(clock2, util::Rng(4), 0.0);
+  other.add_router("x");
+  other.add_router("y");
+  other.add_link(0, 1, 1.0);
+  other.freeze_topology();
+  const auto foreign = other.routing_plane();
+  ASSERT_NE(foreign, nullptr);
+  EXPECT_THROW(net_.adopt_routing_plane(foreign), std::logic_error);
+  EXPECT_THROW(net_.adopt_routing_plane(nullptr), std::logic_error);
+}
+
+TEST_F(FrozenTriangle, AdoptAcceptsTwinTopologyAndSharesPlane) {
+  util::SimClock clock2;
+  Network twin(clock2, util::Rng(99), 0.0);  // different rng: irrelevant
+  twin.add_router("a");
+  twin.add_router("b");
+  twin.add_router("c");
+  twin.add_link(0, 1, 5.0);
+  twin.add_link(1, 2, 5.0);
+  twin.add_link(0, 2, 20.0);
+  twin.freeze_topology();
+  ASSERT_EQ(twin.topology_fingerprint(), net_.topology_fingerprint());
+  twin.adopt_routing_plane(net_.routing_plane());
+  EXPECT_EQ(twin.routing_plane().get(), net_.routing_plane().get());
+}
+
+TEST_F(FrozenTriangle, CoreLinkInvalidatesPlaneAndFallsBack) {
+  ASSERT_NE(net_.routing_plane(), nullptr);
+  Host ha("ha"), hc("hc");
+  net_.attach_host(ha, a_, 0.0);
+  net_.attach_host(hc, c_, 0.0);
+  // Plane-served: a->c goes via b (5+5) not the direct 20ms link.
+  EXPECT_EQ(net_.base_latency_ms(ha, hc), 10.0);
+  // Rewire the core: a 1ms a-c shortcut. The plane is stale, must go.
+  net_.add_link(a_, c_, 1.0);
+  EXPECT_FALSE(net_.topology_frozen());
+  EXPECT_EQ(net_.routing_plane(), nullptr);
+  EXPECT_EQ(net_.base_latency_ms(ha, hc), 1.0);  // on-demand Dijkstra
+}
+
+TEST_F(FrozenTriangle, SecondLeafLinkInvalidatesPlane) {
+  const auto leaf = net_.add_router("leaf");
+  net_.add_link(leaf, a_, 1.0);
+  EXPECT_TRUE(net_.topology_frozen());
+  net_.add_link(leaf, c_, 1.0);  // multi-homed: no longer a leaf
+  EXPECT_FALSE(net_.topology_frozen());
+  EXPECT_EQ(net_.routing_plane(), nullptr);
+}
+
+TEST_F(FrozenTriangle, DoubleFreezeThrows) {
+  EXPECT_THROW(net_.freeze_topology(), std::logic_error);
+}
+
+TEST_F(FrozenTriangle, UnlinkedLeafIsUnreachableUntilLinked) {
+  const auto leaf = net_.add_router("leaf");
+  Host hl("hl"), ha("ha");
+  net_.attach_host(hl, leaf, 0.0);
+  net_.attach_host(ha, a_, 0.0);
+  EXPECT_FALSE(net_.base_latency_ms(ha, hl).has_value());
+  net_.add_link(leaf, b_, 2.0);
+  EXPECT_EQ(net_.base_latency_ms(ha, hl), 7.0);  // a-b 5 + leaf link 2
+}
+
+}  // namespace
+}  // namespace vpna::netsim
