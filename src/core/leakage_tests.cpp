@@ -1,6 +1,7 @@
 #include "core/leakage_tests.h"
 
 #include "dns/client.h"
+#include "transport/flow.h"
 
 namespace vpna::core {
 
@@ -67,13 +68,9 @@ Ipv6LeakResult run_ipv6_leak_test(inet::World& world, netsim::Host& client) {
         dns::resolve_system(world.network(), client, name, dns::RrType::kAaaa);
     if (!aaaa.ok() || aaaa.addresses.empty()) continue;
     ++out.attempts;
-    netsim::Packet p;
-    p.dst = aaaa.addresses.front();
-    p.proto = netsim::Proto::kTcp;
-    p.src_port = client.next_ephemeral_port();
-    p.dst_port = netsim::kPortHttp;
-    p.payload = "GET / HTTP/1.1\nHost: " + name + "\n\n";
-    const auto res = world.network().transact(client, std::move(p));
+    transport::Flow conn(world.network(), client, netsim::Proto::kTcp,
+                         aaaa.addresses.front(), netsim::kPortHttp);
+    const auto res = conn.exchange("GET / HTTP/1.1\nHost: " + name + "\n\n");
     if (res.ok() && !res.via_tunnel) ++out.v6_connections_succeeded_outside_tunnel;
   }
 
@@ -109,12 +106,11 @@ TunnelFailureResult run_tunnel_failure_test(inet::World& world,
   while (world.clock().now() < t_end) {
     vpn_client.tick();
     for (const auto& dst : probes) {
-      netsim::Packet p;
-      p.dst = dst;
-      p.proto = netsim::Proto::kIcmpEcho;
-      netsim::TransactOptions opts;
-      opts.timeout_ms = 500.0;
-      const auto res = world.network().transact(client, std::move(p), opts);
+      transport::FlowOptions fopts;
+      fopts.timeout_ms = 500.0;
+      transport::Flow probe(world.network(), client, netsim::Proto::kIcmpEcho,
+                            dst, 0, fopts);
+      const auto res = probe.exchange({});
       ++out.probes_sent;
       if (res.ok() && !res.via_tunnel) ++out.probes_escaped_clear;
     }
@@ -144,13 +140,9 @@ WebRtcLeakResult run_webrtc_leak_test(inet::World& world,
   const auto lookup = dns::resolve_system(world.network(), client,
                                           inet::stun_host(), dns::RrType::kA);
   if (lookup.ok() && !lookup.addresses.empty()) {
-    netsim::Packet p;
-    p.dst = lookup.addresses.front();
-    p.proto = netsim::Proto::kUdp;
-    p.src_port = client.next_ephemeral_port();
-    p.dst_port = inet::kPortStun;
-    p.payload = "STUN-BINDING";
-    const auto res = world.network().transact(client, std::move(p));
+    transport::Flow stun(world.network(), client, netsim::Proto::kUdp,
+                         lookup.addresses.front(), inet::kPortStun);
+    const auto res = stun.exchange("STUN-BINDING");
     if (res.ok() && res.reply.starts_with("MAPPED|"))
       out.reflexive_candidate = netsim::IpAddr::parse(res.reply.substr(7));
   }

@@ -6,7 +6,7 @@ namespace vpna::dns {
 
 LookupResult query(netsim::Network& net, netsim::Host& host,
                    const netsim::IpAddr& server, std::string_view name,
-                   RrType type) {
+                   RrType type, const transport::RetryPolicy& retry) {
   obs::Span span("dns.query", "dns");
   if (span) {
     span.arg("name", name);
@@ -21,22 +21,19 @@ LookupResult query(netsim::Network& net, netsim::Host& host,
   q.type = type;
   q.name = canonical_name(name);
 
-  netsim::Packet p;
-  p.dst = server;
-  p.proto = netsim::Proto::kUdp;
-  p.src_port = host.next_ephemeral_port();
-  p.dst_port = netsim::kPortDns;
-  p.payload = q.encode();
-
-  const auto result = net.transact(host, std::move(p));
-  out.transport = result.status;
+  transport::FlowOptions fopts;
+  fopts.retry = retry;
+  transport::Flow flow(net, host, netsim::Proto::kUdp, server,
+                       netsim::kPortDns, fopts);
+  const auto result = flow.exchange(q.encode());
+  out.error = result.error;
   out.rtt_ms = result.rtt_ms;
 
   obs::count("dns.lookups");
   obs::observe("dns.rtt_ms", out.rtt_ms, obs::kRttBucketsMs);
   const auto finish = [&span](const LookupResult& r) {
     if (!span) return;
-    span.arg("transport", netsim::status_name(r.transport));
+    span.arg("error", transport::error_name(r.error));
     span.arg("rcode", static_cast<std::int64_t>(r.rcode));
     span.arg("answers", static_cast<std::int64_t>(r.addresses.size()));
   };
@@ -48,7 +45,7 @@ LookupResult query(netsim::Network& net, netsim::Host& host,
 
   const auto resp = DnsResponse::decode(result.reply);
   if (!resp || resp->id != q.id) {
-    out.transport = netsim::TransactStatus::kDropped;
+    out.error = transport::Error::parse();
     obs::count("dns.failures");
     finish(out);
     return out;
@@ -56,19 +53,26 @@ LookupResult query(netsim::Network& net, netsim::Host& host,
   out.rcode = resp->rcode;
   out.addresses = resp->addresses;
   out.texts = resp->texts;
+  out.error = resp->rcode == Rcode::kNoError
+                  ? transport::Error::none()
+                  : transport::Error::upstream(
+                        static_cast<std::uint16_t>(resp->rcode));
   if (!out.ok()) obs::count("dns.failures");
   finish(out);
   return out;
 }
 
 LookupResult resolve_system(netsim::Network& net, netsim::Host& host,
-                            std::string_view name, RrType type) {
+                            std::string_view name, RrType type,
+                            const transport::RetryPolicy& retry) {
   LookupResult last;
   for (const auto& server : host.dns_servers()) {
-    last = query(net, host, server, name, type);
-    if (last.transport == netsim::TransactStatus::kOk) return last;
+    last = query(net, host, server, name, type, retry);
+    // An intact answer — even NXDOMAIN — ends the walk; transport and
+    // parse failures mean the next configured server might still help.
+    if (last.error.answered()) return last;
   }
-  return last;  // all servers failed (or none configured)
+  return last;  // all servers failed (or none configured: not-attempted)
 }
 
 }  // namespace vpna::dns

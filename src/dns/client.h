@@ -1,6 +1,8 @@
 // Client-side DNS helpers: issue a query to a specific server, or resolve
 // through the host's configured system resolvers (the path a leaking VPN
-// client fails to redirect).
+// client fails to redirect). Queries ride the transport layer: one
+// `transport::Flow` per query, failures reported in the unified
+// `transport::Error` taxonomy.
 #pragma once
 
 #include <optional>
@@ -10,31 +12,35 @@
 #include "dns/message.h"
 #include "netsim/host.h"
 #include "netsim/network.h"
+#include "transport/error.h"
+#include "transport/flow.h"
 
 namespace vpna::dns {
 
 struct LookupResult {
-  netsim::TransactStatus transport = netsim::TransactStatus::kNoRoute;
+  // Starts as not-attempted: a lookup that was never issued is now
+  // distinguishable from one the packet plane failed to route.
+  transport::Error error;
   Rcode rcode = Rcode::kServFail;
   std::vector<netsim::IpAddr> addresses;
   std::vector<std::string> texts;
   netsim::IpAddr server;  // the resolver that answered
   double rtt_ms = 0.0;
 
-  [[nodiscard]] bool ok() const noexcept {
-    return transport == netsim::TransactStatus::kOk && rcode == Rcode::kNoError;
-  }
+  [[nodiscard]] bool ok() const noexcept { return error.ok(); }
 };
 
-// Queries one resolver directly.
+// Queries one resolver directly. `retry` defaults to a single attempt, in
+// which case the wire traffic is identical to the pre-transport client.
 [[nodiscard]] LookupResult query(netsim::Network& net, netsim::Host& host,
                                  const netsim::IpAddr& server,
-                                 std::string_view name, RrType type);
+                                 std::string_view name, RrType type,
+                                 const transport::RetryPolicy& retry = {});
 
 // Resolves through the host's configured DNS servers, in order, returning
-// the first usable answer (mirrors the OS stub resolver).
-[[nodiscard]] LookupResult resolve_system(netsim::Network& net,
-                                          netsim::Host& host,
-                                          std::string_view name, RrType type);
+// the first answer that came back intact (mirrors the OS stub resolver).
+[[nodiscard]] LookupResult resolve_system(
+    netsim::Network& net, netsim::Host& host, std::string_view name,
+    RrType type, const transport::RetryPolicy& retry = {});
 
 }  // namespace vpna::dns

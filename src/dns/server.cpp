@@ -1,6 +1,7 @@
 #include "dns/server.h"
 
 #include "obs/trace.h"
+#include "transport/flow.h"
 
 namespace vpna::dns {
 
@@ -126,13 +127,9 @@ std::optional<std::string> RecursiveResolverService::handle(
 
   // Recurse: a genuine upstream query from the resolver host, so the
   // authoritative server's log records this resolver's address.
-  netsim::Packet upstream;
-  upstream.dst = *authority;
-  upstream.proto = netsim::Proto::kUdp;
-  upstream.src_port = ctx.host.next_ephemeral_port();
-  upstream.dst_port = netsim::kPortDns;
-  upstream.payload = query->encode();
-  const auto result = ctx.network.transact(ctx.host, std::move(upstream));
+  transport::Flow upstream(ctx.network, ctx.host, netsim::Proto::kUdp,
+                           *authority, netsim::kPortDns);
+  const auto result = upstream.exchange(query->encode());
   if (!result.ok()) {
     resp.rcode = Rcode::kServFail;
     return resp.encode();

@@ -5,34 +5,27 @@
 
 namespace vpna::http {
 
-std::string_view fetch_error_name(FetchError e) noexcept {
-  switch (e) {
-    case FetchError::kNone: return "none";
-    case FetchError::kDnsFailure: return "dns-failure";
-    case FetchError::kConnectFailure: return "connect-failure";
-    case FetchError::kMalformedResponse: return "malformed-response";
-    case FetchError::kTooManyRedirects: return "too-many-redirects";
-  }
-  return "unknown";
-}
-
 std::optional<ExchangeRecord> HttpClient::exchange(const Url& url,
                                                    const FetchOptions& opts,
-                                                   FetchError& error) {
-  // Resolve the hostname (IP literals pass through).
-  netsim::IpAddr server;
+                                                   transport::Error& error) {
+  // Resolve the hostname (IP literals pass through). The full candidate
+  // list is kept: the record carries it for the analysis layer, and the
+  // flow walks it when address fallback is enabled.
+  std::vector<netsim::IpAddr> candidates;
   if (const auto literal = netsim::IpAddr::parse(url.host)) {
-    server = *literal;
+    candidates = {*literal};
   } else {
     dns::LookupResult lookup =
         opts.resolver
-            ? dns::query(net_, host_, *opts.resolver, url.host, dns::RrType::kA)
-            : dns::resolve_system(net_, host_, url.host, dns::RrType::kA);
+            ? dns::query(net_, host_, *opts.resolver, url.host, dns::RrType::kA,
+                         opts.retry)
+            : dns::resolve_system(net_, host_, url.host, dns::RrType::kA,
+                                  opts.retry);
     if (!lookup.ok() || lookup.addresses.empty()) {
-      error = FetchError::kDnsFailure;
+      error = transport::Error::resolve(lookup.error);
       return std::nullopt;
     }
-    server = lookup.addresses.front();
+    candidates = lookup.addresses;
   }
 
   HttpRequest req;
@@ -50,35 +43,35 @@ std::optional<ExchangeRecord> HttpClient::exchange(const Url& url,
         {"X-Probe-Marker", "leave-intact-7719"},
     };
   }
+  // Encode once: the same bytes go on the wire and into the record.
+  std::string request_bytes = req.encode();
 
-  netsim::Packet p;
-  p.dst = server;
-  p.proto = netsim::Proto::kTcp;
-  p.src_port = host_.next_ephemeral_port();
-  p.dst_port = url.effective_port();
-  p.payload = req.encode();
-
-  netsim::TransactOptions topts;
+  transport::FlowOptions fopts;
   // TCP handshake = 1 extra RTT; TLS adds 2 more.
-  topts.extra_round_trips = url.scheme == "https" ? 3 : 1;
-  const auto result = net_.transact(host_, std::move(p), topts);
+  fopts.extra_round_trips = url.scheme == "https" ? 3 : 1;
+  fopts.retry = opts.retry;
+  fopts.address_fallback = opts.address_fallback;
+  transport::Flow flow(net_, host_, netsim::Proto::kTcp, candidates,
+                       url.effective_port(), fopts);
+  const auto result = flow.exchange(request_bytes);
   if (!result.ok()) {
-    error = FetchError::kConnectFailure;
+    error = result.error;
     return std::nullopt;
   }
   const auto resp = HttpResponse::decode(result.reply);
   if (!resp) {
-    error = FetchError::kMalformedResponse;
+    error = transport::Error::parse();
     return std::nullopt;
   }
 
   ExchangeRecord rec;
   rec.url = url;
-  rec.request_serialized = req.encode();
+  rec.request_serialized = std::move(request_bytes);
   rec.status = resp->status;
   rec.response_headers = resp->headers;
   rec.body = resp->body;
-  rec.server_addr = server;
+  rec.server_addr = result.remote;
+  rec.candidate_addrs = std::move(candidates);
   rec.rtt_ms = result.rtt_ms;
   return rec;
 }
@@ -88,12 +81,12 @@ FetchResult HttpClient::fetch(const Url& url, const FetchOptions& opts) {
   if (span) span.arg("url", url.str());
   obs::count("http.fetches");
   const auto finish = [&span](FetchResult& r) -> FetchResult& {
-    if (r.error != FetchError::kNone) obs::count("http.fetch_errors");
+    if (!r.error.ok()) obs::count("http.fetch_errors");
     if (!r.exchanges.empty())
       obs::count("http.exchanges", r.exchanges.size());
     if (span) {
       span.arg("status", static_cast<std::int64_t>(r.status));
-      span.arg("error", fetch_error_name(r.error));
+      span.arg("error", transport::error_name(r.error));
       span.arg("redirects",
                static_cast<std::int64_t>(
                    r.exchanges.empty() ? 0 : r.exchanges.size() - 1));
@@ -104,7 +97,7 @@ FetchResult HttpClient::fetch(const Url& url, const FetchOptions& opts) {
   FetchResult out;
   Url current = url;
   for (int hop = 0; hop <= opts.max_redirects; ++hop) {
-    FetchError error = FetchError::kNone;
+    transport::Error error = transport::Error::not_attempted();
     auto rec = exchange(current, opts, error);
     if (!rec) {
       out.error = error;
@@ -122,19 +115,20 @@ FetchResult HttpClient::fetch(const Url& url, const FetchOptions& opts) {
     if (resp.is_redirect()) {
       const auto location = resp.header("Location");
       if (!location) {
-        out.error = FetchError::kMalformedResponse;
+        out.error = transport::Error::parse();
         out.final_url = current;
         return finish(out);
       }
       current = current.resolve(*location);
       continue;
     }
+    out.error = transport::Error::none();
     out.final_url = current;
     out.status = rec->status;
     out.body = rec->body;
     return finish(out);
   }
-  out.error = FetchError::kTooManyRedirects;
+  out.error = transport::Error::redirect_limit();
   out.final_url = current;
   return finish(out);
 }
@@ -143,8 +137,10 @@ FetchResult HttpClient::fetch(std::string_view url_text,
                               const FetchOptions& opts) {
   const auto url = Url::parse(url_text);
   if (!url) {
+    // Nothing was sent: an unparseable URL is a parse failure on a flow
+    // that never got attempted at the transport level.
     FetchResult out;
-    out.error = FetchError::kMalformedResponse;
+    out.error = transport::Error::parse();
     return out;
   }
   return fetch(*url, opts);

@@ -13,6 +13,8 @@
 #include "http/url.h"
 #include "netsim/host.h"
 #include "netsim/network.h"
+#include "transport/error.h"
+#include "transport/flow.h"
 
 namespace vpna::http {
 
@@ -23,17 +25,11 @@ struct FetchOptions {
   std::vector<Header> headers;
   // Override the resolver (nullopt = host's system DNS configuration).
   std::optional<netsim::IpAddr> resolver;
+  // Transport policy. Defaults (single attempt, first address only) keep
+  // the wire traffic identical to the pre-transport client.
+  transport::RetryPolicy retry;
+  bool address_fallback = false;
 };
-
-enum class FetchError : std::uint8_t {
-  kNone,
-  kDnsFailure,
-  kConnectFailure,
-  kMalformedResponse,
-  kTooManyRedirects,
-};
-
-[[nodiscard]] std::string_view fetch_error_name(FetchError e) noexcept;
 
 // One request/response exchange within a fetch.
 struct ExchangeRecord {
@@ -42,19 +38,25 @@ struct ExchangeRecord {
   int status = 0;
   std::vector<Header> response_headers;
   std::string body;
-  netsim::IpAddr server_addr;
+  netsim::IpAddr server_addr;       // address actually contacted
+  // Every address the lookup offered, in resolver order (the analysis
+  // layer correlates these against egress observations even though only
+  // the front is contacted unless address_fallback is on).
+  std::vector<netsim::IpAddr> candidate_addrs;
   double rtt_ms = 0.0;
 };
 
 struct FetchResult {
-  FetchError error = FetchError::kNone;
+  // not-attempted until the client actually sent something; a fetch whose
+  // URL never parsed stays distinguishable from a routing failure.
+  transport::Error error;
   Url final_url;
   int status = 0;
   std::string body;
   std::vector<ExchangeRecord> exchanges;  // full redirect chain
 
   [[nodiscard]] bool ok() const noexcept {
-    return error == FetchError::kNone && status >= 200 && status < 400;
+    return error.ok() && status >= 200 && status < 400;
   }
 };
 
@@ -91,7 +93,7 @@ class HttpClient {
   // One exchange without redirect handling.
   std::optional<ExchangeRecord> exchange(const Url& url,
                                          const FetchOptions& opts,
-                                         FetchError& error);
+                                         transport::Error& error);
 
   netsim::Network& net_;
   netsim::Host& host_;

@@ -25,7 +25,8 @@ std::optional<CertChain> decode_server_hello(std::string_view payload) {
 
 HandshakeResult tls_handshake(netsim::Network& net, netsim::Host& client,
                               const netsim::IpAddr& server,
-                              std::string_view hostname, const CaStore& store) {
+                              std::string_view hostname, const CaStore& store,
+                              const transport::RetryPolicy& retry) {
   obs::Span span("tls.handshake", "tls");
   if (span) {
     span.arg("sni", hostname);
@@ -35,25 +36,22 @@ HandshakeResult tls_handshake(netsim::Network& net, netsim::Host& client,
 
   HandshakeResult out;
 
-  netsim::Packet p;
-  p.dst = server;
-  p.proto = netsim::Proto::kTcp;
-  p.src_port = client.next_ephemeral_port();
-  p.dst_port = netsim::kPortHttps;
-  p.payload = encode_client_hello(hostname);
-
-  netsim::TransactOptions opts;
-  opts.extra_round_trips = 2;  // TCP SYN + TLS flights
-  const auto result = net.transact(client, std::move(p), opts);
-  out.transport = result.status;
+  transport::FlowOptions fopts;
+  fopts.extra_round_trips = 2;  // TCP SYN + TLS flights
+  fopts.retry = retry;
+  transport::Flow flow(net, client, netsim::Proto::kTcp, server,
+                       netsim::kPortHttps, fopts);
+  const auto result = flow.exchange(encode_client_hello(hostname));
+  out.error = result.error;
   out.rtt_ms = result.rtt_ms;
   if (!result.ok()) {
     obs::count("tls.handshake_failures");
-    if (span) span.arg("transport", netsim::status_name(out.transport));
+    if (span) span.arg("error", transport::error_name(out.error));
     return out;
   }
 
   out.chain = decode_server_hello(result.reply);
+  if (!out.chain) out.error = transport::Error::parse();
   if (out.chain) out.validation = store.validate(*out.chain, hostname);
   if (span) span.arg("validation", validation_name(out.validation));
   if (out.validation != ValidationStatus::kValid)

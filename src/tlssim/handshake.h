@@ -12,6 +12,8 @@
 #include "netsim/host.h"
 #include "netsim/network.h"
 #include "tlssim/cert.h"
+#include "transport/error.h"
+#include "transport/flow.h"
 
 namespace vpna::tlssim {
 
@@ -24,23 +26,25 @@ namespace vpna::tlssim {
     std::string_view payload);
 
 struct HandshakeResult {
-  netsim::TransactStatus transport = netsim::TransactStatus::kNoRoute;
+  // not-attempted until the ClientHello is sent; a handshake that was
+  // never tried no longer masquerades as a routing failure.
+  transport::Error error;
   std::optional<CertChain> chain;
   ValidationStatus validation = ValidationStatus::kEmptyChain;
   double rtt_ms = 0.0;
 
   [[nodiscard]] bool completed() const noexcept {
-    return transport == netsim::TransactStatus::kOk && chain.has_value();
+    return error.ok() && chain.has_value();
   }
 };
 
 // Performs a handshake with `server` for SNI `hostname` and validates the
-// presented chain against `store`.
-[[nodiscard]] HandshakeResult tls_handshake(netsim::Network& net,
-                                            netsim::Host& client,
-                                            const netsim::IpAddr& server,
-                                            std::string_view hostname,
-                                            const CaStore& store);
+// presented chain against `store`. `retry` defaults to a single attempt
+// (byte-identical to the pre-transport handshake).
+[[nodiscard]] HandshakeResult tls_handshake(
+    netsim::Network& net, netsim::Host& client, const netsim::IpAddr& server,
+    std::string_view hostname, const CaStore& store,
+    const transport::RetryPolicy& retry = {});
 
 // Server-side port-443 service: answers ClientHello with the chain for the
 // requested SNI and delegates anything else (application data) to `app`.

@@ -1,0 +1,95 @@
+// Unified flow-level error taxonomy for every protocol client.
+//
+// Before the transport layer existed, dns, http and tlssim each grew a
+// private, partially-overlapping failure enum (`LookupResult::transport`,
+// `FetchError`, `HandshakeResult::transport`), all of which abused
+// `TransactStatus::kNoRoute` as a zero-value "never tried" default — so a
+// flow that was never attempted was indistinguishable from one the packet
+// plane refused to route. `transport::Error` replaces all three: one kind
+// axis saying *where* the flow died, plus the carried detail (the
+// underlying `netsim::TransactStatus`, or a protocol code such as the DNS
+// rcode) saying *why*.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "netsim/network.h"
+
+namespace vpna::transport {
+
+enum class ErrorKind : std::uint8_t {
+  kNone,           // flow completed: delivered, parsed, peer said yes
+  kNotAttempted,   // nothing was ever sent (explicitly distinct from a
+                   // routing failure; the old enums conflated the two)
+  kResolve,        // name resolution failed before any connect was tried
+  kTransport,      // the packet plane failed; `status` carries the reason
+  kParse,          // a reply arrived but could not be decoded
+  kUpstream,       // delivered and parsed, but the peer reported failure
+                   // (`code` carries the protocol detail, e.g. DNS rcode)
+  kRedirectLimit,  // the protocol gave up following redirects
+};
+
+// Stable name for a kind; exhaustive switch (built -Werror=switch).
+[[nodiscard]] std::string_view error_kind_name(ErrorKind k) noexcept;
+
+struct Error {
+  ErrorKind kind = ErrorKind::kNotAttempted;
+  // Transport status of the last attempt. Meaningful once the flow was
+  // attempted; kOk for failures that happened above the packet plane.
+  netsim::TransactStatus status = netsim::TransactStatus::kOk;
+  // Protocol detail for kUpstream/kResolve (DNS rcode, ...); 0 otherwise.
+  std::uint16_t code = 0;
+
+  [[nodiscard]] constexpr bool ok() const noexcept {
+    return kind == ErrorKind::kNone;
+  }
+  [[nodiscard]] constexpr bool attempted() const noexcept {
+    return kind != ErrorKind::kNotAttempted;
+  }
+  // True when the peer's answer came back intact — the flow either
+  // succeeded or failed at the application layer (e.g. NXDOMAIN), as
+  // opposed to dying in transit or arriving garbled. Stub resolvers use
+  // this to decide whether asking the next server could help.
+  [[nodiscard]] constexpr bool answered() const noexcept {
+    return kind == ErrorKind::kNone || kind == ErrorKind::kUpstream;
+  }
+
+  // --- constructors for each failure site ---------------------------------
+  [[nodiscard]] static constexpr Error none() noexcept {
+    return Error{ErrorKind::kNone, netsim::TransactStatus::kOk, 0};
+  }
+  [[nodiscard]] static constexpr Error not_attempted() noexcept {
+    return Error{};
+  }
+  // Maps a transact status: kOk -> none(), anything else -> kTransport
+  // carrying the status. The single choke point every client routes
+  // through (unit-tested against every TransactStatus value).
+  [[nodiscard]] static Error from_status(netsim::TransactStatus s) noexcept;
+  [[nodiscard]] static constexpr Error parse(
+      netsim::TransactStatus last = netsim::TransactStatus::kOk) noexcept {
+    return Error{ErrorKind::kParse, last, 0};
+  }
+  [[nodiscard]] static constexpr Error upstream(std::uint16_t code) noexcept {
+    return Error{ErrorKind::kUpstream, netsim::TransactStatus::kOk, code};
+  }
+  // A fetch that died resolving its hostname; carries the lookup's own
+  // failure detail so "resolver unreachable" and "NXDOMAIN" stay distinct.
+  [[nodiscard]] static constexpr Error resolve(const Error& cause) noexcept {
+    return Error{ErrorKind::kResolve, cause.status, cause.code};
+  }
+  [[nodiscard]] static constexpr Error redirect_limit() noexcept {
+    return Error{ErrorKind::kRedirectLimit, netsim::TransactStatus::kOk, 0};
+  }
+
+  constexpr friend bool operator==(const Error&, const Error&) noexcept =
+      default;
+};
+
+// Renders the full error, kind plus carried detail, e.g. "none",
+// "not-attempted", "transport:no-route", "upstream:code-3",
+// "resolve:transport:no-reply". The one name every span/report uses.
+[[nodiscard]] std::string error_name(const Error& e);
+
+}  // namespace vpna::transport

@@ -1,6 +1,7 @@
 #include "vpn/client.h"
 
 #include "obs/trace.h"
+#include "transport/flow.h"
 #include "vpn/server.h"
 
 namespace vpna::vpn {
@@ -48,13 +49,8 @@ ConnectResult VpnClient::connect(const netsim::IpAddr& server_addr) {
   const auto port = protocol_port(spec_.protocols.empty()
                                       ? TunnelProtocol::kOpenVpn
                                       : spec_.protocols.front());
-  netsim::Packet hello;
-  hello.dst = server_;
-  hello.proto = netsim::Proto::kUdp;
-  hello.src_port = host_.next_ephemeral_port();
-  hello.dst_port = port;
-  hello.payload = std::string(VpnServerService::kKeepalive);
-  const auto res = net_.transact(host_, std::move(hello));
+  transport::Flow hello(net_, host_, netsim::Proto::kUdp, server_, port);
+  const auto res = hello.exchange(std::string(VpnServerService::kKeepalive));
   if (!res.ok() || res.reply != VpnServerService::kKeepaliveAck) {
     out.error = "server unreachable: " + std::string(status_name(res.status));
     obs::count("vpn.connect.fail");
@@ -197,15 +193,10 @@ void VpnClient::tick() {
   const auto port = protocol_port(spec_.protocols.empty()
                                       ? TunnelProtocol::kOpenVpn
                                       : spec_.protocols.front());
-  netsim::Packet ka;
-  ka.dst = server_;
-  ka.proto = netsim::Proto::kUdp;
-  ka.src_port = host_.next_ephemeral_port();
-  ka.dst_port = port;
-  ka.payload = std::string(VpnServerService::kKeepalive);
-  netsim::TransactOptions opts;
-  opts.timeout_ms = 2000.0;  // keepalive timeout
-  const auto res = net_.transact(host_, std::move(ka), opts);
+  transport::FlowOptions fopts;
+  fopts.timeout_ms = 2000.0;  // keepalive timeout
+  transport::Flow ka(net_, host_, netsim::Proto::kUdp, server_, port, fopts);
+  const auto res = ka.exchange(std::string(VpnServerService::kKeepalive));
 
   if (res.ok() && res.reply == VpnServerService::kKeepaliveAck) {
     first_keepalive_failure_.reset();

@@ -4,6 +4,7 @@
 
 #include "http/message.h"
 #include "tlssim/handshake.h"
+#include "transport/flow.h"
 #include "util/rng.h"
 #include "util/strings.h"
 
@@ -158,7 +159,14 @@ std::optional<std::string> VpnServerService::forward(
     fwd.payload = proxy_regenerate(fwd.payload);
   }
 
-  const auto result = ctx.network.transact(ctx.host, fwd);
+  // Egress flow: source pinned to the NAT slot allocated above, inner TTL
+  // preserved so traceroute probes expire inside the world as they should.
+  transport::Flow flow(ctx.network, ctx.host, fwd.proto, fwd.dst,
+                       fwd.dst_port);
+  flow.set_src(fwd.src);
+  flow.pin_src_port(fwd.src_port);
+  flow.set_ttl(fwd.ttl);
+  const auto result = flow.exchange(std::move(fwd.payload));
 
   netsim::Packet reply;
   reply.src = inner.dst;

@@ -86,7 +86,8 @@ TEST_F(DnsFixture, RecursiveResolutionAaaa) {
 TEST_F(DnsFixture, NxDomainForUnknownName) {
   const auto res = query(net_, client_, netsim::IpAddr::v4(8, 8, 8, 8),
                          "missing.example.com", RrType::kA);
-  EXPECT_EQ(res.transport, netsim::TransactStatus::kOk);
+  EXPECT_TRUE(res.error.answered());  // delivered; failure is upstream
+  EXPECT_EQ(res.error.kind, transport::ErrorKind::kUpstream);
   EXPECT_EQ(res.rcode, Rcode::kNxDomain);
 }
 
@@ -162,7 +163,8 @@ TEST_F(DnsFixture, ServFailWhenAuthorityUnreachable) {
   net_.detach_host(auth_host_);
   const auto res = query(net_, client_, netsim::IpAddr::v4(8, 8, 8, 8),
                          "www.example.com", RrType::kA);
-  EXPECT_EQ(res.transport, netsim::TransactStatus::kOk);
+  EXPECT_TRUE(res.error.answered());  // resolver answered with SERVFAIL
+  EXPECT_EQ(res.error.kind, transport::ErrorKind::kUpstream);
   EXPECT_EQ(res.rcode, Rcode::kServFail);
 }
 

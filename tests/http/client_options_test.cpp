@@ -86,13 +86,15 @@ TEST_F(OptionsFixture, ExplicitResolverOverridesSystem) {
   FetchOptions opts;
   opts.resolver = netsim::IpAddr::v4(45, 0, 0, 80);
   EXPECT_TRUE(c.fetch("http://site.com/", opts).ok());
-  EXPECT_EQ(c.fetch("http://site.com/").error, FetchError::kDnsFailure);
+  EXPECT_EQ(c.fetch("http://site.com/").error.kind,
+            transport::ErrorKind::kResolve);
 }
 
 TEST_F(OptionsFixture, MalformedUrlRejected) {
   HttpClient c(net_, client_);
   const auto res = c.fetch("not a url");
-  EXPECT_EQ(res.error, FetchError::kMalformedResponse);
+  EXPECT_EQ(res.error.kind, transport::ErrorKind::kParse);
+  EXPECT_EQ(res.error.status, netsim::TransactStatus::kOk);  // never sent
 }
 
 TEST_F(OptionsFixture, IpLiteralSkipsDns) {
@@ -102,7 +104,7 @@ TEST_F(OptionsFixture, IpLiteralSkipsDns) {
   // The server answers 404 for the unknown Host header, but the exchange
   // itself succeeds without any resolver.
   EXPECT_EQ(res.status, 404);
-  EXPECT_EQ(res.error, FetchError::kNone);
+  EXPECT_TRUE(res.error.ok());
 }
 
 TEST_F(OptionsFixture, HttpsCostsMoreRoundTripsThanHttp) {

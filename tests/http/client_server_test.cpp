@@ -105,7 +105,7 @@ TEST_F(HttpFixture, FetchFollowsHttpsUpgrade) {
 TEST_F(HttpFixture, DnsFailureSurfaces) {
   HttpClient c(net_, client_);
   const auto res = c.fetch("http://no-such-site.net/");
-  EXPECT_EQ(res.error, FetchError::kDnsFailure);
+  EXPECT_EQ(res.error.kind, transport::ErrorKind::kResolve);
   EXPECT_FALSE(res.ok());
 }
 
@@ -172,7 +172,7 @@ TEST_F(HttpFixture, RedirectLoopCapped) {
   FetchOptions opts;
   opts.max_redirects = 0;
   const auto res = c.fetch("http://secure.com/", opts);
-  EXPECT_EQ(res.error, FetchError::kTooManyRedirects);
+  EXPECT_EQ(res.error.kind, transport::ErrorKind::kRedirectLimit);
 }
 
 TEST_F(HttpFixture, HeaderEchoReflectsExactly) {

@@ -63,7 +63,8 @@ TEST_F(HandshakeFixture, UnknownSniFailsHandshake) {
   const auto hs = tls_handshake(net_, client_, netsim::IpAddr::v4(45, 0, 0, 10),
                                 "other.com", store_);
   EXPECT_FALSE(hs.completed());
-  EXPECT_EQ(hs.transport, netsim::TransactStatus::kNoReply);
+  EXPECT_EQ(hs.error.kind, transport::ErrorKind::kTransport);
+  EXPECT_EQ(hs.error.status, netsim::TransactStatus::kNoReply);
 }
 
 TEST_F(HandshakeFixture, InterceptionChainFailsValidation) {

@@ -1,0 +1,156 @@
+#include "transport/error.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace vpna::transport {
+namespace {
+
+using netsim::TransactStatus;
+
+// Every TransactStatus value, in declaration order. Kept exhaustive by the
+// AllStatusesCovered test below: if the netsim enum grows, that test fails
+// until this list (and any switch over the enum) is extended.
+const std::vector<TransactStatus> kAllStatuses = {
+    TransactStatus::kOk,            TransactStatus::kNoRoute,
+    TransactStatus::kInterfaceDown, TransactStatus::kBlockedLocal,
+    TransactStatus::kBlockedRemote, TransactStatus::kNoSuchHost,
+    TransactStatus::kNoService,     TransactStatus::kNoReply,
+    TransactStatus::kDropped,       TransactStatus::kTtlExpired,
+};
+
+TEST(TransportError, DefaultIsNotAttempted) {
+  const Error e;
+  EXPECT_EQ(e.kind, ErrorKind::kNotAttempted);
+  EXPECT_FALSE(e.ok());
+  EXPECT_FALSE(e.attempted());
+  EXPECT_FALSE(e.answered());
+  EXPECT_EQ(e, Error::not_attempted());
+  EXPECT_EQ(error_name(e), "not-attempted");
+}
+
+TEST(TransportError, FromStatusMapsOkToNone) {
+  const Error e = Error::from_status(TransactStatus::kOk);
+  EXPECT_TRUE(e.ok());
+  EXPECT_TRUE(e.attempted());
+  EXPECT_TRUE(e.answered());
+  EXPECT_EQ(e, Error::none());
+  EXPECT_EQ(error_name(e), "none");
+}
+
+TEST(TransportError, FromStatusMapsEveryFailureToTransport) {
+  for (const auto s : kAllStatuses) {
+    if (s == TransactStatus::kOk) continue;
+    const Error e = Error::from_status(s);
+    EXPECT_EQ(e.kind, ErrorKind::kTransport) << status_name(s);
+    EXPECT_EQ(e.status, s) << status_name(s);
+    EXPECT_EQ(e.code, 0) << status_name(s);
+    EXPECT_FALSE(e.ok()) << status_name(s);
+    EXPECT_TRUE(e.attempted()) << status_name(s);
+    EXPECT_FALSE(e.answered()) << status_name(s);
+    // The rendered name embeds the netsim status name verbatim.
+    EXPECT_EQ(error_name(e),
+              "transport:" + std::string(netsim::status_name(s)))
+        << status_name(s);
+  }
+}
+
+TEST(TransportError, FromStatusNamesAreDistinct) {
+  std::set<std::string> names;
+  for (const auto s : kAllStatuses) names.insert(error_name(Error::from_status(s)));
+  EXPECT_EQ(names.size(), kAllStatuses.size());
+}
+
+// Guards kAllStatuses against the enum growing: a switch compiled with
+// -Werror=switch must name every enumerator, so adding a status without
+// updating this test (and the taxonomy) breaks the build here first.
+TEST(TransportError, AllStatusesCovered) {
+  int counted = 0;
+  for (const auto s : kAllStatuses) {
+    switch (s) {
+      case TransactStatus::kOk:
+      case TransactStatus::kNoRoute:
+      case TransactStatus::kInterfaceDown:
+      case TransactStatus::kBlockedLocal:
+      case TransactStatus::kBlockedRemote:
+      case TransactStatus::kNoSuchHost:
+      case TransactStatus::kNoService:
+      case TransactStatus::kNoReply:
+      case TransactStatus::kDropped:
+      case TransactStatus::kTtlExpired:
+        ++counted;
+    }
+  }
+  EXPECT_EQ(counted, 10);
+  EXPECT_EQ(kAllStatuses.size(), 10u);
+}
+
+TEST(TransportError, KindNamesAreDistinctAndStable) {
+  const std::vector<ErrorKind> kinds = {
+      ErrorKind::kNone,      ErrorKind::kNotAttempted,
+      ErrorKind::kResolve,   ErrorKind::kTransport,
+      ErrorKind::kParse,     ErrorKind::kUpstream,
+      ErrorKind::kRedirectLimit,
+  };
+  std::set<std::string_view> names;
+  for (const auto k : kinds) names.insert(error_kind_name(k));
+  EXPECT_EQ(names.size(), kinds.size());
+  EXPECT_EQ(error_kind_name(ErrorKind::kRedirectLimit), "redirect-limit");
+}
+
+TEST(TransportError, UpstreamCarriesProtocolCode) {
+  const Error e = Error::upstream(3);  // DNS NXDOMAIN
+  EXPECT_EQ(e.kind, ErrorKind::kUpstream);
+  EXPECT_EQ(e.code, 3);
+  EXPECT_FALSE(e.ok());
+  // The answer arrived intact; asking another server cannot help.
+  EXPECT_TRUE(e.answered());
+  EXPECT_EQ(error_name(e), "upstream:code-3");
+}
+
+TEST(TransportError, ParseKeepsLastTransportStatus) {
+  const Error garbled = Error::parse(TransactStatus::kOk);
+  EXPECT_EQ(garbled.kind, ErrorKind::kParse);
+  EXPECT_FALSE(garbled.answered());
+  EXPECT_EQ(error_name(garbled), "parse");
+}
+
+TEST(TransportError, ResolvePropagatesCauseDetail) {
+  // Resolver unreachable vs NXDOMAIN must stay distinguishable after the
+  // fetch wraps the lookup failure.
+  const Error unreachable =
+      Error::resolve(Error::from_status(TransactStatus::kNoReply));
+  EXPECT_EQ(unreachable.kind, ErrorKind::kResolve);
+  EXPECT_EQ(unreachable.status, TransactStatus::kNoReply);
+  EXPECT_EQ(error_name(unreachable), "resolve:no-reply");
+
+  const Error nxdomain = Error::resolve(Error::upstream(3));
+  EXPECT_EQ(nxdomain.kind, ErrorKind::kResolve);
+  EXPECT_EQ(nxdomain.status, TransactStatus::kOk);
+  EXPECT_EQ(nxdomain.code, 3);
+  EXPECT_EQ(error_name(nxdomain), "resolve:code-3");
+
+  EXPECT_NE(unreachable, nxdomain);
+}
+
+TEST(TransportError, RedirectLimit) {
+  const Error e = Error::redirect_limit();
+  EXPECT_EQ(e.kind, ErrorKind::kRedirectLimit);
+  EXPECT_FALSE(e.ok());
+  EXPECT_TRUE(e.attempted());
+  EXPECT_EQ(error_name(e), "redirect-limit");
+}
+
+TEST(TransportError, EqualityComparesAllFields) {
+  EXPECT_EQ(Error::none(), Error::none());
+  EXPECT_NE(Error::none(), Error::not_attempted());
+  EXPECT_NE(Error::upstream(2), Error::upstream(3));
+  EXPECT_NE(Error::from_status(TransactStatus::kNoRoute),
+            Error::from_status(TransactStatus::kDropped));
+}
+
+}  // namespace
+}  // namespace vpna::transport
