@@ -2,12 +2,18 @@
 // test suite, and write the artefacts the paper published — a ranked
 // selection-guide scorecard, per-provider Markdown reports, and a raw CSV.
 //
-//   ./full_campaign [output-dir] [--jobs N] [--trace FILE] [--metrics FILE]
-//                   [--trace-hops]
+//   ./full_campaign [output-dir] [--jobs N] [--faults PROFILE]
+//                   [--trace FILE] [--metrics FILE] [--trace-hops]
 //
 // Default output-dir is the current directory. --jobs selects the parallel
 // campaign engine's worker count (0 = hardware concurrency, 1 = serial);
 // results are byte-identical at any worker count for the same seed.
+//
+// --faults selects a deterministic fault-injection profile (off, flaky,
+// hostile; default off). Fault schedules are seeded per shard, so payloads
+// stay byte-identical at any --jobs. Vantage points or shards that exhaust
+// their retries under a profile degrade gracefully: the run still exits 0,
+// with a degradation summary on stderr and an appendix in scorecard.md.
 //
 // --trace writes a Chrome trace-event JSON of the whole campaign in
 // sim-time (load it in https://ui.perfetto.dev; one lane per provider
@@ -15,7 +21,8 @@
 // metrics as text (canonical section first, scheduling telemetry below the
 // marker). --trace-hops additionally records a per-router instant for every
 // packet hop — detailed, and much larger output. Exit status is non-zero
-// when any provider shard failed every attempt.
+// only when a provider shard hard-failed every attempt (degraded-but-
+// complete fault-profile runs exit 0).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,6 +32,7 @@
 #include "analysis/report_aggregation.h"
 #include "analysis/report_writer.h"
 #include "core/parallel_campaign.h"
+#include "faults/profile.h"
 #include "obs/export.h"
 
 using namespace vpna;
@@ -33,7 +41,8 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: full_campaign [output-dir] [--jobs N] [--trace FILE] "
+               "usage: full_campaign [output-dir] [--jobs N] "
+               "[--faults off|flaky|hostile] [--trace FILE] "
                "[--metrics FILE] [--trace-hops]\n");
   return 2;
 }
@@ -46,10 +55,16 @@ int main(int argc, char** argv) {
   std::filesystem::path trace_path;
   std::filesystem::path metrics_path;
   bool trace_hops = false;
+  faults::FaultProfile fault_profile = faults::FaultProfile::kOff;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0) {
       if (i + 1 >= argc) return usage();
       jobs = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      if (i + 1 >= argc) return usage();
+      const auto parsed = faults::parse_profile(argv[++i]);
+      if (!parsed) return usage();
+      fault_profile = *parsed;
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       if (i + 1 >= argc) return usage();
       trace_path = argv[++i];
@@ -68,6 +83,7 @@ int main(int argc, char** argv) {
 
   core::CampaignOptions opts;
   opts.runner.vantage_points_per_provider = 3;
+  opts.runner.fault_profile = fault_profile;
   opts.jobs = jobs;
   opts.shard_attempts = 2;
   // Any observability output requires the shards to run traced.
@@ -75,7 +91,8 @@ int main(int argc, char** argv) {
       !trace_path.empty() || !metrics_path.empty() || trace_hops;
   opts.trace.packet_hops = trace_hops;
 
-  std::printf("running the full 62-provider campaign (jobs=%zu)...\n", jobs);
+  std::printf("running the full 62-provider campaign (jobs=%zu, faults=%s)...\n",
+              jobs, std::string(faults::profile_name(fault_profile)).c_str());
   core::ParallelCampaign campaign(opts);
   const auto result = campaign.run();
   const auto& reports = result.providers;
@@ -93,6 +110,9 @@ int main(int argc, char** argv) {
     // Traced runs get the deterministic metrics appendix (the appendix is
     // canonical, so scorecard.md stays byte-identical at any --jobs).
     guide << analysis::render_instrumentation_appendix(result);
+    // Fault-profile runs additionally record structured degradation
+    // (empty string — no bytes — when nothing degraded).
+    guide << analysis::render_degradation_appendix(result);
   }
   if (!trace_path.empty()) {
     std::ofstream trace(trace_path);
@@ -121,6 +141,19 @@ int main(int argc, char** argv) {
               100.0 * engine.parallel_efficiency());
   if (engine.failed_shards > 0)
     std::printf("  FAILED SHARDS: %zu\n", engine.failed_shards);
+  // Degradation summary goes to stderr: a degraded-but-complete run still
+  // exits 0, and scripts watching stderr see what gave up and why.
+  if (engine.degraded_providers > 0) {
+    std::fprintf(stderr,
+                 "degraded run: %zu provider(s) degraded "
+                 "(%zu quarantined shard(s), %zu degraded vantage point(s)) "
+                 "under --faults %s\n",
+                 engine.degraded_providers, engine.quarantined_shards,
+                 engine.degraded_vantage_points,
+                 std::string(faults::profile_name(fault_profile)).c_str());
+    for (const auto& name : result.degraded_providers)
+      std::fprintf(stderr, "  degraded: %s\n", name.c_str());
+  }
   std::printf("  tunnel-failure leakers: %zu of %d\n",
               leakage.tunnel_failure_leakers.size(),
               leakage.tunnel_failure_applicable);
@@ -140,7 +173,8 @@ int main(int argc, char** argv) {
                 trace_path.string().c_str());
   if (!metrics_path.empty())
     std::printf("wrote %s\n", metrics_path.string().c_str());
-  // A shard that failed every attempt means the campaign payload is
-  // incomplete: fail the invocation so scripted runs notice.
-  return engine.failed_shards > 0 ? 1 : 0;
+  // Exit-code contract: only hard shard failures (payload incomplete with
+  // no structured outcome) fail the invocation; degraded-but-complete
+  // fault-profile runs exit 0.
+  return analysis::campaign_exit_code(engine);
 }

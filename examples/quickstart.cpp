@@ -42,7 +42,7 @@ int main() {
   vpn::VpnClient client(world.network(), vm, provider.spec);
   const auto conn = client.connect(provider.vantage_points[0].addr);
   if (!conn.connected) {
-    std::printf("connect failed: %s\n", conn.error.c_str());
+    std::printf("connect failed: %s\n", conn.error_message.c_str());
     return 1;
   }
   std::printf("connected to de-1, tunnel address %s\n",

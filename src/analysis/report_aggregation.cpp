@@ -84,6 +84,10 @@ CampaignEngineSummary summarize_campaign(const core::CampaignReport& report) {
   out.wall_s = report.wall_s;
   for (const auto& provider : report.providers) {
     out.vantage_points_tested += provider.vantage_points.size();
+    if (provider.quarantined) ++out.quarantined_shards;
+    if (provider.degraded()) ++out.degraded_providers;
+    for (const auto& vp : provider.vantage_points)
+      if (vp.degradation.degraded) ++out.degraded_vantage_points;
     for (const auto& vp : provider.vantage_points) {
       if (vp.connected) {
         ++out.connected_providers;
@@ -102,10 +106,17 @@ CampaignEngineSummary summarize_campaign(const core::CampaignReport& report) {
   return out;
 }
 
+int campaign_exit_code(const CampaignEngineSummary& summary) noexcept {
+  return summary.failed_shards > 0 ? 1 : 0;
+}
+
 std::string serialize_campaign_payload(const core::CampaignReport& report) {
   std::string out = render_campaign_csv(report.providers);
   for (const auto& provider : report.providers)
     out += render_provider_markdown(provider);
+  // Empty string unless something degraded, so kOff payloads are
+  // byte-identical to builds without the fault plane.
+  out += render_degradation_appendix(report);
   return out;
 }
 

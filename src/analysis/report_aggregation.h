@@ -63,6 +63,12 @@ struct CampaignEngineSummary {
   std::size_t connected_providers = 0;
   std::size_t vantage_points_tested = 0;
   std::size_t failed_shards = 0;
+  // Graceful-degradation tallies (fault-profile runs; all zero under
+  // FaultProfile::kOff). Quarantined shards are counted in
+  // degraded_providers too.
+  std::size_t quarantined_shards = 0;
+  std::size_t degraded_providers = 0;
+  std::size_t degraded_vantage_points = 0;
   std::size_t jobs = 0;
   std::uint64_t tasks_run = 0;
   std::uint64_t steals = 0;
@@ -81,6 +87,13 @@ struct CampaignEngineSummary {
 
 [[nodiscard]] CampaignEngineSummary summarize_campaign(
     const core::CampaignReport& report);
+
+// Exit-code contract for campaign binaries: a run that completed with
+// degradation (quarantined shards, degraded vantage points) still exits 0 —
+// the payload carries the structured outcomes; only hard shard failures
+// (fault profile off, shard exhausted its attempts) exit non-zero.
+[[nodiscard]] int campaign_exit_code(
+    const CampaignEngineSummary& summary) noexcept;
 
 // Canonical serialization of a campaign's deterministic payload (the
 // provider reports only — no worker counters, no timings). Two campaigns

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "transport/error.h"
 #include "util/strings.h"
 
 namespace vpna::analysis {
@@ -182,6 +183,35 @@ std::string render_instrumentation_appendix(
   out += "```\n";
   out += metrics.render_text(/*include_volatile=*/false);
   out += "```\n";
+  return out;
+}
+
+std::string render_degradation_appendix(const core::CampaignReport& report) {
+  if (report.degraded_providers.empty()) return {};
+  std::string out = "\n## Appendix: degradation\n\n";
+  out += util::format(
+      "%zu provider(s) completed degraded under the active fault profile "
+      "(structured give-ups, not hard failures).\n\n",
+      report.degraded_providers.size());
+  for (const auto& provider : report.providers) {
+    if (!provider.degraded()) continue;
+    if (provider.quarantined) {
+      out += util::format(
+          "- `%s` — shard quarantined: exhausted every shard attempt\n",
+          provider.provider.c_str());
+      continue;
+    }
+    for (const auto& vp : provider.vantage_points) {
+      if (!vp.degradation.degraded) continue;
+      out += util::format(
+          "- `%s` / `%s` — gave up at %s after %d attempt(s): %s "
+          "(injected faults seen: %llu)\n",
+          provider.provider.c_str(), vp.vantage_id.c_str(),
+          vp.degradation.stage.c_str(), vp.degradation.attempts,
+          transport::error_name(vp.degradation.error).c_str(),
+          static_cast<unsigned long long>(vp.degradation.faults_seen));
+    }
+  }
   return out;
 }
 

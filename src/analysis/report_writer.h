@@ -52,4 +52,13 @@ enum class SafetyGrade : std::uint8_t { kA, kB, kC, kD, kF };
 [[nodiscard]] std::string render_instrumentation_appendix(
     const core::CampaignReport& report);
 
+// "Degradation" appendix: one line per quarantined shard and per degraded
+// vantage point (stage, attempts, terminal transport error, fault
+// attribution). Deterministic — degradation derives from the sim-time
+// fault schedule, never from scheduling. Empty string when nothing
+// degraded, so FaultProfile::kOff artifacts are byte-identical to a build
+// without the fault plane.
+[[nodiscard]] std::string render_degradation_appendix(
+    const core::CampaignReport& report);
+
 }  // namespace vpna::analysis

@@ -33,17 +33,23 @@ DnsLeakResult run_dns_leak_test(inet::World& world, netsim::Host& client) {
   const std::vector<std::string> names = {
       "daily-courier-news.com", "wikipedia.org", "chatter-square.com",
       "kernel-patch-news.net", "stock-ticker-watch.com"};
-  // System resolver path plus explicit public resolvers.
-  for (const auto& name : names) {
-    (void)dns::resolve_system(world.network(), client, name, dns::RrType::kA);
+  // System resolver path plus explicit public resolvers. Failed lookups are
+  // tallied (not swallowed): the capture scan below still decides "leaked",
+  // but a dead resolver no longer masquerades as a clean result.
+  const auto tally = [&out](const dns::LookupResult& res) {
     ++out.queries_issued;
-  }
+    if (!res.ok()) {
+      ++out.queries_failed;
+      out.last_error = res.error;
+    }
+  };
+  for (const auto& name : names)
+    tally(dns::resolve_system(world.network(), client, name, dns::RrType::kA));
   for (const auto& name : names) {
-    (void)dns::query(world.network(), client, world.google_dns(), name,
-                     dns::RrType::kA);
-    (void)dns::query(world.network(), client, world.quad9_dns(), name,
-                     dns::RrType::kA);
-    out.queries_issued += 2;
+    tally(dns::query(world.network(), client, world.google_dns(), name,
+                     dns::RrType::kA));
+    tally(dns::query(world.network(), client, world.quad9_dns(), name,
+                     dns::RrType::kA));
   }
 
   out.plaintext_dns_on_physical_interface =
@@ -66,12 +72,22 @@ Ipv6LeakResult run_ipv6_leak_test(inet::World& world, netsim::Host& client) {
   for (const auto& name : names) {
     const auto aaaa =
         dns::resolve_system(world.network(), client, name, dns::RrType::kAaaa);
-    if (!aaaa.ok() || aaaa.addresses.empty()) continue;
+    if (!aaaa.ok() || aaaa.addresses.empty()) {
+      if (!aaaa.ok()) {
+        ++out.lookup_failures;
+        out.last_error = aaaa.error;
+      }
+      continue;
+    }
     ++out.attempts;
     transport::Flow conn(world.network(), client, netsim::Proto::kTcp,
                          aaaa.addresses.front(), netsim::kPortHttp);
     const auto res = conn.exchange("GET / HTTP/1.1\nHost: " + name + "\n\n");
     if (res.ok() && !res.via_tunnel) ++out.v6_connections_succeeded_outside_tunnel;
+    if (!res.error.ok()) {
+      ++out.connect_failures;
+      out.last_error = res.error;
+    }
   }
 
   out.v6_packets_on_physical_interface = count_clear_on_eth0(
@@ -113,6 +129,10 @@ TunnelFailureResult run_tunnel_failure_test(inet::World& world,
       const auto res = probe.exchange({});
       ++out.probes_sent;
       if (res.ok() && !res.via_tunnel) ++out.probes_escaped_clear;
+      if (!res.error.ok()) {
+        ++out.probes_failed;
+        out.last_probe_error = res.error;
+      }
     }
     world.clock().advance_seconds(10);
   }

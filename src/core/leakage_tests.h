@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "inet/world.h"
+#include "transport/error.h"
 #include "vpn/client.h"
 
 namespace vpna::core {
@@ -17,6 +18,11 @@ namespace vpna::core {
 struct DnsLeakResult {
   int queries_issued = 0;
   int plaintext_dns_on_physical_interface = 0;
+  // Probes that died in transit rather than answering. Without these a
+  // resolver outage looks identical to "no leak" (every query swallowed
+  // into a zero-count record); fault-profile runs surface it instead.
+  int queries_failed = 0;
+  transport::Error last_error = transport::Error::none();
   [[nodiscard]] bool leaked() const {
     return plaintext_dns_on_physical_interface > 0;
   }
@@ -31,6 +37,12 @@ struct Ipv6LeakResult {
   int attempts = 0;
   int v6_packets_on_physical_interface = 0;
   int v6_connections_succeeded_outside_tunnel = 0;
+  // Failed AAAA lookups / v6 connects, with the last transport error: a
+  // vantage point that could not even attempt the test is distinguishable
+  // from one that attempted it and saw no leak.
+  int lookup_failures = 0;
+  int connect_failures = 0;
+  transport::Error last_error = transport::Error::none();
   [[nodiscard]] bool leaked() const {
     return v6_packets_on_physical_interface > 0;
   }
@@ -46,6 +58,11 @@ struct TunnelFailureResult {
   double window_seconds = 180.0;
   int probes_sent = 0;
   int probes_escaped_clear = 0;  // reached the outside host off-tunnel
+  // Probes that failed outright (expected while the tunnel is blocked and
+  // the client holds fail-closed); kept so a probe plane broken by faults
+  // is visible in the record rather than folded into "no leak".
+  int probes_failed = 0;
+  transport::Error last_probe_error = transport::Error::none();
   vpn::ClientState final_state = vpn::ClientState::kDisconnected;
   [[nodiscard]] bool leaked() const { return probes_escaped_clear > 0; }
 };

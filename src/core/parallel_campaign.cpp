@@ -2,11 +2,14 @@
 
 #include <chrono>
 #include <future>
+#include <optional>
 #include <stdexcept>
 
 #include "ecosystem/evaluated.h"
 #include "ecosystem/testbed.h"
+#include "faults/profile.h"
 #include "obs/trace.h"
+#include "transport/policy.h"
 
 namespace vpna::core {
 
@@ -18,6 +21,22 @@ ProviderReport run_shard_body(const std::string& name,
                               std::uint64_t campaign_seed,
                               const RunnerOptions& options,
                               ecosystem::Testbed& shard) {
+  // Fault profiles arm transport-level resilience for the whole shard:
+  // every flow that didn't pick its own retry/fallback settings adopts the
+  // profile's. kOff installs nothing (session_policy_for returns nullptr).
+  transport::ScopedSessionPolicy session_policy(
+      faults::session_policy_for(options.fault_profile));
+  // Degradation records attribute give-ups to injected faults via the
+  // faults.* counters, which only exist while a registry is bound. Traced
+  // campaigns already bind one per shard; for untraced fault-profile runs,
+  // bind a throwaway metrics-only registry here. Never engaged under kOff,
+  // so off-profile shards observe exactly what they did before.
+  obs::MetricsRegistry attribution;
+  std::optional<obs::ScopedObservation> attribution_scope;
+  if (options.fault_profile != faults::FaultProfile::kOff &&
+      obs::meter() == nullptr)
+    attribution_scope.emplace(nullptr, &attribution);
+
   obs::Span root("shard.run", "campaign");
   if (root) {
     root.arg("provider", name);
@@ -37,8 +56,8 @@ ProviderReport run_provider_shard(
     const std::string& name, std::uint64_t campaign_seed,
     const RunnerOptions& options,
     std::shared_ptr<const netsim::RoutingPlane> plane) {
-  auto shard =
-      ecosystem::build_provider_shard(name, campaign_seed, std::move(plane));
+  auto shard = ecosystem::build_provider_shard(
+      name, campaign_seed, std::move(plane), options.fault_profile);
   if (!shard.world)
     throw std::invalid_argument("run_provider_shard: unknown provider " + name);
   return run_shard_body(name, campaign_seed, options, shard);
@@ -51,8 +70,8 @@ ProviderReport run_provider_shard(
   if (!trace.enabled || out == nullptr)
     return run_provider_shard(name, campaign_seed, options, std::move(plane));
 
-  auto shard =
-      ecosystem::build_provider_shard(name, campaign_seed, std::move(plane));
+  auto shard = ecosystem::build_provider_shard(
+      name, campaign_seed, std::move(plane), options.fault_profile);
   if (!shard.world)
     throw std::invalid_argument("run_provider_shard: unknown provider " + name);
 
@@ -114,6 +133,23 @@ obs::ShardTrace failed_shard_trace(const std::string& name) {
   return trace;
 }
 
+// Quarantine variants: under an active fault profile an exhausted shard is
+// a structured degraded outcome (the campaign still succeeds), not a hard
+// failure — the placeholder carries the quarantined flag instead of the
+// provider landing in failed_providers.
+ProviderReport quarantined_shard_report(const std::string& name) {
+  ProviderReport report = failed_shard_report(name);
+  report.quarantined = true;
+  return report;
+}
+
+obs::ShardTrace quarantined_shard_trace(const std::string& name) {
+  obs::ShardTrace trace;
+  trace.shard = name;
+  trace.metrics.add("shard.quarantined");
+  return trace;
+}
+
 }  // namespace
 
 ParallelCampaign::ParallelCampaign(CampaignOptions options)
@@ -131,6 +167,10 @@ CampaignReport ParallelCampaign::run(const std::vector<std::string>& names,
   if (traced) report.traces.resize(selection.size());
 
   const int attempts = options_.shard_attempts < 1 ? 1 : options_.shard_attempts;
+  // Under a fault profile, shards that exhaust every attempt degrade
+  // gracefully into quarantine instead of failing the campaign.
+  const bool graceful =
+      options_.runner.fault_profile != faults::FaultProfile::kOff;
 
   // One all-pairs plane serves every shard (their core topologies are
   // identical); computed up front so no shard pays the Dijkstra sweep.
@@ -160,6 +200,9 @@ CampaignReport ParallelCampaign::run(const std::vector<std::string>& names,
         } catch (...) {
           if (attempt < attempts) {
             ++serial.retries;
+          } else if (graceful) {
+            report.providers[i] = quarantined_shard_report(selection[i]);
+            if (traced) report.traces[i] = quarantined_shard_trace(selection[i]);
           } else {
             report.providers[i] = failed_shard_report(selection[i]);
             if (traced) report.traces[i] = failed_shard_trace(selection[i]);
@@ -209,9 +252,14 @@ CampaignReport ParallelCampaign::run(const std::vector<std::string>& names,
         report.providers[i] = std::move(outcome.report);
         if (traced) report.traces[i] = std::move(outcome.trace);
       } catch (...) {
-        report.providers[i] = failed_shard_report(selection[i]);
-        if (traced) report.traces[i] = failed_shard_trace(selection[i]);
-        report.failed_providers.push_back(selection[i]);
+        if (graceful) {
+          report.providers[i] = quarantined_shard_report(selection[i]);
+          if (traced) report.traces[i] = quarantined_shard_trace(selection[i]);
+        } else {
+          report.providers[i] = failed_shard_report(selection[i]);
+          if (traced) report.traces[i] = failed_shard_trace(selection[i]);
+          report.failed_providers.push_back(selection[i]);
+        }
       }
     }
     // The last shard's promise resolves before its worker finishes its
@@ -219,6 +267,12 @@ CampaignReport ParallelCampaign::run(const std::vector<std::string>& names,
     pool.wait_idle();
     report.workers = pool.counters();
   }
+
+  // One canonical-order pass over the merged providers: worker count and
+  // scheduling never influence this list, so it is part of the
+  // deterministic payload.
+  for (const auto& p : report.providers)
+    if (p.degraded()) report.degraded_providers.push_back(p.provider);
 
   report.wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

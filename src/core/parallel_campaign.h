@@ -52,8 +52,16 @@ struct CampaignReport {
   std::vector<ProviderReport> providers;
   // Providers whose shard failed every attempt (empty in healthy runs);
   // a placeholder report with connected=false vantage points remains in
-  // `providers` so catalog order is preserved.
+  // `providers` so catalog order is preserved. Under an active fault
+  // profile exhausted shards are *quarantined* instead (see
+  // degraded_providers) and never land here — this list is reserved for
+  // hard failures that should fail the run.
   std::vector<std::string> failed_providers;
+  // Providers that completed degraded under a fault profile: quarantined
+  // shards plus shards with at least one degraded vantage point. Canonical
+  // catalog order; always empty under FaultProfile::kOff. Part of the
+  // deterministic payload.
+  std::vector<std::string> degraded_providers;
   // Per-shard observations, aligned with `providers` (canonical catalog
   // order); empty when tracing is disabled. Deterministic payload: the
   // trace-determinism suite byte-compares its exports across worker counts.

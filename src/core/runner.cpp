@@ -1,5 +1,6 @@
 #include "core/runner.h"
 
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/strings.h"
 #include "vpn/client.h"
@@ -91,11 +92,19 @@ VantagePointReport TestRunner::run_vantage_point(
   // residue from the previous run was removed at disconnect.
   client.capture().clear();
 
+  // Fault attribution baseline: injected-fault count before this vantage
+  // point ran, so a degradation record can report the delta.
+  const auto faults_now = [] {
+    const auto* m = obs::meter();
+    return m != nullptr ? m->counter_prefix_sum("faults.") : std::uint64_t{0};
+  };
+  const std::uint64_t faults_before = faults_now();
+
   vpn::VpnClient vpn_client(world.network(), client, provider.spec, session);
   // Flaky endpoints (§5.2) get retried before being written off.
+  const int attempts = std::max(1, options_.connect_attempts);
   vpn::ConnectResult connect;
-  for (int attempt = 0; attempt < std::max(1, options_.connect_attempts);
-       ++attempt) {
+  for (int attempt = 0; attempt < attempts; ++attempt) {
     connect = vpn_client.connect(vp.addr);
     if (connect.connected) break;
   }
@@ -103,6 +112,18 @@ VantagePointReport TestRunner::run_vantage_point(
   obs::count("runner.vantage_points");
   if (!connect.connected) {
     obs::count("runner.connect_failures");
+    // Under a fault profile an exhausted connect is graceful degradation:
+    // keep the structured outcome in the payload. Off-profile failures
+    // (FlakyService et al.) report exactly as before — no degradation
+    // record, so kOff artifacts stay byte-identical.
+    if (options_.fault_profile != faults::FaultProfile::kOff) {
+      report.degradation.degraded = true;
+      report.degradation.stage = "connect";
+      report.degradation.error = connect.error;
+      report.degradation.attempts = attempts;
+      report.degradation.faults_seen = faults_now() - faults_before;
+      obs::count("runner.degraded_vantage_points");
+    }
     if (vp_span) vp_span.arg("connected", "false");
     return report;
   }

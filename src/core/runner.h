@@ -15,6 +15,8 @@
 #include "core/manipulation_tests.h"
 #include "core/proxy_detection.h"
 #include "ecosystem/testbed.h"
+#include "faults/profile.h"
+#include "transport/error.h"
 
 namespace vpna::core {
 
@@ -25,6 +27,20 @@ struct MetadataSnapshot {
   std::vector<std::string> interfaces;
 };
 
+// Structured record of graceful degradation: set when a fault profile is
+// active and the vantage point exhausted its retries at some stage of the
+// suite. Off-profile runs never set this — a FlakyService connect failure
+// under FaultProfile::kOff reports exactly as it always has.
+struct Degradation {
+  bool degraded = false;
+  std::string stage;       // which stage gave up, e.g. "connect"
+  transport::Error error;  // terminal error of the last attempt
+  int attempts = 0;        // attempts spent before giving up
+  // Fault attribution: injected-fault count (`faults.*` obs counters) this
+  // shard accumulated during the degraded stage. 0 when no meter is bound.
+  std::uint64_t faults_seen = 0;
+};
+
 // Results of the full suite against one vantage point.
 struct VantagePointReport {
   std::string provider;
@@ -33,6 +49,7 @@ struct VantagePointReport {
   std::string advertised_city;
   netsim::IpAddr egress_addr;
   bool connected = false;
+  Degradation degradation;
 
   MetadataSnapshot metadata;
   DnsManipulationResult dns_manipulation;
@@ -52,7 +69,18 @@ struct ProviderReport {
   std::string provider;
   vpn::SubscriptionType subscription = vpn::SubscriptionType::kPaid;
   bool has_custom_client = true;
+  // Shard-level quarantine: the campaign engine ran out of shard attempts
+  // under an active fault profile and kept a structured placeholder instead
+  // of failing the run (vantage_points is empty in that case).
+  bool quarantined = false;
   std::vector<VantagePointReport> vantage_points;
+
+  [[nodiscard]] bool degraded() const {
+    if (quarantined) return true;
+    for (const auto& vp : vantage_points)
+      if (vp.degradation.degraded) return true;
+    return false;
+  }
 
   [[nodiscard]] bool any_dns_leak() const;
   [[nodiscard]] bool any_ipv6_leak() const;
@@ -74,6 +102,11 @@ struct RunnerOptions {
   // Connection attempts per vantage point before giving up. The paper's
   // flaky endpoints (§5.2) required repeated collection attempts.
   int connect_attempts = 3;
+  // Active fault profile. kOff leaves every artifact byte-identical to a
+  // build without the fault plane; flaky/hostile install deterministic
+  // fault schedules per shard, enable transport retries/fallback, and turn
+  // exhausted retries into structured degradation instead of hard failure.
+  faults::FaultProfile fault_profile = faults::FaultProfile::kOff;
 };
 
 class TestRunner {

@@ -84,7 +84,8 @@ std::uint64_t shard_seed(std::uint64_t campaign_seed,
 }
 
 Testbed build_provider_shard(std::string_view name, std::uint64_t campaign_seed,
-                             std::shared_ptr<const netsim::RoutingPlane> plane) {
+                             std::shared_ptr<const netsim::RoutingPlane> plane,
+                             faults::FaultProfile profile) {
   const auto* target = evaluated_provider(name);
   if (target == nullptr) return {};
 
@@ -97,8 +98,33 @@ Testbed build_provider_shard(std::string_view name, std::uint64_t campaign_seed,
          ep.spec.name == target->shares_infrastructure_with))
       selection.push_back(&ep);
   }
-  return build(selection, shard_seed(campaign_seed, target->spec.name),
-               std::move(plane));
+  const auto seed = shard_seed(campaign_seed, target->spec.name);
+  auto tb = build(selection, seed, std::move(plane));
+  apply_fault_profile(tb, profile, seed);
+  return tb;
+}
+
+void apply_fault_profile(Testbed& tb, faults::FaultProfile profile,
+                         std::uint64_t seed) {
+  if (profile == faults::FaultProfile::kOff || !tb.world) return;
+
+  faults::FaultTargets targets;
+  auto& net = tb.world->network();
+  targets.router_count = net.router_count();
+  targets.links = net.link_pairs();
+  for (const auto& provider : tb.providers)
+    for (const auto& vp : provider.vantage_points)
+      targets.vpn_gateways.push_back(vp.addr);
+  targets.dns_servers = {tb.world->google_dns(), tb.world->quad9_dns(),
+                         tb.world->isp_resolver()};
+
+  // The plan seed forks off the shard seed with a fixed label, so the fault
+  // schedule — like everything else in the shard — is a pure function of
+  // (campaign seed, provider name), never of worker identity.
+  auto plan = faults::FaultPlan::generate(
+      profile, util::Rng(seed).fork("faults").seed(), targets);
+  tb.fault_injector = std::make_shared<faults::Injector>(std::move(plan));
+  net.set_fault_injector(tb.fault_injector);
 }
 
 std::shared_ptr<const netsim::RoutingPlane> shared_backbone_plane() {

@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "ecosystem/evaluated.h"
+#include "faults/injector.h"
+#include "faults/profile.h"
 #include "inet/world.h"
 #include "vpn/deploy.h"
 
@@ -18,6 +20,9 @@ struct Testbed {
   std::unique_ptr<inet::World> world;
   std::vector<vpn::DeployedProvider> providers;
   netsim::Host* client = nullptr;  // the measurement VM (Chicago eyeball)
+  // The fault injector installed on the world's network (nullptr under
+  // FaultProfile::kOff); owned here so its plan outlives the network.
+  std::shared_ptr<faults::Injector> fault_injector;
 
   [[nodiscard]] const vpn::DeployedProvider* provider(
       std::string_view name) const {
@@ -65,7 +70,17 @@ struct Testbed {
 // for unknown names.
 [[nodiscard]] Testbed build_provider_shard(
     std::string_view name, std::uint64_t campaign_seed,
-    std::shared_ptr<const netsim::RoutingPlane> plane = nullptr);
+    std::shared_ptr<const netsim::RoutingPlane> plane = nullptr,
+    faults::FaultProfile profile = faults::FaultProfile::kOff);
+
+// Generates the profile's FaultPlan for `tb` — targets sampled from the
+// deployed world: every vantage-point address, the public/ISP resolvers,
+// the real link list — seeded solely from (`seed`, "faults"), and installs
+// the injector on the network. kOff is a no-op (no injector, byte-identical
+// behaviour). Called by build_provider_shard; exposed for tests and benches
+// that assemble worlds by hand.
+void apply_fault_profile(Testbed& tb, faults::FaultProfile profile,
+                         std::uint64_t seed);
 
 // The all-pairs routing plane of the backbone + datacenter core every
 // World builds, computed once per process (from a throwaway world) and

@@ -1,0 +1,139 @@
+#include "faults/plan.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace vpna::faults {
+
+bool Window::active_at(double now_ms) const noexcept {
+  if (duration_ms <= 0.0 || now_ms < start_ms) return false;
+  if (period_ms <= 0.0) return now_ms < start_ms + duration_ms;
+  return std::fmod(now_ms - start_ms, period_ms) < duration_ms;
+}
+
+namespace {
+
+std::string window_str(const Window& w) {
+  if (w.period_ms <= 0.0)
+    return util::format("[%.0f,+%.0fms]", w.start_ms, w.duration_ms);
+  return util::format("[%.0f,+%.0fms/%.0fms]", w.start_ms, w.duration_ms,
+                      w.period_ms);
+}
+
+}  // namespace
+
+std::string FaultPlan::describe() const {
+  std::string out = util::format("plan seed=%llu drop_p=%.4f\n",
+                                 static_cast<unsigned long long>(seed),
+                                 packet_drop_probability);
+  for (const auto& o : addr_outages)
+    out += util::format("  addr-outage %s %s\n", o.addr.str().c_str(),
+                        window_str(o.window).c_str());
+  for (const auto& o : router_outages)
+    out += util::format("  router-down r%u %s\n", o.router,
+                        window_str(o.window).c_str());
+  for (const auto& f : link_faults)
+    out += util::format("  link r%u-r%u %s drop_p=%.2f +%.1fms\n", f.a, f.b,
+                        window_str(f.window).c_str(), f.drop_probability,
+                        f.extra_latency_ms);
+  if (latency_spike_ms > 0.0)
+    out += util::format("  latency-spike +%.1fms %s\n", latency_spike_ms,
+                        window_str(latency_spike).c_str());
+  return out;
+}
+
+FaultPlan FaultPlan::generate(FaultProfile profile, std::uint64_t seed,
+                              const FaultTargets& targets) {
+  FaultPlan plan;
+  plan.seed = seed;
+  if (profile == FaultProfile::kOff) return plan;
+  const bool hostile = profile == FaultProfile::kHostile;
+
+  // All generation randomness comes from this private fork; the injector's
+  // per-packet decisions use the counter-based PRNG keyed on `seed` instead
+  // (see injector.cpp), so plan shape and packet rolls never entangle.
+  util::Rng rng = util::Rng(seed).fork("fault-plan");
+
+  // Background loss. Kept low even under hostile: each protocol exchange is
+  // several deliveries, and the point is degradation, not annihilation.
+  plan.packet_drop_probability = hostile ? 0.010 : 0.002;
+
+  // VPN gateway flaps: recurring outages on sampled vantage addresses.
+  if (!targets.vpn_gateways.empty()) {
+    const std::size_t n = std::min<std::size_t>(targets.vpn_gateways.size(),
+                                                hostile ? 3 : 1);
+    for (const auto idx : rng.sample_indices(targets.vpn_gateways.size(), n)) {
+      AddrOutage outage;
+      outage.addr = targets.vpn_gateways[idx];
+      outage.window.start_ms = rng.uniform(30'000.0, 120'000.0);
+      outage.window.duration_ms = hostile ? rng.uniform(4'000.0, 12'000.0)
+                                          : rng.uniform(1'500.0, 4'000.0);
+      outage.window.period_ms = rng.uniform(60'000.0, 180'000.0);
+      plan.addr_outages.push_back(outage);
+    }
+  }
+
+  // One DNS resolver goes dark periodically — the §5.2 "DNS resolvers time
+  // out" condition, and what makes resolve_system's server walk earn its keep.
+  if (!targets.dns_servers.empty()) {
+    AddrOutage outage;
+    outage.addr = targets.dns_servers[rng.index(targets.dns_servers.size())];
+    outage.window.start_ms = rng.uniform(30'000.0, 90'000.0);
+    outage.window.duration_ms =
+        hostile ? rng.uniform(5'000.0, 15'000.0) : rng.uniform(2'000.0, 6'000.0);
+    outage.window.period_ms = rng.uniform(45'000.0, 120'000.0);
+    plan.addr_outages.push_back(outage);
+  }
+
+  // Router down-intervals: hostile only — a core router outage stalls every
+  // path through it, which is exactly what retries must survive.
+  if (hostile && targets.router_count > 0) {
+    const std::size_t n = std::min<std::size_t>(targets.router_count, 2);
+    for (const auto idx : rng.sample_indices(targets.router_count, n)) {
+      RouterOutage outage;
+      outage.router = static_cast<netsim::RouterId>(idx);
+      outage.window.start_ms = rng.uniform(40'000.0, 150'000.0);
+      outage.window.duration_ms = rng.uniform(3'000.0, 8'000.0);
+      outage.window.period_ms = rng.uniform(90'000.0, 240'000.0);
+      plan.router_outages.push_back(outage);
+    }
+  }
+
+  // Link faults: a lossy window and (hostile) a hard blackhole on sampled
+  // real links.
+  if (!targets.links.empty()) {
+    const std::size_t n =
+        std::min<std::size_t>(targets.links.size(), hostile ? 3 : 2);
+    const auto sampled = rng.sample_indices(targets.links.size(), n);
+    for (std::size_t i = 0; i < sampled.size(); ++i) {
+      const auto [a, b] = targets.links[sampled[i]];
+      LinkFault fault;
+      fault.a = std::min(a, b);
+      fault.b = std::max(a, b);
+      fault.window.start_ms = rng.uniform(30'000.0, 120'000.0);
+      fault.window.duration_ms = rng.uniform(2'000.0, 10'000.0);
+      fault.window.period_ms = rng.uniform(60'000.0, 200'000.0);
+      if (hostile && i == 0) {
+        fault.drop_probability = 1.0;  // blackhole
+      } else {
+        fault.drop_probability = rng.uniform(0.05, hostile ? 0.4 : 0.2);
+        fault.extra_latency_ms = rng.uniform(5.0, hostile ? 60.0 : 25.0);
+      }
+      plan.link_faults.push_back(fault);
+    }
+  }
+
+  // Global latency-spike schedule (congestion weather).
+  plan.latency_spike.start_ms = rng.uniform(45'000.0, 100'000.0);
+  plan.latency_spike.duration_ms =
+      hostile ? rng.uniform(4'000.0, 10'000.0) : rng.uniform(2'000.0, 5'000.0);
+  plan.latency_spike.period_ms = rng.uniform(60'000.0, 150'000.0);
+  plan.latency_spike_ms = hostile ? rng.uniform(40.0, 90.0)
+                                  : rng.uniform(10.0, 30.0);
+  return plan;
+}
+
+}  // namespace vpna::faults

@@ -1,0 +1,110 @@
+// Seeded, sim-time fault schedules.
+//
+// A FaultPlan is the complete, immutable description of every fault a
+// shard will ever see: outage windows on addresses (VPN gateways, DNS
+// servers), router down-intervals, per-link loss/latency/blackhole
+// windows, a global latency-spike schedule, and a background per-packet
+// drop probability. Plans are generated once per shard from
+// (profile, shard seed, targets) — a pure function, so the same shard
+// seed yields the same schedule at any worker count — and evaluated by
+// the Injector (injector.h) against virtual time only. Nothing in a plan
+// ever reads a wall clock or a shared RNG.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "faults/profile.h"
+#include "netsim/ip.h"
+#include "netsim/routing_plane.h"
+
+namespace vpna::faults {
+
+// Activity window in virtual milliseconds. One-shot when period_ms == 0
+// (active during [start, start + duration)); otherwise recurring — active
+// for the first `duration_ms` of every `period_ms` cycle from `start_ms`.
+struct Window {
+  double start_ms = 0.0;
+  double duration_ms = 0.0;
+  double period_ms = 0.0;
+
+  [[nodiscard]] bool active_at(double now_ms) const noexcept;
+
+  friend bool operator==(const Window&, const Window&) noexcept = default;
+};
+
+// Destination-address outage: every packet to `addr` is dropped while the
+// window is active. Models a VPN gateway flap or a DNS server going dark.
+struct AddrOutage {
+  netsim::IpAddr addr;
+  Window window;
+
+  friend bool operator==(const AddrOutage&, const AddrOutage&) noexcept =
+      default;
+};
+
+// Router down-interval: any path through `router` drops while active.
+struct RouterOutage {
+  netsim::RouterId router = 0;
+  Window window;
+
+  friend bool operator==(const RouterOutage&, const RouterOutage&) noexcept =
+      default;
+};
+
+// Per-link fault: while the window is active, packets crossing the
+// undirected link (a, b) are dropped with `drop_probability` (1.0 = hard
+// blackhole) and survivors pick up `extra_latency_ms` per direction.
+struct LinkFault {
+  netsim::RouterId a = 0;  // normalized a < b
+  netsim::RouterId b = 0;
+  Window window;
+  double drop_probability = 1.0;
+  double extra_latency_ms = 0.0;
+
+  friend bool operator==(const LinkFault&, const LinkFault&) noexcept = default;
+};
+
+// What a world exposes for fault planning: counts and addresses the
+// generator samples targets from. Assembled by ecosystem::apply_fault_profile
+// from the shard testbed.
+struct FaultTargets {
+  std::size_t router_count = 0;
+  std::vector<std::pair<netsim::RouterId, netsim::RouterId>> links;
+  std::vector<netsim::IpAddr> vpn_gateways;
+  std::vector<netsim::IpAddr> dns_servers;
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 0;  // keys the injector's counter-based PRNG
+  double packet_drop_probability = 0.0;
+  std::vector<AddrOutage> addr_outages;
+  std::vector<RouterOutage> router_outages;
+  std::vector<LinkFault> link_faults;
+  Window latency_spike;  // global spike schedule (all paths)
+  double latency_spike_ms = 0.0;
+
+  // True when the plan can never fire — the kOff plan.
+  [[nodiscard]] bool empty() const noexcept {
+    return packet_drop_probability <= 0.0 && addr_outages.empty() &&
+           router_outages.empty() && link_faults.empty() &&
+           latency_spike_ms <= 0.0;
+  }
+
+  // Deterministic one-line-per-fault rendering, for tests and debugging.
+  [[nodiscard]] std::string describe() const;
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) noexcept = default;
+
+  // Generates the profile's schedule for one shard. Pure: depends only on
+  // the arguments (generation draws from a private Rng forked off `seed`).
+  // kOff yields the empty plan. Windows start no earlier than ~30 virtual
+  // seconds so shard setup and ground-truth collection run mostly clean,
+  // the way the paper's campaign baselined from a healthy university line.
+  [[nodiscard]] static FaultPlan generate(FaultProfile profile,
+                                          std::uint64_t seed,
+                                          const FaultTargets& targets);
+};
+
+}  // namespace vpna::faults

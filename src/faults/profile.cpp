@@ -1,0 +1,49 @@
+#include "faults/profile.h"
+
+namespace vpna::faults {
+
+std::string_view profile_name(FaultProfile p) noexcept {
+  switch (p) {
+    case FaultProfile::kOff: return "off";
+    case FaultProfile::kFlaky: return "flaky";
+    case FaultProfile::kHostile: return "hostile";
+  }
+  return "?";
+}
+
+std::optional<FaultProfile> parse_profile(std::string_view name) noexcept {
+  if (name == "off") return FaultProfile::kOff;
+  if (name == "flaky") return FaultProfile::kFlaky;
+  if (name == "hostile") return FaultProfile::kHostile;
+  return std::nullopt;
+}
+
+const transport::SessionPolicy* session_policy_for(FaultProfile p) noexcept {
+  // Backoff values are virtual milliseconds: generous enough that a retry
+  // schedule spans a short outage window, cheap because the clock is
+  // simulated. Static so the pointer stays valid for the thread binding.
+  static const transport::SessionPolicy flaky = [] {
+    transport::SessionPolicy policy;
+    policy.retry.max_attempts = 3;
+    policy.retry.initial_backoff_ms = 400.0;
+    policy.retry.backoff_multiplier = 2.0;
+    policy.address_fallback = true;
+    return policy;
+  }();
+  static const transport::SessionPolicy hostile = [] {
+    transport::SessionPolicy policy;
+    policy.retry.max_attempts = 4;
+    policy.retry.initial_backoff_ms = 500.0;
+    policy.retry.backoff_multiplier = 2.0;
+    policy.address_fallback = true;
+    return policy;
+  }();
+  switch (p) {
+    case FaultProfile::kOff: return nullptr;
+    case FaultProfile::kFlaky: return &flaky;
+    case FaultProfile::kHostile: return &hostile;
+  }
+  return nullptr;
+}
+
+}  // namespace vpna::faults

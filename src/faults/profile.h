@@ -1,0 +1,40 @@
+// Campaign-level fault profiles.
+//
+// A profile is the operator-facing knob (`full_campaign --faults flaky`):
+// it names a preset severity, from which each shard derives its own seeded
+// FaultPlan (plan.h) and the transport session policy that lets the stack
+// ride the faults out (policy.h). `kOff` is the contractual no-op — no
+// injector installed, no session policy bound, campaign artifacts
+// byte-identical to a build without the fault plane at all.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "transport/policy.h"
+
+namespace vpna::faults {
+
+enum class FaultProfile : std::uint8_t {
+  kOff,      // perfect network (the pre-fault-plane behaviour)
+  kFlaky,    // the paper's §5.2 reality: occasional loss, flapping gateways
+  kHostile,  // stress preset: router outages, blackholes, heavy loss
+};
+
+// Stable lowercase name ("off"/"flaky"/"hostile"); exhaustive switch.
+[[nodiscard]] std::string_view profile_name(FaultProfile p) noexcept;
+
+// Parses a profile name (as `--faults` takes it); nullopt for unknown.
+[[nodiscard]] std::optional<FaultProfile> parse_profile(
+    std::string_view name) noexcept;
+
+// The transport session policy a shard binds while running under the
+// profile: retries with sim-time backoff and address fallback, scaled to
+// the profile's severity. Returns nullptr for kOff (bind nothing — flows
+// keep their explicit options, preserving byte-identity). The pointees are
+// static singletons, safe to bind from any thread.
+[[nodiscard]] const transport::SessionPolicy* session_policy_for(
+    FaultProfile p) noexcept;
+
+}  // namespace vpna::faults

@@ -1,0 +1,43 @@
+// Fault-injection seam for the packet plane.
+//
+// netsim stays policy-free: it only knows how to consult an abstract
+// injector once per direct delivery, after the path is resolved and before
+// any latency is charged. What faults exist, when they fire and how they
+// are scheduled is the `faults` module's business (src/faults/), which
+// implements this interface against a seeded, sim-time fault plan. The
+// disabled case (no injector installed — every run before this PR, and
+// every run with `FaultProfile::off`) costs exactly one pointer test per
+// delivered packet.
+#pragma once
+
+#include <cstddef>
+
+#include "netsim/packet.h"
+#include "netsim/routing_plane.h"
+
+namespace vpna::netsim {
+
+// What the injector did to one delivery. `drop` loses the packet (the
+// sender sees kDropped and is charged the transaction timeout, exactly
+// like a middlebox drop); `extra_latency_ms` is added to the one-way path
+// latency (both directions feel it — a latency spike, not a drop).
+struct FaultVerdict {
+  bool drop = false;
+  double extra_latency_ms = 0.0;
+};
+
+// In-path fault oracle consulted by Network::deliver. `path`/`path_len`
+// is the resolved router walk from the sender's router to the
+// destination's router, inclusive; `now_ms` is the virtual clock at send
+// time. Implementations must be deterministic functions of (packet, path,
+// now, their own seeded state) — the campaign engine replays them across
+// worker counts and byte-compares the results.
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  virtual FaultVerdict on_deliver(const Packet& packet, const RouterId* path,
+                                  std::size_t path_len, double now_ms) = 0;
+};
+
+}  // namespace vpna::netsim

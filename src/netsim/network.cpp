@@ -57,6 +57,17 @@ RouterId Network::add_router(std::string name) {
   return static_cast<RouterId>(routers_.size() - 1);
 }
 
+std::vector<std::pair<RouterId, RouterId>> Network::link_pairs() const {
+  std::vector<std::pair<RouterId, RouterId>> out;
+  for (RouterId a = 0; a < routers_.size(); ++a) {
+    for (const auto& [b, latency] : routers_[a].links) {
+      (void)latency;
+      if (a < b) out.emplace_back(a, b);
+    }
+  }
+  return out;
+}
+
 void Network::add_link(RouterId a, RouterId b, double latency_ms) {
   if (a >= routers_.size() || b >= routers_.size())
     throw std::out_of_range("add_link: unknown router");
@@ -539,11 +550,27 @@ TransactResult Network::deliver(Host& from, const Attachment& from_att,
     return r;
   }
 
+  // Fault plane: one pointer test when disabled. A drop verdict loses the
+  // packet exactly like a middlebox drop (kDropped, timeout charged, no
+  // jitter draw); extra latency widens the one-way path both directions.
+  double fault_latency_ms = 0.0;
+  if (fault_injector_ != nullptr) {
+    const auto verdict = fault_injector_->on_deliver(
+        packet, p->routers.data(), p->routers.size(), clock_.now().millis());
+    if (verdict.drop) {
+      r.status = TransactStatus::kDropped;
+      r.rtt_ms = opts.timeout_ms;
+      clock_.advance_millis(opts.timeout_ms);
+      return r;
+    }
+    fault_latency_ms = verdict.extra_latency_ms;
+  }
+
   obs::observe("net.path_hops", static_cast<double>(p->routers.size()),
                obs::kHopBuckets);
 
   // Walk the router path: TTL decrements per router, middleboxes inspect.
-  double elapsed_one_way = from_att.access_latency_ms;
+  double elapsed_one_way = from_att.access_latency_ms + fault_latency_ms;
   double per_hop =
       p->routers.size() > 1 ? p->latency_ms / static_cast<double>(p->routers.size() - 1) : 0.0;
   const bool trace_hops = obs::packet_hops_enabled();

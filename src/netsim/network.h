@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "netsim/fault.h"
 #include "netsim/host.h"
 #include "netsim/packet.h"
 #include "netsim/routing_plane.h"
@@ -104,6 +105,21 @@ class Network {
 
   void set_middlebox(RouterId id, std::shared_ptr<Middlebox> mb);
   void clear_middlebox(RouterId id);
+
+  // --- fault injection -------------------------------------------------------
+  // Installs (nullptr clears) the fault injector consulted on every direct
+  // delivery. With none installed — the default, and FaultProfile::off —
+  // the per-packet cost is a single pointer test.
+  void set_fault_injector(std::shared_ptr<FaultInjector> injector) noexcept {
+    fault_injector_ = std::move(injector);
+  }
+  [[nodiscard]] FaultInjector* fault_injector() const noexcept {
+    return fault_injector_.get();
+  }
+  // Snapshot of the undirected links (each pair once, a < b), in
+  // add_router/add_link order. Fault planning samples real links from this
+  // instead of guessing router-id pairs.
+  [[nodiscard]] std::vector<std::pair<RouterId, RouterId>> link_pairs() const;
 
   // --- routing plane ---------------------------------------------------------
   // Declares the current topology the frozen "core". Path resolution then
@@ -246,6 +262,7 @@ class Network {
     double latency_ms = 0.0;
   };
   std::vector<LeafLink> leaf_links_;  // index: router id - frozen_count_
+  std::shared_ptr<FaultInjector> fault_injector_;
   int transact_depth_ = 0;  // recursion guard
 };
 

@@ -137,6 +137,16 @@ std::uint64_t MetricsRegistry::counter(std::string_view name) const {
   return it == counters_.end() ? 0 : it->second;
 }
 
+std::uint64_t MetricsRegistry::counter_prefix_sum(
+    std::string_view prefix) const {
+  std::uint64_t sum = 0;
+  for (auto it = counters_.lower_bound(prefix); it != counters_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    sum += it->second;
+  }
+  return sum;
+}
+
 std::optional<double> MetricsRegistry::gauge(std::string_view name) const {
   const auto it = gauges_.find(name);
   if (it == gauges_.end()) return std::nullopt;

@@ -69,6 +69,9 @@ class MetricsRegistry {
   [[nodiscard]] std::string render_text(bool include_volatile = true) const;
 
   [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+  // Sum of every counter whose name starts with `prefix` (e.g. "faults."
+  // for fault attribution snapshots). Deterministic: map order is fixed.
+  [[nodiscard]] std::uint64_t counter_prefix_sum(std::string_view prefix) const;
   [[nodiscard]] std::optional<double> gauge(std::string_view name) const;
   [[nodiscard]] const HistogramData* histogram(std::string_view name) const;
   [[nodiscard]] bool empty() const {

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "transport/policy.h"
 
 namespace vpna::transport {
 
@@ -24,6 +25,15 @@ Flow::Flow(netsim::Network& net, netsim::Host& host, netsim::Proto proto,
       remote_port_(remote_port),
       opts_(opts),
       span_("transport.flow", "transport") {
+  // Flows constructed with default retry/fallback adopt the thread-bound
+  // session policy (installed per shard under fault profiles); explicit
+  // per-call settings always win, and non-policy options are untouched.
+  if (const auto* policy = session_policy();
+      policy != nullptr && opts_.retry.max_attempts <= 1 &&
+      !opts_.address_fallback) {
+    opts_.retry = policy->retry;
+    opts_.address_fallback = policy->address_fallback;
+  }
   obs::count("transport.flows");
   if (span_) {
     span_.arg("proto", netsim::proto_name(proto_));

@@ -1,0 +1,18 @@
+#include "transport/policy.h"
+
+namespace vpna::transport {
+
+namespace {
+thread_local const SessionPolicy* t_policy = nullptr;
+}  // namespace
+
+const SessionPolicy* session_policy() noexcept { return t_policy; }
+
+ScopedSessionPolicy::ScopedSessionPolicy(const SessionPolicy* policy) noexcept
+    : prev_(t_policy) {
+  t_policy = policy;
+}
+
+ScopedSessionPolicy::~ScopedSessionPolicy() { t_policy = prev_; }
+
+}  // namespace vpna::transport

@@ -1,0 +1,42 @@
+// Thread-bound transport session policy.
+//
+// PR 4 gave every Flow a RetryPolicy and address fallback, but left both
+// default-off so campaign payloads stayed byte-identical — which also left
+// them dead code. Under a fault profile the campaign engine wants every
+// flow in a shard to retry and fall back, without threading new options
+// through every protocol client's signature. A SessionPolicy does for
+// flow options what obs::ScopedObservation does for tracing: it is bound
+// to the thread running one deterministic unit of work (a campaign shard),
+// and any Flow constructed with default retry/fallback options adopts it.
+// Explicit per-call retry or fallback settings always win; non-policy
+// options (timeout, extra round trips) are never touched.
+#pragma once
+
+#include "transport/flow.h"
+
+namespace vpna::transport {
+
+struct SessionPolicy {
+  RetryPolicy retry;
+  bool address_fallback = false;
+};
+
+// The policy bound to this thread, or nullptr (the default: flows behave
+// exactly as their explicit options say).
+[[nodiscard]] const SessionPolicy* session_policy() noexcept;
+
+// Binds `policy` (may be nullptr) for the scope's lifetime, restoring the
+// previous binding on destruction. The pointee must outlive the scope.
+class ScopedSessionPolicy {
+ public:
+  explicit ScopedSessionPolicy(const SessionPolicy* policy) noexcept;
+  ~ScopedSessionPolicy();
+
+  ScopedSessionPolicy(const ScopedSessionPolicy&) = delete;
+  ScopedSessionPolicy& operator=(const ScopedSessionPolicy&) = delete;
+
+ private:
+  const SessionPolicy* prev_;
+};
+
+}  // namespace vpna::transport

@@ -40,7 +40,8 @@ ConnectResult VpnClient::connect(const netsim::IpAddr& server_addr) {
 
   ConnectResult out;
   if (state_ != ClientState::kDisconnected) {
-    out.error = "already connected";
+    out.error_message = "already connected";
+    out.error = transport::Error::not_attempted();
     return out;
   }
   server_ = server_addr;
@@ -52,9 +53,13 @@ ConnectResult VpnClient::connect(const netsim::IpAddr& server_addr) {
   transport::Flow hello(net_, host_, netsim::Proto::kUdp, server_, port);
   const auto res = hello.exchange(std::string(VpnServerService::kKeepalive));
   if (!res.ok() || res.reply != VpnServerService::kKeepaliveAck) {
-    out.error = "server unreachable: " + std::string(status_name(res.status));
+    // Carry the flow's own taxonomy through; a delivered-but-garbled ack is
+    // a parse failure, not a zero-value transport success.
+    out.error = !res.error.ok() ? res.error : transport::Error::parse();
+    out.error_message =
+        "server unreachable: " + transport::error_name(out.error);
     obs::count("vpn.connect.fail");
-    if (span) span.arg("result", out.error);
+    if (span) span.arg("result", out.error_message);
     return out;
   }
 

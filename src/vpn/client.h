@@ -14,6 +14,7 @@
 
 #include "netsim/host.h"
 #include "netsim/network.h"
+#include "transport/error.h"
 #include "vpn/provider.h"
 
 namespace vpna::vpn {
@@ -30,7 +31,12 @@ enum class ClientState : std::uint8_t {
 struct ConnectResult {
   bool connected = false;
   netsim::IpAddr assigned_addr;  // tunnel-internal client address
-  std::string error;
+  std::string error_message;
+  // Structured cause of a failed handshake: Error::none() on success,
+  // not_attempted() when nothing was sent (already connected), otherwise
+  // the transport taxonomy of the failed exchange. Reports carry this
+  // instead of collapsing the failure into a default-constructed record.
+  transport::Error error = transport::Error::none();
 };
 
 class VpnClient {

@@ -167,6 +167,10 @@ std::optional<std::string> VpnServerService::forward(
   flow.pin_src_port(fwd.src_port);
   flow.set_ttl(fwd.ttl);
   const auto result = flow.exchange(std::move(fwd.payload));
+  // A flow that never got on the wire leaves `status` at its kOk default;
+  // without this guard the switch below would read that as a successful
+  // exchange and synthesize an empty reply (the silent-zero hazard).
+  if (!result.error.attempted()) return std::nullopt;
 
   netsim::Packet reply;
   reply.src = inner.dst;

@@ -25,7 +25,7 @@ class SuiteFixture : public ::testing::Test {
     auto client = std::make_unique<vpn::VpnClient>(
         tb_.world->network(), *tb_.client, p->spec, ++session_);
     const auto res = client->connect(p->vantage_points.at(vp_index).addr);
-    EXPECT_TRUE(res.connected) << res.error;
+    EXPECT_TRUE(res.connected) << res.error_message;
     return client;
   }
 

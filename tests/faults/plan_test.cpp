@@ -1,0 +1,175 @@
+#include "faults/plan.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace vpna::faults {
+namespace {
+
+FaultTargets sample_targets() {
+  FaultTargets t;
+  t.router_count = 8;
+  t.links = {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}, {0, 7}};
+  t.vpn_gateways = {netsim::IpAddr::v4(45, 0, 0, 10),
+                    netsim::IpAddr::v4(45, 0, 0, 11),
+                    netsim::IpAddr::v4(45, 0, 0, 12),
+                    netsim::IpAddr::v4(45, 0, 0, 13)};
+  t.dns_servers = {netsim::IpAddr::v4(8, 8, 8, 8),
+                   netsim::IpAddr::v4(9, 9, 9, 9)};
+  return t;
+}
+
+TEST(WindowTest, OneShotWindow) {
+  Window w;
+  w.start_ms = 100.0;
+  w.duration_ms = 50.0;
+  EXPECT_FALSE(w.active_at(99.9));
+  EXPECT_TRUE(w.active_at(100.0));
+  EXPECT_TRUE(w.active_at(149.9));
+  EXPECT_FALSE(w.active_at(150.0));
+  EXPECT_FALSE(w.active_at(1e9));
+}
+
+TEST(WindowTest, RecurringWindow) {
+  Window w;
+  w.start_ms = 1'000.0;
+  w.duration_ms = 100.0;
+  w.period_ms = 500.0;
+  EXPECT_FALSE(w.active_at(999.0));
+  EXPECT_TRUE(w.active_at(1'000.0));
+  EXPECT_TRUE(w.active_at(1'099.0));
+  EXPECT_FALSE(w.active_at(1'100.0));
+  EXPECT_FALSE(w.active_at(1'499.0));
+  // Next cycle.
+  EXPECT_TRUE(w.active_at(1'500.0));
+  EXPECT_TRUE(w.active_at(1'599.0));
+  EXPECT_FALSE(w.active_at(1'600.0));
+  // Far in the future, still cycling.
+  EXPECT_TRUE(w.active_at(1'000.0 + 500.0 * 1000 + 50.0));
+}
+
+TEST(WindowTest, ZeroDurationNeverActive) {
+  Window w;
+  w.start_ms = 0.0;
+  w.duration_ms = 0.0;
+  w.period_ms = 100.0;
+  EXPECT_FALSE(w.active_at(0.0));
+  EXPECT_FALSE(w.active_at(100.0));
+}
+
+TEST(FaultPlanTest, OffProfileIsEmpty) {
+  const auto plan = FaultPlan::generate(FaultProfile::kOff, 42, sample_targets());
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.seed, 42u);
+  EXPECT_EQ(plan.packet_drop_probability, 0.0);
+  EXPECT_TRUE(plan.addr_outages.empty());
+  EXPECT_TRUE(plan.router_outages.empty());
+  EXPECT_TRUE(plan.link_faults.empty());
+}
+
+TEST(FaultPlanTest, GenerateIsPure) {
+  const auto targets = sample_targets();
+  for (const auto profile : {FaultProfile::kFlaky, FaultProfile::kHostile}) {
+    for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+      const auto a = FaultPlan::generate(profile, seed, targets);
+      const auto b = FaultPlan::generate(profile, seed, targets);
+      EXPECT_EQ(a, b);
+      EXPECT_EQ(a.describe(), b.describe());
+      EXPECT_FALSE(a.empty());
+    }
+  }
+}
+
+TEST(FaultPlanTest, SeedsChangeTheSchedule) {
+  const auto targets = sample_targets();
+  const auto a = FaultPlan::generate(FaultProfile::kFlaky, 1, targets);
+  const auto b = FaultPlan::generate(FaultProfile::kFlaky, 2, targets);
+  EXPECT_NE(a, b);
+}
+
+TEST(FaultPlanTest, ProfilesScaleSeverity) {
+  const auto targets = sample_targets();
+  const auto flaky = FaultPlan::generate(FaultProfile::kFlaky, 7, targets);
+  const auto hostile = FaultPlan::generate(FaultProfile::kHostile, 7, targets);
+  EXPECT_LT(flaky.packet_drop_probability, hostile.packet_drop_probability);
+  // Hostile adds router outages and a blackhole link; flaky never does.
+  EXPECT_TRUE(flaky.router_outages.empty());
+  EXPECT_FALSE(hostile.router_outages.empty());
+  bool hostile_has_blackhole = false;
+  for (const auto& f : hostile.link_faults)
+    if (f.drop_probability >= 1.0) hostile_has_blackhole = true;
+  EXPECT_TRUE(hostile_has_blackhole);
+  for (const auto& f : flaky.link_faults) EXPECT_LT(f.drop_probability, 1.0);
+}
+
+TEST(FaultPlanTest, WindowsStartAfterWarmup) {
+  // Every scheduled window starts at >= 30 virtual seconds so shard setup
+  // and ground truth run clean.
+  const auto targets = sample_targets();
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    for (const auto profile : {FaultProfile::kFlaky, FaultProfile::kHostile}) {
+      const auto plan = FaultPlan::generate(profile, seed, targets);
+      for (const auto& o : plan.addr_outages)
+        EXPECT_GE(o.window.start_ms, 30'000.0);
+      for (const auto& o : plan.router_outages)
+        EXPECT_GE(o.window.start_ms, 30'000.0);
+      for (const auto& f : plan.link_faults)
+        EXPECT_GE(f.window.start_ms, 30'000.0);
+      EXPECT_GE(plan.latency_spike.start_ms, 30'000.0);
+    }
+  }
+}
+
+TEST(FaultPlanTest, LinkFaultsNormalizedAndReal) {
+  const auto targets = sample_targets();
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto plan = FaultPlan::generate(FaultProfile::kHostile, seed, targets);
+    for (const auto& f : plan.link_faults) {
+      EXPECT_LT(f.a, f.b);
+      bool found = false;
+      for (const auto& [a, b] : targets.links)
+        if ((a == f.a && b == f.b) || (a == f.b && b == f.a)) found = true;
+      EXPECT_TRUE(found) << "link r" << f.a << "-r" << f.b
+                         << " not in the target list";
+    }
+  }
+}
+
+TEST(FaultPlanTest, EmptyTargetsStillGenerate) {
+  // A degenerate world (no links, no gateways) must not crash generation;
+  // background loss and the latency spike still apply.
+  const auto plan = FaultPlan::generate(FaultProfile::kHostile, 3, {});
+  EXPECT_FALSE(plan.empty());
+  EXPECT_GT(plan.packet_drop_probability, 0.0);
+  EXPECT_TRUE(plan.addr_outages.empty());
+  EXPECT_TRUE(plan.link_faults.empty());
+  EXPECT_GT(plan.latency_spike_ms, 0.0);
+}
+
+TEST(FaultProfileTest, NamesRoundTrip) {
+  for (const auto p :
+       {FaultProfile::kOff, FaultProfile::kFlaky, FaultProfile::kHostile}) {
+    const auto parsed = parse_profile(profile_name(p));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, p);
+  }
+  EXPECT_FALSE(parse_profile("").has_value());
+  EXPECT_FALSE(parse_profile("catastrophic").has_value());
+}
+
+TEST(FaultProfileTest, SessionPolicyScalesWithSeverity) {
+  EXPECT_EQ(session_policy_for(FaultProfile::kOff), nullptr);
+  const auto* flaky = session_policy_for(FaultProfile::kFlaky);
+  const auto* hostile = session_policy_for(FaultProfile::kHostile);
+  ASSERT_NE(flaky, nullptr);
+  ASSERT_NE(hostile, nullptr);
+  EXPECT_GT(flaky->retry.max_attempts, 1);
+  EXPECT_GE(hostile->retry.max_attempts, flaky->retry.max_attempts);
+  EXPECT_TRUE(flaky->address_fallback);
+  EXPECT_TRUE(hostile->address_fallback);
+  EXPECT_GT(flaky->retry.initial_backoff_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace vpna::faults

@@ -83,7 +83,7 @@ TEST_P(ProviderInvariants, ConnectLeakProfileAndRestore) {
   vpn::VpnClient client(world.network(), client_host, provider->spec,
                         ++e.session);
   const auto conn = client.connect(provider->vantage_points.front().addr);
-  ASSERT_TRUE(conn.connected) << conn.error;
+  ASSERT_TRUE(conn.connected) << conn.error_message;
 
   // Invariant 1: the tunnel-internal address is in 10.8/16 and a tun
   // interface exists.

@@ -1,0 +1,241 @@
+// Satellite coverage for the retry/fallback machinery under injected
+// faults: a fault window fails the first attempt, the sim-clock backoff
+// carries the flow past the window, and the retry succeeds — turning
+// RetryPolicy/address_fallback from dead code into covered code.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "faults/injector.h"
+#include "faults/profile.h"
+#include "netsim/network.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "transport/flow.h"
+#include "transport/policy.h"
+
+namespace vpna::transport {
+namespace {
+
+using netsim::Cidr;
+using netsim::IpAddr;
+using netsim::LambdaService;
+using netsim::Proto;
+using netsim::Route;
+using netsim::ServiceContext;
+using netsim::TransactStatus;
+
+constexpr std::uint16_t kEchoPort = 7777;
+
+// client -- r0 ---10ms--- r1 -- server, same topology as flow_test.
+class FaultRetryFixture : public ::testing::Test {
+ protected:
+  FaultRetryFixture()
+      : net_(clock_, util::Rng(1), /*jitter_stddev_ms=*/0.0),
+        client_("client"),
+        server_("server") {
+    const auto r0 = net_.add_router("r0");
+    const auto r1 = net_.add_router("r1");
+    net_.add_link(r0, r1, 10.0);
+
+    client_.add_interface("eth0", IpAddr::v4(71, 80, 0, 10), std::nullopt);
+    client_.routes().add(
+        Route{*Cidr::parse("0.0.0.0/0"), "eth0", std::nullopt, 0});
+    net_.attach_host(client_, r0, 1.0);
+
+    server_.add_interface("eth0", IpAddr::v4(45, 0, 0, 10), std::nullopt);
+    server_.routes().add(
+        Route{*Cidr::parse("0.0.0.0/0"), "eth0", std::nullopt, 0});
+    net_.attach_host(server_, r1, 1.0);
+
+    server_.bind_service(
+        Proto::kUdp, kEchoPort,
+        std::make_shared<LambdaService>(
+            [](ServiceContext& ctx) -> std::optional<std::string> {
+              return "echo:" + ctx.request.payload;
+            }));
+  }
+
+  // Installs an outage on the server address over [0, duration_ms).
+  void install_outage(double duration_ms) {
+    faults::FaultPlan plan;
+    plan.seed = 11;
+    faults::AddrOutage outage;
+    outage.addr = server_addr();
+    outage.window = {0.0, duration_ms, 0.0};
+    plan.addr_outages.push_back(outage);
+    net_.set_fault_injector(
+        std::make_shared<faults::Injector>(std::move(plan)));
+  }
+
+  IpAddr server_addr() const { return IpAddr::v4(45, 0, 0, 10); }
+
+  util::SimClock clock_;
+  netsim::Network net_;
+  netsim::Host client_;
+  netsim::Host server_;
+};
+
+TEST_F(FaultRetryFixture, RetryRidesOutAFaultWindow) {
+  install_outage(/*duration_ms=*/500.0);
+
+  FlowOptions opts;
+  opts.timeout_ms = 300.0;
+  opts.retry.max_attempts = 2;
+  opts.retry.initial_backoff_ms = 600.0;
+  Flow flow(net_, client_, Proto::kUdp, server_addr(), kEchoPort, opts);
+
+  obs::MetricsRegistry metrics;
+  const double before = clock_.now().millis();
+  FlowResult res;
+  {
+    obs::ScopedObservation scope(nullptr, &metrics);
+    res = flow.exchange("hello");
+  }
+
+  // Attempt 1 at t=0 hits the outage (charged 300ms), the 600ms backoff
+  // pushes attempt 2 to t=900ms — past the window — and it succeeds.
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(res.reply, "echo:hello");
+  EXPECT_EQ(res.attempts, 2);
+  EXPECT_GE(clock_.now().millis() - before, 900.0);
+  EXPECT_GE(res.rtt_ms, 900.0);  // timeout + backoff all charged to the flow
+
+  // The retry and the injected fault are both visible in metrics.
+  EXPECT_EQ(metrics.counter("transport.retries"), 1u);
+  EXPECT_EQ(metrics.counter("faults.addr_outage"), 1u);
+  EXPECT_EQ(metrics.counter("faults.injected"), 1u);
+  EXPECT_EQ(metrics.counter("transport.failures"), 0u);
+}
+
+TEST_F(FaultRetryFixture, ExhaustedRetriesReportTheDrop) {
+  install_outage(/*duration_ms=*/1e9);  // never lifts
+
+  FlowOptions opts;
+  opts.timeout_ms = 300.0;
+  opts.retry.max_attempts = 3;
+  opts.retry.initial_backoff_ms = 100.0;
+  Flow flow(net_, client_, Proto::kUdp, server_addr(), kEchoPort, opts);
+
+  obs::MetricsRegistry metrics;
+  FlowResult res;
+  {
+    obs::ScopedObservation scope(nullptr, &metrics);
+    res = flow.exchange("hello");
+  }
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.error.kind, ErrorKind::kTransport);
+  EXPECT_EQ(res.error.status, TransactStatus::kDropped);
+  EXPECT_EQ(res.attempts, 3);
+  EXPECT_EQ(metrics.counter("transport.retries"), 2u);
+  EXPECT_EQ(metrics.counter("transport.failures"), 1u);
+  EXPECT_EQ(metrics.counter("faults.addr_outage"), 3u);
+}
+
+TEST_F(FaultRetryFixture, SessionPolicyArmsDefaultFlows) {
+  install_outage(/*duration_ms=*/500.0);
+
+  SessionPolicy policy;
+  policy.retry.max_attempts = 2;
+  policy.retry.initial_backoff_ms = 600.0;
+  ScopedSessionPolicy scope(&policy);
+  ASSERT_EQ(session_policy(), &policy);
+
+  // A flow constructed with default options adopts the session policy...
+  FlowOptions opts;
+  opts.timeout_ms = 300.0;
+  Flow flow(net_, client_, Proto::kUdp, server_addr(), kEchoPort, opts);
+  const auto res = flow.exchange("hello");
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(res.attempts, 2);
+}
+
+TEST_F(FaultRetryFixture, ExplicitFlowOptionsBeatTheSessionPolicy) {
+  install_outage(/*duration_ms=*/1e9);
+
+  SessionPolicy policy;
+  policy.retry.max_attempts = 5;
+  ScopedSessionPolicy scope(&policy);
+
+  // ...but a flow that chose its own retry policy keeps it.
+  FlowOptions opts;
+  opts.timeout_ms = 300.0;
+  opts.retry.max_attempts = 2;
+  Flow flow(net_, client_, Proto::kUdp, server_addr(), kEchoPort, opts);
+  const auto res = flow.exchange("hello");
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.attempts, 2);  // not the policy's 5
+}
+
+TEST_F(FaultRetryFixture, SessionPolicyScopeRestoresOnExit) {
+  EXPECT_EQ(session_policy(), nullptr);
+  SessionPolicy outer;
+  {
+    ScopedSessionPolicy a(&outer);
+    EXPECT_EQ(session_policy(), &outer);
+    SessionPolicy inner;
+    {
+      ScopedSessionPolicy b(&inner);
+      EXPECT_EQ(session_policy(), &inner);
+    }
+    EXPECT_EQ(session_policy(), &outer);
+  }
+  EXPECT_EQ(session_policy(), nullptr);
+
+  // With no policy bound, flows keep the single-attempt default.
+  install_outage(/*duration_ms=*/1e9);
+  FlowOptions opts;
+  opts.timeout_ms = 300.0;
+  Flow flow(net_, client_, Proto::kUdp, server_addr(), kEchoPort, opts);
+  const auto res = flow.exchange("hello");
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.attempts, 1);
+}
+
+TEST_F(FaultRetryFixture, ProfilePoliciesRideOutFlakyOutages) {
+  // The real wiring: the flaky profile's session policy (as bound by
+  // run_shard_body) must survive a gateway flap comparable to what
+  // FaultPlan::generate schedules.
+  install_outage(/*duration_ms=*/800.0);
+  ScopedSessionPolicy scope(
+      faults::session_policy_for(faults::FaultProfile::kFlaky));
+
+  Flow flow(net_, client_, Proto::kUdp, server_addr(), kEchoPort);
+  const auto res = flow.exchange("hello");
+  EXPECT_TRUE(res.ok());
+  EXPECT_GT(res.attempts, 1);
+}
+
+TEST_F(FaultRetryFixture, FallbackPlusFaultsWalksToTheLiveAddress) {
+  install_outage(/*duration_ms=*/1e9);  // primary permanently dark
+
+  netsim::Host backup("backup");
+  backup.add_interface("eth0", IpAddr::v4(45, 0, 0, 20), std::nullopt);
+  backup.routes().add(
+      Route{*Cidr::parse("0.0.0.0/0"), "eth0", std::nullopt, 0});
+  // Attach to r1 like the primary server.
+  net_.attach_host(backup, 1, 1.0);
+  backup.bind_service(
+      Proto::kUdp, kEchoPort,
+      std::make_shared<LambdaService>(
+          [](ServiceContext&) -> std::optional<std::string> {
+            return "backup-up";
+          }));
+
+  FlowOptions opts;
+  opts.timeout_ms = 300.0;
+  opts.address_fallback = true;
+  Flow flow(net_, client_, Proto::kUdp,
+            std::vector<IpAddr>{server_addr(), IpAddr::v4(45, 0, 0, 20)},
+            kEchoPort, opts);
+  const auto res = flow.exchange("hello");
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(res.reply, "backup-up");
+  EXPECT_EQ(res.remote, IpAddr::v4(45, 0, 0, 20));
+  EXPECT_EQ(res.attempts, 2);
+}
+
+}  // namespace
+}  // namespace vpna::transport

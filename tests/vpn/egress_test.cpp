@@ -27,7 +27,7 @@ class EgressFixture : public ::testing::Test {
     out = deploy_provider(world_, spec);
     auto vc = std::make_unique<VpnClient>(world_.network(), client_host_, spec);
     const auto res = vc->connect(out.vantage_points[0].addr);
-    EXPECT_TRUE(res.connected) << res.error;
+    EXPECT_TRUE(res.connected) << res.error_message;
     return vc;
   }
 

@@ -42,7 +42,7 @@ class TunnelFixture : public ::testing::Test {
 TEST_F(TunnelFixture, ConnectAssignsTunnelAddress) {
   VpnClient vc(world_.network(), client_host_, provider_.spec);
   const auto res = vc.connect(vp_addr("no-1"));
-  ASSERT_TRUE(res.connected) << res.error;
+  ASSERT_TRUE(res.connected) << res.error_message;
   EXPECT_EQ(vc.state(), ClientState::kConnected);
   EXPECT_TRUE(netsim::Cidr::parse("10.8.0.0/16")->contains(res.assigned_addr));
   ASSERT_NE(client_host_.find_interface("tun0"), nullptr);
