@@ -1,0 +1,135 @@
+// Traffic-plane microbench: the discrete-event scheduler must be cheap.
+//
+// A dumbbell topology — many flows from one access router through a single
+// capacitated bottleneck — exercises the whole event chain per packet
+// (arrive, tx-complete, deliver, ack) plus queue offers/pops and the
+// congestion controller. The headline numbers are ns per dispatched event
+// and events per wall-second at ~1k concurrent flows; a 16-flow row shows
+// the same path without heavy queue contention for comparison.
+//
+// The event count comes from the plane's own "traffic.events" counter via
+// a thread-bound MetricsRegistry, so the bench measures exactly what the
+// EventLoop dispatched — no estimation.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "netsim/network.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "transport/stream.h"
+#include "util/rng.h"
+
+using namespace vpna;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+struct World {
+  util::SimClock clock;
+  netsim::Network net{clock, util::Rng(1), 0.0};
+  netsim::Host client{"client"};
+  netsim::Host server{"server"};
+  netsim::IpAddr server_addr = netsim::IpAddr::v4(45, 0, 0, 10);
+
+  World() {
+    const auto r0 = net.add_router("r0");
+    const auto r1 = net.add_router("r1");
+    net.add_link(r0, r1, 10.0);
+    client.add_interface("eth0", netsim::IpAddr::v4(71, 80, 0, 10));
+    client.routes().add({*netsim::Cidr::parse("0.0.0.0/0"), "eth0",
+                         std::nullopt, 0});
+    net.attach_host(client, r0, 1.0);
+    server.add_interface("eth0", server_addr);
+    server.routes().add({*netsim::Cidr::parse("0.0.0.0/0"), "eth0",
+                         std::nullopt, 0});
+    net.attach_host(server, r1, 1.0);
+
+    // The shared bottleneck: 1 Gbps with a 1 MiB FIFO and ECN marking, so
+    // a large flow count genuinely contends (queue churn + CE echoes).
+    netsim::LinkCapacity cap;
+    cap.bandwidth_bps = 1e9;
+    cap.queue_limit_bytes = 1024 * 1024;
+    cap.ecn_threshold = 0.65;
+    net.set_link_capacity(r0, r1, cap);
+  }
+};
+
+struct Run {
+  double wall_ms = 0.0;
+  std::uint64_t events = 0;
+  std::uint64_t delivered = 0;
+};
+
+// One fresh-world episode of `flows` concurrent streams over `duration_s`
+// of virtual time; best wall time of `rounds` runs, event counts from the
+// round that set it (counts are deterministic across rounds anyway).
+Run bench_streams(int flows, double duration_s, int rounds) {
+  Run best;
+  best.wall_ms = 1e18;
+  for (int r = 0; r < rounds; ++r) {
+    World w;
+    std::vector<transport::StreamSpec> specs;
+    specs.reserve(static_cast<std::size_t>(flows));
+    for (int i = 0; i < flows; ++i) {
+      transport::StreamSpec spec;
+      spec.src = &w.client;
+      spec.dst = w.server_addr;
+      spec.config.duration_s = duration_s;
+      spec.config.sample_interval_ms = 0.0;  // measure the plane, not samples
+      specs.push_back(spec);
+    }
+    obs::MetricsRegistry metrics;
+    const auto t0 = Clock::now();
+    std::vector<transport::StreamStats> stats;
+    {
+      obs::ScopedObservation scope(nullptr, &metrics);
+      stats = transport::run_streams(w.net, specs);
+    }
+    const double wall = ms_since(t0);
+    if (wall < best.wall_ms) {
+      best.wall_ms = wall;
+      best.events = metrics.counter("traffic.events");
+      best.delivered = 0;
+      for (const auto& s : stats) best.delivered += s.delivered_packets;
+    }
+  }
+  return best;
+}
+
+void report(const char* label, const Run& run) {
+  const double ns_per_event = run.wall_ms * 1e6 / static_cast<double>(run.events);
+  const double events_per_sec = static_cast<double>(run.events) /
+                                (run.wall_ms / 1e3);
+  bench::compare(util::format("%s: ns/event", label).c_str(), "<1000ns",
+                 util::format("%.0f (%llu events, %.1fms wall)", ns_per_event,
+                              static_cast<unsigned long long>(run.events),
+                              run.wall_ms));
+  bench::compare(util::format("%s: events/sec", label).c_str(), ">1M",
+                 util::format("%.2fM (%llu pkts delivered)",
+                              events_per_sec / 1e6,
+                              static_cast<unsigned long long>(run.delivered)));
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Traffic plane",
+      "discrete-event scheduler throughput on a contended dumbbell");
+
+  report("16 flows, 2s virtual", bench_streams(16, 2.0, 5));
+  report("1024 flows, 1s virtual", bench_streams(1024, 1.0, 3));
+
+  bench::note("each delivered packet costs ~4 events (arrive, tx-complete, "
+              "deliver, ack) plus queue churn and controller work; the 1k-flow "
+              "row is the campaign-scale configuration the >25% regression "
+              "gate watches via wall_ms");
+  return 0;
+}

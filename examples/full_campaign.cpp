@@ -3,7 +3,8 @@
 // selection-guide scorecard, per-provider Markdown reports, and a raw CSV.
 //
 //   ./full_campaign [output-dir] [--jobs N] [--faults PROFILE]
-//                   [--trace FILE] [--metrics FILE] [--trace-hops]
+//                   [--speedtest] [--trace FILE] [--metrics FILE]
+//                   [--trace-hops]
 //
 // Default output-dir is the current directory. --jobs selects the parallel
 // campaign engine's worker count (0 = hardware concurrency, 1 = serial);
@@ -14,6 +15,11 @@
 // stay byte-identical at any --jobs. Vantage points or shards that exhaust
 // their retries under a profile degrade gracefully: the run still exits 0,
 // with a degradation summary on stderr and an appendix in scorecard.md.
+//
+// --speedtest provisions link capacities on every shard world and runs the
+// capacity-aware speed-test suite per vantage point, writing speedtest.csv
+// next to the other artefacts. Off by default; without it the campaign's
+// artefacts are byte-identical to a build without the traffic plane.
 //
 // --trace writes a Chrome trace-event JSON of the whole campaign in
 // sim-time (load it in https://ui.perfetto.dev; one lane per provider
@@ -42,7 +48,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: full_campaign [output-dir] [--jobs N] "
-               "[--faults off|flaky|hostile] [--trace FILE] "
+               "[--faults off|flaky|hostile] [--speedtest] [--trace FILE] "
                "[--metrics FILE] [--trace-hops]\n");
   return 2;
 }
@@ -55,6 +61,7 @@ int main(int argc, char** argv) {
   std::filesystem::path trace_path;
   std::filesystem::path metrics_path;
   bool trace_hops = false;
+  bool speed_test = false;
   faults::FaultProfile fault_profile = faults::FaultProfile::kOff;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0) {
@@ -73,6 +80,8 @@ int main(int argc, char** argv) {
       metrics_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace-hops") == 0) {
       trace_hops = true;
+    } else if (std::strcmp(argv[i], "--speedtest") == 0) {
+      speed_test = true;
     } else if (argv[i][0] == '-') {
       return usage();
     } else {
@@ -84,6 +93,7 @@ int main(int argc, char** argv) {
   core::CampaignOptions opts;
   opts.runner.vantage_points_per_provider = 3;
   opts.runner.fault_profile = fault_profile;
+  opts.runner.speed_test = speed_test;
   opts.jobs = jobs;
   opts.shard_attempts = 2;
   // Any observability output requires the shards to run traced.
@@ -113,6 +123,10 @@ int main(int argc, char** argv) {
     // Fault-profile runs additionally record structured degradation
     // (empty string — no bytes — when nothing degraded).
     guide << analysis::render_degradation_appendix(result);
+  }
+  if (speed_test) {
+    std::ofstream csv(out_dir / "speedtest.csv");
+    csv << analysis::render_speedtest_csv(reports);
   }
   if (!trace_path.empty()) {
     std::ofstream trace(trace_path);
@@ -168,6 +182,8 @@ int main(int argc, char** argv) {
   std::printf("wrote %s and %s\n",
               (out_dir / "scorecard.md").string().c_str(),
               (out_dir / "campaign.csv").string().c_str());
+  if (speed_test)
+    std::printf("wrote %s\n", (out_dir / "speedtest.csv").string().c_str());
   if (!trace_path.empty())
     std::printf("wrote %s (open in https://ui.perfetto.dev)\n",
                 trace_path.string().c_str());

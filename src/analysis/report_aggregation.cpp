@@ -117,6 +117,9 @@ std::string serialize_campaign_payload(const core::CampaignReport& report) {
   // Empty string unless something degraded, so kOff payloads are
   // byte-identical to builds without the fault plane.
   out += render_degradation_appendix(report);
+  // Same contract for the performance suite: empty string unless a speed
+  // test actually ran, so capacity-less payloads are unchanged bytes.
+  out += render_speedtest_csv(report.providers);
   return out;
 }
 

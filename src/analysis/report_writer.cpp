@@ -135,6 +135,32 @@ std::string render_scorecard(const std::vector<core::ProviderReport>& reports) {
   return out;
 }
 
+std::string render_speedtest_csv(
+    const std::vector<core::ProviderReport>& reports) {
+  std::string rows;
+  for (const auto& report : reports) {
+    for (const auto& vp : report.vantage_points) {
+      const auto& s = vp.speed_test;
+      if (!s.ran) continue;
+      rows += util::format(
+          "\"%s\",%s,%.3f,%.3f,%.3f,%.3f,%.3f,%.6f,%.6f,%llu,%llu,%llu,%llu,"
+          "%d\n",
+          report.provider.c_str(), vp.vantage_id.c_str(), s.goodput_mbps,
+          s.base_rtt_ms, s.min_rtt_ms, s.queue_delay_mean_ms,
+          s.queue_delay_max_ms, s.loss_rate, s.ecn_rate,
+          static_cast<unsigned long long>(s.sent_packets),
+          static_cast<unsigned long long>(s.delivered_packets),
+          static_cast<unsigned long long>(s.queue_drops),
+          static_cast<unsigned long long>(s.fault_drops), s.cwnd_decreases);
+    }
+  }
+  if (rows.empty()) return {};  // no suite ran: keep the payload unchanged
+  return "provider,vantage,goodput_mbps,base_rtt_ms,min_rtt_ms,"
+         "queue_delay_mean_ms,queue_delay_max_ms,loss_rate,ecn_rate,sent,"
+         "delivered,queue_drops,fault_drops,cwnd_decreases\n" +
+         rows;
+}
+
 obs::MetricsRegistry campaign_metrics(const core::CampaignReport& report) {
   auto merged = obs::merged_metrics(report.traces);
   if (report.traces.empty()) return merged;

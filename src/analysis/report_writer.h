@@ -39,6 +39,16 @@ enum class SafetyGrade : std::uint8_t { kA, kB, kC, kD, kF };
 [[nodiscard]] std::string render_scorecard(
     const std::vector<core::ProviderReport>& reports);
 
+// Speed-test results, one row per vantage point whose suite ran:
+// provider,vantage,goodput_mbps,base_rtt_ms,min_rtt_ms,queue_delay_mean_ms,
+// queue_delay_max_ms,loss_rate,ecn_rate,sent,delivered,queue_drops,
+// fault_drops,cwnd_decreases
+// Returns the empty string — not even a header — when no vantage point ran
+// a speed test, so capacity-less campaign payloads are byte-identical to a
+// build without the traffic plane.
+[[nodiscard]] std::string render_speedtest_csv(
+    const std::vector<core::ProviderReport>& reports);
+
 // Campaign-wide metrics: every shard's deterministic registry merged in
 // canonical catalog order, plus the engine's pool counters folded in as
 // volatile `pool.*` metrics (scheduling telemetry, excluded from the

@@ -57,7 +57,8 @@ ProviderReport run_provider_shard(
     const RunnerOptions& options,
     std::shared_ptr<const netsim::RoutingPlane> plane) {
   auto shard = ecosystem::build_provider_shard(
-      name, campaign_seed, std::move(plane), options.fault_profile);
+      name, campaign_seed, std::move(plane), options.fault_profile,
+      options.speed_test);
   if (!shard.world)
     throw std::invalid_argument("run_provider_shard: unknown provider " + name);
   return run_shard_body(name, campaign_seed, options, shard);
@@ -71,7 +72,8 @@ ProviderReport run_provider_shard(
     return run_provider_shard(name, campaign_seed, options, std::move(plane));
 
   auto shard = ecosystem::build_provider_shard(
-      name, campaign_seed, std::move(plane), options.fault_profile);
+      name, campaign_seed, std::move(plane), options.fault_profile,
+      options.speed_test);
   if (!shard.world)
     throw std::invalid_argument("run_provider_shard: unknown provider " + name);
 

@@ -172,6 +172,15 @@ VantagePointReport TestRunner::run_vantage_point(
 
   report.pcap = timed("test.pcap_scan", [&] { return run_pcap_scan(client); });
 
+  // Performance suite: measured while the tunnel is still up, like the
+  // paper's in-tunnel collection. No-op (ran=false) without capacities.
+  if (options_.speed_test) {
+    report.speed_test = timed("test.speed_test", [&] {
+      return run_speed_test(world, client, vp.addr,
+                            options_.speed_test_options);
+    });
+  }
+
   // Per-suite outcome counters: the campaign-level pass/fail surface.
   if (report.dns_manipulation.manipulation_detected())
     obs::count("test.dns_manipulation.detected");

@@ -14,6 +14,7 @@
 #include "core/leakage_tests.h"
 #include "core/manipulation_tests.h"
 #include "core/proxy_detection.h"
+#include "core/speed_test.h"
 #include "ecosystem/testbed.h"
 #include "faults/profile.h"
 #include "transport/error.h"
@@ -63,6 +64,9 @@ struct VantagePointReport {
   Ipv6LeakResult ipv6_leak;
   TunnelFailureResult tunnel_failure;
   PcapScanResult pcap;
+  // Performance suite (ran=false unless the campaign enabled speed tests
+  // and the shard world has link capacities provisioned).
+  SpeedTestResult speed_test;
 };
 
 struct ProviderReport {
@@ -107,6 +111,12 @@ struct RunnerOptions {
   // fault schedules per shard, enable transport retries/fallback, and turn
   // exhausted retries into structured degradation instead of hard failure.
   faults::FaultProfile fault_profile = faults::FaultProfile::kOff;
+  // Run the capacity-aware speed-test suite per vantage point. Requires
+  // link capacities on the shard world (the campaign engine provisions
+  // them via ecosystem::apply_link_capacities when this is set); without
+  // capacities the suite reports ran=false for every vantage point.
+  bool speed_test = false;
+  SpeedTestOptions speed_test_options;
 };
 
 class TestRunner {

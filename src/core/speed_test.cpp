@@ -1,0 +1,42 @@
+#include "core/speed_test.h"
+
+#include "obs/metrics.h"
+
+namespace vpna::core {
+
+SpeedTestResult run_speed_test(inet::World& world, netsim::Host& client,
+                               const netsim::IpAddr& gateway,
+                               const SpeedTestOptions& options) {
+  SpeedTestResult result;
+  if (!world.network().any_link_capacity()) return result;
+
+  transport::StreamSpec spec;
+  spec.src = &client;
+  spec.dst = gateway;
+  spec.config.duration_s = options.duration_s;
+  spec.config.packet_bytes = options.packet_bytes;
+  spec.config.source_bitrate_bps = 0.0;  // full-buffer: probe the path
+
+  const auto stats = transport::run_streams(world.network(), {spec});
+  const auto& s = stats.front();
+  if (!s.ran) return result;
+
+  result.ran = true;
+  result.goodput_mbps = s.goodput_mbps();
+  result.base_rtt_ms = s.base_rtt_ms;
+  result.min_rtt_ms = s.min_rtt_ms;
+  result.queue_delay_mean_ms = s.queue_delay_mean_ms;
+  result.queue_delay_max_ms = s.queue_delay_max_ms;
+  result.loss_rate = s.loss_rate();
+  result.ecn_rate = s.ecn_rate();
+  result.sent_packets = s.sent_packets;
+  result.delivered_packets = s.delivered_packets;
+  result.queue_drops = s.queue_drops;
+  result.fault_drops = s.fault_drops;
+  result.ecn_marks = s.ecn_marks;
+  result.cwnd_decreases = s.cwnd_decreases;
+  obs::count("test.speed_test.runs");
+  return result;
+}
+
+}  // namespace vpna::core

@@ -1,0 +1,49 @@
+// Per-vantage-point speed test (§5.3-adjacent performance suite): a
+// full-buffer congestion-controlled stream from the measurement VM to the
+// connected vantage point's gateway over the capacity-aware traffic
+// plane, reporting throughput, queueing delay and ECN/drop rates — the
+// simulated counterpart of running iperf3 through each tunnel.
+//
+// The suite only runs when the world has link capacities provisioned
+// (ecosystem::apply_link_capacities); otherwise it returns ran=false and
+// touches nothing, so capacity-less campaigns stay byte-identical.
+#pragma once
+
+#include <cstdint>
+
+#include "inet/world.h"
+#include "netsim/host.h"
+#include "transport/stream.h"
+
+namespace vpna::core {
+
+struct SpeedTestOptions {
+  double duration_s = 2.0;         // injection window, virtual seconds
+  std::uint32_t packet_bytes = 1200;
+};
+
+struct SpeedTestResult {
+  bool ran = false;  // false: no capacities provisioned or no route
+  double goodput_mbps = 0.0;
+  double base_rtt_ms = 0.0;
+  double min_rtt_ms = 0.0;
+  double queue_delay_mean_ms = 0.0;
+  double queue_delay_max_ms = 0.0;
+  double loss_rate = 0.0;
+  double ecn_rate = 0.0;
+  std::uint64_t sent_packets = 0;
+  std::uint64_t delivered_packets = 0;
+  std::uint64_t queue_drops = 0;
+  std::uint64_t fault_drops = 0;
+  std::uint64_t ecn_marks = 0;
+  int cwnd_decreases = 0;
+};
+
+// Runs one speed-test stream from `client` to `gateway`:5201. Advances the
+// world clock by the simulated episode (like every other suite).
+[[nodiscard]] SpeedTestResult run_speed_test(inet::World& world,
+                                             netsim::Host& client,
+                                             const netsim::IpAddr& gateway,
+                                             const SpeedTestOptions& options);
+
+}  // namespace vpna::core

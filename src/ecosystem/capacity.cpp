@@ -1,0 +1,67 @@
+#include "ecosystem/capacity.h"
+
+#include <string>
+
+#include "netsim/link_queue.h"
+#include "util/rng.h"
+
+namespace vpna::ecosystem {
+
+namespace {
+
+// Capacity tiers. Backbone trunks are links with real propagation delay
+// (city-to-city fiber, >= 0.5 ms); everything shorter is an intra-metro
+// edge link (datacenter access, residential aggregation).
+constexpr double kBackboneBps = 10e9;
+constexpr std::uint32_t kBackboneQueueBytes = 1u << 20;  // 1 MiB
+constexpr double kEdgeBps = 1e9;
+constexpr std::uint32_t kEdgeQueueBytes = 256u * 1024;
+
+// Bottleneck tiers for vantage-point facility access links: commercial
+// hosting uplinks from budget to premium, with the queue depth drawn
+// independently (a deep queue on a slow uplink is the bufferbloat case).
+constexpr double kAccessBpsTiers[] = {100e6, 200e6, 400e6, 800e6};
+constexpr std::uint32_t kAccessQueueTiers[] = {64u * 1024, 192u * 1024,
+                                               512u * 1024};
+
+}  // namespace
+
+void apply_link_capacities(Testbed& tb, std::uint64_t seed) {
+  if (!tb.world) return;
+  auto& net = tb.world->network();
+
+  // Pass 1: blanket tiers over the whole fabric, classified by latency.
+  for (const auto& [a, b] : net.link_pairs()) {
+    netsim::LinkCapacity capacity;
+    if (net.min_link_latency(a, b) >= 0.5) {
+      capacity.bandwidth_bps = kBackboneBps;
+      capacity.queue_limit_bytes = kBackboneQueueBytes;
+    } else {
+      capacity.bandwidth_bps = kEdgeBps;
+      capacity.queue_limit_bytes = kEdgeQueueBytes;
+    }
+    net.set_link_capacity(a, b, capacity);
+  }
+
+  // Pass 2: per-vantage-point facility uplinks, drawn in deployment order.
+  // Facilities hosting several vantage points are drawn once per vantage
+  // point with the last draw winning — the draws are still always
+  // consumed, so one provider's tier never shifts another's stream.
+  auto rng = util::Rng(seed).fork("capacity");
+  for (const auto& provider : tb.providers) {
+    for (const auto& vp : provider.vantage_points) {
+      const auto bps = kAccessBpsTiers[rng.index(std::size(kAccessBpsTiers))];
+      const auto queue_bytes =
+          kAccessQueueTiers[rng.index(std::size(kAccessQueueTiers))];
+      auto* dc = tb.world->datacenter_by_id(vp.datacenter_id);
+      if (dc == nullptr) continue;
+      const auto city_router = tb.world->router_for_city(dc->city.name);
+      netsim::LinkCapacity capacity;
+      capacity.bandwidth_bps = bps;
+      capacity.queue_limit_bytes = queue_bytes;
+      net.set_link_capacity(dc->router, city_router, capacity);
+    }
+  }
+}
+
+}  // namespace vpna::ecosystem

@@ -1,0 +1,29 @@
+// Link-capacity provisioning for the traffic plane: assigns bandwidth and
+// finite queues to a deployed testbed's links so speed tests and streaming
+// workloads (transport::run_streams) contend for real resources.
+//
+// The model mirrors the shape the paper's throughput measurements hinted
+// at: wide, deep backbone trunks that almost never congest, edge links an
+// order of magnitude narrower, and per-facility access links — the usual
+// bottleneck of a commercial VPN egress — drawn from a small tier table so
+// providers differ in a reproducible way.
+//
+// Determinism: every draw comes from Rng(seed).fork("capacity") in
+// deployment order (providers, then vantage points), so the capacity map
+// is a pure function of the shard seed — never of worker identity. A
+// testbed without this call has no capacities at all and behaves exactly
+// as before (the transact fast path never looks at them).
+#pragma once
+
+#include <cstdint>
+
+#include "ecosystem/testbed.h"
+
+namespace vpna::ecosystem {
+
+// Assigns capacities to every backbone and datacenter-edge link of `tb`,
+// then re-draws each vantage-point facility's access link from the
+// bottleneck tier table. No-op on an empty testbed (no world).
+void apply_link_capacities(Testbed& tb, std::uint64_t seed);
+
+}  // namespace vpna::ecosystem

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "ecosystem/capacity.h"
 #include "util/rng.h"
 
 namespace vpna::ecosystem {
@@ -85,7 +86,8 @@ std::uint64_t shard_seed(std::uint64_t campaign_seed,
 
 Testbed build_provider_shard(std::string_view name, std::uint64_t campaign_seed,
                              std::shared_ptr<const netsim::RoutingPlane> plane,
-                             faults::FaultProfile profile) {
+                             faults::FaultProfile profile,
+                             bool link_capacities) {
   const auto* target = evaluated_provider(name);
   if (target == nullptr) return {};
 
@@ -101,6 +103,7 @@ Testbed build_provider_shard(std::string_view name, std::uint64_t campaign_seed,
   const auto seed = shard_seed(campaign_seed, target->spec.name);
   auto tb = build(selection, seed, std::move(plane));
   apply_fault_profile(tb, profile, seed);
+  if (link_capacities) apply_link_capacities(tb, seed);
   return tb;
 }
 

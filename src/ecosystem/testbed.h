@@ -67,11 +67,15 @@ struct Testbed {
 // named provider plus — when it resells another provider's infrastructure —
 // that partner, so reseller vantage-point aliasing (Anonine/Boxpn exact-IP
 // overlap) survives shard deployment. Returns an empty testbed (no world)
-// for unknown names.
+// for unknown names. `link_capacities` provisions the traffic plane
+// (ecosystem::apply_link_capacities, seeded from the shard seed) so the
+// speed-test suite can run; false — the default — leaves every link
+// capacity-less and the shard byte-identical to a pre-traffic-plane build.
 [[nodiscard]] Testbed build_provider_shard(
     std::string_view name, std::uint64_t campaign_seed,
     std::shared_ptr<const netsim::RoutingPlane> plane = nullptr,
-    faults::FaultProfile profile = faults::FaultProfile::kOff);
+    faults::FaultProfile profile = faults::FaultProfile::kOff,
+    bool link_capacities = false);
 
 // Generates the profile's FaultPlan for `tb` — targets sampled from the
 // deployed world: every vantage-point address, the public/ISP resolvers,

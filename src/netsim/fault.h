@@ -26,12 +26,19 @@ struct FaultVerdict {
   double extra_latency_ms = 0.0;
 };
 
-// In-path fault oracle consulted by Network::deliver. `path`/`path_len`
-// is the resolved router walk from the sender's router to the
-// destination's router, inclusive; `now_ms` is the virtual clock at send
-// time. Implementations must be deterministic functions of (packet, path,
-// now, their own seeded state) — the campaign engine replays them across
-// worker counts and byte-compares the results.
+// In-path fault oracle consulted by Network::deliver — and, on the
+// capacity-aware traffic plane, by transport::run_streams exactly once per
+// data packet at injection time, *before* the packet enters its first link
+// queue. That ordering is the double-count audit contract: a fault drop is
+// the injector's (counted under faults.* and a stream's fault_drops) and
+// the dropped packet never occupies queue bytes, so it can never also be a
+// queue tail-drop or pick up an ECN mark; queue drops and CE marks belong
+// exclusively to the LinkQueue layer. `path`/`path_len` is the resolved
+// router walk from the sender's router to the destination's router,
+// inclusive; `now_ms` is the virtual clock at send time. Implementations
+// must be deterministic functions of (packet, path, now, their own seeded
+// state) — the campaign engine replays them across worker counts and
+// byte-compares the results.
 class FaultInjector {
  public:
   virtual ~FaultInjector() = default;

@@ -1,0 +1,35 @@
+#include "netsim/link_queue.h"
+
+namespace vpna::netsim {
+
+bool LinkQueue::offer(std::uint64_t token, std::uint32_t bytes,
+                      util::SimTime now) {
+  if (occupancy_bytes_ + bytes > capacity_.queue_limit_bytes) {
+    ++stats_.tail_drops;
+    return false;
+  }
+  occupancy_bytes_ += bytes;
+  Entry entry{token, bytes, now, false};
+  if (capacity_.ecn_threshold < 1.0 &&
+      static_cast<double>(occupancy_bytes_) >
+          capacity_.ecn_threshold *
+              static_cast<double>(capacity_.queue_limit_bytes)) {
+    entry.ecn_marked = true;
+    ++stats_.ecn_marks;
+  }
+  ++stats_.enqueued;
+  if (occupancy_bytes_ > stats_.peak_occupancy_bytes)
+    stats_.peak_occupancy_bytes = occupancy_bytes_;
+  entries_.push_back(entry);
+  return true;
+}
+
+LinkQueue::Entry LinkQueue::pop() {
+  Entry entry = entries_.front();
+  entries_.pop_front();
+  occupancy_bytes_ -= entry.bytes;
+  ++stats_.dequeued;
+  return entry;
+}
+
+}  // namespace vpna::netsim

@@ -1,0 +1,94 @@
+// Link capacity and the finite FIFO queue in front of a link transmitter.
+//
+// Until this layer existed, links modelled only latency: every packet
+// crossed instantly regardless of size or competition, so "heavy traffic"
+// was invisible. A LinkCapacity gives a link a serialization rate and a
+// bounded buffer; a LinkQueue enforces that buffer with tail-drop and ECN
+// marking (mark instead of drop once occupancy crosses a threshold — the
+// RFC 3168 shape, evaluated at enqueue time like a step-function RED).
+//
+// Invariants the property suite holds this structure to:
+//   - occupancy_bytes() never exceeds capacity.queue_limit_bytes;
+//   - a packet is ECN-marked only when post-enqueue occupancy exceeds
+//     ecn_threshold * queue_limit_bytes;
+//   - conservation: stats().enqueued == stats().dequeued + len() and every
+//     rejected offer is counted in stats().tail_drops.
+//
+// The queue knows nothing about flows, faults or the event loop — it is a
+// plain deterministic data structure. Whether a *faulted* packet reaches a
+// queue at all is the traffic plane's business (see transport/stream.h:
+// fault verdicts are taken before the first hop, so a fault drop is never
+// double-counted as a queue tail-drop or ECN mark).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "util/clock.h"
+
+namespace vpna::netsim {
+
+struct LinkCapacity {
+  double bandwidth_bps = 0.0;  // serialization rate; 0 = uncapacitated
+  std::uint32_t queue_limit_bytes = 256 * 1024;
+  // Mark fraction: enqueue marks CE once occupancy exceeds this share of
+  // queue_limit_bytes. >= 1.0 disables marking (pure tail-drop).
+  double ecn_threshold = 0.65;
+
+  [[nodiscard]] bool enabled() const noexcept { return bandwidth_bps > 0.0; }
+  // Time to clock `bytes` onto the wire at this rate, in microseconds.
+  [[nodiscard]] double serialize_us(std::uint32_t bytes) const noexcept {
+    return static_cast<double>(bytes) * 8e6 / bandwidth_bps;
+  }
+
+  friend bool operator==(const LinkCapacity&, const LinkCapacity&) noexcept =
+      default;
+};
+
+struct LinkQueueStats {
+  std::uint64_t enqueued = 0;   // accepted into the buffer
+  std::uint64_t dequeued = 0;   // handed to the transmitter
+  std::uint64_t tail_drops = 0; // rejected: buffer full
+  std::uint64_t ecn_marks = 0;  // accepted but CE-marked
+  std::uint64_t peak_occupancy_bytes = 0;
+};
+
+class LinkQueue {
+ public:
+  struct Entry {
+    std::uint64_t token = 0;  // caller's packet handle (opaque)
+    std::uint32_t bytes = 0;
+    util::SimTime enqueued_at;
+    bool ecn_marked = false;
+  };
+
+  explicit LinkQueue(const LinkCapacity& capacity) noexcept
+      : capacity_(capacity) {}
+
+  // Tail-drop admission: false (counting the drop) when the packet would
+  // push occupancy past the byte limit; otherwise enqueues, ECN-marking
+  // the entry if post-enqueue occupancy exceeds the threshold.
+  bool offer(std::uint64_t token, std::uint32_t bytes, util::SimTime now);
+
+  // Pops the head. Pre: !empty(). The entry's enqueued_at lets the caller
+  // account queueing delay against `now` at dequeue time.
+  Entry pop();
+
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] std::size_t len() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::uint64_t occupancy_bytes() const noexcept {
+    return occupancy_bytes_;
+  }
+  [[nodiscard]] const LinkCapacity& capacity() const noexcept {
+    return capacity_;
+  }
+  [[nodiscard]] const LinkQueueStats& stats() const noexcept { return stats_; }
+
+ private:
+  LinkCapacity capacity_;
+  std::deque<Entry> entries_;
+  std::uint64_t occupancy_bytes_ = 0;
+  LinkQueueStats stats_;
+};
+
+}  // namespace vpna::netsim

@@ -176,6 +176,63 @@ IpAddr Network::router_addr(RouterId id) const {
                     static_cast<std::uint8_t>(id & 0xff));
 }
 
+namespace {
+
+std::uint64_t link_key(RouterId a, RouterId b) noexcept {
+  const auto lo = std::min(a, b);
+  const auto hi = std::max(a, b);
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+}  // namespace
+
+void Network::set_link_capacity(RouterId a, RouterId b,
+                                const LinkCapacity& capacity) {
+  if (a >= routers_.size() || b >= routers_.size())
+    throw std::out_of_range("set_link_capacity: unknown router");
+  if (!capacity.enabled())
+    throw std::invalid_argument("set_link_capacity: zero bandwidth");
+  link_capacities_[link_key(a, b)] = capacity;
+}
+
+const LinkCapacity* Network::link_capacity(RouterId u,
+                                           RouterId v) const noexcept {
+  if (link_capacities_.empty()) return nullptr;
+  const auto it = link_capacities_.find(link_key(u, v));
+  return it == link_capacities_.end() ? nullptr : &it->second;
+}
+
+std::optional<Network::ResolvedPath> Network::resolve_path(const Host& from,
+                                                           const IpAddr& dst) {
+  const auto* from_att = attachment_of(from);
+  if (from_att == nullptr) return std::nullopt;
+  const auto dst_it = addr_to_attachment_.find(dst);
+  if (dst_it == addr_to_attachment_.end() || dst_it->second.empty())
+    return std::nullopt;
+  // Anycast tie-breaking mirrors deliver(): lowest path latency wins.
+  std::size_t best_idx = dst_it->second.front();
+  if (dst_it->second.size() > 1) {
+    double best = 1e18;
+    for (std::size_t idx : dst_it->second) {
+      const auto* pi = path(from_att->router, attachments_[idx].router);
+      if (pi != nullptr && pi->latency_ms < best) {
+        best = pi->latency_ms;
+        best_idx = idx;
+      }
+    }
+  }
+  const Attachment& dst_att = attachments_[best_idx];
+  const auto* p = path(from_att->router, dst_att.router);
+  if (p == nullptr) return std::nullopt;
+  ResolvedPath out;
+  out.routers = p->routers;
+  out.path_latency_ms = p->latency_ms;
+  out.src_access_ms = from_att->access_latency_ms;
+  out.dst_access_ms = dst_att.access_latency_ms;
+  out.dst_host = dst_att.host;
+  return out;
+}
+
 void Network::set_middlebox(RouterId id, std::shared_ptr<Middlebox> mb) {
   routers_.at(id).middlebox = std::move(mb);
 }

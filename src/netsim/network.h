@@ -16,6 +16,7 @@
 
 #include "netsim/fault.h"
 #include "netsim/host.h"
+#include "netsim/link_queue.h"
 #include "netsim/packet.h"
 #include "netsim/routing_plane.h"
 #include "util/clock.h"
@@ -105,6 +106,44 @@ class Network {
 
   void set_middlebox(RouterId id, std::shared_ptr<Middlebox> mb);
   void clear_middlebox(RouterId id);
+
+  // --- link capacity ---------------------------------------------------------
+  // Assigns a bandwidth/queue configuration to the undirected link (a, b);
+  // both directions share the configuration but are transmitted (and
+  // queued) independently by the traffic plane. Capacities are *not* part
+  // of the routing topology: they never touch the epoch, the fingerprint
+  // or the transact path, so a capacity-free run — and every transact-only
+  // run — is byte-identical to a build without this layer.
+  void set_link_capacity(RouterId a, RouterId b, const LinkCapacity& capacity);
+  // The capacity of link (u, v) in either orientation; nullptr when the
+  // link is uncapacitated (pure-delay, the pre-capacity behaviour).
+  [[nodiscard]] const LinkCapacity* link_capacity(RouterId u,
+                                                  RouterId v) const noexcept;
+  [[nodiscard]] bool any_link_capacity() const noexcept {
+    return !link_capacities_.empty();
+  }
+
+  // Smallest latency among (possibly parallel) links u->v, in ms. 1e18
+  // when no such link exists. Public for the traffic plane, which charges
+  // per-hop propagation itself instead of using a path total.
+  [[nodiscard]] double min_link_latency(RouterId u, RouterId v) const noexcept {
+    return link_latency(u, v);
+  }
+
+  // A resolved unicast path for the traffic plane: the router walk from
+  // the sender's router to the (anycast-best) destination's router, the
+  // access latencies at both ends, and the destination host. Uses the same
+  // path machinery as transact, so traffic-plane packets cross exactly the
+  // links a transact exchange would.
+  struct ResolvedPath {
+    std::vector<RouterId> routers;  // src router .. dst router, inclusive
+    double path_latency_ms = 0.0;   // one-way, router path only
+    double src_access_ms = 0.0;
+    double dst_access_ms = 0.0;
+    Host* dst_host = nullptr;
+  };
+  [[nodiscard]] std::optional<ResolvedPath> resolve_path(const Host& from,
+                                                         const IpAddr& dst);
 
   // --- fault injection -------------------------------------------------------
   // Installs (nullptr clears) the fault injector consulted on every direct
@@ -262,6 +301,9 @@ class Network {
     double latency_ms = 0.0;
   };
   std::vector<LeafLink> leaf_links_;  // index: router id - frozen_count_
+  // Undirected link (a < b, packed) -> capacity. Consulted only by the
+  // traffic plane; empty (the default) means every link is pure-delay.
+  std::unordered_map<std::uint64_t, LinkCapacity> link_capacities_;
   std::shared_ptr<FaultInjector> fault_injector_;
   int transact_depth_ = 0;  // recursion guard
 };

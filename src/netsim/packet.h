@@ -52,5 +52,6 @@ inline constexpr std::uint16_t kPortOpenVpn = 1194;
 inline constexpr std::uint16_t kPortPptp = 1723;
 inline constexpr std::uint16_t kPortIpsec = 500;
 inline constexpr std::uint16_t kPortSstp = 4433;
+inline constexpr std::uint16_t kPortSpeedTest = 5201;  // iperf3's default
 
 }  // namespace vpna::netsim

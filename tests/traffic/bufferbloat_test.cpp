@@ -1,0 +1,112 @@
+// Bufferbloat regression: a deep, ECN-less FIFO in front of a slow link
+// lets a full-buffer flow inflate queueing delay by an order of magnitude
+// over the base RTT before the first tail drop; the congestion controller
+// must then drain the standing queue (multiplicative decrease) rather than
+// camp on the bloated delay — all under a hostile fault profile, so
+// injected loss and latency spikes are in play at the same time. Every
+// metric asserted here is virtual-time; the test is deterministic.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "faults/injector.h"
+#include "faults/plan.h"
+#include "faults/profile.h"
+#include "netsim/network.h"
+#include "transport/stream.h"
+
+namespace vpna::transport {
+namespace {
+
+using netsim::IpAddr;
+
+TEST(Bufferbloat, DeepQueueDelayRisesAndTheControllerRecovers) {
+  util::SimClock clock;
+  netsim::Network net(clock, util::Rng(3), /*jitter_stddev_ms=*/0.0);
+  netsim::Host client("client");
+  netsim::Host server("server");
+  const auto r0 = net.add_router("r0");
+  const auto r1 = net.add_router("r1");
+  net.add_link(r0, r1, 5.0);
+
+  client.add_interface("eth0", IpAddr::v4(71, 80, 0, 10));
+  client.routes().add(
+      netsim::Route{*netsim::Cidr::parse("0.0.0.0/0"), "eth0", std::nullopt, 0});
+  net.attach_host(client, r0, 1.0);
+  server.add_interface("eth0", IpAddr::v4(45, 0, 0, 10));
+  server.routes().add(
+      netsim::Route{*netsim::Cidr::parse("0.0.0.0/0"), "eth0", std::nullopt, 0});
+  net.attach_host(server, r1, 1.0);
+
+  // The bloated hop: 10 Mbps with a 512 KiB buffer and no ECN. Draining a
+  // full buffer takes 512Ki*8/10M ≈ 420 ms — 30x the 14 ms base RTT.
+  netsim::LinkCapacity cap;
+  cap.bandwidth_bps = 10e6;
+  cap.queue_limit_bytes = 512 * 1024;
+  cap.ecn_threshold = 1.0;  // pure tail-drop: the bufferbloat configuration
+  net.set_link_capacity(r0, r1, cap);
+
+  // Hostile weather on top: the profile's generated plan (background loss
+  // plus outage/latency windows), with the clock advanced into the window
+  // band so schedules can actually be active during the episode.
+  faults::FaultTargets targets;
+  targets.router_count = net.router_count();
+  targets.links = net.link_pairs();
+  targets.vpn_gateways = {IpAddr::v4(45, 0, 0, 10)};
+  auto plan = faults::FaultPlan::generate(faults::FaultProfile::kHostile,
+                                          1234, targets);
+  // Keep the gateway reachable: this test is about queue dynamics, not a
+  // total outage wedging the flow (degradation has its own suite).
+  plan.addr_outages.clear();
+  plan.router_outages.clear();
+  auto injector = std::make_shared<faults::Injector>(std::move(plan));
+  net.set_fault_injector(injector);
+  clock.advance_seconds(60.0);
+
+  StreamSpec spec;
+  spec.src = &client;
+  spec.dst = IpAddr::v4(45, 0, 0, 10);
+  spec.config.duration_s = 4.0;
+  spec.config.sample_interval_ms = 25.0;
+
+  const auto stats = run_streams(net, {spec});
+  ASSERT_EQ(stats.size(), 1u);
+  const auto& s = stats[0];
+  ASSERT_TRUE(s.ran);
+  EXPECT_NEAR(s.base_rtt_ms, 14.0, 1e-9);
+
+  // The queue genuinely bloated: standing delay reached many times the
+  // base RTT (i.e. hundreds of ms against a 14 ms path).
+  EXPECT_GT(s.queue_delay_max_ms, 100.0);
+  // And the controller reacted: at least one multiplicative decrease.
+  EXPECT_GT(s.cwnd_decreases, 0);
+  EXPECT_GT(s.delivered_packets, 100u);
+  // Conservation holds with faults and queue drops both in play.
+  EXPECT_EQ(s.sent_packets,
+            s.delivered_packets + s.queue_drops + s.fault_drops);
+  EXPECT_GT(s.queue_drops + s.fault_drops, 0u);
+
+  // Recovery, from the timeline: after the worst sample, delay comes back
+  // down to a fraction of the peak (the standing queue drained) instead of
+  // camping at the bloat ceiling.
+  ASSERT_GT(s.timeline.size(), 10u);
+  const auto peak = std::max_element(
+      s.timeline.begin(), s.timeline.end(),
+      [](const StreamSample& a, const StreamSample& b) {
+        return a.queue_delay_ms < b.queue_delay_ms;
+      });
+  ASSERT_NE(peak, s.timeline.end());
+  EXPECT_GT(peak->queue_delay_ms, 100.0);
+  double best_after_peak = peak->queue_delay_ms;
+  for (auto it = peak; it != s.timeline.end(); ++it)
+    best_after_peak = std::min(best_after_peak, it->queue_delay_ms);
+  EXPECT_LT(best_after_peak, 0.5 * peak->queue_delay_ms);
+
+  // The rise itself: delay was near-zero early (slow start from 2 packets)
+  // before the bloat built up.
+  EXPECT_LT(s.timeline.front().queue_delay_ms, 0.25 * peak->queue_delay_ms);
+}
+
+}  // namespace
+}  // namespace vpna::transport

@@ -1,0 +1,86 @@
+#include "netsim/link_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace vpna::netsim {
+namespace {
+
+using util::SimTime;
+
+LinkCapacity cap(double bps, std::uint32_t limit, double ecn = 0.65) {
+  LinkCapacity c;
+  c.bandwidth_bps = bps;
+  c.queue_limit_bytes = limit;
+  c.ecn_threshold = ecn;
+  return c;
+}
+
+TEST(LinkCapacity, SerializeTimeMatchesRate) {
+  const auto c = cap(1e9, 1 << 20);  // 1 Gbps
+  // 1250 bytes = 10000 bits at 1 Gbps = 10 us.
+  EXPECT_DOUBLE_EQ(c.serialize_us(1250), 10.0);
+  EXPECT_TRUE(c.enabled());
+  EXPECT_FALSE(LinkCapacity{}.enabled());
+}
+
+TEST(LinkQueue, FifoOrderAndOccupancyAccounting) {
+  LinkQueue q(cap(1e9, 10000, /*ecn=*/1.0));
+  EXPECT_TRUE(q.offer(1, 4000, SimTime(10)));
+  EXPECT_TRUE(q.offer(2, 4000, SimTime(20)));
+  EXPECT_EQ(q.occupancy_bytes(), 8000u);
+  EXPECT_EQ(q.len(), 2u);
+
+  auto head = q.pop();
+  EXPECT_EQ(head.token, 1u);
+  EXPECT_EQ(head.bytes, 4000u);
+  EXPECT_EQ(head.enqueued_at, SimTime(10));
+  EXPECT_EQ(q.occupancy_bytes(), 4000u);
+  EXPECT_EQ(q.pop().token, 2u);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.occupancy_bytes(), 0u);
+}
+
+TEST(LinkQueue, TailDropsWhenFull) {
+  LinkQueue q(cap(1e9, 10000, /*ecn=*/1.0));
+  EXPECT_TRUE(q.offer(1, 6000, {}));
+  EXPECT_FALSE(q.offer(2, 6000, {}));  // 12000 > 10000: rejected
+  EXPECT_EQ(q.stats().tail_drops, 1u);
+  EXPECT_EQ(q.occupancy_bytes(), 6000u);  // rejected packet occupies nothing
+  EXPECT_TRUE(q.offer(3, 4000, {}));      // exactly at the limit: accepted
+  EXPECT_EQ(q.occupancy_bytes(), 10000u);
+  EXPECT_EQ(q.stats().enqueued, 2u);
+}
+
+TEST(LinkQueue, EcnMarksOnlyAboveThreshold) {
+  LinkQueue q(cap(1e9, 10000, /*ecn=*/0.5));
+  EXPECT_TRUE(q.offer(1, 4000, {}));  // occupancy 4000 <= 5000: clean
+  EXPECT_TRUE(q.offer(2, 4000, {}));  // occupancy 8000 > 5000: marked
+  EXPECT_EQ(q.stats().ecn_marks, 1u);
+  EXPECT_FALSE(q.pop().ecn_marked);
+  EXPECT_TRUE(q.pop().ecn_marked);
+}
+
+TEST(LinkQueue, ThresholdAtOrAboveOneDisablesMarking) {
+  LinkQueue q(cap(1e9, 10000, /*ecn=*/1.0));
+  EXPECT_TRUE(q.offer(1, 10000, {}));  // completely full, still unmarked
+  EXPECT_EQ(q.stats().ecn_marks, 0u);
+  EXPECT_FALSE(q.pop().ecn_marked);
+}
+
+TEST(LinkQueue, StatsConservationAndPeak) {
+  LinkQueue q(cap(1e9, 9000, /*ecn=*/1.0));
+  EXPECT_TRUE(q.offer(1, 4000, {}));
+  EXPECT_TRUE(q.offer(2, 4000, {}));
+  EXPECT_FALSE(q.offer(3, 4000, {}));
+  (void)q.pop();
+  EXPECT_TRUE(q.offer(4, 1000, {}));
+  const auto& s = q.stats();
+  EXPECT_EQ(s.enqueued, 3u);
+  EXPECT_EQ(s.dequeued, 1u);
+  EXPECT_EQ(s.tail_drops, 1u);
+  EXPECT_EQ(s.enqueued, s.dequeued + q.len());
+  EXPECT_EQ(s.peak_occupancy_bytes, 8000u);
+}
+
+}  // namespace
+}  // namespace vpna::netsim

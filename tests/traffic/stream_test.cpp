@@ -1,0 +1,229 @@
+#include "transport/stream.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "faults/injector.h"
+#include "faults/plan.h"
+#include "netsim/fault.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace vpna::transport {
+namespace {
+
+using netsim::IpAddr;
+using netsim::LinkCapacity;
+
+// client -- r0 ==(10ms bottleneck)== r1 -- server. The bottleneck link is
+// left uncapacitated by default; tests opt in via capacitate().
+class StreamFixture : public ::testing::Test {
+ protected:
+  StreamFixture()
+      : net_(clock_, util::Rng(7), /*jitter_stddev_ms=*/0.0),
+        client_("client"),
+        server_("server") {
+    r0_ = net_.add_router("r0");
+    r1_ = net_.add_router("r1");
+    net_.add_link(r0_, r1_, 10.0);
+
+    client_.add_interface("eth0", IpAddr::v4(71, 80, 0, 10));
+    client_.routes().add(
+        netsim::Route{*netsim::Cidr::parse("0.0.0.0/0"), "eth0", std::nullopt, 0});
+    net_.attach_host(client_, r0_, 1.0);
+
+    server_.add_interface("eth0", IpAddr::v4(45, 0, 0, 10));
+    server_.routes().add(
+        netsim::Route{*netsim::Cidr::parse("0.0.0.0/0"), "eth0", std::nullopt, 0});
+    net_.attach_host(server_, r1_, 1.0);
+  }
+
+  // 10 Mbps bottleneck with a ~25-packet buffer and standard ECN marking.
+  void capacitate(double bps = 10e6, std::uint32_t limit = 30000,
+                  double ecn = 0.65) {
+    LinkCapacity cap;
+    cap.bandwidth_bps = bps;
+    cap.queue_limit_bytes = limit;
+    cap.ecn_threshold = ecn;
+    net_.set_link_capacity(r0_, r1_, cap);
+  }
+
+  StreamSpec spec_to_server(double duration_s = 2.0) {
+    StreamSpec spec;
+    spec.src = &client_;
+    spec.dst = IpAddr::v4(45, 0, 0, 10);
+    spec.config.duration_s = duration_s;
+    return spec;
+  }
+
+  util::SimClock clock_;
+  netsim::Network net_;
+  netsim::Host client_;
+  netsim::Host server_;
+  netsim::RouterId r0_ = 0, r1_ = 0;
+};
+
+TEST_F(StreamFixture, FullBufferFlowConvergesOnBottleneck) {
+  capacitate();
+  const auto stats = run_streams(net_, {spec_to_server()});
+  ASSERT_EQ(stats.size(), 1u);
+  const auto& s = stats[0];
+  ASSERT_TRUE(s.ran);
+  // base RTT: 2 * (1 access + 10 link + 1 access) = 24 ms.
+  EXPECT_NEAR(s.base_rtt_ms, 24.0, 1e-9);
+  EXPECT_GE(s.min_rtt_ms, s.base_rtt_ms);
+  // The controller should fill a meaningful share of the 10 Mbps pipe
+  // without ever exceeding it.
+  EXPECT_GT(s.goodput_mbps(), 4.0);
+  EXPECT_LE(s.goodput_mbps(), 10.5);
+  // Congestion must have been signalled (ECN or loss) at least once.
+  EXPECT_GT(s.ecn_marks + s.queue_drops, 0u);
+  EXPECT_GT(s.cwnd_decreases, 0);
+  // Queueing delay was actually observed.
+  EXPECT_GT(s.queue_delay_max_ms, 0.0);
+  EXPECT_FALSE(s.timeline.empty());
+}
+
+TEST_F(StreamFixture, ConservationSentEqualsDeliveredPlusDrops) {
+  capacitate(10e6, /*limit=*/6000);  // shallow buffer: force tail drops
+  const auto stats = run_streams(net_, {spec_to_server()});
+  const auto& s = stats[0];
+  ASSERT_TRUE(s.ran);
+  EXPECT_EQ(s.sent_packets,
+            s.delivered_packets + s.queue_drops + s.fault_drops);
+  EXPECT_GT(s.queue_drops, 0u);
+  EXPECT_EQ(s.fault_drops, 0u);  // no injector installed
+}
+
+TEST_F(StreamFixture, UncapacitatedPathNeverQueuesDropsOrMarks) {
+  const auto stats = run_streams(net_, {spec_to_server(0.5)});
+  const auto& s = stats[0];
+  ASSERT_TRUE(s.ran);
+  EXPECT_GT(s.delivered_packets, 0u);
+  EXPECT_EQ(s.queue_drops, 0u);
+  EXPECT_EQ(s.ecn_marks, 0u);
+  EXPECT_EQ(s.loss_detected, 0u);
+  // Pure delay: every RTT sample is exactly the base RTT.
+  EXPECT_NEAR(s.min_rtt_ms, s.base_rtt_ms, 1e-9);
+  EXPECT_NEAR(s.max_rtt_ms, s.base_rtt_ms, 1e-9);
+  EXPECT_NEAR(s.queue_delay_max_ms, 0.0, 1e-9);
+  EXPECT_EQ(s.sent_packets, s.delivered_packets);
+}
+
+TEST_F(StreamFixture, TwoFlowsShareTheBottleneck) {
+  capacitate();
+  const auto specs =
+      std::vector<StreamSpec>{spec_to_server(), spec_to_server()};
+  const auto stats = run_streams(net_, specs);
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_TRUE(stats[0].ran);
+  EXPECT_TRUE(stats[1].ran);
+  // Both make progress; the sum respects the pipe.
+  EXPECT_GT(stats[0].goodput_mbps(), 0.5);
+  EXPECT_GT(stats[1].goodput_mbps(), 0.5);
+  EXPECT_LE(stats[0].goodput_mbps() + stats[1].goodput_mbps(), 10.5);
+  for (const auto& s : stats)
+    EXPECT_EQ(s.sent_packets,
+              s.delivered_packets + s.queue_drops + s.fault_drops);
+}
+
+TEST_F(StreamFixture, PacedSourceHoldsItsBitrate) {
+  capacitate();
+  auto spec = spec_to_server();
+  spec.config.source_bitrate_bps = 2e6;  // 2 Mbps media on a 10 Mbps pipe
+  const auto stats = run_streams(net_, {spec});
+  const auto& s = stats[0];
+  ASSERT_TRUE(s.ran);
+  EXPECT_GT(s.goodput_mbps(), 1.5);
+  EXPECT_LT(s.goodput_mbps(), 2.5);
+  // An under-subscribed pipe should show no congestion at all.
+  EXPECT_EQ(s.queue_drops, 0u);
+  EXPECT_EQ(s.ecn_marks, 0u);
+}
+
+TEST_F(StreamFixture, NoRouteFlowIsSkipped) {
+  capacitate();
+  StreamSpec spec;
+  spec.src = &client_;
+  spec.dst = IpAddr::v4(9, 9, 9, 9);  // nobody home
+  const auto stats = run_streams(net_, {spec});
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_FALSE(stats[0].ran);
+  EXPECT_EQ(stats[0].sent_packets, 0u);
+}
+
+TEST_F(StreamFixture, ClockAdvancesByTheEpisode) {
+  capacitate();
+  const auto before = clock_.now();
+  (void)run_streams(net_, {spec_to_server(1.0)});
+  // At least the injection window plus one RTT of drain.
+  EXPECT_GE((clock_.now() - before).seconds(), 1.0);
+}
+
+// Deterministic injector: drops every Nth data packet at injection time.
+struct DropEveryNth final : netsim::FaultInjector {
+  explicit DropEveryNth(int n) : n(n) {}
+  int n;
+  int seen = 0;
+  netsim::FaultVerdict on_deliver(const netsim::Packet&,
+                                  const netsim::RouterId*, std::size_t,
+                                  double) override {
+    netsim::FaultVerdict v;
+    if (++seen % n == 0) v.drop = true;
+    return v;
+  }
+};
+
+TEST_F(StreamFixture, FaultDropsAreNeverDoubleCountedAsQueueDrops) {
+  // Uncapacitated path: the only possible loss is the injector's, so the
+  // accounting split is exact.
+  auto injector = std::make_shared<DropEveryNth>(5);
+  net_.set_fault_injector(injector);
+  const auto stats = run_streams(net_, {spec_to_server(0.5)});
+  const auto& s = stats[0];
+  ASSERT_TRUE(s.ran);
+  EXPECT_GT(s.fault_drops, 0u);
+  EXPECT_EQ(s.queue_drops, 0u);
+  EXPECT_EQ(s.ecn_marks, 0u);
+  EXPECT_EQ(s.fault_drops, static_cast<std::uint64_t>(injector->seen / 5));
+  EXPECT_EQ(s.sent_packets, s.delivered_packets + s.fault_drops);
+  // The sender noticed the gaps.
+  EXPECT_GT(s.loss_detected, 0u);
+  EXPECT_GT(s.cwnd_decreases, 0);
+}
+
+TEST_F(StreamFixture, RealInjectorDropsLandInFaultCountersOnly) {
+  // A full-on addr outage for the whole run: every data packet is a fault
+  // drop; the queue sees none of them.
+  capacitate();
+  faults::FaultPlan plan;
+  faults::AddrOutage outage;
+  outage.addr = IpAddr::v4(45, 0, 0, 10);
+  outage.window.start_ms = 0.0;
+  outage.window.duration_ms = 1e12;
+  plan.addr_outages.push_back(outage);
+  auto injector = std::make_shared<faults::Injector>(std::move(plan));
+  net_.set_fault_injector(injector);
+
+  obs::MetricsRegistry metrics;
+  std::uint64_t fault_counter = 0;
+  StreamStats s;
+  {
+    obs::ScopedObservation scope(nullptr, &metrics);
+    s = run_streams(net_, {spec_to_server(0.5)})[0];
+    fault_counter = metrics.counter("faults.addr_outage");
+  }
+  ASSERT_TRUE(s.ran);
+  EXPECT_GT(s.fault_drops, 0u);
+  EXPECT_EQ(s.delivered_packets, 0u);
+  EXPECT_EQ(s.queue_drops, 0u);  // never double-counted as a queue drop
+  EXPECT_EQ(s.ecn_marks, 0u);    // a faulted packet can't pick up CE
+  // Exact agreement between the stream's ledger and the faults.* counters.
+  EXPECT_EQ(fault_counter, s.fault_drops);
+  EXPECT_EQ(metrics.counter("faults.injected"), s.fault_drops);
+  EXPECT_EQ(s.sent_packets, s.fault_drops);
+}
+
+}  // namespace
+}  // namespace vpna::transport
