@@ -4,7 +4,8 @@
 //
 //   ./full_campaign [output-dir] [--jobs N] [--faults PROFILE]
 //                   [--speedtest] [--trace FILE] [--metrics FILE]
-//                   [--trace-hops]
+//                   [--trace-hops] [--status-file FILE] [--watchdog MULT]
+//                   [--profile FILE]
 //
 // Default output-dir is the current directory. --jobs selects the parallel
 // campaign engine's worker count (0 = hardware concurrency, 1 = serial);
@@ -21,6 +22,21 @@
 // next to the other artefacts. Off by default; without it the campaign's
 // artefacts are byte-identical to a build without the traffic plane.
 //
+// --status-file periodically (and atomically) rewrites FILE with a live
+// progress JSON: percent complete, per-worker current shard, an ETA from
+// the completed-shard median, and pool counters — poll it with `watch cat`
+// or a dashboard. --watchdog MULT additionally flags any shard running
+// longer than MULT × the median completed-shard wall time (structured
+// records in the status file and the run manifest; never kills the shard).
+// --profile enables the wall-clock phase profiler and writes the folded
+// hot-phase report (self/total per phase plus a flame summary) to FILE.
+// All three are wall-clock telemetry: they never change campaign payloads.
+//
+// Every run also writes run_manifest.json to the output dir: the
+// deterministic cache key of the computation (catalog fingerprint, shard
+// seeds, fault/capacity profile, payload fingerprint) plus build and
+// telemetry provenance.
+//
 // --trace writes a Chrome trace-event JSON of the whole campaign in
 // sim-time (load it in https://ui.perfetto.dev; one lane per provider
 // shard) and also enables the metrics registry; --metrics dumps the merged
@@ -34,12 +50,15 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 
+#include "analysis/manifest.h"
 #include "analysis/report_aggregation.h"
 #include "analysis/report_writer.h"
 #include "core/parallel_campaign.h"
 #include "faults/profile.h"
 #include "obs/export.h"
+#include "obs/profiler.h"
 
 using namespace vpna;
 
@@ -49,7 +68,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: full_campaign [output-dir] [--jobs N] "
                "[--faults off|flaky|hostile] [--speedtest] [--trace FILE] "
-               "[--metrics FILE] [--trace-hops]\n");
+               "[--metrics FILE] [--trace-hops] [--status-file FILE] "
+               "[--watchdog MULT] [--profile FILE]\n");
   return 2;
 }
 
@@ -62,6 +82,9 @@ int main(int argc, char** argv) {
   std::filesystem::path metrics_path;
   bool trace_hops = false;
   bool speed_test = false;
+  std::filesystem::path status_path;
+  std::filesystem::path profile_path;
+  double watchdog_multiple = 0.0;
   faults::FaultProfile fault_profile = faults::FaultProfile::kOff;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0) {
@@ -82,6 +105,16 @@ int main(int argc, char** argv) {
       trace_hops = true;
     } else if (std::strcmp(argv[i], "--speedtest") == 0) {
       speed_test = true;
+    } else if (std::strcmp(argv[i], "--status-file") == 0) {
+      if (i + 1 >= argc) return usage();
+      status_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--watchdog") == 0) {
+      if (i + 1 >= argc) return usage();
+      watchdog_multiple = std::strtod(argv[++i], nullptr);
+      if (watchdog_multiple <= 0.0) return usage();
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      if (i + 1 >= argc) return usage();
+      profile_path = argv[++i];
     } else if (argv[i][0] == '-') {
       return usage();
     } else {
@@ -100,6 +133,10 @@ int main(int argc, char** argv) {
   opts.trace.enabled =
       !trace_path.empty() || !metrics_path.empty() || trace_hops;
   opts.trace.packet_hops = trace_hops;
+  // Health plane: wall-clock telemetry only, payloads unchanged.
+  opts.status.file = status_path.string();
+  opts.status.watchdog_multiple = watchdog_multiple;
+  if (!profile_path.empty()) obs::Profiler::enable();
 
   std::printf("running the full 62-provider campaign (jobs=%zu, faults=%s)...\n",
               jobs, std::string(faults::profile_name(fault_profile)).c_str());
@@ -107,7 +144,10 @@ int main(int argc, char** argv) {
   const auto result = campaign.run();
   const auto& reports = result.providers;
 
-  // Artefacts.
+  // Artefacts. The serialize scope closes before the profile report is
+  // taken, so the phase shows up in the profile file.
+  std::optional<obs::ProfileScope> serialize_profile(std::in_place,
+                                                     "campaign.serialize");
   {
     std::ofstream csv(out_dir / "campaign.csv");
     csv << analysis::render_campaign_csv(reports);
@@ -136,6 +176,19 @@ int main(int argc, char** argv) {
     std::ofstream metrics(metrics_path);
     metrics << analysis::campaign_metrics(result).render_text(
         /*include_volatile=*/true);
+  }
+  {
+    // The manifest fingerprints the canonical payload bytes — the same
+    // serialization the determinism suite compares.
+    const auto payload = analysis::serialize_campaign_payload(result);
+    std::ofstream manifest(out_dir / "run_manifest.json");
+    manifest << analysis::render_manifest_json(
+        analysis::build_run_manifest(opts, result, payload));
+  }
+  serialize_profile.reset();
+  if (!profile_path.empty()) {
+    std::ofstream profile(profile_path);
+    profile << obs::render_profile_text(obs::Profiler::instance().report());
   }
 
   // Console summary.
@@ -189,6 +242,18 @@ int main(int argc, char** argv) {
                 trace_path.string().c_str());
   if (!metrics_path.empty())
     std::printf("wrote %s\n", metrics_path.string().c_str());
+  std::printf("wrote %s\n", (out_dir / "run_manifest.json").string().c_str());
+  if (!profile_path.empty())
+    std::printf("wrote %s (wall-clock profile)\n",
+                profile_path.string().c_str());
+  if (!result.watchdog_alerts.empty()) {
+    std::fprintf(stderr, "watchdog: %zu shard(s) ran past the median:\n",
+                 result.watchdog_alerts.size());
+    for (const auto& alert : result.watchdog_alerts)
+      std::fprintf(stderr, "  %s: %.1fs elapsed vs %.1fs median (%.1fx)\n",
+                   alert.shard.c_str(), alert.elapsed_s, alert.median_s,
+                   alert.ratio());
+  }
   // Exit-code contract: only hard shard failures (payload incomplete with
   // no structured outcome) fail the invocation; degraded-but-complete
   // fault-profile runs exit 0.

@@ -1,0 +1,134 @@
+#include "analysis/manifest.h"
+
+#include "analysis/report_aggregation.h"
+#include "ecosystem/evaluated.h"
+#include "ecosystem/testbed.h"
+#include "faults/profile.h"
+#include "obs/export.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace vpna::analysis {
+
+RunManifest build_run_manifest(const core::CampaignOptions& options,
+                               const core::CampaignReport& report,
+                               std::string_view payload) {
+  RunManifest m;
+  m.catalog_fingerprint = ecosystem::catalog_fingerprint();
+  m.campaign_seed = report.seed;
+  m.shard_seeds.reserve(report.providers.size());
+  for (const auto& provider : report.providers)
+    m.shard_seeds.emplace_back(
+        provider.provider,
+        ecosystem::shard_seed(report.seed, provider.provider));
+  m.fault_profile = std::string(
+      faults::profile_name(options.runner.fault_profile));
+  m.link_capacities = options.runner.speed_test;
+  m.payload_fingerprint = util::fnv1a(payload);
+
+  m.jobs = report.jobs;
+  m.shard_attempts = options.shard_attempts;
+  m.trace_enabled = options.trace.enabled;
+
+#ifdef __VERSION__
+  m.compiler = __VERSION__;
+#else
+  m.compiler = "unknown";
+#endif
+#ifdef NDEBUG
+  m.build_type = "release";
+#else
+  m.build_type = "debug";
+#endif
+
+  const auto engine = summarize_campaign(report);
+  m.wall_s = report.wall_s;
+  m.busy_wall_s = engine.busy_wall_s;
+  m.tasks_run = engine.tasks_run;
+  m.steals = engine.steals;
+  m.retries = engine.retries;
+  m.timeouts = engine.timeouts;
+  m.failed_shards = engine.failed_shards;
+  m.quarantined_shards = engine.quarantined_shards;
+  m.degraded_vantage_points = engine.degraded_vantage_points;
+  m.degraded_providers = report.degraded_providers;
+  m.watchdog_alerts = report.watchdog_alerts;
+  return m;
+}
+
+std::string render_manifest_json(const RunManifest& m) {
+  std::string out = "{\n";
+  out += "  \"key\": {\n";
+  out += util::format("    \"catalog_fingerprint\": \"%016llx\",\n",
+                      static_cast<unsigned long long>(m.catalog_fingerprint));
+  out += util::format("    \"campaign_seed\": %llu,\n",
+                      static_cast<unsigned long long>(m.campaign_seed));
+  out += util::format("    \"fault_profile\": \"%s\",\n",
+                      obs::json_escape(m.fault_profile).c_str());
+  out += util::format("    \"link_capacities\": %s,\n",
+                      m.link_capacities ? "true" : "false");
+  out += util::format("    \"payload_fingerprint\": \"%016llx\",\n",
+                      static_cast<unsigned long long>(m.payload_fingerprint));
+  out += "    \"shard_seeds\": [";
+  for (std::size_t i = 0; i < m.shard_seeds.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += util::format("      {\"provider\": \"%s\", \"seed\": \"%016llx\"}",
+                        obs::json_escape(m.shard_seeds[i].first).c_str(),
+                        static_cast<unsigned long long>(m.shard_seeds[i].second));
+  }
+  out += m.shard_seeds.empty() ? "]\n" : "\n    ]\n";
+  out += "  },\n";
+
+  out += "  \"run\": {\n";
+  out += util::format("    \"jobs\": %zu,\n", m.jobs);
+  out += util::format("    \"shard_attempts\": %d,\n", m.shard_attempts);
+  out += util::format("    \"trace_enabled\": %s\n",
+                      m.trace_enabled ? "true" : "false");
+  out += "  },\n";
+
+  out += "  \"build\": {\n";
+  out += util::format("    \"compiler\": \"%s\",\n",
+                      obs::json_escape(m.compiler).c_str());
+  out += util::format("    \"build_type\": \"%s\"\n", m.build_type.c_str());
+  out += "  },\n";
+
+  out += "  \"telemetry\": {\n";
+  out += util::format("    \"wall_s\": %.3f,\n", m.wall_s);
+  out += util::format("    \"busy_wall_s\": %.3f,\n", m.busy_wall_s);
+  out += util::format("    \"tasks_run\": %llu,\n",
+                      static_cast<unsigned long long>(m.tasks_run));
+  out += util::format("    \"steals\": %llu,\n",
+                      static_cast<unsigned long long>(m.steals));
+  out += util::format("    \"retries\": %llu,\n",
+                      static_cast<unsigned long long>(m.retries));
+  out += util::format("    \"timeouts\": %llu,\n",
+                      static_cast<unsigned long long>(m.timeouts));
+  out += util::format("    \"failed_shards\": %zu,\n", m.failed_shards);
+  out += util::format("    \"quarantined_shards\": %zu,\n",
+                      m.quarantined_shards);
+  out += util::format("    \"degraded_vantage_points\": %zu,\n",
+                      m.degraded_vantage_points);
+  out += "    \"degraded_providers\": [";
+  for (std::size_t i = 0; i < m.degraded_providers.size(); ++i) {
+    out += i == 0 ? "" : ", ";
+    out += util::format("\"%s\"",
+                        obs::json_escape(m.degraded_providers[i]).c_str());
+  }
+  out += "],\n";
+  out += "    \"watchdog\": [";
+  for (std::size_t i = 0; i < m.watchdog_alerts.size(); ++i) {
+    const auto& alert = m.watchdog_alerts[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += util::format(
+        "      {\"shard\": \"%s\", \"worker\": %d, \"elapsed_s\": %.3f, "
+        "\"median_s\": %.3f, \"ratio\": %.2f}",
+        obs::json_escape(alert.shard).c_str(), alert.worker, alert.elapsed_s,
+        alert.median_s, alert.ratio());
+  }
+  out += m.watchdog_alerts.empty() ? "]\n" : "\n    ]\n";
+  out += "  }\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace vpna::analysis

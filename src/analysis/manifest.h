@@ -1,0 +1,73 @@
+// Run manifest: one JSON record describing what a campaign run computed,
+// from what inputs, with what code — written next to the other artefacts
+// as run_manifest.json.
+//
+// The manifest's `key` section is the deterministic identity of the
+// computation: catalog fingerprint, campaign seed, per-provider shard
+// seeds, fault/capacity profile, and the FNV-1a fingerprint of the
+// serialized payload. Two runs with equal key sections produced (and will
+// always produce) byte-identical payloads — exactly the cache key the
+// ROADMAP's content-addressed artifact store needs to decide whether a
+// shard or a whole campaign can replay from cache.
+//
+// The `run`, `build`, and `telemetry` sections are provenance: how the
+// computation was executed (jobs, attempts), by what toolchain, and how it
+// went (wall stats, pool counters, degradation and watchdog summaries).
+// Telemetry varies run to run by nature; nothing in it feeds the key.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/parallel_campaign.h"
+#include "obs/status.h"
+
+namespace vpna::analysis {
+
+struct RunManifest {
+  // --- key: deterministic cache identity --------------------------------
+  std::uint64_t catalog_fingerprint = 0;
+  std::uint64_t campaign_seed = 0;
+  // (provider, shard seed) in canonical catalog order — the per-shard
+  // cache keys of an incremental recompute.
+  std::vector<std::pair<std::string, std::uint64_t>> shard_seeds;
+  std::string fault_profile;     // "off" | "flaky" | "hostile"
+  bool link_capacities = false;  // speed-test capacity provisioning on
+  std::uint64_t payload_fingerprint = 0;  // fnv1a(serialized payload)
+
+  // --- run: execution parameters ----------------------------------------
+  std::size_t jobs = 0;
+  int shard_attempts = 1;
+  bool trace_enabled = false;
+
+  // --- build: toolchain provenance --------------------------------------
+  std::string compiler;    // __VERSION__
+  std::string build_type;  // "release" | "debug" (NDEBUG)
+
+  // --- telemetry: how the run went (varies run to run) ------------------
+  double wall_s = 0.0;
+  double busy_wall_s = 0.0;
+  std::uint64_t tasks_run = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t timeouts = 0;
+  std::size_t failed_shards = 0;
+  std::size_t quarantined_shards = 0;
+  std::size_t degraded_vantage_points = 0;
+  std::vector<std::string> degraded_providers;
+  std::vector<obs::WatchdogAlert> watchdog_alerts;
+};
+
+// Assembles the manifest for a finished run. `payload` must be the
+// canonical serialization (analysis::serialize_campaign_payload) so the
+// payload fingerprint matches what byte-identity comparisons use.
+[[nodiscard]] RunManifest build_run_manifest(
+    const core::CampaignOptions& options, const core::CampaignReport& report,
+    std::string_view payload);
+
+// JSON rendering (stable key order; the key section is deterministic byte
+// for byte given equal inputs).
+[[nodiscard]] std::string render_manifest_json(const RunManifest& manifest);
+
+}  // namespace vpna::analysis

@@ -143,10 +143,11 @@ std::string render_speedtest_csv(
       const auto& s = vp.speed_test;
       if (!s.ran) continue;
       rows += util::format(
-          "\"%s\",%s,%.3f,%.3f,%.3f,%.3f,%.3f,%.6f,%.6f,%llu,%llu,%llu,%llu,"
-          "%d\n",
+          "\"%s\",%s,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.6f,%.6f,%llu,"
+          "%llu,%llu,%llu,%d\n",
           report.provider.c_str(), vp.vantage_id.c_str(), s.goodput_mbps,
           s.base_rtt_ms, s.min_rtt_ms, s.queue_delay_mean_ms,
+          s.queue_delay_p50_ms, s.queue_delay_p90_ms, s.queue_delay_p99_ms,
           s.queue_delay_max_ms, s.loss_rate, s.ecn_rate,
           static_cast<unsigned long long>(s.sent_packets),
           static_cast<unsigned long long>(s.delivered_packets),
@@ -156,7 +157,8 @@ std::string render_speedtest_csv(
   }
   if (rows.empty()) return {};  // no suite ran: keep the payload unchanged
   return "provider,vantage,goodput_mbps,base_rtt_ms,min_rtt_ms,"
-         "queue_delay_mean_ms,queue_delay_max_ms,loss_rate,ecn_rate,sent,"
+         "queue_delay_mean_ms,queue_delay_p50_ms,queue_delay_p90_ms,"
+         "queue_delay_p99_ms,queue_delay_max_ms,loss_rate,ecn_rate,sent,"
          "delivered,queue_drops,fault_drops,cwnd_decreases\n" +
          rows;
 }

@@ -41,6 +41,7 @@ enum class SafetyGrade : std::uint8_t { kA, kB, kC, kD, kF };
 
 // Speed-test results, one row per vantage point whose suite ran:
 // provider,vantage,goodput_mbps,base_rtt_ms,min_rtt_ms,queue_delay_mean_ms,
+// queue_delay_p50_ms,queue_delay_p90_ms,queue_delay_p99_ms,
 // queue_delay_max_ms,loss_rate,ecn_rate,sent,delivered,queue_drops,
 // fault_drops,cwnd_decreases
 // Returns the empty string — not even a header — when no vantage point ran

@@ -1,13 +1,16 @@
 #include "core/parallel_campaign.h"
 
 #include <chrono>
+#include <condition_variable>
 #include <future>
 #include <optional>
 #include <stdexcept>
+#include <thread>
 
 #include "ecosystem/evaluated.h"
 #include "ecosystem/testbed.h"
 #include "faults/profile.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "transport/policy.h"
 
@@ -37,6 +40,7 @@ ProviderReport run_shard_body(const std::string& name,
       obs::meter() == nullptr)
     attribution_scope.emplace(nullptr, &attribution);
 
+  obs::ProfileScope profile("shard.run");
   obs::Span root("shard.run", "campaign");
   if (root) {
     root.arg("provider", name);
@@ -152,6 +156,77 @@ obs::ShardTrace quarantined_shard_trace(const std::string& name) {
   return trace;
 }
 
+// Background health monitor: on every tick it runs the watchdog scan,
+// refreshes the per-worker counter snapshot on the board, and atomically
+// rewrites the status file. RAII — destruction stops the thread and runs
+// one final tick so the file ends at 100% with the complete alert list.
+// Purely observational: it reads pool counters and board state, so it can
+// never perturb shard results.
+class StatusMonitor {
+ public:
+  StatusMonitor(obs::StatusBoard& board, const obs::StatusOptions& opts,
+                const util::TaskPool* pool)
+      : board_(board), opts_(opts), pool_(pool) {
+    thread_ = std::thread([this] { loop(); });
+  }
+
+  ~StatusMonitor() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    tick();
+  }
+
+  StatusMonitor(const StatusMonitor&) = delete;
+  StatusMonitor& operator=(const StatusMonitor&) = delete;
+
+ private:
+  void loop() {
+    const auto interval = std::chrono::duration<double, std::milli>(
+        opts_.interval_ms < 1.0 ? 1.0 : opts_.interval_ms);
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      if (cv_.wait_for(lock, interval, [this] { return stop_; })) return;
+      lock.unlock();
+      tick();
+      lock.lock();
+    }
+  }
+
+  void tick() {
+    if (opts_.watchdog_multiple > 0.0)
+      board_.watchdog_scan(opts_.watchdog_multiple,
+                           opts_.watchdog_min_completed);
+    if (pool_ != nullptr) {
+      std::vector<obs::WorkerStatus> workers;
+      for (const auto& c : pool_->counters()) {
+        obs::WorkerStatus w;
+        w.tasks_run = c.tasks_run;
+        w.steals = c.steals;
+        w.retries = c.retries;
+        w.timeouts = c.timeouts;
+        w.busy_wall_s = c.busy_wall_s;
+        workers.push_back(w);
+      }
+      board_.set_workers(std::move(workers));
+    }
+    if (!opts_.file.empty())
+      obs::write_file_atomic(opts_.file,
+                             obs::render_status_json(board_.snapshot()));
+  }
+
+  obs::StatusBoard& board_;
+  obs::StatusOptions opts_;
+  const util::TaskPool* pool_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
 }  // namespace
 
 ParallelCampaign::ParallelCampaign(CampaignOptions options)
@@ -180,16 +255,28 @@ CampaignReport ParallelCampaign::run(const std::vector<std::string>& names,
       options_.share_routing_plane ? ecosystem::shared_backbone_plane()
                                    : nullptr;
 
+  // Health plane: a StatusBoard receives shard heartbeats from whichever
+  // path runs below; the monitor thread (scoped per path, so it never
+  // outlives the pool it snapshots) does the periodic file rewrite and
+  // watchdog scan. Telemetry only — shard results cannot observe it.
+  std::optional<obs::StatusBoard> board;
+  if (options_.status.engaged()) board.emplace();
+  obs::StatusBoard* status = board ? &*board : nullptr;
+
   if (options_.jobs == 1) {
     // Serial path: the identical shard tasks, run in-caller in catalog
     // order. No pool, no threads — the determinism baseline.
     report.jobs = 1;
+    if (status != nullptr) status->begin(selection, 1);
+    std::optional<StatusMonitor> monitor;
+    if (status != nullptr) monitor.emplace(*status, options_.status, nullptr);
     util::WorkerCounters serial;
     for (std::size_t i = 0; i < selection.size(); ++i) {
       bool done = false;
       for (int attempt = 1; attempt <= attempts && !done; ++attempt) {
         ++serial.tasks_run;
         const auto shard_t0 = std::chrono::steady_clock::now();
+        if (status != nullptr) status->shard_started(i, -1);
         try {
           // Fresh trace per attempt, so a retried shard's trace contains
           // only the successful run — identical to the first-try trace.
@@ -199,16 +286,23 @@ CampaignReport ParallelCampaign::run(const std::vector<std::string>& names,
               traced ? &trace : nullptr, plane);
           if (traced) report.traces[i] = std::move(trace);
           done = true;
+          if (status != nullptr)
+            status->shard_finished(i, obs::StatusBoard::Outcome::kDone);
         } catch (...) {
           if (attempt < attempts) {
             ++serial.retries;
+            if (status != nullptr) status->shard_attempt_failed(i);
           } else if (graceful) {
             report.providers[i] = quarantined_shard_report(selection[i]);
             if (traced) report.traces[i] = quarantined_shard_trace(selection[i]);
+            if (status != nullptr)
+              status->shard_finished(i, obs::StatusBoard::Outcome::kQuarantined);
           } else {
             report.providers[i] = failed_shard_report(selection[i]);
             if (traced) report.traces[i] = failed_shard_trace(selection[i]);
             report.failed_providers.push_back(selection[i]);
+            if (status != nullptr)
+              status->shard_finished(i, obs::StatusBoard::Outcome::kFailed);
           }
         }
         serial.busy_wall_s += std::chrono::duration<double>(
@@ -220,6 +314,11 @@ CampaignReport ParallelCampaign::run(const std::vector<std::string>& names,
   } else {
     util::TaskPool pool(options_.jobs);
     report.jobs = pool.worker_count();
+    if (status != nullptr) status->begin(selection, pool.worker_count());
+    // Declared after the pool so it joins (and takes its final counter
+    // snapshot) before the pool is torn down.
+    std::optional<StatusMonitor> monitor;
+    if (status != nullptr) monitor.emplace(*status, options_.status, &pool);
     util::TaskOptions task_opts;
     task_opts.max_attempts = attempts;
     task_opts.timeout_s = options_.shard_timeout_s;
@@ -235,19 +334,35 @@ CampaignReport ParallelCampaign::run(const std::vector<std::string>& names,
     futures.reserve(selection.size());
     const RunnerOptions runner_opts = options_.runner;
     const obs::TraceConfig trace_cfg = options_.trace;
-    for (const auto& name : selection) {
+    for (std::size_t i = 0; i < selection.size(); ++i) {
+      const std::string name = selection[i];
       futures.push_back(pool.submit(
-          [name, seed, runner_opts, trace_cfg, traced, plane] {
-            ShardOutcome out;
-            out.report = run_provider_shard(name, seed, runner_opts, trace_cfg,
-                                            traced ? &out.trace : nullptr,
-                                            plane);
-            return out;
+          [name, i, seed, runner_opts, trace_cfg, traced, plane, status] {
+            // Heartbeats bracket every attempt (the pool re-invokes this
+            // body on retry): started restarts the shard's watchdog clock,
+            // a thrown attempt parks the slot back in pending so its wall
+            // never reaches the ETA median.
+            if (status != nullptr)
+              status->shard_started(i, util::TaskPool::current_worker_index());
+            try {
+              ShardOutcome out;
+              out.report = run_provider_shard(name, seed, runner_opts,
+                                              trace_cfg,
+                                              traced ? &out.trace : nullptr,
+                                              plane);
+              if (status != nullptr)
+                status->shard_finished(i, obs::StatusBoard::Outcome::kDone);
+              return out;
+            } catch (...) {
+              if (status != nullptr) status->shard_attempt_failed(i);
+              throw;
+            }
           },
           task_opts));
     }
     // Merge in canonical catalog order — the futures vector is already in
     // that order, regardless of which worker ran which shard when.
+    obs::ProfileScope merge_profile("campaign.merge");
     for (std::size_t i = 0; i < futures.size(); ++i) {
       try {
         auto outcome = futures[i].get();
@@ -257,10 +372,14 @@ CampaignReport ParallelCampaign::run(const std::vector<std::string>& names,
         if (graceful) {
           report.providers[i] = quarantined_shard_report(selection[i]);
           if (traced) report.traces[i] = quarantined_shard_trace(selection[i]);
+          if (status != nullptr)
+            status->shard_finished(i, obs::StatusBoard::Outcome::kQuarantined);
         } else {
           report.providers[i] = failed_shard_report(selection[i]);
           if (traced) report.traces[i] = failed_shard_trace(selection[i]);
           report.failed_providers.push_back(selection[i]);
+          if (status != nullptr)
+            status->shard_finished(i, obs::StatusBoard::Outcome::kFailed);
         }
       }
     }
@@ -275,6 +394,8 @@ CampaignReport ParallelCampaign::run(const std::vector<std::string>& names,
   // deterministic payload.
   for (const auto& p : report.providers)
     if (p.degraded()) report.degraded_providers.push_back(p.provider);
+
+  if (board) report.watchdog_alerts = board->alerts();
 
   report.wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

@@ -14,6 +14,7 @@
 #include "core/runner.h"
 #include "netsim/routing_plane.h"
 #include "obs/export.h"
+#include "obs/status.h"
 #include "util/task_pool.h"
 
 namespace vpna::core {
@@ -40,6 +41,12 @@ struct CampaignOptions {
   // content is part of the determinism contract: byte-identical exports at
   // any `jobs` (unless trace.capture_wall opts into wall-clock data).
   obs::TraceConfig trace;
+  // Health plane: live progress heartbeats, an optional --status-file JSON
+  // rewritten atomically on every monitor tick, and a watchdog that flags
+  // shards running far past the completed-shard median. Pure wall-clock
+  // telemetry — never touches the deterministic payload (the health-plane
+  // identity test byte-compares payloads with this on and off).
+  obs::StatusOptions status;
 };
 
 // The aggregated campaign result. `providers` is the deterministic payload
@@ -67,6 +74,10 @@ struct CampaignReport {
   // trace-determinism suite byte-compares its exports across worker counts.
   std::vector<obs::ShardTrace> traces;
   std::vector<util::WorkerCounters> workers;
+  // Watchdog records raised during the run (wall-clock telemetry like
+  // `workers`/`wall_s`: varies run to run, excluded from the payload).
+  // Empty unless CampaignOptions::status armed the watchdog.
+  std::vector<obs::WatchdogAlert> watchdog_alerts;
   double wall_s = 0.0;
 };
 

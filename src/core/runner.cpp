@@ -1,6 +1,7 @@
 #include "core/runner.h"
 
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "util/strings.h"
 #include "vpn/client.h"
@@ -72,8 +73,10 @@ VantagePointReport TestRunner::run_vantage_point(
     vp_span.arg("provider", provider.spec.name);
     vp_span.arg("vantage", vp.spec.id);
   }
-  // Runs `fn` under a sim-time span named after the test.
+  // Runs `fn` under a sim-time span named after the test, plus a wall-clock
+  // profiler phase (inert unless --profile enabled it).
   const auto timed = [](std::string_view name, auto&& fn) {
+    obs::ProfileScope profile(name);
     obs::Span span(name, "test");
     return fn();
   };

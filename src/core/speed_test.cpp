@@ -27,6 +27,9 @@ SpeedTestResult run_speed_test(inet::World& world, netsim::Host& client,
   result.min_rtt_ms = s.min_rtt_ms;
   result.queue_delay_mean_ms = s.queue_delay_mean_ms;
   result.queue_delay_max_ms = s.queue_delay_max_ms;
+  result.queue_delay_p50_ms = obs::histogram_quantile(s.queue_delay_hist_ms, 0.50);
+  result.queue_delay_p90_ms = obs::histogram_quantile(s.queue_delay_hist_ms, 0.90);
+  result.queue_delay_p99_ms = obs::histogram_quantile(s.queue_delay_hist_ms, 0.99);
   result.loss_rate = s.loss_rate();
   result.ecn_rate = s.ecn_rate();
   result.sent_packets = s.sent_packets;

@@ -29,6 +29,12 @@ struct SpeedTestResult {
   double min_rtt_ms = 0.0;
   double queue_delay_mean_ms = 0.0;
   double queue_delay_max_ms = 0.0;
+  // Bucket-interpolated percentiles of the per-ack queueing delay
+  // (obs::histogram_quantile over kQueueDelayBucketsMs) — the scorecard
+  // numbers; mean/max alone hide bufferbloat tails.
+  double queue_delay_p50_ms = 0.0;
+  double queue_delay_p90_ms = 0.0;
+  double queue_delay_p99_ms = 0.0;
   double loss_rate = 0.0;
   double ecn_rate = 0.0;
   std::uint64_t sent_packets = 0;

@@ -503,4 +503,50 @@ EvaluatedStats evaluated_stats() {
   return s;
 }
 
+std::uint64_t catalog_fingerprint() {
+  // Serialize every field that shapes a campaign into one canonical string
+  // and hash it. Field separators keep adjacent values from aliasing
+  // ("ab"+"c" vs "a"+"bc").
+  std::string canon;
+  canon.reserve(1 << 16);
+  const auto field = [&canon](std::string_view v) {
+    canon.append(v);
+    canon.push_back('\x1f');
+  };
+  const auto num = [&field](double v) { field(util::format("%.17g", v)); };
+  const auto flag = [&field](bool v) { field(v ? "1" : "0"); };
+  for (const auto& p : evaluated_providers()) {
+    const auto& spec = p.spec;
+    field(spec.name);
+    field(vpn::subscription_name(p.subscription));
+    field(p.shares_infrastructure_with);
+    for (const auto& id : p.shared_vantage_ids) field(id);
+    for (const auto proto : spec.protocols) field(vpn::protocol_name(proto));
+    flag(spec.has_custom_client);
+    const auto& b = spec.behavior;
+    flag(b.redirects_dns);
+    flag(b.blocks_ipv6);
+    flag(b.supports_ipv6);
+    flag(b.has_kill_switch);
+    flag(b.kill_switch_default_on);
+    flag(b.kill_switch_per_app_only);
+    num(b.failure_detect_seconds);
+    flag(b.fails_open);
+    flag(b.transparent_proxy);
+    flag(b.injects_content);
+    flag(b.manipulates_dns);
+    flag(b.intercepts_tls);
+    for (const auto& vp : spec.vantage_points) {
+      field(vp.id);
+      field(vp.advertised_city);
+      field(vp.advertised_country);
+      field(vp.physical_city);
+      field(vp.datacenter_id);
+      num(vp.reliability);
+    }
+    canon.push_back('\x1e');  // provider separator
+  }
+  return util::fnv1a(canon);
+}
+
 }  // namespace vpna::ecosystem

@@ -46,4 +46,11 @@ struct EvaluatedStats {
 };
 [[nodiscard]] EvaluatedStats evaluated_stats();
 
+// Stable FNV-1a fingerprint of the evaluated catalog: provider specs,
+// behaviour flags, and the full vantage-point placement plan. Any catalog
+// edit — a provider added, a flag flipped, a vantage point moved — changes
+// it. One third of the (catalog, seed, profile) cache key the run manifest
+// records for the content-addressed artifact store.
+[[nodiscard]] std::uint64_t catalog_fingerprint();
+
 }  // namespace vpna::ecosystem

@@ -7,6 +7,7 @@
 #include <queue>
 #include <stdexcept>
 
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace vpna::netsim {
@@ -103,6 +104,7 @@ void Network::add_link(RouterId a, RouterId b, double latency_ms) {
 
 void Network::freeze_topology() {
   if (frozen_) throw std::logic_error("freeze_topology: already frozen");
+  obs::ProfileScope profile("routing.freeze");
   frozen_ = true;
   frozen_count_ = routers_.size();
   // FNV-1a over the router/link structure. Link latencies hash by bit

@@ -38,16 +38,12 @@ void MetricsRegistry::set_gauge(std::string_view name, double value) {
   gauges_.emplace(std::string(name), value);
 }
 
-void MetricsRegistry::observe(std::string_view name, double value,
-                              std::span<const double> bounds) {
-  auto it = histograms_.find(name);
-  if (it == histograms_.end()) {
-    HistogramData data;
-    data.bounds.assign(bounds.begin(), bounds.end());
-    data.counts.assign(bounds.size() + 1, 0);
-    it = histograms_.emplace(std::string(name), std::move(data)).first;
+void histogram_observe(HistogramData& h, double value,
+                       std::span<const double> bounds) {
+  if (h.counts.empty()) {
+    h.bounds.assign(bounds.begin(), bounds.end());
+    h.counts.assign(bounds.size() + 1, 0);
   }
-  HistogramData& h = it->second;
   std::size_t bucket = h.bounds.size();  // +inf by default
   for (std::size_t i = 0; i < h.bounds.size(); ++i) {
     if (value <= h.bounds[i]) {
@@ -58,6 +54,39 @@ void MetricsRegistry::observe(std::string_view name, double value,
   ++h.counts[bucket];
   ++h.total;
   h.sum += value;
+}
+
+double histogram_quantile(const HistogramData& h, double q) {
+  if (h.total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // The (1-based) rank of the target observation; q=0 still means "the
+  // first observation", matching the sample-quantile convention of the
+  // stats toolkit closely enough for bucket-width accuracy.
+  const double rank = std::max(1.0, q * static_cast<double>(h.total));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < h.counts.size(); ++i) {
+    const std::uint64_t in_bucket = h.counts[i];
+    if (in_bucket == 0) continue;
+    const double cum_before = static_cast<double>(cumulative);
+    cumulative += in_bucket;
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (i >= h.bounds.size())  // +inf bucket: the last finite bound is all
+      return h.bounds.empty() ? 0.0 : h.bounds.back();
+    const double upper = h.bounds[i];
+    const double lower = i == 0 ? std::min(0.0, upper) : h.bounds[i - 1];
+    const double frac =
+        (rank - cum_before) / static_cast<double>(in_bucket);
+    return lower + (upper - lower) * frac;
+  }
+  return h.bounds.empty() ? 0.0 : h.bounds.back();
+}
+
+void MetricsRegistry::observe(std::string_view name, double value,
+                              std::span<const double> bounds) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(std::string(name), HistogramData{}).first;
+  histogram_observe(it->second, value, bounds);
 }
 
 void MetricsRegistry::set_volatile(std::string_view name) {
@@ -109,9 +138,18 @@ std::string MetricsRegistry::render_text(bool include_volatile) const {
     }
     for (const auto& [name, h] : histograms_) {
       if (volatile_.contains(name) != want_volatile) continue;
-      out += util::format("histogram %s count=%llu sum=%s\n", name.c_str(),
+      out += util::format("histogram %s count=%llu sum=%s", name.c_str(),
                           static_cast<unsigned long long>(h.total),
                           num(h.sum).c_str());
+      // Bucket-interpolated percentile summary (deterministic: a pure
+      // function of the bucket counts, so it merges/compares like them).
+      if (h.total > 0) {
+        out += util::format(" p50=%s p90=%s p99=%s",
+                            num(histogram_quantile(h, 0.50)).c_str(),
+                            num(histogram_quantile(h, 0.90)).c_str(),
+                            num(histogram_quantile(h, 0.99)).c_str());
+      }
+      out += "\n";
       for (std::size_t i = 0; i < h.counts.size(); ++i) {
         const std::string le =
             i < h.bounds.size() ? num(h.bounds[i]) : std::string("inf");

@@ -38,6 +38,11 @@ inline constexpr double kRttBucketsMs[] = {1,   5,   10,  25,   50,
 inline constexpr double kHopBuckets[] = {1, 2, 3, 4, 6, 8, 12, 16, 24};
 inline constexpr double kSimSecondsBuckets[] = {0.01, 0.05, 0.1, 0.5, 1,
                                                 5,    20,   60,  180, 600};
+// Finer low end than kRttBucketsMs: queueing delay on an uncongested path
+// sits well under a millisecond and the percentile queries need resolution
+// there.
+inline constexpr double kQueueDelayBucketsMs[] = {
+    0.25, 0.5, 1, 2, 5, 10, 25, 50, 100, 250, 500, 1000};
 
 struct HistogramData {
   std::vector<double> bounds;          // upper bounds, ascending
@@ -45,6 +50,21 @@ struct HistogramData {
   std::uint64_t total = 0;
   double sum = 0.0;
 };
+
+// Standalone observation into a HistogramData owned by a result struct
+// (rather than a registry): fixes the buckets on first use, then counts.
+void histogram_observe(HistogramData& h, double value,
+                       std::span<const double> bounds);
+
+// Bucket-interpolated quantile (q in [0,1], clamped): finds the bucket
+// holding the q·total-th observation and interpolates linearly inside it,
+// Prometheus histogram_quantile-style. The first bucket's lower edge is
+// min(0, bound) — every metric here is non-negative, so effectively 0 —
+// and a quantile landing in the +inf bucket reports the last finite bound
+// (the best the bucketing can say). Returns 0 for an empty histogram.
+// Accurate to within the width of the containing bucket; the randomized
+// test pins it against util::stats::quantile on the raw samples.
+[[nodiscard]] double histogram_quantile(const HistogramData& h, double q);
 
 class MetricsRegistry {
  public:

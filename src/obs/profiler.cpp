@@ -1,0 +1,185 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "util/strings.h"
+
+namespace vpna::obs {
+
+namespace detail {
+std::atomic<bool> g_profiler_enabled{false};
+}  // namespace detail
+
+namespace {
+
+std::int64_t wall_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// One open phase on a thread's frame stack. `path` is the full stack path
+// built at push time ("shard.run;test.pings") so close never re-walks the
+// stack; `child_ns` accumulates closed children for self-time attribution.
+struct Frame {
+  std::string name;
+  std::string path;
+  std::int64_t start_ns = 0;
+  std::int64_t child_ns = 0;
+};
+
+// Per-thread accumulation. The frame stack is touched only by the owning
+// thread; the two tables are shared with report()/reset() and guarded by
+// `mu` (taken once per scope close — short and uncontended in practice).
+struct ThreadProfile {
+  std::vector<Frame> stack;
+  mutable std::mutex mu;
+  std::map<std::string, PhaseStats, std::less<>> phases;
+  std::map<std::string, PhaseStats, std::less<>> paths;
+};
+
+thread_local ThreadProfile* t_profile = nullptr;
+
+// The registry keeps thread tables alive after their threads exit, so a
+// campaign report can be folded after the TaskPool is destroyed.
+struct Registry {
+  mutable std::mutex mu;
+  std::vector<std::unique_ptr<ThreadProfile>> threads;
+
+  static Registry& instance() {
+    static Registry* reg = new Registry;  // leaked: usable during exit
+    return *reg;
+  }
+
+  ThreadProfile* adopt() {
+    auto tp = std::make_unique<ThreadProfile>();
+    ThreadProfile* raw = tp.get();
+    std::lock_guard<std::mutex> lock(mu);
+    threads.push_back(std::move(tp));
+    return raw;
+  }
+};
+
+}  // namespace
+
+namespace detail {
+
+void push_frame(std::string_view name) {
+  if (t_profile == nullptr) t_profile = Registry::instance().adopt();
+  Frame frame;
+  frame.name.assign(name);
+  frame.path = t_profile->stack.empty()
+                   ? frame.name
+                   : t_profile->stack.back().path + ";" + frame.name;
+  frame.start_ns = wall_now_ns();
+  t_profile->stack.push_back(std::move(frame));
+}
+
+void pop_frame() noexcept {
+  ThreadProfile* tp = t_profile;
+  if (tp == nullptr || tp->stack.empty()) return;  // tolerate mid-run reset
+  Frame frame = std::move(tp->stack.back());
+  tp->stack.pop_back();
+  const std::int64_t total = wall_now_ns() - frame.start_ns;
+  const std::int64_t self = total - frame.child_ns;
+  if (!tp->stack.empty()) tp->stack.back().child_ns += total;
+  std::lock_guard<std::mutex> lock(tp->mu);
+  PhaseStats& phase = tp->phases[frame.name];
+  phase.calls += 1;
+  phase.total_ns += total;
+  phase.self_ns += self;
+  PhaseStats& path = tp->paths[frame.path];
+  path.calls += 1;
+  path.total_ns += total;
+  path.self_ns += self;
+}
+
+}  // namespace detail
+
+Profiler& Profiler::instance() {
+  static Profiler profiler;
+  return profiler;
+}
+
+void Profiler::reset() {
+  auto& reg = Registry::instance();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto& tp : reg.threads) {
+    std::lock_guard<std::mutex> tlock(tp->mu);
+    tp->phases.clear();
+    tp->paths.clear();
+  }
+}
+
+ProfileReport Profiler::report(std::size_t flame_top_n) const {
+  std::map<std::string, PhaseStats, std::less<>> phases;
+  std::map<std::string, PhaseStats, std::less<>> paths;
+  std::size_t active_threads = 0;
+  {
+    auto& reg = Registry::instance();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    for (const auto& tp : reg.threads) {
+      std::lock_guard<std::mutex> tlock(tp->mu);
+      if (tp->phases.empty()) continue;
+      ++active_threads;
+      for (const auto& [name, stats] : tp->phases) phases[name].fold(stats);
+      for (const auto& [path, stats] : tp->paths) paths[path].fold(stats);
+    }
+  }
+
+  // Hot-phase ordering: self time descending, name ascending on ties —
+  // deterministic given the data, so two reports over identical timings
+  // render identically.
+  ProfileReport report;
+  report.threads = active_threads;
+  report.phases.reserve(phases.size());
+  for (auto& [name, stats] : phases)
+    report.phases.push_back(ProfileReport::Phase{name, stats});
+  std::sort(report.phases.begin(), report.phases.end(),
+            [](const ProfileReport::Phase& a, const ProfileReport::Phase& b) {
+              if (a.stats.self_ns != b.stats.self_ns)
+                return a.stats.self_ns > b.stats.self_ns;
+              return a.name < b.name;
+            });
+  report.flame.reserve(paths.size());
+  for (auto& [path, stats] : paths)
+    report.flame.push_back(ProfileReport::PathRow{path, stats});
+  std::sort(report.flame.begin(), report.flame.end(),
+            [](const ProfileReport::PathRow& a, const ProfileReport::PathRow& b) {
+              if (a.stats.self_ns != b.stats.self_ns)
+                return a.stats.self_ns > b.stats.self_ns;
+              return a.path < b.path;
+            });
+  if (report.flame.size() > flame_top_n) report.flame.resize(flame_top_n);
+  return report;
+}
+
+std::string render_profile_text(const ProfileReport& report) {
+  std::string out =
+      "# wall-clock profile (telemetry; varies run to run; never part of "
+      "the canonical payload)\n";
+  out += util::format("# threads=%zu\n", report.threads);
+  const auto ms = [](std::int64_t ns) {
+    return static_cast<double>(ns) / 1e6;
+  };
+  for (const auto& phase : report.phases) {
+    out += util::format(
+        "phase %s calls=%llu total_ms=%.3f self_ms=%.3f\n", phase.name.c_str(),
+        static_cast<unsigned long long>(phase.stats.calls),
+        ms(phase.stats.total_ns), ms(phase.stats.self_ns));
+  }
+  if (!report.flame.empty()) out += "# flame (top self-time stack paths)\n";
+  for (const auto& row : report.flame) {
+    out += util::format(
+        "path %s calls=%llu total_ms=%.3f self_ms=%.3f\n", row.path.c_str(),
+        static_cast<unsigned long long>(row.stats.calls), ms(row.stats.total_ns),
+        ms(row.stats.self_ns));
+  }
+  return out;
+}
+
+}  // namespace vpna::obs

@@ -323,6 +323,8 @@ class Plane final : public netsim::EventActor {
     ++flow.rtt_samples;
     if (queue_delay_ms > s.queue_delay_max_ms)
       s.queue_delay_max_ms = queue_delay_ms;
+    obs::histogram_observe(s.queue_delay_hist_ms, queue_delay_ms,
+                           obs::kQueueDelayBucketsMs);
     obs::observe("traffic.queue_delay_ms", queue_delay_ms,
                  obs::kRttBucketsMs);
 

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "netsim/network.h"
+#include "obs/metrics.h"
 
 namespace vpna::transport {
 
@@ -81,6 +82,10 @@ struct StreamStats {
   double max_rtt_ms = 0.0;
   double queue_delay_mean_ms = 0.0;
   double queue_delay_max_ms = 0.0;
+  // Per-ack queueing-delay distribution (kQueueDelayBucketsMs buckets);
+  // feed obs::histogram_quantile for p50/p90/p99. Sim-time derived, so
+  // deterministic like every other stat here.
+  obs::HistogramData queue_delay_hist_ms;
   double cwnd_final_bytes = 0.0;
   double duration_s = 0.0;  // the configured injection window
   std::vector<StreamSample> timeline;

@@ -8,6 +8,8 @@ namespace vpna::util {
 
 namespace {
 
+thread_local int t_worker_index = -1;
+
 double thread_cpu_seconds() {
 #ifdef __linux__
   timespec ts{};
@@ -97,7 +99,10 @@ bool TaskPool::try_acquire(std::size_t index, Task& out) {
   return false;
 }
 
+int TaskPool::current_worker_index() noexcept { return t_worker_index; }
+
 void TaskPool::worker_loop(std::size_t index) {
+  t_worker_index = static_cast<int>(index);
   auto& self = *workers_[index];
   for (;;) {
     Task task;

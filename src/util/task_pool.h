@@ -67,6 +67,12 @@ class TaskPool {
 
   [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
 
+  // Index of the pool worker running the calling thread, or -1 when the
+  // caller is not a pool worker (e.g. the serial in-caller path). Lets a
+  // task attribute status heartbeats to its worker without threading the
+  // index through every task signature.
+  [[nodiscard]] static int current_worker_index() noexcept;
+
   // Schedules `fn` and returns a future for its result. Retry/timeout
   // policy comes from `opts`; the final failure (exception or timeout)
   // propagates through the future.

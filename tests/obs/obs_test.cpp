@@ -10,6 +10,8 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/clock.h"
+#include "util/rng.h"
+#include "util/stats.h"
 
 namespace vpna::obs {
 namespace {
@@ -142,6 +144,118 @@ TEST(MetricsRegistry, MergeAddsCountersAndKeepsMaxGauge) {
   EXPECT_EQ(a.counter("c"), 5u);
   EXPECT_EQ(a.gauge("g"), 4.0);
   EXPECT_EQ(a.histogram("h")->total, 2u);
+}
+
+TEST(MetricsRegistry, MergeGaugePolicyIsMaxNotLastWriter) {
+  // A folded gauge reads "worst shard": merging a smaller value must not
+  // lower it, regardless of merge order, and unseen gauges are adopted.
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.set_gauge("g", 5.0);
+  b.set_gauge("g", 1.0);
+  b.set_gauge("only_b", 2.0);
+  a.merge(b);
+  EXPECT_EQ(a.gauge("g"), 5.0);
+  EXPECT_EQ(a.gauge("only_b"), 2.0);
+
+  // Within one registry, set_gauge itself is last-writer.
+  a.set_gauge("g", 0.25);
+  EXPECT_EQ(a.gauge("g"), 0.25);
+}
+
+TEST(MetricsRegistry, MergePropagatesVolatileSetsAcrossShardFolds) {
+  // Shard folds chain (campaign ← shard ← pool telemetry); a metric marked
+  // volatile anywhere must stay below the marker in the final rendering.
+  MetricsRegistry shard1;
+  MetricsRegistry shard2;
+  shard1.add("net.ok", 1);
+  shard2.add("pool.steals", 4);
+  shard2.set_volatile("pool.steals");
+
+  MetricsRegistry campaign;
+  campaign.merge(shard1);
+  campaign.merge(shard2);
+
+  const auto canonical = campaign.render_text(/*include_volatile=*/false);
+  EXPECT_NE(canonical.find("net.ok"), std::string::npos);
+  EXPECT_EQ(canonical.find("pool.steals"), std::string::npos);
+  const auto full = campaign.render_text(/*include_volatile=*/true);
+  EXPECT_NE(full.find("pool.steals"), std::string::npos);
+
+  // A second-level fold keeps the mark.
+  MetricsRegistry fleet;
+  fleet.merge(campaign);
+  EXPECT_EQ(fleet.render_text(false).find("pool.steals"), std::string::npos);
+}
+
+TEST(HistogramQuantile, EmptyAndEdgeCases) {
+  HistogramData h;
+  EXPECT_EQ(histogram_quantile(h, 0.5), 0.0);
+
+  histogram_observe(h, 3.0, kRttBucketsMs);  // lands in (1, 5]
+  EXPECT_GT(histogram_quantile(h, 0.5), 1.0);
+  EXPECT_LE(histogram_quantile(h, 0.5), 5.0);
+
+  // Beyond the last bound, the +inf bucket reports the last finite bound —
+  // the best the bucketing can say.
+  HistogramData overflow;
+  histogram_observe(overflow, 1e9, kRttBucketsMs);
+  const double last = kRttBucketsMs[std::size(kRttBucketsMs) - 1];
+  EXPECT_EQ(histogram_quantile(overflow, 0.99), last);
+}
+
+TEST(HistogramQuantile, MatchesStatsQuantileWithinBucketWidth) {
+  // Randomized pin against the exact sample quantile: the bucket-
+  // interpolated estimate must land within the width of the bucket that
+  // contains the exact answer.
+  util::Rng rng(20260808);
+  for (int trial = 0; trial < 20; ++trial) {
+    HistogramData h;
+    std::vector<double> samples;
+    const int n = 50 + static_cast<int>(rng.uniform() * 450);
+    for (int i = 0; i < n; ++i) {
+      // Mixed regimes so every trial populates low and high buckets, all
+      // within the finite bucket range of kQueueDelayBucketsMs (≤1000).
+      const double v = rng.uniform() < 0.7
+                           ? rng.uniform() * 10.0
+                           : rng.uniform() * 900.0;
+      samples.push_back(v);
+      histogram_observe(h, v, kQueueDelayBucketsMs);
+    }
+    for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+      const double exact = util::quantile(samples, q);
+      const double est = histogram_quantile(h, q);
+      // Width of the bucket holding the exact quantile.
+      double lo = 0.0, hi = kQueueDelayBucketsMs[0];
+      for (std::size_t b = 0; b < std::size(kQueueDelayBucketsMs); ++b) {
+        hi = kQueueDelayBucketsMs[b];
+        if (exact <= hi) break;
+        lo = hi;
+      }
+      EXPECT_NEAR(est, exact, (hi - lo) + 1e-9)
+          << "trial=" << trial << " q=" << q << " n=" << n;
+    }
+  }
+}
+
+TEST(MetricsRegistry, RenderTextHistogramLinesCarryPercentiles) {
+  MetricsRegistry reg;
+  for (int i = 1; i <= 100; ++i)
+    reg.observe("rtt_ms", static_cast<double>(i), kRttBucketsMs);
+  const auto text = reg.render_text();
+  // The histogram header line gains p50/p90/p99 from the quantile helper.
+  const auto line_start = text.find("histogram rtt_ms");
+  ASSERT_NE(line_start, std::string::npos);
+  const auto line = text.substr(line_start, text.find('\n', line_start));
+  EXPECT_NE(line.find(" p50="), std::string::npos);
+  EXPECT_NE(line.find(" p90="), std::string::npos);
+  EXPECT_NE(line.find(" p99="), std::string::npos);
+
+  // An empty histogram renders no percentile fields.
+  MetricsRegistry empty;
+  HistogramData h;
+  h.bounds.assign(kRttBucketsMs, kRttBucketsMs + std::size(kRttBucketsMs));
+  EXPECT_EQ(histogram_quantile(h, 0.5), 0.0);
 }
 
 TEST(MetricsRegistry, VolatileMetricsRenderBelowTheMarker) {

@@ -1,0 +1,205 @@
+// Wall-clock profiler tests: the disabled fast path records nothing,
+// enabled scopes attribute self/total time exactly (self = total − enclosed
+// children), per-thread tables fold into one deterministic-ordered report,
+// and the text rendering carries the phase and flame rows.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "obs/profiler.h"
+
+namespace vpna::obs {
+namespace {
+
+// Spins until at least `us` microseconds of wall time passed, so enclosed
+// phases accumulate a measurable, strictly positive duration.
+void busy_wait_us(std::int64_t us) {
+  const auto start = std::chrono::steady_clock::now();
+  while (std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start)
+             .count() < us) {
+  }
+}
+
+const ProfileReport::Phase* find_phase(const ProfileReport& report,
+                                       const std::string& name) {
+  for (const auto& phase : report.phases)
+    if (phase.name == name) return &phase;
+  return nullptr;
+}
+
+const ProfileReport::PathRow* find_path(const ProfileReport& report,
+                                        const std::string& path) {
+  for (const auto& row : report.flame)
+    if (row.path == path) return &row;
+  return nullptr;
+}
+
+// The profiler is process-global; every test starts from a clean slate and
+// leaves it disabled for whoever runs next in this binary.
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Profiler::disable();
+    Profiler::instance().reset();
+  }
+  void TearDown() override {
+    Profiler::disable();
+    Profiler::instance().reset();
+  }
+};
+
+TEST_F(ProfilerTest, DisabledScopesRecordNothing) {
+  {
+    ProfileScope outer("off.outer");
+    ProfileScope inner("off.inner");
+  }
+  const auto report = Profiler::instance().report();
+  EXPECT_EQ(find_phase(report, "off.outer"), nullptr);
+  EXPECT_EQ(find_phase(report, "off.inner"), nullptr);
+}
+
+TEST_F(ProfilerTest, SelfPlusChildrenEqualsTotalExactly) {
+  Profiler::enable();
+  {
+    ProfileScope outer("pt.outer");
+    busy_wait_us(300);
+    {
+      ProfileScope inner("pt.inner");
+      busy_wait_us(300);
+    }
+    busy_wait_us(100);
+  }
+  const auto report = Profiler::instance().report();
+  const auto* outer = find_phase(report, "pt.outer");
+  const auto* inner = find_phase(report, "pt.inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->stats.calls, 1u);
+  EXPECT_EQ(inner->stats.calls, 1u);
+  EXPECT_GT(inner->stats.total_ns, 0);
+  // A leaf's self time is its total; the parent's self is exactly total
+  // minus the enclosed child (single-threaded, so no folding slack).
+  EXPECT_EQ(inner->stats.self_ns, inner->stats.total_ns);
+  EXPECT_EQ(outer->stats.self_ns + inner->stats.total_ns,
+            outer->stats.total_ns);
+  EXPECT_GE(outer->stats.total_ns, inner->stats.total_ns);
+}
+
+TEST_F(ProfilerTest, FlameRowsCarryFullStackPaths) {
+  Profiler::enable();
+  {
+    ProfileScope outer("pt.flame_outer");
+    ProfileScope inner("pt.flame_inner");
+    busy_wait_us(200);
+  }
+  const auto report = Profiler::instance().report();
+  EXPECT_NE(find_path(report, "pt.flame_outer"), nullptr);
+  EXPECT_NE(find_path(report, "pt.flame_outer;pt.flame_inner"), nullptr);
+}
+
+TEST_F(ProfilerTest, FlameTopNTruncates) {
+  Profiler::enable();
+  for (int i = 0; i < 8; ++i) {
+    ProfileScope scope("pt.topn_" + std::to_string(i));
+    busy_wait_us(50);
+  }
+  const auto full = Profiler::instance().report(/*flame_top_n=*/100);
+  const auto cut = Profiler::instance().report(/*flame_top_n=*/3);
+  EXPECT_GE(full.flame.size(), 8u);
+  EXPECT_EQ(cut.flame.size(), 3u);
+  // The per-phase table never truncates.
+  EXPECT_EQ(cut.phases.size(), full.phases.size());
+}
+
+TEST_F(ProfilerTest, PhasesOrderedBySelfTimeDescending) {
+  Profiler::enable();
+  {
+    ProfileScope slow("pt.order_slow");
+    busy_wait_us(2000);
+  }
+  {
+    ProfileScope fast("pt.order_fast");
+    busy_wait_us(100);
+  }
+  const auto report = Profiler::instance().report();
+  for (std::size_t i = 1; i < report.phases.size(); ++i)
+    EXPECT_GE(report.phases[i - 1].stats.self_ns,
+              report.phases[i].stats.self_ns);
+  // And the deliberately slow phase sorts before the fast one.
+  std::size_t slow_at = report.phases.size(), fast_at = report.phases.size();
+  for (std::size_t i = 0; i < report.phases.size(); ++i) {
+    if (report.phases[i].name == "pt.order_slow") slow_at = i;
+    if (report.phases[i].name == "pt.order_fast") fast_at = i;
+  }
+  ASSERT_LT(slow_at, report.phases.size());
+  ASSERT_LT(fast_at, report.phases.size());
+  EXPECT_LT(slow_at, fast_at);
+}
+
+TEST_F(ProfilerTest, FoldsAcrossThreads) {
+  Profiler::enable();
+  const auto work = [] {
+    ProfileScope scope("pt.threads");
+    busy_wait_us(200);
+  };
+  std::thread a(work), b(work);
+  a.join();
+  b.join();
+  work();  // and once on this thread
+  const auto report = Profiler::instance().report();
+  const auto* phase = find_phase(report, "pt.threads");
+  ASSERT_NE(phase, nullptr);
+  EXPECT_EQ(phase->stats.calls, 3u);
+  EXPECT_GE(report.threads, 3u);
+}
+
+TEST_F(ProfilerTest, ResetClearsAccumulatedTables) {
+  Profiler::enable();
+  {
+    ProfileScope scope("pt.reset_me");
+    busy_wait_us(100);
+  }
+  ASSERT_NE(find_phase(Profiler::instance().report(), "pt.reset_me"), nullptr);
+  Profiler::instance().reset();
+  EXPECT_EQ(find_phase(Profiler::instance().report(), "pt.reset_me"), nullptr);
+}
+
+TEST_F(ProfilerTest, ScopeOpenedWhileDisabledStaysInert) {
+  // Enabling mid-scope must not unbalance the frame stack: the scope was
+  // constructed inert and stays inert for its whole lifetime.
+  {
+    ProfileScope scope("pt.inert");
+    Profiler::enable();
+    busy_wait_us(100);
+  }
+  EXPECT_EQ(find_phase(Profiler::instance().report(), "pt.inert"), nullptr);
+  // And the stack is balanced: a fresh scope records exactly one call.
+  {
+    ProfileScope scope("pt.after_inert");
+    busy_wait_us(100);
+  }
+  const auto report = Profiler::instance().report();
+  const auto* phase = find_phase(report, "pt.after_inert");
+  ASSERT_NE(phase, nullptr);
+  EXPECT_EQ(phase->stats.calls, 1u);
+}
+
+TEST_F(ProfilerTest, RenderCarriesPhaseAndFlameLines) {
+  Profiler::enable();
+  {
+    ProfileScope outer("pt.render_outer");
+    ProfileScope inner("pt.render_inner");
+    busy_wait_us(100);
+  }
+  const auto text = render_profile_text(Profiler::instance().report());
+  EXPECT_NE(text.find("phase pt.render_outer calls=1"), std::string::npos);
+  EXPECT_NE(text.find("path pt.render_outer;pt.render_inner"),
+            std::string::npos);
+  EXPECT_NE(text.find("# wall-clock profile"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vpna::obs
