@@ -8,15 +8,19 @@
 //
 // print_header() arms the trailer (first call names the bench; later calls
 // add sections) and compare() feeds it, so a bench main needs no extra code.
-// bench/run_all.sh greps these lines into an aggregate BENCH_PR2.json.
+// bench/run_all.sh greps these lines into an aggregate BENCH_PR<N>.json.
+// The trailer also carries a "peak_rss_kb" column (VmHWM at exit) and, for
+// benches that call record_bytes_allocated(), a "bytes_allocated" column.
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "obs/export.h"
+#include "util/mem.h"
 #include "util/strings.h"
 
 namespace vpna::bench {
@@ -31,6 +35,10 @@ struct JsonTrailer {
   // Pre-rendered {"metric":...,"paper":...,"measured":...} objects.
   std::vector<std::string> comparisons;
   std::chrono::steady_clock::time_point start;
+  // Optional memory columns: peak RSS is always sampled at exit; benches
+  // that know their allocator footprint call record_bytes_allocated().
+  std::uint64_t bytes_allocated = 0;
+  bool has_bytes_allocated = false;
 
   static JsonTrailer& instance() {
     static JsonTrailer trailer;
@@ -54,6 +62,11 @@ struct JsonTrailer {
             std::chrono::steady_clock::now() - start)
             .count();
     out += util::format(",\"wall_ms\":%.3f", wall_ms);
+    out += util::format(",\"peak_rss_kb\":%zu", util::peak_rss_kb());
+    if (has_bytes_allocated) {
+      out += util::format(",\"bytes_allocated\":%llu",
+                          static_cast<unsigned long long>(bytes_allocated));
+    }
     out += ",\"comparisons\":[";
     for (std::size_t i = 0; i < comparisons.size(); ++i) {
       if (i > 0) out += ",";
@@ -95,5 +108,14 @@ inline void compare(const char* metric, const std::string& paper,
 }
 
 inline void note(const char* text) { std::printf("note: %s\n", text); }
+
+// Records the bench's known allocator footprint (e.g. arena bytes across
+// shard worlds) into the trailer's "bytes_allocated" column. Cumulative:
+// call per section and the trailer reports the sum.
+inline void record_bytes_allocated(std::uint64_t bytes) {
+  auto& trailer = detail::JsonTrailer::instance();
+  trailer.bytes_allocated += bytes;
+  trailer.has_bytes_allocated = true;
+}
 
 }  // namespace vpna::bench

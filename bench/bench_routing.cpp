@@ -7,12 +7,15 @@
 #include <array>
 #include <chrono>
 #include <cstdio>
+#include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "bench_common.h"
 #include "ecosystem/testbed.h"
 #include "inet/world.h"
+#include "netsim/host.h"
 #include "netsim/network.h"
 #include "util/rng.h"
 
@@ -157,7 +160,151 @@ void bench_shard_setup() {
                  util::format("%.1f ms vs %.1f ms cold", shared_ms, cold_ms));
 }
 
-// --- 4. end-to-end transact throughput ---------------------------------------
+// --- 4. service lookup: flat sorted vector vs node-based map ----------------
+
+struct EchoService final : netsim::Service {
+  std::optional<std::string> handle(netsim::ServiceContext&) override {
+    return "ok";
+  }
+};
+
+void bench_service_lookup() {
+  // A busy vantage point binds on the order of eight endpoints (OpenVPN
+  // tcp/udp, IPsec, web, DNS, SOCKS...); the delivery path runs one lookup
+  // per arriving packet.
+  constexpr std::array<std::pair<netsim::Proto, std::uint16_t>, 8> kBindings =
+      {{{netsim::Proto::kTcp, 443},
+        {netsim::Proto::kUdp, 1194},
+        {netsim::Proto::kTcp, 1194},
+        {netsim::Proto::kUdp, 500},
+        {netsim::Proto::kTcp, 80},
+        {netsim::Proto::kUdp, 53},
+        {netsim::Proto::kTcp, 1080},
+        {netsim::Proto::kTcp, 8443}}};
+  const auto service = std::make_shared<EchoService>();
+
+  // Same storage shapes as Host::services_ pre/post PR8, both walked
+  // inline so neither side pays a cross-TU call the other skips; the real
+  // (non-inlined) accessor is timed alongside as a sanity point.
+  struct FlatBinding {
+    std::uint32_t key;
+    std::shared_ptr<netsim::Service> service;
+  };
+  netsim::Host host("vp");
+  std::vector<FlatBinding> flat;
+  std::map<std::uint32_t, std::shared_ptr<netsim::Service>> legacy;
+  for (const auto& [proto, port] : kBindings) {
+    const std::uint32_t key = (static_cast<std::uint32_t>(proto) << 16) | port;
+    host.bind_service(proto, port, service);
+    flat.insert(std::lower_bound(flat.begin(), flat.end(), key,
+                                 [](const FlatBinding& b, std::uint32_t k) {
+                                   return b.key < k;
+                                 }),
+                FlatBinding{key, service});
+    legacy.emplace(key, service);
+  }
+
+  // Hot case: one host, bindings resident in L1 (parity expected — both
+  // containers fit in a couple of cache lines).
+  constexpr int kRounds = 10;
+  constexpr int kLookups = 100000;
+  std::size_t sink = 0;
+  double flat_ms = 1e18, map_ms = 1e18, api_ms = 1e18;
+  for (int r = 0; r < kRounds; ++r) {
+    auto t0 = Clock::now();
+    for (int i = 0; i < kLookups; ++i) {
+      const auto& [proto, port] = kBindings[i % kBindings.size()];
+      const std::uint32_t key =
+          (static_cast<std::uint32_t>(proto) << 16) | port;
+      const auto it = std::lower_bound(
+          flat.begin(), flat.end(), key,
+          [](const FlatBinding& b, std::uint32_t k) { return b.key < k; });
+      if (it != flat.end() && it->key == key) ++sink;
+    }
+    flat_ms = std::min(flat_ms, ms_since(t0));
+    t0 = Clock::now();
+    for (int i = 0; i < kLookups; ++i) {
+      const auto& [proto, port] = kBindings[i % kBindings.size()];
+      const auto it =
+          legacy.find((static_cast<std::uint32_t>(proto) << 16) | port);
+      if (it != legacy.end()) ++sink;
+    }
+    map_ms = std::min(map_ms, ms_since(t0));
+    t0 = Clock::now();
+    for (int i = 0; i < kLookups; ++i) {
+      const auto& [proto, port] = kBindings[i % kBindings.size()];
+      if (host.find_service(proto, port) != nullptr) ++sink;
+    }
+    api_ms = std::min(api_ms, ms_since(t0));
+  }
+  std::printf("service lookup hot (8 bindings):  flat %6.1f ns/op   map "
+              "%6.1f ns/op   find_service %6.1f ns/op   (%zu)\n",
+              1e6 * flat_ms / kLookups, 1e6 * map_ms / kLookups,
+              1e6 * api_ms / kLookups, sink);
+
+  // Cold case — what packet delivery actually does: every packet lands on
+  // a different host, so per-lookup the container is out of cache. One
+  // contiguous vector per host vs a node per binding is the PR8 change.
+  constexpr std::size_t kHosts = 20000;
+  std::vector<std::vector<FlatBinding>> flat_hosts(kHosts);
+  std::vector<std::map<std::uint32_t, std::shared_ptr<netsim::Service>>>
+      map_hosts(kHosts);
+  for (std::size_t h = 0; h < kHosts; ++h) {
+    for (const auto& [proto, port] : kBindings) {
+      const std::uint32_t key =
+          (static_cast<std::uint32_t>(proto) << 16) | port;
+      flat_hosts[h].push_back(FlatBinding{key, service});
+      map_hosts[h].emplace(key, service);
+    }
+    std::sort(flat_hosts[h].begin(), flat_hosts[h].end(),
+              [](const FlatBinding& a, const FlatBinding& b) {
+                return a.key < b.key;
+              });
+  }
+  // Deterministically shuffled visit order defeats the prefetcher the way
+  // interleaved shard traffic does.
+  util::Rng order_rng(11);
+  std::vector<std::uint32_t> visit(kHosts);
+  for (std::size_t h = 0; h < kHosts; ++h)
+    visit[h] = static_cast<std::uint32_t>(h);
+  for (std::size_t h = kHosts; h > 1; --h)
+    std::swap(visit[h - 1], visit[order_rng.index(h)]);
+
+  double flat_cold_ms = 1e18, map_cold_ms = 1e18;
+  for (int r = 0; r < kRounds; ++r) {
+    auto t0 = Clock::now();
+    for (std::size_t i = 0; i < kHosts; ++i) {
+      const auto& [proto, port] = kBindings[i % kBindings.size()];
+      const std::uint32_t key =
+          (static_cast<std::uint32_t>(proto) << 16) | port;
+      const auto& bindings = flat_hosts[visit[i]];
+      const auto it = std::lower_bound(
+          bindings.begin(), bindings.end(), key,
+          [](const FlatBinding& b, std::uint32_t k) { return b.key < k; });
+      if (it != bindings.end() && it->key == key) ++sink;
+    }
+    flat_cold_ms = std::min(flat_cold_ms, ms_since(t0));
+    t0 = Clock::now();
+    for (std::size_t i = 0; i < kHosts; ++i) {
+      const auto& [proto, port] = kBindings[i % kBindings.size()];
+      const auto& bindings = map_hosts[visit[i]];
+      const auto it =
+          bindings.find((static_cast<std::uint32_t>(proto) << 16) | port);
+      if (it != bindings.end()) ++sink;
+    }
+    map_cold_ms = std::min(map_cold_ms, ms_since(t0));
+  }
+  std::printf("service lookup cold (%zu hosts):  flat %6.1f ns/op   map "
+              "%6.1f ns/op   (%zu)\n",
+              kHosts, 1e6 * flat_cold_ms / kHosts, 1e6 * map_cold_ms / kHosts,
+              sink);
+  bench::compare("service lookup (cold, per-host)", "std::map pre-PR8",
+                 util::format("%.1f ns/lookup, %.2fx vs map",
+                              1e6 * flat_cold_ms / kHosts,
+                              map_cold_ms / flat_cold_ms));
+}
+
+// --- 5. end-to-end transact throughput ---------------------------------------
 
 void bench_transact_pps() {
   inet::World world(1234);
@@ -194,6 +341,7 @@ int main() {
   bench_route_lookup(4096, "route lookup (4096 routes)");
   bench_path_resolution();
   bench_shard_setup();
+  bench_service_lookup();
   bench_transact_pps();
   return 0;
 }

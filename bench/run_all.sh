@@ -4,7 +4,7 @@
 #
 #   bench/run_all.sh [build-dir] [out.json] [--compare old.json]
 #
-# Defaults: build-dir = ./build, out.json = BENCH_PR7.json. The regeneration
+# Defaults: build-dir = ./build, out.json = BENCH_PR8.json. The regeneration
 # benches emit one `BENCH_JSON {...}` trailer line each (see
 # bench/bench_common.h); bench_perf_simulator is google-benchmark and is run
 # with --benchmark_format=json. The aggregate maps bench name -> its JSON.
@@ -34,7 +34,7 @@ done
 set -- $positional
 
 build_dir="${1:-build}"
-out="${2:-BENCH_PR7.json}"
+out="${2:-BENCH_PR8.json}"
 bench_dir="$build_dir/bench"
 
 if [ ! -d "$bench_dir" ]; then

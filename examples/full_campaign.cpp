@@ -5,7 +5,7 @@
 //   ./full_campaign [output-dir] [--jobs N] [--faults PROFILE]
 //                   [--speedtest] [--trace FILE] [--metrics FILE]
 //                   [--trace-hops] [--status-file FILE] [--watchdog MULT]
-//                   [--profile FILE]
+//                   [--profile FILE] [--scale N] [--subscribers M] [--eager]
 //
 // Default output-dir is the current directory. --jobs selects the parallel
 // campaign engine's worker count (0 = hardware concurrency, 1 = serial);
@@ -36,6 +36,16 @@
 // deterministic cache key of the computation (catalog fingerprint, shard
 // seeds, fault/capacity profile, payload fingerprint) plus build and
 // telemetry provenance.
+//
+// --scale N switches to the Internet-scale census path: a synthetic
+// catalog of N providers is generated from the 62 evaluated providers'
+// empirical distributions (seeded; deterministic), each provider gets its
+// own lazily-materialized shard world, and the run writes scale_census.csv
+// plus a payload fingerprint — byte-identical at any --jobs. --subscribers
+// sets the modeled mean subscriber count per provider (default 1000;
+// subscribers are counts, only a capped handful of eyeball clients
+// materialize per shard). --eager pre-materializes every shard world in
+// the driver first — the peak-RSS A/B baseline for the deferred default.
 //
 // --trace writes a Chrome trace-event JSON of the whole campaign in
 // sim-time (load it in https://ui.perfetto.dev; one lane per provider
@@ -69,8 +79,52 @@ int usage() {
                "usage: full_campaign [output-dir] [--jobs N] "
                "[--faults off|flaky|hostile] [--speedtest] [--trace FILE] "
                "[--metrics FILE] [--trace-hops] [--status-file FILE] "
-               "[--watchdog MULT] [--profile FILE]\n");
+               "[--watchdog MULT] [--profile FILE] [--scale N] "
+               "[--subscribers M] [--eager]\n");
   return 2;
+}
+
+// The --scale path: generate the synthetic catalog, run the scaled census
+// campaign, write scale_census.csv, and print the fingerprints a caller
+// needs to compare runs.
+int run_scaled(const std::filesystem::path& out_dir, std::size_t scale,
+               std::uint32_t subscribers, std::size_t jobs, bool eager) {
+  std::printf(
+      "generating scaled catalog: %zu providers, ~%u subscribers each...\n",
+      scale, subscribers);
+  const auto catalog =
+      ecosystem::generate_scaled_catalog(scale, subscribers, 20181031);
+  std::printf("  %zu vantage points, %llu modeled subscribers, "
+              "catalog fingerprint %016llx\n",
+              catalog.total_vantage_points(),
+              static_cast<unsigned long long>(catalog.total_subscribers()),
+              static_cast<unsigned long long>(catalog.fingerprint()));
+
+  core::ScaledCampaignOptions opts;
+  opts.jobs = jobs;
+  opts.eager = eager;
+  std::printf("running scaled census (jobs=%zu, %s materialization)...\n",
+              jobs, eager ? "eager" : "deferred");
+  const auto report = core::run_scaled_campaign(catalog, opts);
+
+  {
+    std::ofstream csv(out_dir / "scale_census.csv");
+    csv << report.payload;
+  }
+  std::uint64_t hosts = 0;
+  for (const auto& s : report.shards) hosts += s.hosts;
+  std::printf("\nscaled census complete in %.1fs (wall clock)\n",
+              report.wall_s);
+  std::printf("  shards: %zu   hosts: %llu   payload fingerprint: %016llx\n",
+              report.shards.size(), static_cast<unsigned long long>(hosts),
+              static_cast<unsigned long long>(report.payload_fingerprint));
+  std::printf("  host arena: %.1f MiB reserved, %.1f MiB used   "
+              "peak RSS: %.1f MiB\n",
+              report.arena_reserved_bytes / (1024.0 * 1024.0),
+              report.arena_used_bytes / (1024.0 * 1024.0),
+              report.peak_rss_kb / 1024.0);
+  std::printf("wrote %s\n", (out_dir / "scale_census.csv").string().c_str());
+  return 0;
 }
 
 }  // namespace
@@ -85,11 +139,24 @@ int main(int argc, char** argv) {
   std::filesystem::path status_path;
   std::filesystem::path profile_path;
   double watchdog_multiple = 0.0;
+  std::size_t scale = 0;
+  std::uint32_t subscribers = 1000;
+  bool eager = false;
   faults::FaultProfile fault_profile = faults::FaultProfile::kOff;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0) {
       if (i + 1 >= argc) return usage();
       jobs = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--scale") == 0) {
+      if (i + 1 >= argc) return usage();
+      scale = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+      if (scale == 0) return usage();
+    } else if (std::strcmp(argv[i], "--subscribers") == 0) {
+      if (i + 1 >= argc) return usage();
+      subscribers =
+          static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--eager") == 0) {
+      eager = true;
     } else if (std::strcmp(argv[i], "--faults") == 0) {
       if (i + 1 >= argc) return usage();
       const auto parsed = faults::parse_profile(argv[++i]);
@@ -122,6 +189,8 @@ int main(int argc, char** argv) {
     }
   }
   std::filesystem::create_directories(out_dir);
+
+  if (scale > 0) return run_scaled(out_dir, scale, subscribers, jobs, eager);
 
   core::CampaignOptions opts;
   opts.runner.vantage_points_per_provider = 3;

@@ -1,5 +1,6 @@
 #include "core/parallel_campaign.h"
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <future>
@@ -13,6 +14,9 @@
 #include "obs/profiler.h"
 #include "obs/trace.h"
 #include "transport/policy.h"
+#include "util/mem.h"
+#include "util/rng.h"
+#include "util/strings.h"
 
 namespace vpna::core {
 
@@ -397,6 +401,129 @@ CampaignReport ParallelCampaign::run(const std::vector<std::string>& names,
 
   if (board) report.watchdog_alerts = board->alerts();
 
+  report.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return report;
+}
+
+namespace {
+
+// One shard's census: counts plus an FNV fingerprint over the target
+// provider's vantage addresses in deployment order. Pure function of the
+// materialized shard, so deferred and eager modes agree byte for byte.
+ScaledShardCensus census_shard(const ecosystem::ScaledCatalog& catalog,
+                               std::size_t index, ecosystem::Testbed& tb,
+                               std::uint32_t max_clients) {
+  const auto& name = catalog.providers[index].spec.name;
+  ScaledShardCensus census;
+  census.provider = name;
+  census.modeled_subscribers = catalog.subscribers[index];
+  census.clients = std::min(max_clients, catalog.subscribers[index]);
+  if (!tb.world) return census;
+  census.hosts = static_cast<std::uint32_t>(tb.world->host_count());
+  const auto* deployed = tb.provider(name);
+  if (deployed != nullptr) {
+    census.vantage_points =
+        static_cast<std::uint32_t>(deployed->vantage_points.size());
+    std::string canon;
+    for (const auto& vp : deployed->vantage_points) {
+      canon += vp.addr.str();
+      canon.push_back('\x1f');
+    }
+    census.address_fingerprint = util::fnv1a(canon);
+  }
+  return census;
+}
+
+}  // namespace
+
+ScaledCampaignReport run_scaled_campaign(
+    const ecosystem::ScaledCatalog& catalog,
+    const ScaledCampaignOptions& options) {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  ScaledCampaignReport report;
+  report.seed = options.seed;
+  report.eager = options.eager;
+  report.catalog_fingerprint = catalog.fingerprint();
+  const std::size_t n = catalog.providers.size();
+  report.shards.resize(n);
+
+  const std::shared_ptr<const netsim::RoutingPlane> plane =
+      options.share_routing_plane ? ecosystem::shared_backbone_plane()
+                                  : nullptr;
+  ecosystem::ScaledShardOptions shard_opts;
+  shard_opts.max_clients = options.max_clients;
+
+  // Arena accounting is deterministic (a pure function of each shard's
+  // build sequence) but summed across threads, so gather atomically.
+  std::atomic<std::uint64_t> arena_reserved{0};
+  std::atomic<std::uint64_t> arena_used{0};
+
+  const auto run_one = [&](std::size_t i) {
+    // Deferred mode: the world exists only between here and the end of
+    // this call — peak RSS is bounded by live workers, not shard count.
+    auto shard = ecosystem::build_scaled_shard(
+        catalog, catalog.providers[i].spec.name, options.seed, plane,
+        shard_opts);
+    if (shard.world) {
+      arena_reserved.fetch_add(shard.world->host_arena_reserved_bytes(),
+                               std::memory_order_relaxed);
+      arena_used.fetch_add(shard.world->host_arena_used_bytes(),
+                           std::memory_order_relaxed);
+    }
+    return census_shard(catalog, i, shard, options.max_clients);
+  };
+
+  if (options.eager) {
+    // Eager baseline: every shard world materialized before any census —
+    // the storage pattern deferred mode exists to avoid. Serial by design;
+    // the point is RSS, not throughput.
+    report.jobs = 1;
+    std::vector<ecosystem::Testbed> worlds;
+    worlds.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      worlds.push_back(ecosystem::build_scaled_shard(
+          catalog, catalog.providers[i].spec.name, options.seed, plane,
+          shard_opts));
+    for (std::size_t i = 0; i < n; ++i) {
+      if (worlds[i].world) {
+        arena_reserved.fetch_add(worlds[i].world->host_arena_reserved_bytes(),
+                                 std::memory_order_relaxed);
+        arena_used.fetch_add(worlds[i].world->host_arena_used_bytes(),
+                             std::memory_order_relaxed);
+      }
+      report.shards[i] =
+          census_shard(catalog, i, worlds[i], options.max_clients);
+    }
+  } else if (options.jobs == 1) {
+    report.jobs = 1;
+    for (std::size_t i = 0; i < n; ++i) report.shards[i] = run_one(i);
+  } else {
+    util::TaskPool pool(options.jobs);
+    report.jobs = pool.worker_count();
+    std::vector<std::future<ScaledShardCensus>> futures;
+    futures.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      futures.push_back(pool.submit([&run_one, i] { return run_one(i); }));
+    // Canonical catalog-order merge, independent of scheduling.
+    for (std::size_t i = 0; i < n; ++i) report.shards[i] = futures[i].get();
+  }
+
+  report.arena_reserved_bytes = arena_reserved.load();
+  report.arena_used_bytes = arena_used.load();
+
+  // Canonical payload serialization (catalog order; telemetry excluded).
+  report.payload = "provider,vantage_points,hosts,clients,subscribers,addr_fp\n";
+  for (const auto& s : report.shards)
+    report.payload += util::format(
+        "%s,%u,%u,%u,%u,%016llx\n", s.provider.c_str(), s.vantage_points,
+        s.hosts, s.clients, s.modeled_subscribers,
+        static_cast<unsigned long long>(s.address_fingerprint));
+  report.payload_fingerprint = util::fnv1a(report.payload);
+
+  report.peak_rss_kb = util::peak_rss_kb();
   report.wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

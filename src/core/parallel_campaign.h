@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/runner.h"
+#include "ecosystem/scale.h"
 #include "netsim/routing_plane.h"
 #include "obs/export.h"
 #include "obs/status.h"
@@ -101,6 +102,60 @@ struct CampaignReport {
     const RunnerOptions& options, const obs::TraceConfig& trace,
     obs::ShardTrace* out,
     std::shared_ptr<const netsim::RoutingPlane> plane = nullptr);
+
+// --- scaled campaigns --------------------------------------------------------
+// The O(10³)-provider census path: every provider in a synthetic scaled
+// catalog gets its own shard world (same shard_seed discipline as the paper
+// campaign), each shard reports a deterministic census record, and records
+// merge in canonical catalog order. The payload is byte-identical at any
+// `jobs` and in both materialization modes.
+
+struct ScaledCampaignOptions {
+  std::uint64_t seed = 20181031;
+  // Worker threads; 0 = hardware concurrency, 1 = serial.
+  std::size_t jobs = 1;
+  // Eager mode materializes every shard world in the driver before any
+  // census runs — the peak-RSS A/B baseline. The default (deferred) hands
+  // workers DeferredShard handles materialized on first touch, bounding
+  // peak RSS by the worker count instead of the shard count.
+  bool eager = false;
+  // Per-shard eyeball-client materialization cap (see ScaledShardOptions).
+  std::uint32_t max_clients = 4;
+  bool share_routing_plane = true;
+};
+
+// One shard's deterministic census record.
+struct ScaledShardCensus {
+  std::string provider;
+  std::uint32_t vantage_points = 0;      // deployed, incl. reseller aliases
+  std::uint32_t hosts = 0;               // shard-world host count
+  std::uint32_t clients = 0;             // materialized subscriber eyeballs
+  std::uint32_t modeled_subscribers = 0; // catalog count (not materialized)
+  std::uint64_t address_fingerprint = 0; // FNV over vantage addrs, deploy order
+};
+
+struct ScaledCampaignReport {
+  std::uint64_t seed = 0;
+  std::size_t jobs = 1;
+  bool eager = false;
+  std::vector<ScaledShardCensus> shards;  // canonical catalog order
+  std::uint64_t catalog_fingerprint = 0;
+  // Canonical serialization of `shards` and its hash — the deterministic
+  // payload (compare across jobs / materialization modes by this).
+  std::string payload;
+  std::uint64_t payload_fingerprint = 0;
+  // Arena bytes summed over shard worlds (deterministic: a pure function
+  // of the build sequence).
+  std::uint64_t arena_reserved_bytes = 0;
+  std::uint64_t arena_used_bytes = 0;
+  // Wall-clock telemetry, excluded from the payload.
+  std::size_t peak_rss_kb = 0;
+  double wall_s = 0.0;
+};
+
+[[nodiscard]] ScaledCampaignReport run_scaled_campaign(
+    const ecosystem::ScaledCatalog& catalog,
+    const ScaledCampaignOptions& options = {});
 
 class ParallelCampaign {
  public:

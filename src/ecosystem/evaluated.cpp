@@ -503,7 +503,8 @@ EvaluatedStats evaluated_stats() {
   return s;
 }
 
-std::uint64_t catalog_fingerprint() {
+std::uint64_t catalog_fingerprint(
+    std::span<const EvaluatedProvider> providers) {
   // Serialize every field that shapes a campaign into one canonical string
   // and hash it. Field separators keep adjacent values from aliasing
   // ("ab"+"c" vs "a"+"bc").
@@ -515,7 +516,7 @@ std::uint64_t catalog_fingerprint() {
   };
   const auto num = [&field](double v) { field(util::format("%.17g", v)); };
   const auto flag = [&field](bool v) { field(v ? "1" : "0"); };
-  for (const auto& p : evaluated_providers()) {
+  for (const auto& p : providers) {
     const auto& spec = p.spec;
     field(spec.name);
     field(vpn::subscription_name(p.subscription));
@@ -547,6 +548,10 @@ std::uint64_t catalog_fingerprint() {
     canon.push_back('\x1e');  // provider separator
   }
   return util::fnv1a(canon);
+}
+
+std::uint64_t catalog_fingerprint() {
+  return catalog_fingerprint(evaluated_providers());
 }
 
 }  // namespace vpna::ecosystem

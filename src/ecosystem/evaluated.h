@@ -53,4 +53,11 @@ struct EvaluatedStats {
 // records for the content-addressed artifact store.
 [[nodiscard]] std::uint64_t catalog_fingerprint();
 
+// The same canonical serialization + hash over an arbitrary provider list;
+// the no-argument form is this applied to evaluated_providers(). Synthetic
+// scaled catalogs (ecosystem/scale.h) fingerprint through this overload so
+// base and generated catalogs share one canonical form.
+[[nodiscard]] std::uint64_t catalog_fingerprint(
+    std::span<const EvaluatedProvider> providers);
+
 }  // namespace vpna::ecosystem

@@ -6,6 +6,7 @@
 // are per-ISP: each hosting network redirects to its own ISP's block page.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <set>
 #include <string>

@@ -137,8 +137,16 @@ World::World(std::uint64_t seed,
 }
 
 netsim::Host& World::new_host(std::string name) {
-  hosts_.push_back(std::make_unique<netsim::Host>(std::move(name)));
-  return *hosts_.back();
+  ++host_count_;
+  return *host_arena_.create<netsim::Host>(std::move(name));
+}
+
+void World::reserve_hosts(std::size_t extra_hosts) {
+  network_->reserve_hosts(extra_hosts);
+  // Hosts plus their out-of-line state (interfaces vector etc.) land in the
+  // arena only for the Host object itself; 2x sizeof(Host) absorbs the
+  // finalizer-table growth and alignment slop without overcommitting.
+  host_arena_.reserve(extra_hosts * 2 * sizeof(netsim::Host));
 }
 
 void World::build_backbone() {

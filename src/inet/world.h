@@ -22,6 +22,7 @@
 #include "netsim/network.h"
 #include "tlssim/cert.h"
 #include "tlssim/handshake.h"
+#include "util/arena.h"
 #include "util/clock.h"
 #include "util/rng.h"
 
@@ -114,6 +115,19 @@ class World {
   // city, with IPv4+IPv6, default routes and the ISP's resolver configured.
   netsim::Host& spawn_client(std::string_view city, std::string name);
 
+  // Capacity hint: a caller that knows how many hosts it is about to spawn
+  // (shard builds and the scaled generator do) pre-sizes the host arena and
+  // the network's attachment indexes in one step.
+  void reserve_hosts(std::size_t extra_hosts);
+  [[nodiscard]] std::size_t host_count() const noexcept { return host_count_; }
+  // Arena bytes backing host objects (reserved from the system / handed out).
+  [[nodiscard]] std::size_t host_arena_reserved_bytes() const noexcept {
+    return host_arena_.bytes_reserved();
+  }
+  [[nodiscard]] std::size_t host_arena_used_bytes() const noexcept {
+    return host_arena_.bytes_allocated();
+  }
+
   // --- addressing / registries ---------------------------------------------
   [[nodiscard]] WhoisDb& whois() noexcept { return whois_; }
   [[nodiscard]] std::shared_ptr<geo::AllocationRegistry> geo_registry() {
@@ -202,7 +216,15 @@ class World {
   util::Rng rng_;
   std::unique_ptr<netsim::Network> network_;
 
-  std::vector<std::unique_ptr<netsim::Host>> hosts_;
+  // All hosts live in a bump arena owned by the world (one arena per shard):
+  // creation is a pointer bump, locality follows build order, and teardown
+  // releases whole blocks after running host destructors newest-first. Host
+  // pointers remain stable for the world's lifetime, exactly as the old
+  // vector<unique_ptr<Host>> storage guaranteed. Declared after network_ so
+  // hosts are destroyed before the network that references them, matching
+  // the previous member order.
+  util::Arena host_arena_;
+  std::size_t host_count_ = 0;
   std::vector<netsim::RouterId> city_routers_;  // parallel to geo::cities()
 
   std::vector<Datacenter> datacenters_;

@@ -53,16 +53,31 @@ std::optional<IpAddr> Host::primary_addr(IpFamily family) const {
 
 void Host::bind_service(Proto proto, std::uint16_t port,
                         std::shared_ptr<Service> service) {
-  services_[{proto, port}] = std::move(service);
+  const auto key = service_key(proto, port);
+  const auto it = std::lower_bound(
+      services_.begin(), services_.end(), key,
+      [](const ServiceBinding& b, std::uint32_t k) { return b.key < k; });
+  if (it != services_.end() && it->key == key) {
+    it->service = std::move(service);
+    return;
+  }
+  services_.insert(it, ServiceBinding{key, std::move(service)});
 }
 
 void Host::unbind_service(Proto proto, std::uint16_t port) {
-  services_.erase({proto, port});
+  const auto key = service_key(proto, port);
+  const auto it = std::lower_bound(
+      services_.begin(), services_.end(), key,
+      [](const ServiceBinding& b, std::uint32_t k) { return b.key < k; });
+  if (it != services_.end() && it->key == key) services_.erase(it);
 }
 
 Service* Host::find_service(Proto proto, std::uint16_t port) const {
-  const auto it = services_.find({proto, port});
-  return it == services_.end() ? nullptr : it->second.get();
+  const auto key = service_key(proto, port);
+  const auto it = std::lower_bound(
+      services_.begin(), services_.end(), key,
+      [](const ServiceBinding& b, std::uint32_t k) { return b.key < k; });
+  return it != services_.end() && it->key == key ? it->service.get() : nullptr;
 }
 
 void Host::set_tunnel_hook(std::string tun_interface, TunnelEncapHook hook) {

@@ -5,8 +5,8 @@
 // audits it — mirroring how the paper's tests observe a macOS VM.
 #pragma once
 
+#include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -108,6 +108,9 @@ class Host {
                     std::shared_ptr<Service> service);
   void unbind_service(Proto proto, std::uint16_t port);
   [[nodiscard]] Service* find_service(Proto proto, std::uint16_t port) const;
+  [[nodiscard]] std::size_t service_count() const noexcept {
+    return services_.size();
+  }
 
   // --- tunnel hook -----------------------------------------------------------
   // Attaches/detaches the encapsulation hook for a tun interface.
@@ -133,12 +136,25 @@ class Host {
   [[nodiscard]] std::uint16_t next_ephemeral_port() noexcept;
 
  private:
+  // Service bindings as a flat vector sorted by packed (proto, port) key —
+  // hosts bind a handful of services, so a cache-line binary search beats a
+  // node-based map on every delivered packet, and per-host service storage
+  // is one contiguous allocation instead of a node per binding.
+  struct ServiceBinding {
+    std::uint32_t key;  // (proto << 16) | port
+    std::shared_ptr<Service> service;
+  };
+  static constexpr std::uint32_t service_key(Proto proto,
+                                             std::uint16_t port) noexcept {
+    return (static_cast<std::uint32_t>(proto) << 16) | port;
+  }
+
   std::string name_;
   std::vector<Interface> interfaces_;
   RouteTable routes_;
   Firewall firewall_;
   std::vector<IpAddr> dns_servers_;
-  std::map<std::pair<Proto, std::uint16_t>, std::shared_ptr<Service>> services_;
+  std::vector<ServiceBinding> services_;
   std::string tunnel_interface_;
   TunnelEncapHook tunnel_hook_;
   CaptureBuffer capture_;

@@ -262,6 +262,14 @@ void Network::detach_host(Host& host) {
   debug_check_address_index();
 }
 
+void Network::reserve_hosts(std::size_t host_count) {
+  const std::size_t total = attachments_.size() + host_count;
+  attachments_.reserve(total);
+  host_index_.reserve(total);
+  // Most hosts index two global addresses (v4 + v6).
+  addr_to_attachment_.reserve(2 * total);
+}
+
 void Network::refresh_host(Host& host) {
   const auto it = host_index_.find(&host);
   if (it == host_index_.end()) return;
@@ -302,6 +310,8 @@ void Network::reindex_addresses() {
   // incremental index maintained by index/unindex_attachment.
   addr_to_attachment_.clear();
   host_index_.clear();
+  host_index_.reserve(attachments_.size());
+  addr_to_attachment_.reserve(2 * attachments_.size());
   for (std::size_t i = 0; i < attachments_.size(); ++i) {
     auto& att = attachments_[i];
     att.indexed_addrs.clear();
@@ -439,6 +449,9 @@ const Network::PathInfo* Network::path(RouterId a, RouterId b) const {
     }
     std::reverse(info.routers.begin(), info.routers.end());
   }
+  // Cap the memo table; clearing is deterministic-safe because every entry
+  // is recomputable from the (immutable while cached) topology.
+  if (path_cache_.size() >= kPathCacheMaxEntries) path_cache_.clear();
   const auto [it, inserted] = path_cache_.emplace(key, std::move(info));
   (void)inserted;
   return &it->second;

@@ -198,6 +198,10 @@ class Network {
   // sender, as BGP anycast does.
   void attach_host(Host& host, RouterId router, double access_latency_ms = 0.3);
   void detach_host(Host& host);
+  // Capacity hint for a build that knows its host count up front (shard
+  // construction does): pre-sizes the attachment table and pre-buckets the
+  // host/address hash indexes so a bulk attach triggers no rehashing.
+  void reserve_hosts(std::size_t host_count);
   [[nodiscard]] Host* host_by_addr(const IpAddr& addr) const;
   // Re-index a host's addresses after interfaces changed.
   void refresh_host(Host& host);
@@ -289,6 +293,11 @@ class Network {
   // Address -> attachment slots, ascending (attach order); more than one
   // entry means anycast.
   std::unordered_map<IpAddr, std::vector<std::size_t>> addr_to_attachment_;
+  // Memoized paths, capped: at O(10³)-provider scale the (src, dst) router
+  // pair space would otherwise grow the cache without bound. Hitting the cap
+  // clears the cache — paths are pure functions of the frozen topology, so
+  // recomputation is deterministic and results are unaffected.
+  static constexpr std::size_t kPathCacheMaxEntries = 1 << 16;
   mutable std::unordered_map<std::uint64_t, PathInfo> path_cache_;
   // Routing-plane state (see freeze_topology()).
   bool frozen_ = false;

@@ -1,0 +1,139 @@
+// Bump-pointer arena allocator for shard-lifetime objects.
+//
+// A campaign shard builds tens of thousands of hosts, runs its suite, and
+// throws the whole world away. Allocating each host (and its interfaces)
+// individually means the build path pays one malloc per object and teardown
+// pays one free per object — at O(10³) providers that dominates shard build
+// time. The arena instead carves objects out of geometrically-growing
+// blocks: allocation is a pointer bump, locality follows construction
+// order, and teardown releases whole blocks at once (after running the
+// registered destructors of non-trivially-destructible objects, newest
+// first, so cross-object references formed during construction unwind in
+// reverse).
+//
+// The arena is NOT thread-safe: each shard world owns its own arena, and a
+// shard runs on exactly one worker — the same isolation contract the rest
+// of the campaign engine relies on.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace vpna::util {
+
+class Arena {
+ public:
+  // First block size; subsequent blocks double up to kMaxBlockBytes.
+  static constexpr std::size_t kInitialBlockBytes = 64 * 1024;
+  static constexpr std::size_t kMaxBlockBytes = 4 * 1024 * 1024;
+
+  Arena() = default;
+  ~Arena() { reset(); }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Raw aligned allocation. Oversized requests (> kMaxBlockBytes) get a
+  // dedicated block so they never poison the bump geometry.
+  [[nodiscard]] void* allocate(std::size_t size, std::size_t align) {
+    const std::uintptr_t cur = reinterpret_cast<std::uintptr_t>(cursor_);
+    const std::uintptr_t aligned = (cur + (align - 1)) & ~(align - 1);
+    if (aligned + size <= reinterpret_cast<std::uintptr_t>(limit_)) {
+      cursor_ = reinterpret_cast<std::byte*>(aligned + size);
+      bytes_allocated_ += size;
+      return reinterpret_cast<void*>(aligned);
+    }
+    return allocate_slow(size, align);
+  }
+
+  // Constructs a T in the arena. Destructors of non-trivially-destructible
+  // types are registered and run (newest first) at reset()/destruction;
+  // trivially-destructible types cost nothing beyond the bump.
+  template <typename T, typename... Args>
+  [[nodiscard]] T* create(Args&&... args) {
+    void* mem = allocate(sizeof(T), alignof(T));
+    T* obj = new (mem) T(std::forward<Args>(args)...);
+    if constexpr (!std::is_trivially_destructible_v<T>) {
+      finalizers_.push_back(
+          {obj, [](void* p) { static_cast<T*>(p)->~T(); }});
+    }
+    return obj;
+  }
+
+  // Runs registered destructors (reverse registration order) and releases
+  // every block. The arena is reusable afterwards.
+  void reset() noexcept {
+    for (auto it = finalizers_.rbegin(); it != finalizers_.rend(); ++it)
+      it->destroy(it->object);
+    finalizers_.clear();
+    blocks_.clear();
+    cursor_ = nullptr;
+    limit_ = nullptr;
+    next_block_bytes_ = kInitialBlockBytes;
+    bytes_allocated_ = 0;
+    bytes_reserved_ = 0;
+  }
+
+  // Pre-sizes the next block so a build with a known footprint (shard host
+  // counts are known up front) runs out of exactly zero blocks mid-build.
+  void reserve(std::size_t bytes) {
+    if (bytes > next_block_bytes_ && cursor_ == limit_)
+      next_block_bytes_ = bytes;
+  }
+
+  // Sum of the sizes handed out (excludes alignment slop and block slack).
+  [[nodiscard]] std::size_t bytes_allocated() const noexcept {
+    return bytes_allocated_;
+  }
+  // Sum of the block sizes actually reserved from the system.
+  [[nodiscard]] std::size_t bytes_reserved() const noexcept {
+    return bytes_reserved_;
+  }
+  [[nodiscard]] std::size_t block_count() const noexcept {
+    return blocks_.size();
+  }
+  [[nodiscard]] std::size_t object_finalizers() const noexcept {
+    return finalizers_.size();
+  }
+
+ private:
+  struct Finalizer {
+    void* object;
+    void (*destroy)(void*);
+  };
+
+  [[nodiscard]] void* allocate_slow(std::size_t size, std::size_t align) {
+    // Dedicated block for oversized requests; normal growth otherwise.
+    std::size_t block_bytes = next_block_bytes_;
+    if (size + align > block_bytes) {
+      block_bytes = size + align;
+    } else {
+      next_block_bytes_ = std::min(next_block_bytes_ * 2, kMaxBlockBytes);
+    }
+    blocks_.push_back(std::make_unique<std::byte[]>(block_bytes));
+    bytes_reserved_ += block_bytes;
+    std::byte* base = blocks_.back().get();
+    const std::uintptr_t aligned =
+        (reinterpret_cast<std::uintptr_t>(base) + (align - 1)) & ~(align - 1);
+    cursor_ = reinterpret_cast<std::byte*>(aligned + size);
+    limit_ = base + block_bytes;
+    bytes_allocated_ += size;
+    return reinterpret_cast<void*>(aligned);
+  }
+
+  std::vector<std::unique_ptr<std::byte[]>> blocks_;
+  std::vector<Finalizer> finalizers_;
+  std::byte* cursor_ = nullptr;
+  std::byte* limit_ = nullptr;
+  std::size_t next_block_bytes_ = kInitialBlockBytes;
+  std::size_t bytes_allocated_ = 0;
+  std::size_t bytes_reserved_ = 0;
+};
+
+}  // namespace vpna::util

@@ -1,0 +1,44 @@
+// Process memory telemetry: peak / current resident set size read from
+// /proc/self/status. Wall-clock-style observability — never part of any
+// deterministic payload — used by the scaled-campaign report and the bench
+// harness's peak-RSS columns. Returns 0 where procfs is unavailable.
+#pragma once
+
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace vpna::util {
+
+namespace detail {
+
+inline std::size_t proc_status_kb(const char* key) noexcept {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  const std::size_t key_len = std::strlen(key);
+  char line[256];
+  std::size_t kb = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0) {
+      kb = static_cast<std::size_t>(std::strtoull(line + key_len, nullptr, 10));
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+}  // namespace detail
+
+// High-water-mark resident set size of this process, in KiB (VmHWM).
+inline std::size_t peak_rss_kb() noexcept {
+  return detail::proc_status_kb("VmHWM:");
+}
+
+// Current resident set size, in KiB (VmRSS).
+inline std::size_t current_rss_kb() noexcept {
+  return detail::proc_status_kb("VmRSS:");
+}
+
+}  // namespace vpna::util
