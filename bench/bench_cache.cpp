@@ -1,0 +1,96 @@
+// Content-addressed shard cache: cold-vs-warm wall clock on the full
+// 62-provider campaign, plus byte-identity of the warm (all-hits) payload
+// against both the cold run and a cache-off baseline. The warm replay
+// decodes 62 artifacts instead of building 62 shard worlds, so the
+// speedup is the cost of world construction itself.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "analysis/report_aggregation.h"
+#include "bench_common.h"
+#include "core/parallel_campaign.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+using namespace vpna;
+
+int main() {
+  bench::print_header("artifact-cache",
+                      "cold vs warm shard-cache replay, full 62-provider "
+                      "campaign");
+
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path dir =
+      fs::temp_directory_path(ec) / "vpna_bench_cache_store";
+  fs::remove_all(dir, ec);  // stale store from a previous run = not cold
+
+  core::CampaignOptions opts;
+  opts.runner.vantage_points_per_provider = 3;
+  opts.jobs = 4;
+
+  const auto baseline = core::ParallelCampaign(opts).run();
+  const auto baseline_payload =
+      analysis::serialize_campaign_payload(baseline);
+
+  opts.cache.dir = dir.string();
+  opts.cache.mode = store::CacheMode::kReadWrite;
+
+  const auto cold = core::ParallelCampaign(opts).run();
+  const auto cold_payload = analysis::serialize_campaign_payload(cold);
+  const auto cold_cache = core::summarize_cache(cold.cache_records);
+
+  const auto warm = core::ParallelCampaign(opts).run();
+  const auto warm_payload = analysis::serialize_campaign_payload(warm);
+  const auto warm_cache = core::summarize_cache(warm.cache_records);
+
+  std::printf("%-8s %10s %6s %6s %8s  %s\n", "run", "wall(s)", "hits",
+              "misses", "stored", "payload");
+  std::printf("%-8s %10.3f %6s %6s %8s  %s\n", "off", baseline.wall_s, "-",
+              "-", "-", "baseline");
+  std::printf("%-8s %10.3f %6zu %6zu %8zu  %s\n", "cold", cold.wall_s,
+              cold_cache.hits, cold_cache.misses, cold_cache.stored,
+              cold_payload == baseline_payload ? "byte-identical"
+                                               : "DIVERGED");
+  std::printf("%-8s %10.3f %6zu %6zu %8zu  %s\n", "warm", warm.wall_s,
+              warm_cache.hits, warm_cache.misses, warm_cache.stored,
+              warm_payload == baseline_payload ? "byte-identical"
+                                               : "DIVERGED");
+
+  const double speedup =
+      warm.wall_s > 0.0 ? cold.wall_s / warm.wall_s : 0.0;
+  bench::compare("warm replay speedup (cold / warm wall)", ">=10x",
+                 util::format("%.1fx", speedup));
+  bench::compare("warm hit rate", "62/62",
+                 util::format("%zu/%zu", warm_cache.hits,
+                              warm_cache.shards));
+  bench::compare(
+      "payload fingerprint (off == cold == warm)",
+      util::format("%016llx",
+                   static_cast<unsigned long long>(
+                       util::fnv1a(baseline_payload))),
+      util::format(
+          "%016llx / %016llx",
+          static_cast<unsigned long long>(util::fnv1a(cold_payload)),
+          static_cast<unsigned long long>(util::fnv1a(warm_payload))));
+  bench::compare("store size after cold run",
+                 "62 artifacts",
+                 util::format("%llu bytes written",
+                              static_cast<unsigned long long>(
+                                  cold_cache.bytes_written)));
+
+  fs::remove_all(dir, ec);
+
+  if (warm_payload != baseline_payload || cold_payload != baseline_payload) {
+    std::fprintf(stderr, "FAIL: cached payload diverged from baseline\n");
+    return 1;
+  }
+  if (warm_cache.hits != warm_cache.shards || warm_cache.misses != 0) {
+    std::fprintf(stderr, "FAIL: warm run was not all-hits\n");
+    return 1;
+  }
+  bench::note("warm wall is pure artifact decode + canonical merge; the "
+              "speedup is the cost of building 62 shard worlds");
+  return 0;
+}

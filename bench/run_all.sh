@@ -2,17 +2,22 @@
 # Runs every bench executable and aggregates their machine-readable output
 # into one JSON document.
 #
-#   bench/run_all.sh [build-dir] [out.json] [--compare old.json]
+#   bench/run_all.sh [build-dir] [out.json] [--compare old.json|auto]
 #
-# Defaults: build-dir = ./build, out.json = BENCH_PR8.json. The regeneration
-# benches emit one `BENCH_JSON {...}` trailer line each (see
+# Defaults: build-dir = ./build, out.json = the next BENCH_PR<N>.json after
+# the highest-numbered one in the repo root (BENCH_PR9.json when
+# BENCH_PR8.json is the newest; BENCH_PR1.json when none exist). The
+# regeneration benches emit one `BENCH_JSON {...}` trailer line each (see
 # bench/bench_common.h); bench_perf_simulator is google-benchmark and is run
 # with --benchmark_format=json. The aggregate maps bench name -> its JSON.
 #
 # --compare old.json prints per-bench wall-ms deltas against a previous
 # aggregate and exits non-zero if any bench_perf_simulator benchmark
-# regressed by more than 25%. The regeneration benches' wall_ms deltas are
-# informational only (they include one-time setup and are noisy).
+# regressed by more than 25%. `--compare auto` selects the baseline the way
+# earlier PR scripts hardcoded it — the highest-numbered BENCH_PR*.json
+# next to this script's repo root — so the invocation no longer goes stale
+# each PR. The regeneration benches' wall_ms deltas are informational only
+# (they include one-time setup and are noisy).
 set -eu
 
 compare=""
@@ -33,13 +38,40 @@ done
 # shellcheck disable=SC2086
 set -- $positional
 
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+# Highest-numbered BENCH_PR<N>.json in the repo root (numeric order, so
+# PR10 beats PR9); empty when none exist.
+latest_baseline() {
+    ls "$repo_root"/BENCH_PR*.json 2>/dev/null |
+        sed -n 's/.*BENCH_PR\([0-9][0-9]*\)\.json$/\1 &/p' |
+        sort -n | tail -1 | cut -d' ' -f2-
+}
+
 build_dir="${1:-build}"
-out="${2:-BENCH_PR8.json}"
+out="${2:-}"
+if [ -z "$out" ]; then
+    latest="$(latest_baseline)"
+    if [ -n "$latest" ]; then
+        n="$(basename "$latest" | sed 's/BENCH_PR\([0-9]*\)\.json/\1/')"
+        out="BENCH_PR$((n + 1)).json"
+    else
+        out="BENCH_PR1.json"
+    fi
+fi
 bench_dir="$build_dir/bench"
 
 if [ ! -d "$bench_dir" ]; then
     echo "error: $bench_dir not found (build first: cmake --build $build_dir -j)" >&2
     exit 1
+fi
+if [ "$compare" = "auto" ]; then
+    compare="$(latest_baseline)"
+    if [ -z "$compare" ]; then
+        echo "error: --compare auto found no BENCH_PR*.json in $repo_root" >&2
+        exit 1
+    fi
+    echo "compare baseline (auto): $compare"
 fi
 if [ -n "$compare" ] && [ ! -f "$compare" ]; then
     echo "error: compare baseline $compare not found" >&2

@@ -6,6 +6,7 @@
 //                   [--speedtest] [--trace FILE] [--metrics FILE]
 //                   [--trace-hops] [--status-file FILE] [--watchdog MULT]
 //                   [--profile FILE] [--scale N] [--subscribers M] [--eager]
+//                   [--cache-dir DIR] [--cache off|rw|ro] [--explain-cache]
 //
 // Default output-dir is the current directory. --jobs selects the parallel
 // campaign engine's worker count (0 = hardware concurrency, 1 = serial);
@@ -47,6 +48,19 @@
 // materialize per shard). --eager pre-materializes every shard world in
 // the driver first — the peak-RSS A/B baseline for the deferred default.
 //
+// --cache-dir DIR points the content-addressed artifact store at DIR and
+// (unless --cache overrides it) opens it read-write: each provider shard
+// consults the store before building its world, replays a cached report on
+// a hit, and files the encoded report back on a miss. Payloads are byte-
+// identical with the cache off, cold, or warm — a warm re-run just skips
+// the work. --cache ro consults without ever writing (shared store dirs);
+// --cache off ignores the store. --explain-cache prints one line per shard
+// with its content address and what the store did (hit/miss/corrupt/
+// bypass). Corrupt artifacts (truncation, bit flips, foreign writers) are
+// detected by checksum, recomputed, and — in rw mode — repaired in place;
+// they are never merged. run_manifest.json carries the same provenance in
+// its "cache" section. Traced runs (--trace/--metrics) bypass the cache.
+//
 // --trace writes a Chrome trace-event JSON of the whole campaign in
 // sim-time (load it in https://ui.perfetto.dev; one lane per provider
 // shard) and also enables the metrics registry; --metrics dumps the merged
@@ -80,15 +94,36 @@ int usage() {
                "[--faults off|flaky|hostile] [--speedtest] [--trace FILE] "
                "[--metrics FILE] [--trace-hops] [--status-file FILE] "
                "[--watchdog MULT] [--profile FILE] [--scale N] "
-               "[--subscribers M] [--eager]\n");
+               "[--subscribers M] [--eager] [--cache-dir DIR] "
+               "[--cache off|rw|ro] [--explain-cache]\n");
   return 2;
 }
 
+void print_cache_summary(const core::CacheSummary& cache,
+                         const store::CacheConfig& config) {
+  std::printf("  cache (%s, %s): %zu hit, %zu miss, %zu corrupt, "
+              "%zu bypassed; %zu stored; %.1f KiB read, %.1f KiB written\n",
+              std::string(store::cache_mode_name(config.mode)).c_str(),
+              config.dir.c_str(), cache.hits, cache.misses, cache.corrupt,
+              cache.bypassed, cache.stored, cache.bytes_read / 1024.0,
+              cache.bytes_written / 1024.0);
+}
+
+void explain_cache(const std::vector<core::ShardCacheRecord>& records) {
+  for (const auto& r : records)
+    std::printf("  cache %-8s %s  %s%s (%llu bytes)\n",
+                std::string(core::cache_outcome_name(r.outcome)).c_str(),
+                r.key_id.c_str(), r.provider.c_str(),
+                r.stored ? "  [stored]" : "",
+                static_cast<unsigned long long>(r.bytes));
+}
+
 // The --scale path: generate the synthetic catalog, run the scaled census
-// campaign, write scale_census.csv, and print the fingerprints a caller
-// needs to compare runs.
+// campaign, write scale_census.csv + scale_manifest.json, and print the
+// fingerprints a caller needs to compare runs.
 int run_scaled(const std::filesystem::path& out_dir, std::size_t scale,
-               std::uint32_t subscribers, std::size_t jobs, bool eager) {
+               std::uint32_t subscribers, std::size_t jobs, bool eager,
+               const store::CacheConfig& cache, bool explain) {
   std::printf(
       "generating scaled catalog: %zu providers, ~%u subscribers each...\n",
       scale, subscribers);
@@ -103,6 +138,7 @@ int run_scaled(const std::filesystem::path& out_dir, std::size_t scale,
   core::ScaledCampaignOptions opts;
   opts.jobs = jobs;
   opts.eager = eager;
+  opts.cache = cache;
   std::printf("running scaled census (jobs=%zu, %s materialization)...\n",
               jobs, eager ? "eager" : "deferred");
   const auto report = core::run_scaled_campaign(catalog, opts);
@@ -110,6 +146,10 @@ int run_scaled(const std::filesystem::path& out_dir, std::size_t scale,
   {
     std::ofstream csv(out_dir / "scale_census.csv");
     csv << report.payload;
+  }
+  {
+    std::ofstream manifest(out_dir / "scale_manifest.json");
+    manifest << analysis::render_scaled_manifest_json(report, opts);
   }
   std::uint64_t hosts = 0;
   for (const auto& s : report.shards) hosts += s.hosts;
@@ -123,7 +163,12 @@ int run_scaled(const std::filesystem::path& out_dir, std::size_t scale,
               report.arena_reserved_bytes / (1024.0 * 1024.0),
               report.arena_used_bytes / (1024.0 * 1024.0),
               report.peak_rss_kb / 1024.0);
-  std::printf("wrote %s\n", (out_dir / "scale_census.csv").string().c_str());
+  if (cache.enabled())
+    print_cache_summary(core::summarize_cache(report.cache_records), cache);
+  if (explain) explain_cache(report.cache_records);
+  std::printf("wrote %s and %s\n",
+              (out_dir / "scale_census.csv").string().c_str(),
+              (out_dir / "scale_manifest.json").string().c_str());
   return 0;
 }
 
@@ -142,6 +187,9 @@ int main(int argc, char** argv) {
   std::size_t scale = 0;
   std::uint32_t subscribers = 1000;
   bool eager = false;
+  store::CacheConfig cache;
+  bool cache_mode_set = false;
+  bool explain = false;
   faults::FaultProfile fault_profile = faults::FaultProfile::kOff;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0) {
@@ -182,6 +230,15 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--profile") == 0) {
       if (i + 1 >= argc) return usage();
       profile_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--cache-dir") == 0) {
+      if (i + 1 >= argc) return usage();
+      cache.dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--cache") == 0) {
+      if (i + 1 >= argc) return usage();
+      if (!store::parse_cache_mode(argv[++i], &cache.mode)) return usage();
+      cache_mode_set = true;
+    } else if (std::strcmp(argv[i], "--explain-cache") == 0) {
+      explain = true;
     } else if (argv[i][0] == '-') {
       return usage();
     } else {
@@ -189,8 +246,14 @@ int main(int argc, char** argv) {
     }
   }
   std::filesystem::create_directories(out_dir);
+  // --cache-dir alone opens the store read-write; an explicit --cache mode
+  // always wins (so `--cache-dir D --cache ro` is a read-only consult).
+  if (!cache.dir.empty() && !cache_mode_set)
+    cache.mode = store::CacheMode::kReadWrite;
 
-  if (scale > 0) return run_scaled(out_dir, scale, subscribers, jobs, eager);
+  if (scale > 0)
+    return run_scaled(out_dir, scale, subscribers, jobs, eager, cache,
+                      explain);
 
   core::CampaignOptions opts;
   opts.runner.vantage_points_per_provider = 3;
@@ -205,6 +268,11 @@ int main(int argc, char** argv) {
   // Health plane: wall-clock telemetry only, payloads unchanged.
   opts.status.file = status_path.string();
   opts.status.watchdog_multiple = watchdog_multiple;
+  opts.cache = cache;
+  if (cache.enabled() && opts.trace.enabled)
+    std::fprintf(stderr,
+                 "note: traced runs bypass the artifact cache "
+                 "(a ShardTrace is not part of the cached artifact)\n");
   if (!profile_path.empty()) obs::Profiler::enable();
 
   std::printf("running the full 62-provider campaign (jobs=%zu, faults=%s)...\n",
@@ -277,6 +345,9 @@ int main(int argc, char** argv) {
               100.0 * engine.parallel_efficiency());
   if (engine.failed_shards > 0)
     std::printf("  FAILED SHARDS: %zu\n", engine.failed_shards);
+  if (cache.enabled())
+    print_cache_summary(core::summarize_cache(result.cache_records), cache);
+  if (explain) explain_cache(result.cache_records);
   // Degradation summary goes to stderr: a degraded-but-complete run still
   // exits 0, and scripts watching stderr see what gave up and why.
   if (engine.degraded_providers > 0) {

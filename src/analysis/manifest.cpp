@@ -1,10 +1,12 @@
 #include "analysis/manifest.h"
 
 #include "analysis/report_aggregation.h"
+#include "core/report_codec.h"
 #include "ecosystem/evaluated.h"
 #include "ecosystem/testbed.h"
 #include "faults/profile.h"
 #include "obs/export.h"
+#include "store/code_epoch.h"
 #include "util/rng.h"
 #include "util/strings.h"
 
@@ -29,6 +31,22 @@ RunManifest build_run_manifest(const core::CampaignOptions& options,
   m.jobs = report.jobs;
   m.shard_attempts = options.shard_attempts;
   m.trace_enabled = options.trace.enabled;
+
+  m.cache_mode = std::string(store::cache_mode_name(options.cache.mode));
+  m.cache_dir = options.cache.dir;
+  m.code_epoch = store::kCodeEpoch;
+  m.runner_options_fp = core::runner_options_fingerprint(options.runner);
+  m.cache = core::summarize_cache(report.cache_records);
+  m.shard_cache.reserve(report.cache_records.size());
+  for (const auto& r : report.cache_records) {
+    RunManifest::ShardCacheEntry e;
+    e.provider = r.provider;
+    e.key = r.key_id;
+    e.outcome = std::string(core::cache_outcome_name(r.outcome));
+    e.stored = r.stored;
+    e.bytes = r.bytes;
+    m.shard_cache.push_back(std::move(e));
+  }
 
 #ifdef __VERSION__
   m.compiler = __VERSION__;
@@ -86,6 +104,38 @@ std::string render_manifest_json(const RunManifest& m) {
                       m.trace_enabled ? "true" : "false");
   out += "  },\n";
 
+  out += "  \"cache\": {\n";
+  out += util::format("    \"mode\": \"%s\",\n",
+                      obs::json_escape(m.cache_mode).c_str());
+  out += util::format("    \"dir\": \"%s\",\n",
+                      obs::json_escape(m.cache_dir).c_str());
+  out += util::format("    \"code_epoch\": %u,\n", m.code_epoch);
+  out += util::format("    \"runner_options_fingerprint\": \"%016llx\",\n",
+                      static_cast<unsigned long long>(m.runner_options_fp));
+  out += util::format("    \"shards\": %zu,\n", m.cache.shards);
+  out += util::format("    \"hits\": %zu,\n", m.cache.hits);
+  out += util::format("    \"misses\": %zu,\n", m.cache.misses);
+  out += util::format("    \"corrupt\": %zu,\n", m.cache.corrupt);
+  out += util::format("    \"bypassed\": %zu,\n", m.cache.bypassed);
+  out += util::format("    \"stored\": %zu,\n", m.cache.stored);
+  out += util::format("    \"bytes_read\": %llu,\n",
+                      static_cast<unsigned long long>(m.cache.bytes_read));
+  out += util::format("    \"bytes_written\": %llu,\n",
+                      static_cast<unsigned long long>(m.cache.bytes_written));
+  out += "    \"shard_cache\": [";
+  for (std::size_t i = 0; i < m.shard_cache.size(); ++i) {
+    const auto& e = m.shard_cache[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += util::format(
+        "      {\"provider\": \"%s\", \"key\": \"%s\", \"outcome\": \"%s\", "
+        "\"stored\": %s, \"bytes\": %llu}",
+        obs::json_escape(e.provider).c_str(), obs::json_escape(e.key).c_str(),
+        obs::json_escape(e.outcome).c_str(), e.stored ? "true" : "false",
+        static_cast<unsigned long long>(e.bytes));
+  }
+  out += m.shard_cache.empty() ? "]\n" : "\n    ]\n";
+  out += "  },\n";
+
   out += "  \"build\": {\n";
   out += util::format("    \"compiler\": \"%s\",\n",
                       obs::json_escape(m.compiler).c_str());
@@ -126,6 +176,53 @@ std::string render_manifest_json(const RunManifest& m) {
         alert.median_s, alert.ratio());
   }
   out += m.watchdog_alerts.empty() ? "]\n" : "\n    ]\n";
+  out += "  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::string render_scaled_manifest_json(
+    const core::ScaledCampaignReport& report,
+    const core::ScaledCampaignOptions& options) {
+  const auto cache = core::summarize_cache(report.cache_records);
+  std::string out = "{\n";
+  out += "  \"key\": {\n";
+  out += util::format("    \"catalog_fingerprint\": \"%016llx\",\n",
+                      static_cast<unsigned long long>(report.catalog_fingerprint));
+  out += util::format("    \"campaign_seed\": %llu,\n",
+                      static_cast<unsigned long long>(report.seed));
+  out += util::format("    \"max_clients\": %u,\n", options.max_clients);
+  out += util::format("    \"payload_fingerprint\": \"%016llx\"\n",
+                      static_cast<unsigned long long>(report.payload_fingerprint));
+  out += "  },\n";
+  out += "  \"run\": {\n";
+  out += util::format("    \"jobs\": %zu,\n", report.jobs);
+  out += util::format("    \"eager\": %s,\n", report.eager ? "true" : "false");
+  out += util::format("    \"shards\": %zu\n", report.shards.size());
+  out += "  },\n";
+  out += "  \"cache\": {\n";
+  out += util::format("    \"mode\": \"%s\",\n",
+                      store::cache_mode_name(options.cache.mode).data());
+  out += util::format("    \"code_epoch\": %u,\n", store::kCodeEpoch);
+  out += util::format("    \"hits\": %zu,\n", cache.hits);
+  out += util::format("    \"misses\": %zu,\n", cache.misses);
+  out += util::format("    \"corrupt\": %zu,\n", cache.corrupt);
+  out += util::format("    \"bypassed\": %zu,\n", cache.bypassed);
+  out += util::format("    \"stored\": %zu,\n", cache.stored);
+  out += "    \"shard_cache\": [";
+  for (std::size_t i = 0; i < report.cache_records.size(); ++i) {
+    const auto& r = report.cache_records[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += util::format(
+        "      {\"provider\": \"%s\", \"key\": \"%s\", \"outcome\": \"%s\", "
+        "\"stored\": %s, \"bytes\": %llu}",
+        obs::json_escape(r.provider).c_str(),
+        obs::json_escape(r.key_id).c_str(),
+        std::string(core::cache_outcome_name(r.outcome)).c_str(),
+        r.stored ? "true" : "false",
+        static_cast<unsigned long long>(r.bytes));
+  }
+  out += report.cache_records.empty() ? "]\n" : "\n    ]\n";
   out += "  }\n";
   out += "}\n";
   return out;

@@ -41,6 +41,24 @@ struct RunManifest {
   int shard_attempts = 1;
   bool trace_enabled = false;
 
+  // --- cache: artifact-store provenance ---------------------------------
+  // What the content-addressed store did for this run: the full per-shard
+  // key ids (canonical catalog order) and hit/miss/corrupt provenance.
+  // The keys are deterministic; the outcomes depend on prior store state.
+  std::string cache_mode = "off";
+  std::string cache_dir;
+  std::uint32_t code_epoch = 0;
+  std::uint64_t runner_options_fp = 0;
+  core::CacheSummary cache;
+  struct ShardCacheEntry {
+    std::string provider;
+    std::string key;      // 32-hex content address
+    std::string outcome;  // "bypass" | "hit" | "miss" | "corrupt"
+    bool stored = false;
+    std::uint64_t bytes = 0;
+  };
+  std::vector<ShardCacheEntry> shard_cache;  // empty when cache off
+
   // --- build: toolchain provenance --------------------------------------
   std::string compiler;    // __VERSION__
   std::string build_type;  // "release" | "debug" (NDEBUG)
@@ -69,5 +87,13 @@ struct RunManifest {
 // JSON rendering (stable key order; the key section is deterministic byte
 // for byte given equal inputs).
 [[nodiscard]] std::string render_manifest_json(const RunManifest& manifest);
+
+// Scaled-run manifest (full_campaign --scale writes it as
+// scale_manifest.json): catalog/payload fingerprints plus the census
+// cache's per-shard provenance — what the dirty-shard CI lane greps to
+// prove a one-provider catalog delta recomputed exactly one shard.
+[[nodiscard]] std::string render_scaled_manifest_json(
+    const core::ScaledCampaignReport& report,
+    const core::ScaledCampaignOptions& options);
 
 }  // namespace vpna::analysis

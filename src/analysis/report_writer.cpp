@@ -165,42 +165,62 @@ std::string render_speedtest_csv(
 
 obs::MetricsRegistry campaign_metrics(const core::CampaignReport& report) {
   auto merged = obs::merged_metrics(report.traces);
-  if (report.traces.empty()) return merged;
+  if (report.traces.empty() && report.cache_records.empty()) return merged;
 
-  // Engine scheduling telemetry, folded in as volatile `pool.*` metrics:
-  // useful to a human reading the full dump, nondeterministic by nature,
-  // so the canonical rendering (include_volatile = false) excludes it.
-  util::WorkerCounters total;
-  for (const auto& w : report.workers) {
-    total.tasks_run += w.tasks_run;
-    total.steals += w.steals;
-    total.retries += w.retries;
-    total.timeouts += w.timeouts;
-    total.busy_wall_s += w.busy_wall_s;
-    total.busy_cpu_s += w.busy_cpu_s;
-  }
   const auto fold_counter = [&merged](std::string_view name,
                                       std::uint64_t value) {
     merged.add(name, value);
     merged.set_volatile(name);
   };
-  fold_counter("pool.tasks_run", total.tasks_run);
-  fold_counter("pool.steals", total.steals);
-  fold_counter("pool.retries", total.retries);
-  fold_counter("pool.timeouts", total.timeouts);
   const auto fold_gauge = [&merged](std::string_view name, double value) {
     merged.set_gauge(name, value);
     merged.set_volatile(name);
   };
-  fold_gauge("pool.jobs", static_cast<double>(report.jobs));
-  fold_gauge("pool.busy_wall_s", total.busy_wall_s);
-  fold_gauge("pool.busy_cpu_s", total.busy_cpu_s);
-  fold_gauge("pool.wall_s", report.wall_s);
+
+  if (!report.traces.empty()) {
+    // Engine scheduling telemetry, folded in as volatile `pool.*` metrics:
+    // useful to a human reading the full dump, nondeterministic by nature,
+    // so the canonical rendering (include_volatile = false) excludes it.
+    util::WorkerCounters total;
+    for (const auto& w : report.workers) {
+      total.tasks_run += w.tasks_run;
+      total.steals += w.steals;
+      total.retries += w.retries;
+      total.timeouts += w.timeouts;
+      total.busy_wall_s += w.busy_wall_s;
+      total.busy_cpu_s += w.busy_cpu_s;
+    }
+    fold_counter("pool.tasks_run", total.tasks_run);
+    fold_counter("pool.steals", total.steals);
+    fold_counter("pool.retries", total.retries);
+    fold_counter("pool.timeouts", total.timeouts);
+    fold_gauge("pool.jobs", static_cast<double>(report.jobs));
+    fold_gauge("pool.busy_wall_s", total.busy_wall_s);
+    fold_gauge("pool.busy_cpu_s", total.busy_cpu_s);
+    fold_gauge("pool.wall_s", report.wall_s);
+  }
+
+  if (!report.cache_records.empty()) {
+    // Artifact-store provenance as volatile `cache.*` metrics — outcomes
+    // depend on prior store state, so they can never be canonical.
+    const auto cache = core::summarize_cache(report.cache_records);
+    fold_counter("cache.hit", cache.hits);
+    fold_counter("cache.miss", cache.misses);
+    fold_counter("cache.corrupt", cache.corrupt);
+    fold_counter("cache.bypass", cache.bypassed);
+    fold_counter("cache.stored", cache.stored);
+    fold_counter("cache.bytes_read", cache.bytes_read);
+    fold_counter("cache.bytes_written", cache.bytes_written);
+  }
   return merged;
 }
 
 std::string render_instrumentation_appendix(
     const core::CampaignReport& report) {
+  // Gated on traces, not on campaign_metrics() being non-empty: a cache-
+  // enabled untraced run has volatile cache.* metrics but no canonical
+  // ones, and emitting an appendix for it would move the payload bytes.
+  if (report.traces.empty()) return {};
   const auto metrics = campaign_metrics(report);
   if (metrics.empty()) return {};
   std::string out = "\n## Appendix: instrumentation\n\n";

@@ -8,11 +8,13 @@
 #include <stdexcept>
 #include <thread>
 
+#include "core/report_codec.h"
 #include "ecosystem/evaluated.h"
 #include "ecosystem/testbed.h"
 #include "faults/profile.h"
 #include "obs/profiler.h"
 #include "obs/trace.h"
+#include "store/code_epoch.h"
 #include "transport/policy.h"
 #include "util/mem.h"
 #include "util/rng.h"
@@ -99,7 +101,120 @@ ProviderReport run_provider_shard(
   return report;
 }
 
+std::string_view cache_outcome_name(ShardCacheRecord::Outcome outcome) noexcept {
+  switch (outcome) {
+    case ShardCacheRecord::Outcome::kBypass:
+      return "bypass";
+    case ShardCacheRecord::Outcome::kHit:
+      return "hit";
+    case ShardCacheRecord::Outcome::kMiss:
+      return "miss";
+    case ShardCacheRecord::Outcome::kCorrupt:
+      return "corrupt";
+  }
+  return "bypass";
+}
+
+CacheSummary summarize_cache(
+    const std::vector<ShardCacheRecord>& records) noexcept {
+  CacheSummary s;
+  s.shards = records.size();
+  for (const auto& r : records) {
+    switch (r.outcome) {
+      case ShardCacheRecord::Outcome::kBypass: ++s.bypassed; break;
+      case ShardCacheRecord::Outcome::kHit:
+        ++s.hits;
+        s.bytes_read += r.bytes;
+        break;
+      case ShardCacheRecord::Outcome::kMiss: ++s.misses; break;
+      case ShardCacheRecord::Outcome::kCorrupt: ++s.corrupt; break;
+    }
+    if (r.stored) {
+      ++s.stored;
+      s.bytes_written += r.bytes;
+    }
+  }
+  return s;
+}
+
+store::ShardKey campaign_shard_key(const std::string& name, std::uint64_t seed,
+                                   const RunnerOptions& options) {
+  store::ShardKey key;
+  key.code_epoch = store::kCodeEpoch;
+  key.payload_format = kShardReportFormatVersion;
+  key.catalog_fingerprint = ecosystem::provider_catalog_fingerprint(name);
+  key.shard_seed = ecosystem::shard_seed(seed, name);
+  key.fault_profile = std::string(faults::profile_name(options.fault_profile));
+  key.link_capacities = options.speed_test;
+  key.runner_options_fingerprint = runner_options_fingerprint(options);
+  return key;
+}
+
 namespace {
+
+// Cache plumbing shared by the serial and pooled paths: keys derived up
+// front (cheap, pure), the store consulted inside each shard task so a hit
+// skips world construction on whichever path runs.
+struct ShardCacheContext {
+  std::optional<store::ArtifactStore> store;
+  std::vector<store::ShardKey> keys;  // aligned with the selection
+  // Traced runs bypass: a ShardTrace is not part of the cached artifact,
+  // so a hit could not reproduce one.
+  bool bypass = false;
+
+  [[nodiscard]] bool enabled() const { return store.has_value(); }
+};
+
+// Consults the store for shard `i`; on a decodable hit fills *report and
+// returns true. Otherwise records the probe outcome (bypass/miss/corrupt)
+// and returns false — the caller recomputes and calls store_shard().
+bool fetch_shard(const ShardCacheContext& ctx, std::size_t i,
+                 const std::string& name, ProviderReport* report,
+                 ShardCacheRecord* record, obs::StatusBoard* status) {
+  record->provider = name;
+  if (!ctx.enabled()) return false;
+  record->key_id = ctx.keys[i].id();
+  if (ctx.bypass) return false;  // outcome stays kBypass
+  obs::ProfileScope profile("campaign.cache");
+  store::FetchResult fetched = ctx.store->fetch(ctx.keys[i]);
+  if (fetched.status == store::FetchStatus::kHit) {
+    ProviderReport decoded;
+    if (decode_provider_report(fetched.payload, &decoded) &&
+        decoded.provider == name) {
+      record->outcome = ShardCacheRecord::Outcome::kHit;
+      record->bytes = fetched.payload.size();
+      if (status != nullptr)
+        status->cache_event(obs::StatusBoard::CacheEvent::kHit);
+      *report = std::move(decoded);
+      return true;
+    }
+    // Integrity-valid but undecodable (foreign writer, or a codec change
+    // that forgot its version bump): corruption from the campaign's point
+    // of view. Evict (rw only) so the rewrite below lands clean.
+    ctx.store->discard(ctx.keys[i]);
+    fetched.status = store::FetchStatus::kCorrupt;
+  }
+  const bool corrupt = fetched.status == store::FetchStatus::kCorrupt;
+  record->outcome = corrupt ? ShardCacheRecord::Outcome::kCorrupt
+                            : ShardCacheRecord::Outcome::kMiss;
+  if (status != nullptr)
+    status->cache_event(corrupt ? obs::StatusBoard::CacheEvent::kCorrupt
+                                : obs::StatusBoard::CacheEvent::kMiss);
+  return false;
+}
+
+// Files a recomputed shard report (rw stores, non-bypassed shards only —
+// and never for failed/quarantined placeholders; callers skip those).
+void store_shard(const ShardCacheContext& ctx, std::size_t i,
+                 const ProviderReport& report, ShardCacheRecord* record) {
+  if (!ctx.enabled() || ctx.bypass || !ctx.store->config().writable()) return;
+  obs::ProfileScope profile("campaign.cache");
+  const std::string bytes = encode_provider_report(report);
+  if (ctx.store->put(ctx.keys[i], bytes)) {
+    record->stored = true;
+    record->bytes = bytes.size();
+  }
+}
 
 // Canonicalize to catalog order, dropping unknown names and duplicates.
 std::vector<std::string> canonical_selection(
@@ -267,6 +382,17 @@ CampaignReport ParallelCampaign::run(const std::vector<std::string>& names,
   if (options_.status.engaged()) board.emplace();
   obs::StatusBoard* status = board ? &*board : nullptr;
 
+  // Content-addressed cache: one key per shard, derived up front.
+  ShardCacheContext cache_ctx;
+  if (options_.cache.enabled()) {
+    cache_ctx.store.emplace(options_.cache);
+    cache_ctx.bypass = traced;
+    cache_ctx.keys.reserve(selection.size());
+    for (const auto& name : selection)
+      cache_ctx.keys.push_back(campaign_shard_key(name, seed, options_.runner));
+    report.cache_records.resize(selection.size());
+  }
+
   if (options_.jobs == 1) {
     // Serial path: the identical shard tasks, run in-caller in catalog
     // order. No pool, no threads — the determinism baseline.
@@ -275,7 +401,21 @@ CampaignReport ParallelCampaign::run(const std::vector<std::string>& names,
     std::optional<StatusMonitor> monitor;
     if (status != nullptr) monitor.emplace(*status, options_.status, nullptr);
     util::WorkerCounters serial;
+    ShardCacheRecord scratch_record;
     for (std::size_t i = 0; i < selection.size(); ++i) {
+      ShardCacheRecord* record = cache_ctx.enabled()
+                                     ? &report.cache_records[i]
+                                     : &scratch_record;
+      if (status != nullptr) status->shard_started(i, -1);
+      if (fetch_shard(cache_ctx, i, selection[i], &report.providers[i], record,
+                      status)) {
+        // Replayed from the store — no world built, no attempts spent. The
+        // merged report is byte-identical to a recompute by the purity of
+        // shards, so nothing downstream can tell.
+        if (status != nullptr)
+          status->shard_finished(i, obs::StatusBoard::Outcome::kDone);
+        continue;
+      }
       bool done = false;
       for (int attempt = 1; attempt <= attempts && !done; ++attempt) {
         ++serial.tasks_run;
@@ -289,6 +429,7 @@ CampaignReport ParallelCampaign::run(const std::vector<std::string>& names,
               selection[i], seed, options_.runner, options_.trace,
               traced ? &trace : nullptr, plane);
           if (traced) report.traces[i] = std::move(trace);
+          store_shard(cache_ctx, i, report.providers[i], record);
           done = true;
           if (status != nullptr)
             status->shard_finished(i, obs::StatusBoard::Outcome::kDone);
@@ -307,6 +448,12 @@ CampaignReport ParallelCampaign::run(const std::vector<std::string>& names,
             report.failed_providers.push_back(selection[i]);
             if (status != nullptr)
               status->shard_finished(i, obs::StatusBoard::Outcome::kFailed);
+          }
+          if (!done && attempt == attempts) {
+            // Exhausted shards leave a placeholder, never an artifact; the
+            // provenance record says "bypass" — the cache played no part.
+            record->outcome = ShardCacheRecord::Outcome::kBypass;
+            record->bytes = 0;
           }
         }
         serial.busy_wall_s += std::chrono::duration<double>(
@@ -327,11 +474,13 @@ CampaignReport ParallelCampaign::run(const std::vector<std::string>& names,
     task_opts.max_attempts = attempts;
     task_opts.timeout_s = options_.shard_timeout_s;
 
-    // A shard's report and its trace travel together through the future so
-    // a retry can never pair one attempt's report with another's trace.
+    // A shard's report, its trace, and its cache provenance travel
+    // together through the future so a retry can never pair one attempt's
+    // report with another's trace (or cache record).
     struct ShardOutcome {
       ProviderReport report;
       obs::ShardTrace trace;
+      ShardCacheRecord cache;
     };
 
     std::vector<std::future<ShardOutcome>> futures;
@@ -341,19 +490,29 @@ CampaignReport ParallelCampaign::run(const std::vector<std::string>& names,
     for (std::size_t i = 0; i < selection.size(); ++i) {
       const std::string name = selection[i];
       futures.push_back(pool.submit(
-          [name, i, seed, runner_opts, trace_cfg, traced, plane, status] {
+          [name, i, seed, runner_opts, trace_cfg, traced, plane, status,
+           &cache_ctx] {
             // Heartbeats bracket every attempt (the pool re-invokes this
             // body on retry): started restarts the shard's watchdog clock,
             // a thrown attempt parks the slot back in pending so its wall
             // never reaches the ETA median.
             if (status != nullptr)
               status->shard_started(i, util::TaskPool::current_worker_index());
+            ShardOutcome out;
+            // Consulted per attempt — fetch is idempotent and cheap, and a
+            // first-attempt failure never wrote anything back.
+            if (fetch_shard(cache_ctx, i, name, &out.report, &out.cache,
+                            status)) {
+              if (status != nullptr)
+                status->shard_finished(i, obs::StatusBoard::Outcome::kDone);
+              return out;
+            }
             try {
-              ShardOutcome out;
               out.report = run_provider_shard(name, seed, runner_opts,
                                               trace_cfg,
                                               traced ? &out.trace : nullptr,
                                               plane);
+              store_shard(cache_ctx, i, out.report, &out.cache);
               if (status != nullptr)
                 status->shard_finished(i, obs::StatusBoard::Outcome::kDone);
               return out;
@@ -365,14 +524,24 @@ CampaignReport ParallelCampaign::run(const std::vector<std::string>& names,
           task_opts));
     }
     // Merge in canonical catalog order — the futures vector is already in
-    // that order, regardless of which worker ran which shard when.
+    // that order, regardless of which worker ran which shard when. Cached
+    // reports replay through this exact same path: by the time a future
+    // resolves, hit and recompute are indistinguishable.
     obs::ProfileScope merge_profile("campaign.merge");
     for (std::size_t i = 0; i < futures.size(); ++i) {
       try {
         auto outcome = futures[i].get();
         report.providers[i] = std::move(outcome.report);
         if (traced) report.traces[i] = std::move(outcome.trace);
+        if (cache_ctx.enabled())
+          report.cache_records[i] = std::move(outcome.cache);
       } catch (...) {
+        if (cache_ctx.enabled()) {
+          // Exhausted shards leave a placeholder, never an artifact; the
+          // provenance record says "bypass" — the cache played no part.
+          report.cache_records[i].provider = selection[i];
+          report.cache_records[i].key_id = cache_ctx.keys[i].id();
+        }
         if (graceful) {
           report.providers[i] = quarantined_shard_report(selection[i]);
           if (traced) report.traces[i] = quarantined_shard_trace(selection[i]);
@@ -438,6 +607,23 @@ ScaledShardCensus census_shard(const ecosystem::ScaledCatalog& catalog,
 
 }  // namespace
 
+store::ShardKey scaled_shard_key(const ecosystem::ScaledCatalog& catalog,
+                                 const std::string& name,
+                                 const ScaledCampaignOptions& options) {
+  store::ShardKey key;
+  key.code_epoch = store::kCodeEpoch;
+  key.payload_format = kShardCensusFormatVersion;
+  key.catalog_fingerprint = catalog.provider_fingerprint(name);
+  key.shard_seed = ecosystem::shard_seed(options.seed, name);
+  // The census path runs no fault or capacity profile today; pinned so the
+  // key shape stays identical to the base campaign's.
+  key.fault_profile = std::string(faults::profile_name(faults::FaultProfile::kOff));
+  key.link_capacities = false;
+  key.runner_options_fingerprint = util::fnv1a(util::format(
+      "vpna-scaled-options-v1\x1f%u\x1f", options.max_clients));
+  return key;
+}
+
 ScaledCampaignReport run_scaled_campaign(
     const ecosystem::ScaledCatalog& catalog,
     const ScaledCampaignOptions& options) {
@@ -456,24 +642,74 @@ ScaledCampaignReport run_scaled_campaign(
   ecosystem::ScaledShardOptions shard_opts;
   shard_opts.max_clients = options.max_clients;
 
+  // Content-addressed census cache. Eager mode bypasses it: eager exists
+  // as the RSS A/B baseline and must build every world regardless.
+  std::optional<store::ArtifactStore> art;
+  std::vector<store::ShardKey> keys;
+  const bool cache_on = options.cache.enabled() && !options.eager;
+  if (options.cache.enabled()) {
+    report.cache_records.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+      report.cache_records[i].provider = catalog.providers[i].spec.name;
+  }
+  if (cache_on) {
+    art.emplace(options.cache);
+    keys.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      keys.push_back(
+          scaled_shard_key(catalog, catalog.providers[i].spec.name, options));
+      report.cache_records[i].key_id = keys[i].id();
+    }
+  }
+
   // Arena accounting is deterministic (a pure function of each shard's
   // build sequence) but summed across threads, so gather atomically.
+  // Cache hits skip the build, so warm runs contribute nothing here.
   std::atomic<std::uint64_t> arena_reserved{0};
   std::atomic<std::uint64_t> arena_used{0};
 
   const auto run_one = [&](std::size_t i) {
+    const auto& name = catalog.providers[i].spec.name;
+    ShardCacheRecord* record =
+        cache_on ? &report.cache_records[i] : nullptr;
+    if (cache_on) {
+      obs::ProfileScope cache_profile("campaign.cache");
+      store::FetchResult fetched = art->fetch(keys[i]);
+      if (fetched.status == store::FetchStatus::kHit) {
+        ScaledShardCensus census;
+        if (decode_shard_census(fetched.payload, &census) &&
+            census.provider == name) {
+          record->outcome = ShardCacheRecord::Outcome::kHit;
+          record->bytes = fetched.payload.size();
+          return census;
+        }
+        art->discard(keys[i]);
+        fetched.status = store::FetchStatus::kCorrupt;
+      }
+      record->outcome = fetched.status == store::FetchStatus::kCorrupt
+                            ? ShardCacheRecord::Outcome::kCorrupt
+                            : ShardCacheRecord::Outcome::kMiss;
+    }
     // Deferred mode: the world exists only between here and the end of
     // this call — peak RSS is bounded by live workers, not shard count.
-    auto shard = ecosystem::build_scaled_shard(
-        catalog, catalog.providers[i].spec.name, options.seed, plane,
-        shard_opts);
+    auto shard = ecosystem::build_scaled_shard(catalog, name, options.seed,
+                                               plane, shard_opts);
     if (shard.world) {
       arena_reserved.fetch_add(shard.world->host_arena_reserved_bytes(),
                                std::memory_order_relaxed);
       arena_used.fetch_add(shard.world->host_arena_used_bytes(),
                            std::memory_order_relaxed);
     }
-    return census_shard(catalog, i, shard, options.max_clients);
+    auto census = census_shard(catalog, i, shard, options.max_clients);
+    if (cache_on && art->config().writable()) {
+      obs::ProfileScope cache_profile("campaign.cache");
+      const std::string bytes = encode_shard_census(census);
+      if (art->put(keys[i], bytes)) {
+        record->stored = true;
+        record->bytes = bytes.size();
+      }
+    }
+    return census;
   };
 
   if (options.eager) {

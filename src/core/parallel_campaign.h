@@ -16,6 +16,7 @@
 #include "netsim/routing_plane.h"
 #include "obs/export.h"
 #include "obs/status.h"
+#include "store/artifact_store.h"
 #include "util/task_pool.h"
 
 namespace vpna::core {
@@ -48,7 +49,51 @@ struct CampaignOptions {
   // telemetry — never touches the deterministic payload (the health-plane
   // identity test byte-compares payloads with this on and off).
   obs::StatusOptions status;
+  // Content-addressed shard cache (store::ArtifactStore). Off by default;
+  // when enabled, each shard consults the store before building its world
+  // and replays a cached report through the same canonical-order merge.
+  // Sound because shards are pure: equal ShardKey implies a byte-identical
+  // report, so the payload is invariant under cache mode (the cache
+  // identity test byte-compares payloads off/rw/ro, cold and warm).
+  // Traced runs bypass the cache — a ShardTrace is not part of the cached
+  // artifact, so a hit could not reproduce it.
+  store::CacheConfig cache;
 };
+
+// Per-shard cache provenance, recorded in canonical catalog order alongside
+// `providers`. Telemetry, not payload: outcomes depend on what the store
+// held before the run.
+struct ShardCacheRecord {
+  enum class Outcome : std::uint8_t {
+    kBypass,   // cache not consulted (disabled, traced, or failed shard)
+    kHit,      // artifact fetched, decoded, and replayed — world never built
+    kMiss,     // no artifact under this key; shard recomputed
+    kCorrupt,  // artifact present but failed integrity/decode; recomputed
+  };
+  std::string provider;
+  std::string key_id;   // content address (hex); empty when cache disabled
+  Outcome outcome = Outcome::kBypass;
+  bool stored = false;  // recomputed result written back to the store
+  std::uint64_t bytes = 0;  // artifact payload bytes read (hit) or written
+};
+
+[[nodiscard]] std::string_view cache_outcome_name(
+    ShardCacheRecord::Outcome outcome) noexcept;
+
+// Aggregate view over a run's cache records (manifest + CLI summaries).
+struct CacheSummary {
+  std::size_t shards = 0;
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t corrupt = 0;
+  std::size_t bypassed = 0;
+  std::size_t stored = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+};
+
+[[nodiscard]] CacheSummary summarize_cache(
+    const std::vector<ShardCacheRecord>& records) noexcept;
 
 // The aggregated campaign result. `providers` is the deterministic payload
 // (canonical catalog order); `workers`/`wall_s` are scheduling telemetry
@@ -79,6 +124,10 @@ struct CampaignReport {
   // `workers`/`wall_s`: varies run to run, excluded from the payload).
   // Empty unless CampaignOptions::status armed the watchdog.
   std::vector<obs::WatchdogAlert> watchdog_alerts;
+  // Cache provenance, aligned with `providers` (canonical catalog order);
+  // empty when the cache is disabled. Telemetry — store state varies run
+  // to run, so this never feeds the payload.
+  std::vector<ShardCacheRecord> cache_records;
   double wall_s = 0.0;
 };
 
@@ -103,6 +152,16 @@ struct CampaignReport {
     obs::ShardTrace* out,
     std::shared_ptr<const netsim::RoutingPlane> plane = nullptr);
 
+// Content address of one provider shard under the base evaluated catalog:
+// (code epoch, payload format, per-provider catalog-slice fingerprint,
+// shard seed, fault profile, capacity profile, runner-options fingerprint)
+// — exactly the inputs run_provider_shard is a pure function of. Exposed
+// for tests and --explain-cache; the campaign derives the same keys
+// internally.
+[[nodiscard]] store::ShardKey campaign_shard_key(const std::string& name,
+                                                 std::uint64_t seed,
+                                                 const RunnerOptions& options);
+
 // --- scaled campaigns --------------------------------------------------------
 // The O(10³)-provider census path: every provider in a synthetic scaled
 // catalog gets its own shard world (same shard_seed discipline as the paper
@@ -122,6 +181,10 @@ struct ScaledCampaignOptions {
   // Per-shard eyeball-client materialization cap (see ScaledShardOptions).
   std::uint32_t max_clients = 4;
   bool share_routing_plane = true;
+  // Content-addressed census cache, keyed per provider on the scaled
+  // catalog's provider_fingerprint() — independent of catalog size, so
+  // growing N providers to N+1 recomputes exactly the one new shard.
+  store::CacheConfig cache;
 };
 
 // One shard's deterministic census record.
@@ -145,9 +208,12 @@ struct ScaledCampaignReport {
   std::string payload;
   std::uint64_t payload_fingerprint = 0;
   // Arena bytes summed over shard worlds (deterministic: a pure function
-  // of the build sequence).
+  // of the build sequence). Covers only shards actually built this run —
+  // cache hits skip world construction entirely, so warm runs report 0.
   std::uint64_t arena_reserved_bytes = 0;
   std::uint64_t arena_used_bytes = 0;
+  // Cache provenance in canonical catalog order; empty when disabled.
+  std::vector<ShardCacheRecord> cache_records;
   // Wall-clock telemetry, excluded from the payload.
   std::size_t peak_rss_kb = 0;
   double wall_s = 0.0;
@@ -156,6 +222,14 @@ struct ScaledCampaignReport {
 [[nodiscard]] ScaledCampaignReport run_scaled_campaign(
     const ecosystem::ScaledCatalog& catalog,
     const ScaledCampaignOptions& options = {});
+
+// Content address of one scaled census shard: same six-field shape as
+// campaign_shard_key, with the catalog slice fingerprint coming from
+// ScaledCatalog::provider_fingerprint and the options fingerprint covering
+// the census-shaping scaled options (max_clients).
+[[nodiscard]] store::ShardKey scaled_shard_key(
+    const ecosystem::ScaledCatalog& catalog, const std::string& name,
+    const ScaledCampaignOptions& options);
 
 class ParallelCampaign {
  public:

@@ -554,4 +554,27 @@ std::uint64_t catalog_fingerprint() {
   return catalog_fingerprint(evaluated_providers());
 }
 
+std::uint64_t provider_catalog_fingerprint(
+    std::span<const EvaluatedProvider> providers, std::string_view name) {
+  const EvaluatedProvider* self = nullptr;
+  for (const auto& p : providers)
+    if (p.spec.name == name) self = &p;
+  if (self == nullptr) return 0;
+  // The shard world deploys the provider itself plus, for resellers, the
+  // partner whose hosts the shared vantage points alias onto — those two
+  // entries are the entire catalog surface the shard reads.
+  std::vector<EvaluatedProvider> slice;
+  slice.push_back(*self);
+  if (!self->shares_infrastructure_with.empty()) {
+    for (const auto& p : providers)
+      if (p.spec.name == self->shares_infrastructure_with)
+        slice.push_back(p);
+  }
+  return catalog_fingerprint(slice);
+}
+
+std::uint64_t provider_catalog_fingerprint(std::string_view name) {
+  return provider_catalog_fingerprint(evaluated_providers(), name);
+}
+
 }  // namespace vpna::ecosystem

@@ -60,4 +60,21 @@ struct EvaluatedStats {
 [[nodiscard]] std::uint64_t catalog_fingerprint(
     std::span<const EvaluatedProvider> providers);
 
+// Fingerprint of exactly the catalog slice provider `name`'s shard world
+// is built from: the provider's own entry plus — when it resells another
+// provider's infrastructure — the partner's entry (build_provider_shard
+// deploys both). This, not the whole-catalog fingerprint, is what the
+// content-addressed shard cache keys on: editing one provider re-addresses
+// only the shards that actually read its entry (itself, plus any reseller
+// aliasing onto it), leaving every other artifact warm. Returns 0 for
+// unknown names.
+[[nodiscard]] std::uint64_t provider_catalog_fingerprint(
+    std::string_view name);
+
+// The slice fingerprint over an arbitrary provider list (the scaled
+// catalog's per-provider keys route through this). `providers` is the full
+// list the slice is cut from.
+[[nodiscard]] std::uint64_t provider_catalog_fingerprint(
+    std::span<const EvaluatedProvider> providers, std::string_view name);
+
 }  // namespace vpna::ecosystem

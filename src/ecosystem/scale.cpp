@@ -67,6 +67,17 @@ std::uint64_t ScaledCatalog::fingerprint() const {
   return util::fnv1a(canon);
 }
 
+std::uint64_t ScaledCatalog::provider_fingerprint(std::string_view name) const {
+  const std::uint64_t slice = provider_catalog_fingerprint(providers, name);
+  if (slice == 0) return 0;
+  std::uint32_t modeled = 0;
+  for (std::size_t i = 0; i < providers.size(); ++i)
+    if (providers[i].spec.name == name) modeled = subscribers[i];
+  return util::fnv1a(util::format(
+      "vpna-scaled-provider-v1|%016llx|%u",
+      static_cast<unsigned long long>(slice), modeled));
+}
+
 ScaledCatalog generate_scaled_catalog(std::size_t n_providers,
                                       std::uint32_t subscribers_per_provider,
                                       std::uint64_t seed) {

@@ -42,6 +42,16 @@ struct ScaledCatalog {
   // over `providers`, folded with the seed and the subscriber counts. Any
   // change to (n, subscribers, seed) — or to the generator itself — moves it.
   [[nodiscard]] std::uint64_t fingerprint() const;
+
+  // Per-provider cache-key fingerprint: the provider's entry (plus its
+  // reseller partner's, when present) through the shared slice
+  // serialization, folded with the provider's own modeled subscriber count
+  // — everything build_scaled_shard and the census read for this shard.
+  // Deliberately independent of catalog size: growing an N-provider
+  // catalog to N+1 leaves the first N fingerprints (and their cached
+  // artifacts) untouched, because each provider's generator stream forks
+  // from (seed, name) alone. Returns 0 for unknown names.
+  [[nodiscard]] std::uint64_t provider_fingerprint(std::string_view name) const;
 };
 
 // Generates `n_providers` synthetic providers, deterministically in

@@ -37,6 +37,18 @@ void StatusBoard::begin(const std::vector<std::string>& shards,
   workers_.clear();
   jobs_ = jobs;
   begin_s_ = now();
+  cache_hits_ = 0;
+  cache_misses_ = 0;
+  cache_corrupt_ = 0;
+}
+
+void StatusBoard::cache_event(CacheEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (event) {
+    case CacheEvent::kHit: ++cache_hits_; break;
+    case CacheEvent::kMiss: ++cache_misses_; break;
+    case CacheEvent::kCorrupt: ++cache_corrupt_; break;
+  }
 }
 
 void StatusBoard::shard_started(std::size_t index, int worker) {
@@ -151,6 +163,9 @@ StatusSnapshot StatusBoard::snapshot() const {
   }
   snap.alerts = alerts_;
   snap.workers = workers_;
+  snap.cache_hits = cache_hits_;
+  snap.cache_misses = cache_misses_;
+  snap.cache_corrupt = cache_corrupt_;
   return snap;
 }
 
@@ -172,6 +187,9 @@ std::string render_status_json(const StatusSnapshot& snap) {
   out += util::format("  \"median_shard_s\": %.3f,\n", snap.median_shard_s);
   out += util::format("  \"eta_s\": %.3f,\n", snap.eta_s);
   out += util::format("  \"jobs\": %zu,\n", snap.jobs);
+  out += util::format(
+      "  \"cache\": {\"hits\": %zu, \"misses\": %zu, \"corrupt\": %zu},\n",
+      snap.cache_hits, snap.cache_misses, snap.cache_corrupt);
   out += "  \"in_flight\": [";
   for (std::size_t i = 0; i < snap.in_flight.size(); ++i) {
     const auto& shard = snap.in_flight[i];

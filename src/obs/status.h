@@ -96,6 +96,12 @@ struct StatusSnapshot {
   std::vector<RunningShard> in_flight;  // shard-index order
   std::vector<WatchdogAlert> alerts;    // every alert raised so far
   std::vector<WorkerStatus> workers;    // last pool snapshot pushed
+  // Artifact-cache counters (campaigns with a cache enabled; all zero
+  // otherwise). Hits show up live, so a warm run's status stream makes
+  // "nothing is being recomputed" visible while in flight.
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  std::size_t cache_corrupt = 0;
 };
 
 class StatusBoard {
@@ -117,6 +123,11 @@ class StatusBoard {
 
   enum class Outcome : std::uint8_t { kDone, kQuarantined, kFailed };
   void shard_finished(std::size_t index, Outcome outcome);
+
+  // Artifact-cache heartbeat: one call per cache consult (hit, miss, or
+  // corrupt-and-recomputed), folded into the status stream.
+  enum class CacheEvent : std::uint8_t { kHit, kMiss, kCorrupt };
+  void cache_event(CacheEvent event);
 
   // Latest pool counters for the status stream (monitor thread pushes
   // these each rewrite so the JSON carries per-worker retry/timeout data).
@@ -152,6 +163,9 @@ class StatusBoard {
   std::vector<WorkerStatus> workers_;
   std::size_t jobs_ = 0;
   double begin_s_ = 0.0;
+  std::size_t cache_hits_ = 0;
+  std::size_t cache_misses_ = 0;
+  std::size_t cache_corrupt_ = 0;
 };
 
 // Status-file JSON (one object; stable key order) for --status-file.
