@@ -1,0 +1,142 @@
+// Process-isolated execution overhead: in-process vs supervised fork-mode
+// workers on the full 62-provider campaign at jobs 1/4/8. Isolation buys
+// crash/hang containment (a segfaulting shard can no longer take down the
+// campaign); this bench prices that insurance and gates it at <=15% wall
+// overhead, alongside the byte-identity contract (the isolated payload
+// must be the exact bytes of the in-process one at every worker count).
+//
+// RSS note: peak RSS (VmHWM) is per-process and monotone, so the isolated
+// phases run first — the supervisor's own peak stays small because shard
+// worlds are built inside the (separately accounted) worker processes,
+// and running the in-process phases afterwards shows the full-world
+// footprint landing back in one address space.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/report_aggregation.h"
+#include "bench_common.h"
+#include "core/parallel_campaign.h"
+#include "util/mem.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+using namespace vpna;
+
+namespace {
+
+struct Run {
+  std::size_t jobs = 0;
+  bool isolated = false;
+  double wall_s = 0.0;
+  std::size_t peak_rss_kb = 0;  // process-wide VmHWM sampled after the run
+  std::size_t spawns = 0;
+  std::size_t crashes = 0;
+  std::uint64_t fingerprint = 0;
+  bool identical = false;
+};
+
+Run run_once(std::size_t jobs, bool isolate, const std::string& golden) {
+  core::CampaignOptions opts;
+  opts.runner.vantage_points_per_provider = 3;
+  opts.jobs = jobs;
+  opts.isolate = isolate;
+  const auto report = core::ParallelCampaign(opts).run();
+  const auto payload = analysis::serialize_campaign_payload(report);
+  Run r;
+  r.jobs = jobs;
+  r.isolated = report.execution_isolated;
+  r.wall_s = report.wall_s;
+  r.peak_rss_kb = util::peak_rss_kb();
+  r.spawns = report.process_spawns;
+  r.crashes = report.process_crashes;
+  r.fingerprint = util::fnv1a(payload);
+  r.identical = golden.empty() || payload == golden;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("isolate-overhead",
+                      "in-process vs process-isolated workers, full "
+                      "62-provider campaign, jobs 1/4/8");
+
+  const std::vector<std::size_t> job_levels = {1, 4, 8};
+
+  // Golden bytes from one in-process run; every other run must match them.
+  core::CampaignOptions golden_opts;
+  golden_opts.runner.vantage_points_per_provider = 3;
+  golden_opts.jobs = 4;
+  const std::string golden = analysis::serialize_campaign_payload(
+      core::ParallelCampaign(golden_opts).run());
+
+  std::vector<Run> isolated, inproc;
+  for (std::size_t jobs : job_levels)
+    isolated.push_back(run_once(jobs, /*isolate=*/true, golden));
+  for (std::size_t jobs : job_levels)
+    inproc.push_back(run_once(jobs, /*isolate=*/false, golden));
+
+  std::printf("%-12s %5s %10s %12s %7s  %s\n", "mode", "jobs", "wall(s)",
+              "peak_rss_kb", "spawns", "payload");
+  for (const auto& r : isolated)
+    std::printf("%-12s %5zu %10.3f %12zu %7zu  %s\n", "isolated", r.jobs,
+                r.wall_s, r.peak_rss_kb, r.spawns,
+                r.identical ? "byte-identical" : "DIVERGED");
+  for (const auto& r : inproc)
+    std::printf("%-12s %5zu %10.3f %12zu %7zu  %s\n", "in-process", r.jobs,
+                r.wall_s, r.peak_rss_kb, r.spawns,
+                r.identical ? "byte-identical" : "DIVERGED");
+
+  bool diverged = false, crashed = false;
+  for (const auto& r : isolated) {
+    diverged = diverged || !r.identical;
+    crashed = crashed || r.crashes > 0;
+  }
+  for (const auto& r : inproc) diverged = diverged || !r.identical;
+
+  double worst_overhead = 0.0;
+  for (std::size_t i = 0; i < job_levels.size(); ++i) {
+    const double overhead =
+        inproc[i].wall_s > 0.0
+            ? (isolated[i].wall_s - inproc[i].wall_s) / inproc[i].wall_s
+            : 0.0;
+    if (overhead > worst_overhead) worst_overhead = overhead;
+    bench::compare(
+        util::format("isolation wall overhead (jobs=%zu)", job_levels[i])
+            .c_str(),
+        "<=15%",
+        util::format("%+.1f%% (%.3fs vs %.3fs)", overhead * 100.0,
+                     isolated[i].wall_s, inproc[i].wall_s));
+  }
+  bench::compare("payload fingerprint (isolated == in-process)",
+                 util::format("%016llx", static_cast<unsigned long long>(
+                                             util::fnv1a(golden))),
+                 util::format("%016llx%s",
+                              static_cast<unsigned long long>(
+                                  isolated.front().fingerprint),
+                              diverged ? " DIVERGED" : ""));
+  bench::compare("worker crashes across all isolated runs", "0",
+                 util::format("%zu", isolated.front().crashes +
+                                         isolated[1].crashes +
+                                         isolated[2].crashes));
+
+  if (diverged) {
+    std::fprintf(stderr, "FAIL: isolated payload diverged from in-process\n");
+    return 1;
+  }
+  if (crashed) {
+    std::fprintf(stderr, "FAIL: a worker crashed during a clean bench run\n");
+    return 1;
+  }
+  if (worst_overhead > 0.15) {
+    std::fprintf(stderr,
+                 "FAIL: isolation overhead %.1f%% exceeds the 15%% gate\n",
+                 worst_overhead * 100.0);
+    return 1;
+  }
+  bench::note("isolated supervisor RSS excludes worker processes (worlds "
+              "are built in children); the wall gate is the price of IPC "
+              "framing + per-slot forks");
+  return 0;
+}

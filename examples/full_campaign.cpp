@@ -7,6 +7,7 @@
 //                   [--trace-hops] [--status-file FILE] [--watchdog MULT]
 //                   [--profile FILE] [--scale N] [--subscribers M] [--eager]
 //                   [--cache-dir DIR] [--cache off|rw|ro] [--explain-cache]
+//                   [--isolate] [--resume] [--max-shard-retries N]
 //
 // Default output-dir is the current directory. --jobs selects the parallel
 // campaign engine's worker count (0 = hardware concurrency, 1 = serial);
@@ -66,9 +67,30 @@
 // shard) and also enables the metrics registry; --metrics dumps the merged
 // metrics as text (canonical section first, scheduling telemetry below the
 // marker). --trace-hops additionally records a per-router instant for every
-// packet hop — detailed, and much larger output. Exit status is non-zero
-// only when a provider shard hard-failed every attempt (degraded-but-
-// complete fault-profile runs exit 0).
+// packet hop — detailed, and much larger output. Traced runs cannot
+// --isolate (a ShardTrace does not stream over the worker protocol).
+//
+// --isolate runs every shard in a supervised worker process (this binary
+// re-exec'd with the hidden --vpna-worker flag): a shard that segfaults,
+// is OOM-killed, or hangs is contained — retried on a fresh process, then
+// crash-quarantined while the rest of the campaign completes. Payloads are
+// byte-identical to in-process runs. Isolated runs also append a durable
+// campaign.journal in the output dir (one fdatasync'd line per finished
+// shard); after a crash or SIGKILL of the driver itself, re-running with
+// --resume replays every journaled shard whose artifact is still in the
+// --cache-dir store and recomputes only the rest — the final payload is
+// byte-identical to an uninterrupted run. --max-shard-retries bounds the
+// re-runs a crashed/erroring shard gets (default 2). SIGINT/SIGTERM are
+// handled cooperatively under --isolate: workers are reaped, the final
+// status JSON and a partial run_manifest.json are flushed, exit code 130.
+//
+// Exit-code taxonomy:
+//   0   completed; payload trustworthy (incl. graceful fault degradation)
+//   1   hard shard failure (no fault profile; shard exhausted attempts)
+//   2   usage error
+//   3   completed, but >=1 shard crash-quarantined under --isolate
+//   130 interrupted (SIGINT/SIGTERM)
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -80,6 +102,10 @@
 #include "analysis/report_aggregation.h"
 #include "analysis/report_writer.h"
 #include "core/parallel_campaign.h"
+#include "core/report_codec.h"
+#include "core/worker_protocol.h"
+#include "ecosystem/evaluated.h"
+#include "ecosystem/testbed.h"
 #include "faults/profile.h"
 #include "obs/export.h"
 #include "obs/profiler.h"
@@ -95,8 +121,53 @@ int usage() {
                "[--metrics FILE] [--trace-hops] [--status-file FILE] "
                "[--watchdog MULT] [--profile FILE] [--scale N] "
                "[--subscribers M] [--eager] [--cache-dir DIR] "
-               "[--cache off|rw|ro] [--explain-cache]\n");
+               "[--cache off|rw|ro] [--explain-cache] [--isolate] "
+               "[--resume] [--max-shard-retries N]\n");
   return 2;
+}
+
+// Cooperative interrupt: the supervisor polls this flag between events,
+// reaps its workers, and the driver flushes a partial manifest before
+// exiting 130. sig_atomic_t store is the only thing the handler does.
+volatile std::sig_atomic_t g_interrupt = 0;
+
+void handle_interrupt(int) { g_interrupt = 1; }
+
+void install_interrupt_handlers() {
+  struct sigaction sa {};
+  sa.sa_handler = handle_interrupt;
+  ::sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+// The hidden --vpna-worker mode: speak the worker protocol on stdio and
+// run shards this process is told to. The worker parses the same command
+// line as the supervisor that exec'd it, so both sides derive identical
+// shard tables — the index on the command pipe is the only coordination.
+int run_worker_base(const core::CampaignOptions& opts, std::uint64_t seed) {
+  std::vector<std::string> selection;
+  for (const auto& ep : ecosystem::evaluated_providers())
+    selection.push_back(ep.spec.name);
+  const std::shared_ptr<const netsim::RoutingPlane> plane =
+      opts.share_routing_plane ? ecosystem::shared_backbone_plane() : nullptr;
+  const core::RunnerOptions runner = opts.runner;
+  return core::shard_worker_loop(
+      0, 1, [&](std::uint32_t index, std::uint32_t) {
+        return core::encode_provider_report(core::run_provider_shard(
+            selection.at(index), seed, runner, plane));
+      });
+}
+
+int run_worker_scaled(const ecosystem::ScaledCatalog& catalog,
+                      const core::ScaledCampaignOptions& opts) {
+  const std::shared_ptr<const netsim::RoutingPlane> plane =
+      opts.share_routing_plane ? ecosystem::shared_backbone_plane() : nullptr;
+  return core::shard_worker_loop(
+      0, 1, [&](std::uint32_t index, std::uint32_t) {
+        return core::encode_shard_census(
+            core::run_scaled_census_shard(catalog, index, opts, plane));
+      });
 }
 
 void print_cache_summary(const core::CacheSummary& cache,
@@ -123,7 +194,23 @@ void explain_cache(const std::vector<core::ShardCacheRecord>& records) {
 // fingerprints a caller needs to compare runs.
 int run_scaled(const std::filesystem::path& out_dir, std::size_t scale,
                std::uint32_t subscribers, std::size_t jobs, bool eager,
-               const store::CacheConfig& cache, bool explain) {
+               const store::CacheConfig& cache, bool explain, bool isolate,
+               int max_shard_retries, bool worker_mode,
+               const std::vector<std::string>& worker_argv) {
+  core::ScaledCampaignOptions opts;
+  opts.jobs = jobs;
+  opts.eager = eager;
+  opts.cache = cache;
+  opts.isolate = isolate && !eager;
+  opts.max_shard_retries = max_shard_retries;
+  opts.worker_argv = worker_argv;
+  opts.interrupt = &g_interrupt;
+
+  if (worker_mode) {
+    const auto catalog =
+        ecosystem::generate_scaled_catalog(scale, subscribers, 20181031);
+    return run_worker_scaled(catalog, opts);
+  }
   std::printf(
       "generating scaled catalog: %zu providers, ~%u subscribers each...\n",
       scale, subscribers);
@@ -135,12 +222,10 @@ int run_scaled(const std::filesystem::path& out_dir, std::size_t scale,
               static_cast<unsigned long long>(catalog.total_subscribers()),
               static_cast<unsigned long long>(catalog.fingerprint()));
 
-  core::ScaledCampaignOptions opts;
-  opts.jobs = jobs;
-  opts.eager = eager;
-  opts.cache = cache;
-  std::printf("running scaled census (jobs=%zu, %s materialization)...\n",
-              jobs, eager ? "eager" : "deferred");
+  if (opts.isolate) install_interrupt_handlers();
+  std::printf("running scaled census (jobs=%zu, %s materialization%s)...\n",
+              jobs, eager ? "eager" : "deferred",
+              opts.isolate ? ", isolated workers" : "");
   const auto report = core::run_scaled_campaign(catalog, opts);
 
   {
@@ -169,6 +254,17 @@ int run_scaled(const std::filesystem::path& out_dir, std::size_t scale,
   std::printf("wrote %s and %s\n",
               (out_dir / "scale_census.csv").string().c_str(),
               (out_dir / "scale_manifest.json").string().c_str());
+  if (report.interrupted) {
+    std::fprintf(stderr, "interrupted: scaled census stopped early\n");
+    return 130;
+  }
+  if (!report.crashed_providers.empty()) {
+    std::fprintf(stderr,
+                 "crash quarantine: %zu census shard(s) crashed every "
+                 "isolated attempt (zeroed records merged)\n",
+                 report.crashed_providers.size());
+    return 3;
+  }
   return 0;
 }
 
@@ -190,6 +286,10 @@ int main(int argc, char** argv) {
   store::CacheConfig cache;
   bool cache_mode_set = false;
   bool explain = false;
+  bool isolate = false;
+  bool resume = false;
+  bool worker_mode = false;
+  int max_shard_retries = 2;
   faults::FaultProfile fault_profile = faults::FaultProfile::kOff;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0) {
@@ -239,21 +339,40 @@ int main(int argc, char** argv) {
       cache_mode_set = true;
     } else if (std::strcmp(argv[i], "--explain-cache") == 0) {
       explain = true;
+    } else if (std::strcmp(argv[i], "--isolate") == 0) {
+      isolate = true;
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      resume = true;
+    } else if (std::strcmp(argv[i], "--max-shard-retries") == 0) {
+      if (i + 1 >= argc) return usage();
+      max_shard_retries = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+      if (max_shard_retries < 0) return usage();
+    } else if (std::strcmp(argv[i], "--vpna-worker") == 0) {
+      worker_mode = true;
     } else if (argv[i][0] == '-') {
       return usage();
     } else {
       out_dir = argv[i];
     }
   }
-  std::filesystem::create_directories(out_dir);
+  if (!worker_mode) std::filesystem::create_directories(out_dir);
   // --cache-dir alone opens the store read-write; an explicit --cache mode
   // always wins (so `--cache-dir D --cache ro` is a read-only consult).
   if (!cache.dir.empty() && !cache_mode_set)
     cache.mode = store::CacheMode::kReadWrite;
+  // --resume replays an --isolate journal; it only makes sense isolated.
+  if (resume) isolate = true;
+  // Exec-mode workers re-parse this exact command line (so supervisor and
+  // worker derive identical shard tables); only the hidden flag is added.
+  std::vector<std::string> worker_argv;
+  if (isolate && !worker_mode) {
+    for (int i = 0; i < argc; ++i) worker_argv.emplace_back(argv[i]);
+    worker_argv.emplace_back("--vpna-worker");
+  }
 
   if (scale > 0)
-    return run_scaled(out_dir, scale, subscribers, jobs, eager, cache,
-                      explain);
+    return run_scaled(out_dir, scale, subscribers, jobs, eager, cache, explain,
+                      isolate, max_shard_retries, worker_mode, worker_argv);
 
   core::CampaignOptions opts;
   opts.runner.vantage_points_per_provider = 3;
@@ -269,17 +388,65 @@ int main(int argc, char** argv) {
   opts.status.file = status_path.string();
   opts.status.watchdog_multiple = watchdog_multiple;
   opts.cache = cache;
+  // Process isolation: exec-mode workers, a durable journal next to the
+  // artefacts, and cooperative interrupt handling.
+  opts.isolate = isolate;
+  opts.max_shard_retries = max_shard_retries;
+  opts.worker_argv = worker_argv;
+  opts.resume = resume;
+  if (isolate) {
+    opts.journal_path = (out_dir / "campaign.journal").string();
+    opts.interrupt = &g_interrupt;
+  }
+
+  // Hidden worker mode: options are fully assembled, so the shard table
+  // this process derives matches the supervisor's byte for byte.
+  if (worker_mode) return run_worker_base(opts, 20181031);
+
+  if (isolate && opts.trace.enabled) {
+    std::fprintf(stderr,
+                 "error: --isolate cannot run traced (--trace/--metrics/"
+                 "--trace-hops): a ShardTrace does not stream over the "
+                 "worker protocol\n");
+    return 2;
+  }
   if (cache.enabled() && opts.trace.enabled)
     std::fprintf(stderr,
                  "note: traced runs bypass the artifact cache "
                  "(a ShardTrace is not part of the cached artifact)\n");
+  if (resume && !cache.enabled())
+    std::fprintf(stderr,
+                 "note: --resume without --cache-dir has no artifacts to "
+                 "replay; journaled shards recompute\n");
   if (!profile_path.empty()) obs::Profiler::enable();
+  if (isolate) install_interrupt_handlers();
 
-  std::printf("running the full 62-provider campaign (jobs=%zu, faults=%s)...\n",
-              jobs, std::string(faults::profile_name(fault_profile)).c_str());
+  std::printf("running the full 62-provider campaign (jobs=%zu, faults=%s%s%s)...\n",
+              jobs, std::string(faults::profile_name(fault_profile)).c_str(),
+              isolate ? ", isolated workers" : "",
+              resume ? ", resuming" : "");
   core::ParallelCampaign campaign(opts);
   const auto result = campaign.run();
   const auto& reports = result.providers;
+
+  // Interrupted (SIGINT/SIGTERM under --isolate): the supervisor already
+  // reaped its workers and flushed the final status JSON; flush a partial
+  // run_manifest.json so the interruption is on the record, then exit 130.
+  // The payload is incomplete, so none of the payload artefacts is written
+  // — a later --resume run regenerates everything from the journal.
+  if (result.interrupted) {
+    const auto payload = analysis::serialize_campaign_payload(result);
+    {
+      std::ofstream manifest(out_dir / "run_manifest.json");
+      manifest << analysis::render_manifest_json(
+          analysis::build_run_manifest(opts, result, payload));
+    }
+    std::fprintf(stderr,
+                 "interrupted: campaign stopped early; wrote partial %s "
+                 "(re-run with --resume to finish)\n",
+                 (out_dir / "run_manifest.json").string().c_str());
+    return 130;
+  }
 
   // Artefacts. The serialize scope closes before the profile report is
   // taken, so the phase shows up in the profile file.
@@ -345,6 +512,13 @@ int main(int argc, char** argv) {
               100.0 * engine.parallel_efficiency());
   if (engine.failed_shards > 0)
     std::printf("  FAILED SHARDS: %zu\n", engine.failed_shards);
+  if (result.execution_isolated)
+    std::printf("  isolation: %zu worker spawn(s), %zu crash(es), "
+                "%zu kill(s), %zu timeout(s); %zu shard(s) resumed "
+                "from journal\n",
+                result.process_spawns, result.process_crashes,
+                result.process_kills, result.process_timeouts,
+                result.resumed_shards);
   if (cache.enabled())
     print_cache_summary(core::summarize_cache(result.cache_records), cache);
   if (explain) explain_cache(result.cache_records);
@@ -360,6 +534,18 @@ int main(int argc, char** argv) {
                  std::string(faults::profile_name(fault_profile)).c_str());
     for (const auto& name : result.degraded_providers)
       std::fprintf(stderr, "  degraded: %s\n", name.c_str());
+  }
+  // Crash quarantine is an engine-health event (worker death, not a shard
+  // outcome): report it on stderr and fail the run with exit code 3 even
+  // though the rest of the campaign merged cleanly.
+  if (!result.crash_quarantined_providers.empty()) {
+    std::fprintf(stderr,
+                 "crash quarantine: %zu provider shard(s) exhausted their "
+                 "%d retr%s on crashed workers:\n",
+                 result.crash_quarantined_providers.size(), max_shard_retries,
+                 max_shard_retries == 1 ? "y" : "ies");
+    for (const auto& name : result.crash_quarantined_providers)
+      std::fprintf(stderr, "  crash-quarantined: %s\n", name.c_str());
   }
   std::printf("  tunnel-failure leakers: %zu of %d\n",
               leakage.tunnel_failure_leakers.size(),

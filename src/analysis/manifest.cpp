@@ -32,6 +32,18 @@ RunManifest build_run_manifest(const core::CampaignOptions& options,
   m.shard_attempts = options.shard_attempts;
   m.trace_enabled = options.trace.enabled;
 
+  m.execution_mode = report.execution_isolated ? "isolated" : "in-process";
+  m.journal_path = options.journal_path;
+  m.resumed = options.resume;
+  m.interrupted = report.interrupted;
+  m.resumed_shards = report.resumed_shards;
+  m.crash_quarantined_providers = report.crash_quarantined_providers;
+  m.process_spawns = report.process_spawns;
+  m.process_crashes = report.process_crashes;
+  m.process_kills = report.process_kills;
+  m.process_timeouts = report.process_timeouts;
+  m.processes = report.processes;
+
   m.cache_mode = std::string(store::cache_mode_name(options.cache.mode));
   m.cache_dir = options.cache.dir;
   m.code_epoch = store::kCodeEpoch;
@@ -102,6 +114,38 @@ std::string render_manifest_json(const RunManifest& m) {
   out += util::format("    \"shard_attempts\": %d,\n", m.shard_attempts);
   out += util::format("    \"trace_enabled\": %s\n",
                       m.trace_enabled ? "true" : "false");
+  out += "  },\n";
+
+  out += "  \"execution\": {\n";
+  out += util::format("    \"mode\": \"%s\",\n",
+                      obs::json_escape(m.execution_mode).c_str());
+  out += util::format("    \"journal\": \"%s\",\n",
+                      obs::json_escape(m.journal_path).c_str());
+  out += util::format("    \"resumed\": %s,\n", m.resumed ? "true" : "false");
+  out += util::format("    \"interrupted\": %s,\n",
+                      m.interrupted ? "true" : "false");
+  out += util::format("    \"resumed_shards\": %zu,\n", m.resumed_shards);
+  out += "    \"crash_quarantined\": [";
+  for (std::size_t i = 0; i < m.crash_quarantined_providers.size(); ++i) {
+    out += i == 0 ? "" : ", ";
+    out += util::format(
+        "\"%s\"", obs::json_escape(m.crash_quarantined_providers[i]).c_str());
+  }
+  out += "],\n";
+  out += util::format("    \"process_spawns\": %zu,\n", m.process_spawns);
+  out += util::format("    \"process_crashes\": %zu,\n", m.process_crashes);
+  out += util::format("    \"process_kills\": %zu,\n", m.process_kills);
+  out += util::format("    \"process_timeouts\": %zu,\n", m.process_timeouts);
+  out += "    \"processes\": [";
+  for (std::size_t i = 0; i < m.processes.size(); ++i) {
+    const auto& p = m.processes[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += util::format(
+        "      {\"slot\": %d, \"spawns\": %zu, \"shards_done\": %zu, "
+        "\"crashes\": %zu}",
+        p.slot, p.spawns, p.shards_done, p.crashes);
+  }
+  out += m.processes.empty() ? "]\n" : "\n    ]\n";
   out += "  },\n";
 
   out += "  \"cache\": {\n";
@@ -198,7 +242,20 @@ std::string render_scaled_manifest_json(
   out += "  \"run\": {\n";
   out += util::format("    \"jobs\": %zu,\n", report.jobs);
   out += util::format("    \"eager\": %s,\n", report.eager ? "true" : "false");
-  out += util::format("    \"shards\": %zu\n", report.shards.size());
+  out += util::format("    \"shards\": %zu,\n", report.shards.size());
+  out += util::format("    \"mode\": \"%s\",\n",
+                      report.execution_isolated ? "isolated" : "in-process");
+  out += util::format("    \"interrupted\": %s,\n",
+                      report.interrupted ? "true" : "false");
+  out += "    \"crashed_providers\": [";
+  for (std::size_t i = 0; i < report.crashed_providers.size(); ++i) {
+    out += i == 0 ? "" : ", ";
+    out += util::format("\"%s\"",
+                        obs::json_escape(report.crashed_providers[i]).c_str());
+  }
+  out += "],\n";
+  out += util::format("    \"process_spawns\": %zu,\n", report.process_spawns);
+  out += util::format("    \"process_crashes\": %zu\n", report.process_crashes);
   out += "  },\n";
   out += "  \"cache\": {\n";
   out += util::format("    \"mode\": \"%s\",\n",

@@ -41,6 +41,23 @@ struct RunManifest {
   int shard_attempts = 1;
   bool trace_enabled = false;
 
+  // --- execution: process-isolation provenance --------------------------
+  // How shards were executed ("in-process" | "isolated") and, for isolated
+  // runs, what the supervisor observed: resume replays, crash-quarantined
+  // providers, worker-process lifecycle counters, and the final per-slot
+  // process snapshot. All telemetry except `mode`/`journal` (parameters).
+  std::string execution_mode = "in-process";
+  std::string journal_path;
+  bool resumed = false;       // run started from --resume
+  bool interrupted = false;   // SIGINT/SIGTERM cut the run short
+  std::size_t resumed_shards = 0;
+  std::vector<std::string> crash_quarantined_providers;
+  std::size_t process_spawns = 0;
+  std::size_t process_crashes = 0;
+  std::size_t process_kills = 0;
+  std::size_t process_timeouts = 0;
+  std::vector<obs::ProcessStatus> processes;
+
   // --- cache: artifact-store provenance ---------------------------------
   // What the content-addressed store did for this run: the full per-shard
   // key ids (canonical catalog order) and hit/miss/corrupt provenance.

@@ -80,6 +80,8 @@ CampaignEngineSummary summarize_campaign(const core::CampaignReport& report) {
   CampaignEngineSummary out;
   out.providers = report.providers.size();
   out.failed_shards = report.failed_providers.size();
+  out.crash_quarantined_shards = report.crash_quarantined_providers.size();
+  out.interrupted = report.interrupted;
   out.jobs = report.jobs;
   out.wall_s = report.wall_s;
   for (const auto& provider : report.providers) {
@@ -107,7 +109,10 @@ CampaignEngineSummary summarize_campaign(const core::CampaignReport& report) {
 }
 
 int campaign_exit_code(const CampaignEngineSummary& summary) noexcept {
-  return summary.failed_shards > 0 ? 1 : 0;
+  if (summary.interrupted) return 130;
+  if (summary.failed_shards > 0) return 1;
+  if (summary.crash_quarantined_shards > 0) return 3;
+  return 0;
 }
 
 std::string serialize_campaign_payload(const core::CampaignReport& report) {

@@ -69,6 +69,12 @@ struct CampaignEngineSummary {
   std::size_t quarantined_shards = 0;
   std::size_t degraded_providers = 0;
   std::size_t degraded_vantage_points = 0;
+  // Isolate-mode outcomes: shards quarantined because their worker process
+  // crashed every attempt, and whether a SIGINT/SIGTERM cut the run short.
+  // Crash quarantine is an engine-health event, not a modeled fault — it
+  // gets its own exit code even though the campaign completed.
+  std::size_t crash_quarantined_shards = 0;
+  bool interrupted = false;
   std::size_t jobs = 0;
   std::uint64_t tasks_run = 0;
   std::uint64_t steals = 0;
@@ -88,10 +94,17 @@ struct CampaignEngineSummary {
 [[nodiscard]] CampaignEngineSummary summarize_campaign(
     const core::CampaignReport& report);
 
-// Exit-code contract for campaign binaries: a run that completed with
-// degradation (quarantined shards, degraded vantage points) still exits 0 —
-// the payload carries the structured outcomes; only hard shard failures
-// (fault profile off, shard exhausted its attempts) exit non-zero.
+// Exit-code taxonomy for campaign binaries:
+//   0   — completed, payload trustworthy (including graceful fault-profile
+//         degradation: quarantined shards / degraded vantage points carry
+//         structured outcomes in the payload);
+//   1   — hard shard failure (fault profile off, shard exhausted attempts);
+//   2   — usage error (reserved for the CLI argument parser);
+//   3   — completed but one or more shards were crash-quarantined under
+//         --isolate (worker death every attempt): the campaign finished and
+//         merged cleanly, but the payload has placeholder rows;
+//   130 — interrupted (SIGINT/SIGTERM; 128 + SIGINT, set by the CLI).
+// Hard failure outranks crash quarantine when both occur.
 [[nodiscard]] int campaign_exit_code(
     const CampaignEngineSummary& summary) noexcept;
 

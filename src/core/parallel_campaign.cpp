@@ -9,12 +9,14 @@
 #include <thread>
 
 #include "core/report_codec.h"
+#include "core/shard_supervisor.h"
 #include "ecosystem/evaluated.h"
 #include "ecosystem/testbed.h"
 #include "faults/profile.h"
 #include "obs/profiler.h"
 #include "obs/trace.h"
 #include "store/code_epoch.h"
+#include "store/journal.h"
 #include "transport/policy.h"
 #include "util/mem.h"
 #include "util/rng.h"
@@ -346,6 +348,23 @@ class StatusMonitor {
   std::thread thread_;
 };
 
+// Binds a journal to one campaign configuration: the journaled outcomes
+// describe a computation of exactly (seed, code epoch, runner options,
+// canonical selection) — resume against anything else is refused.
+std::uint64_t campaign_execution_fingerprint(
+    const std::vector<std::string>& selection, std::uint64_t seed,
+    const RunnerOptions& options) {
+  std::string canon = util::format(
+      "vpna-campaign-exec-v1\x1f%llu\x1f%u\x1f%llu\x1f",
+      static_cast<unsigned long long>(seed), store::kCodeEpoch,
+      static_cast<unsigned long long>(runner_options_fingerprint(options)));
+  for (const auto& name : selection) {
+    canon += name;
+    canon.push_back('\x1f');
+  }
+  return util::fnv1a(canon);
+}
+
 }  // namespace
 
 ParallelCampaign::ParallelCampaign(CampaignOptions options)
@@ -353,6 +372,10 @@ ParallelCampaign::ParallelCampaign(CampaignOptions options)
 
 CampaignReport ParallelCampaign::run(const std::vector<std::string>& names,
                                      std::uint64_t seed) {
+  if (options_.isolate && options_.trace.enabled)
+    throw std::invalid_argument(
+        "ParallelCampaign: --isolate cannot trace shards (a ShardTrace does "
+        "not stream over the worker frame protocol)");
   const auto t0 = std::chrono::steady_clock::now();
   const auto selection = canonical_selection(names);
 
@@ -393,7 +416,203 @@ CampaignReport ParallelCampaign::run(const std::vector<std::string>& names,
     report.cache_records.resize(selection.size());
   }
 
-  if (options_.jobs == 1) {
+  if (options_.isolate) {
+    // Isolated path: shards run in supervised worker processes; the
+    // supervisor is single-threaded (fork safety), so status ticks happen
+    // inline instead of via a StatusMonitor thread. Cache consults and
+    // journal appends stay in this process — workers only compute.
+    const std::size_t jobs = options_.jobs == 0
+                                 ? std::max(1u, std::thread::hardware_concurrency())
+                                 : options_.jobs;
+    report.jobs = jobs;
+    report.execution_isolated = true;
+    if (status != nullptr) status->begin(selection, jobs);
+
+    const std::uint64_t exec_fp =
+        campaign_execution_fingerprint(selection, seed, options_.runner);
+    store::JournalHeader header;
+    header.campaign_fingerprint = exec_fp;
+    header.seed = seed;
+    header.shards = selection.size();
+    header.cache_dir = options_.cache.dir;
+
+    // Shards settled before the supervisor runs: journal replays first,
+    // then plain warm-cache hits. Both go through fetch_shard, so a
+    // replayed report is exactly the bytes a recompute would produce.
+    std::vector<char> settled(selection.size(), 0);
+    ShardCacheRecord scratch_record;
+    const auto record_for = [&](std::size_t i) {
+      return cache_ctx.enabled() ? &report.cache_records[i] : &scratch_record;
+    };
+
+    bool fresh_journal = true;
+    if (options_.resume && !options_.journal_path.empty()) {
+      store::JournalHeader old_header;
+      std::vector<store::JournalEntry> entries;
+      if (store::CampaignJournal::load(options_.journal_path, &old_header,
+                                       &entries)) {
+        if (old_header.campaign_fingerprint != exec_fp)
+          throw std::runtime_error(
+              "ParallelCampaign: --resume refused — the journal describes a "
+              "different campaign configuration (seed, code epoch, options, "
+              "or provider selection changed)");
+        fresh_journal = false;
+        for (const auto& e : entries) {
+          if (e.outcome != "done" || e.index >= selection.size()) continue;
+          if (e.provider != selection[e.index] || settled[e.index] != 0)
+            continue;
+          if (!cache_ctx.enabled() || cache_ctx.bypass) continue;
+          if (!e.key_id.empty() && e.key_id != cache_ctx.keys[e.index].id())
+            continue;  // journaled under a different key: recompute
+          if (status != nullptr) status->shard_started(e.index, -1);
+          if (fetch_shard(cache_ctx, e.index, selection[e.index],
+                          &report.providers[e.index], record_for(e.index),
+                          status)) {
+            settled[e.index] = 1;
+            ++report.resumed_shards;
+            if (status != nullptr)
+              status->shard_finished(e.index, obs::StatusBoard::Outcome::kDone);
+          }
+        }
+      }
+      // No loadable journal: a fresh run that happens to carry --resume.
+    }
+
+    std::optional<store::CampaignJournal> journal;
+    if (!options_.journal_path.empty())
+      journal = store::CampaignJournal::open(options_.journal_path, header,
+                                             fresh_journal);
+    const auto journal_record = [&](std::size_t i, std::string_view outcome,
+                                    int attempts, std::string_view detail) {
+      if (!journal || !journal->valid()) return;
+      store::JournalEntry e;
+      e.index = i;
+      e.provider = selection[i];
+      e.outcome = std::string(outcome);
+      if (cache_ctx.enabled()) e.key_id = cache_ctx.keys[i].id();
+      e.attempts = attempts;
+      e.detail = std::string(detail);
+      journal->record(e);
+    };
+
+    // Warm-cache pass for everything the journal didn't settle.
+    for (std::size_t i = 0; i < selection.size(); ++i) {
+      if (settled[i] != 0) continue;
+      if (!cache_ctx.enabled() || cache_ctx.bypass) break;
+      if (status != nullptr) status->shard_started(i, -1);
+      if (fetch_shard(cache_ctx, i, selection[i], &report.providers[i],
+                      record_for(i), status)) {
+        settled[i] = 1;
+        if (status != nullptr)
+          status->shard_finished(i, obs::StatusBoard::Outcome::kDone);
+        journal_record(i, "done", 0, "cache-hit");
+      }
+    }
+
+    std::vector<std::size_t> todo;
+    for (std::size_t i = 0; i < selection.size(); ++i)
+      if (settled[i] == 0) todo.push_back(i);
+
+    SupervisorOptions sup;
+    sup.jobs = jobs;
+    sup.max_shard_retries = options_.max_shard_retries;
+    sup.shard_timeout_s = options_.shard_timeout_s;
+    sup.term_grace_s = options_.term_grace_s;
+    sup.watchdog_multiple = options_.status.watchdog_multiple;
+    sup.watchdog_min_completed = options_.status.watchdog_min_completed;
+    sup.worker_argv = options_.worker_argv;
+    sup.graceful = graceful;
+    sup.interrupt = options_.interrupt;
+
+    const RunnerOptions runner_opts = options_.runner;
+    const std::vector<std::string> shard_names = selection;
+    ShardSupervisor supervisor(
+        sup, selection,
+        [shard_names, seed, runner_opts, plane](std::uint32_t index,
+                                                std::uint32_t) {
+          // Runs in the worker (fork mode). The frame payload is the
+          // canonical report encoding — the same bytes a cache artifact
+          // holds, so every consumer downstream decodes one format.
+          return encode_provider_report(run_provider_shard(
+              shard_names.at(index), seed, runner_opts, plane));
+        });
+
+    const auto on_terminal = [&](std::size_t i, const SupervisedShard& s) {
+      // Journal + artifact filing happen here, the moment the outcome is
+      // terminal: a supervisor killed right after this leaves a durable
+      // record of exactly the shards whose results survive.
+      switch (s.outcome) {
+        case SupervisedShard::Outcome::kDone: {
+          auto* record = record_for(i);
+          if (cache_ctx.enabled() && !cache_ctx.bypass &&
+              cache_ctx.store->config().writable() &&
+              cache_ctx.store->put(cache_ctx.keys[i], s.payload)) {
+            record->stored = true;
+            record->bytes = s.payload.size();
+          }
+          journal_record(i, "done", s.attempts, "");
+          break;
+        }
+        case SupervisedShard::Outcome::kCrashed:
+          journal_record(i, "quarantined", s.attempts, s.error);
+          break;
+        case SupervisedShard::Outcome::kError:
+          journal_record(i, graceful ? "quarantined" : "failed", s.attempts,
+                         s.error);
+          break;
+        default:
+          break;
+      }
+    };
+
+    SupervisorResult sres =
+        supervisor.run(todo, status, options_.status, on_terminal);
+
+    for (std::size_t i : todo) {
+      const SupervisedShard& s = sres.shards[i];
+      switch (s.outcome) {
+        case SupervisedShard::Outcome::kDone: {
+          ProviderReport decoded;
+          if (decode_provider_report(s.payload, &decoded) &&
+              decoded.provider == selection[i]) {
+            report.providers[i] = std::move(decoded);
+          } else {
+            // A checksummed frame that doesn't decode means codec skew,
+            // not line noise — quarantine rather than trust it.
+            report.providers[i] = quarantined_shard_report(selection[i]);
+            report.crash_quarantined_providers.push_back(selection[i]);
+          }
+          break;
+        }
+        case SupervisedShard::Outcome::kCrashed:
+          report.providers[i] = quarantined_shard_report(selection[i]);
+          report.crash_quarantined_providers.push_back(selection[i]);
+          break;
+        case SupervisedShard::Outcome::kError:
+          if (graceful) {
+            report.providers[i] = quarantined_shard_report(selection[i]);
+          } else {
+            report.providers[i] = failed_shard_report(selection[i]);
+            report.failed_providers.push_back(selection[i]);
+          }
+          break;
+        case SupervisedShard::Outcome::kSkipped:
+        case SupervisedShard::Outcome::kPending:
+          // Interrupted before completion: placeholder only. The run is
+          // reported interrupted, so nothing downstream trusts the payload.
+          report.providers[i] = failed_shard_report(selection[i]);
+          break;
+      }
+    }
+
+    report.interrupted = sres.interrupted;
+    report.process_spawns = sres.spawns;
+    report.process_crashes = sres.crashes;
+    report.process_kills = sres.kills;
+    report.process_timeouts = sres.timeouts;
+    report.processes = std::move(sres.processes);
+    if (!board) report.watchdog_alerts = sres.alerts;
+  } else if (options_.jobs == 1) {
     // Serial path: the identical shard tasks, run in-caller in catalog
     // order. No pool, no threads — the determinism baseline.
     report.jobs = 1;
@@ -607,6 +826,21 @@ ScaledShardCensus census_shard(const ecosystem::ScaledCatalog& catalog,
 
 }  // namespace
 
+ScaledShardCensus run_scaled_census_shard(
+    const ecosystem::ScaledCatalog& catalog, std::size_t index,
+    const ScaledCampaignOptions& options,
+    std::shared_ptr<const netsim::RoutingPlane> plane) {
+  if (index >= catalog.providers.size())
+    throw std::invalid_argument(
+        "run_scaled_census_shard: shard index out of range");
+  ecosystem::ScaledShardOptions shard_opts;
+  shard_opts.max_clients = options.max_clients;
+  auto shard = ecosystem::build_scaled_shard(
+      catalog, catalog.providers[index].spec.name, options.seed,
+      std::move(plane), shard_opts);
+  return census_shard(catalog, index, shard, options.max_clients);
+}
+
 store::ShardKey scaled_shard_key(const ecosystem::ScaledCatalog& catalog,
                                  const std::string& name,
                                  const ScaledCampaignOptions& options) {
@@ -668,30 +902,35 @@ ScaledCampaignReport run_scaled_campaign(
   std::atomic<std::uint64_t> arena_reserved{0};
   std::atomic<std::uint64_t> arena_used{0};
 
-  const auto run_one = [&](std::size_t i) {
+  // Cache consult; on a decodable hit fills *out and returns true.
+  const auto fetch_one = [&](std::size_t i, ScaledShardCensus* out) -> bool {
+    if (!cache_on) return false;
     const auto& name = catalog.providers[i].spec.name;
-    ShardCacheRecord* record =
-        cache_on ? &report.cache_records[i] : nullptr;
-    if (cache_on) {
-      obs::ProfileScope cache_profile("campaign.cache");
-      store::FetchResult fetched = art->fetch(keys[i]);
-      if (fetched.status == store::FetchStatus::kHit) {
-        ScaledShardCensus census;
-        if (decode_shard_census(fetched.payload, &census) &&
-            census.provider == name) {
-          record->outcome = ShardCacheRecord::Outcome::kHit;
-          record->bytes = fetched.payload.size();
-          return census;
-        }
-        art->discard(keys[i]);
-        fetched.status = store::FetchStatus::kCorrupt;
+    ShardCacheRecord* record = &report.cache_records[i];
+    obs::ProfileScope cache_profile("campaign.cache");
+    store::FetchResult fetched = art->fetch(keys[i]);
+    if (fetched.status == store::FetchStatus::kHit) {
+      ScaledShardCensus census;
+      if (decode_shard_census(fetched.payload, &census) &&
+          census.provider == name) {
+        record->outcome = ShardCacheRecord::Outcome::kHit;
+        record->bytes = fetched.payload.size();
+        *out = std::move(census);
+        return true;
       }
-      record->outcome = fetched.status == store::FetchStatus::kCorrupt
-                            ? ShardCacheRecord::Outcome::kCorrupt
-                            : ShardCacheRecord::Outcome::kMiss;
+      art->discard(keys[i]);
+      fetched.status = store::FetchStatus::kCorrupt;
     }
-    // Deferred mode: the world exists only between here and the end of
-    // this call — peak RSS is bounded by live workers, not shard count.
+    record->outcome = fetched.status == store::FetchStatus::kCorrupt
+                          ? ShardCacheRecord::Outcome::kCorrupt
+                          : ShardCacheRecord::Outcome::kMiss;
+    return false;
+  };
+
+  // Deferred mode: the world exists only between here and the end of
+  // this call — peak RSS is bounded by live workers, not shard count.
+  const auto compute_one = [&](std::size_t i) {
+    const auto& name = catalog.providers[i].spec.name;
     auto shard = ecosystem::build_scaled_shard(catalog, name, options.seed,
                                                plane, shard_opts);
     if (shard.world) {
@@ -700,15 +939,23 @@ ScaledCampaignReport run_scaled_campaign(
       arena_used.fetch_add(shard.world->host_arena_used_bytes(),
                            std::memory_order_relaxed);
     }
-    auto census = census_shard(catalog, i, shard, options.max_clients);
-    if (cache_on && art->config().writable()) {
-      obs::ProfileScope cache_profile("campaign.cache");
-      const std::string bytes = encode_shard_census(census);
-      if (art->put(keys[i], bytes)) {
-        record->stored = true;
-        record->bytes = bytes.size();
-      }
+    return census_shard(catalog, i, shard, options.max_clients);
+  };
+
+  const auto store_one = [&](std::size_t i, const std::string& bytes) {
+    if (!cache_on || !art->config().writable()) return;
+    obs::ProfileScope cache_profile("campaign.cache");
+    if (art->put(keys[i], bytes)) {
+      report.cache_records[i].stored = true;
+      report.cache_records[i].bytes = bytes.size();
     }
+  };
+
+  const auto run_one = [&](std::size_t i) {
+    ScaledShardCensus census;
+    if (fetch_one(i, &census)) return census;
+    census = compute_one(i);
+    store_one(i, encode_shard_census(census));
     return census;
   };
 
@@ -733,6 +980,66 @@ ScaledCampaignReport run_scaled_campaign(
       report.shards[i] =
           census_shard(catalog, i, worlds[i], options.max_clients);
     }
+  } else if (options.isolate) {
+    // Isolated census: misses run in supervised worker processes; cache
+    // consults and artifact puts stay in the supervisor. A shard that
+    // crashes every attempt keeps a zeroed census record (provider name
+    // only), listed in crashed_providers, and the campaign completes.
+    const std::size_t jobs =
+        options.jobs == 0 ? std::max(1u, std::thread::hardware_concurrency())
+                          : options.jobs;
+    report.jobs = jobs;
+    report.execution_isolated = true;
+    std::vector<std::string> names;
+    names.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      names.push_back(catalog.providers[i].spec.name);
+
+    std::vector<std::size_t> todo;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (fetch_one(i, &report.shards[i])) continue;
+      todo.push_back(i);
+    }
+
+    SupervisorOptions sup;
+    sup.jobs = jobs;
+    sup.max_shard_retries = options.max_shard_retries;
+    sup.term_grace_s = options.term_grace_s;
+    sup.worker_argv = options.worker_argv;
+    sup.graceful = true;  // census shards degrade, never hard-fail the run
+    sup.interrupt = options.interrupt;
+
+    ShardSupervisor supervisor(
+        sup, names, [&compute_one](std::uint32_t index, std::uint32_t) {
+          return encode_shard_census(compute_one(index));
+        });
+    const obs::StatusOptions no_status;
+    SupervisorResult sres = supervisor.run(
+        todo, nullptr, no_status,
+        [&](std::size_t i, const SupervisedShard& s) {
+          if (s.outcome == SupervisedShard::Outcome::kDone)
+            store_one(i, s.payload);
+        });
+
+    for (std::size_t i : todo) {
+      const SupervisedShard& s = sres.shards[i];
+      ScaledShardCensus decoded;
+      if (s.outcome == SupervisedShard::Outcome::kDone &&
+          decode_shard_census(s.payload, &decoded) &&
+          decoded.provider == names[i]) {
+        report.shards[i] = std::move(decoded);
+        continue;
+      }
+      report.shards[i] = ScaledShardCensus{};
+      report.shards[i].provider = names[i];
+      report.shards[i].modeled_subscribers = catalog.subscribers[i];
+      if (s.outcome != SupervisedShard::Outcome::kSkipped &&
+          s.outcome != SupervisedShard::Outcome::kPending)
+        report.crashed_providers.push_back(names[i]);
+    }
+    report.interrupted = sres.interrupted;
+    report.process_spawns = sres.spawns;
+    report.process_crashes = sres.crashes;
   } else if (options.jobs == 1) {
     report.jobs = 1;
     for (std::size_t i = 0; i < n; ++i) report.shards[i] = run_one(i);

@@ -6,6 +6,7 @@
 // is byte-identical at any worker count and under any scheduling order.
 #pragma once
 
+#include <csignal>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -58,6 +59,36 @@ struct CampaignOptions {
   // Traced runs bypass the cache — a ShardTrace is not part of the cached
   // artifact, so a hit could not reproduce it.
   store::CacheConfig cache;
+
+  // --- process isolation (`--isolate`) --------------------------------------
+  // Run every shard in a supervised worker process instead of a pool
+  // thread: reports stream back as checksummed frames, and a worker that
+  // segfaults, is OOM-killed, or hangs is contained — its shard retries on
+  // a fresh process and, exhausted, quarantines while the campaign
+  // completes. The payload stays byte-identical to the in-process engine
+  // (same shard purity, same canonical merge; the isolate identity test
+  // byte-compares them). Incompatible with tracing (a ShardTrace cannot
+  // stream over the frame protocol): isolate + trace.enabled throws.
+  bool isolate = false;
+  // Re-runs granted after a shard's first isolated attempt (crash or
+  // in-worker exception alike). The in-process `shard_attempts` knob is
+  // ignored under isolation — this is the whole retry policy.
+  int max_shard_retries = 2;
+  // SIGTERM→SIGKILL grace for hang escalation and shutdown.
+  double term_grace_s = 2.0;
+  // Exec-mode worker command line (a process that speaks the worker
+  // protocol on its stdio, e.g. `full_campaign ... --vpna-worker`). Empty
+  // = fork mode: workers fork from this process, no exec.
+  std::vector<std::string> worker_argv;
+  // Durable append-only journal (store::CampaignJournal). Empty = none.
+  std::string journal_path;
+  // Replay journaled-done shards whose artifacts still fetch + decode
+  // (requires `cache`); everything else recomputes. Resume against a
+  // journal from a different campaign configuration throws.
+  bool resume = false;
+  // Cooperative SIGINT/SIGTERM flag: when non-zero the supervisor stops
+  // dispatching, reaps workers, and returns with interrupted = true.
+  const volatile std::sig_atomic_t* interrupt = nullptr;
 };
 
 // Per-shard cache provenance, recorded in canonical catalog order alongside
@@ -128,6 +159,26 @@ struct CampaignReport {
   // empty when the cache is disabled. Telemetry — store state varies run
   // to run, so this never feeds the payload.
   std::vector<ShardCacheRecord> cache_records;
+  // --- isolate-mode provenance/telemetry ------------------------------------
+  // True when the run used supervised worker processes.
+  bool execution_isolated = false;
+  // True when a SIGINT/SIGTERM interrupt cut the run short; unfinished
+  // shards hold empty placeholders and the payload is incomplete.
+  bool interrupted = false;
+  // Providers quarantined because their shard *crashed* every isolated
+  // attempt (worker death/kill, not an in-shard exception). Canonical
+  // catalog order. Distinct from fault-profile quarantine: a crash
+  // quarantine is an engine-health event and fails the run with its own
+  // exit code even though the campaign completed.
+  std::vector<std::string> crash_quarantined_providers;
+  // Shards replayed from the journal + artifact store by --resume.
+  std::size_t resumed_shards = 0;
+  // Worker-process lifecycle counters (wall-clock telemetry).
+  std::size_t process_spawns = 0;
+  std::size_t process_crashes = 0;
+  std::size_t process_kills = 0;
+  std::size_t process_timeouts = 0;
+  std::vector<obs::ProcessStatus> processes;  // final per-slot snapshot
   double wall_s = 0.0;
 };
 
@@ -185,6 +236,16 @@ struct ScaledCampaignOptions {
   // catalog's provider_fingerprint() — independent of catalog size, so
   // growing N providers to N+1 recomputes exactly the one new shard.
   store::CacheConfig cache;
+  // Process isolation (same machinery as CampaignOptions::isolate): census
+  // shards run in supervised worker processes; a crashed shard retries and,
+  // exhausted, keeps a zeroed census record so the catalog-order payload
+  // still completes. Ignored in eager mode (the RSS baseline is in-process
+  // by definition).
+  bool isolate = false;
+  int max_shard_retries = 2;
+  double term_grace_s = 2.0;
+  std::vector<std::string> worker_argv;  // empty = fork-mode workers
+  const volatile std::sig_atomic_t* interrupt = nullptr;
 };
 
 // One shard's deterministic census record.
@@ -214,6 +275,13 @@ struct ScaledCampaignReport {
   std::uint64_t arena_used_bytes = 0;
   // Cache provenance in canonical catalog order; empty when disabled.
   std::vector<ShardCacheRecord> cache_records;
+  // Isolate-mode provenance: providers whose census shard crashed every
+  // attempt (zeroed record in `shards`), plus process telemetry.
+  bool execution_isolated = false;
+  bool interrupted = false;
+  std::vector<std::string> crashed_providers;
+  std::size_t process_spawns = 0;
+  std::size_t process_crashes = 0;
   // Wall-clock telemetry, excluded from the payload.
   std::size_t peak_rss_kb = 0;
   double wall_s = 0.0;
@@ -222,6 +290,15 @@ struct ScaledCampaignReport {
 [[nodiscard]] ScaledCampaignReport run_scaled_campaign(
     const ecosystem::ScaledCatalog& catalog,
     const ScaledCampaignOptions& options = {});
+
+// One scaled shard's census, computed in isolation: builds the provider's
+// shard world, censuses it, and tears it down. This is the worker-process
+// entry point for isolated scaled campaigns (`--scale --isolate`); pure,
+// so it agrees byte for byte with the in-process engine.
+[[nodiscard]] ScaledShardCensus run_scaled_census_shard(
+    const ecosystem::ScaledCatalog& catalog, std::size_t index,
+    const ScaledCampaignOptions& options,
+    std::shared_ptr<const netsim::RoutingPlane> plane = nullptr);
 
 // Content address of one scaled census shard: same six-field shape as
 // campaign_shard_key, with the catalog slice fingerprint coming from

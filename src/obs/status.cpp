@@ -88,6 +88,16 @@ void StatusBoard::set_workers(std::vector<WorkerStatus> workers) {
   workers_ = std::move(workers);
 }
 
+void StatusBoard::set_processes(std::vector<ProcessStatus> processes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  processes_ = std::move(processes);
+}
+
+void StatusBoard::add_alert(WatchdogAlert alert) {
+  std::lock_guard<std::mutex> lock(mu_);
+  alerts_.push_back(std::move(alert));
+}
+
 double StatusBoard::median_completed_locked() const {
   if (completed_walls_.empty()) return 0.0;
   std::vector<double> walls = completed_walls_;
@@ -163,6 +173,7 @@ StatusSnapshot StatusBoard::snapshot() const {
   }
   snap.alerts = alerts_;
   snap.workers = workers_;
+  snap.processes = processes_;
   snap.cache_hits = cache_hits_;
   snap.cache_misses = cache_misses_;
   snap.cache_corrupt = cache_corrupt_;
@@ -222,7 +233,18 @@ std::string render_status_json(const StatusSnapshot& snap) {
         static_cast<unsigned long long>(w.retries),
         static_cast<unsigned long long>(w.timeouts), w.busy_wall_s);
   }
-  out += snap.workers.empty() ? "]\n" : "\n  ]\n";
+  out += snap.workers.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"processes\": [";
+  for (std::size_t i = 0; i < snap.processes.size(); ++i) {
+    const auto& p = snap.processes[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += util::format(
+        "    {\"slot\": %d, \"pid\": %ld, \"alive\": %s, \"spawns\": %zu, "
+        "\"shards_done\": %zu, \"crashes\": %zu, \"shard\": \"%s\"}",
+        p.slot, p.pid, p.alive ? "true" : "false", p.spawns, p.shards_done,
+        p.crashes, json_escape(p.shard).c_str());
+  }
+  out += snap.processes.empty() ? "]\n" : "\n  ]\n";
   out += "}\n";
   return out;
 }

@@ -72,6 +72,19 @@ struct WorkerStatus {
   double busy_wall_s = 0.0;
 };
 
+// Per-worker-process telemetry for isolated (`--isolate`) campaigns: one
+// entry per supervisor slot, pushed by the shard supervisor each status
+// tick and carried verbatim into the JSON's "processes" array.
+struct ProcessStatus {
+  int slot = -1;
+  long pid = -1;     // current process id; -1 when the slot is empty
+  bool alive = false;
+  std::size_t spawns = 0;       // processes this slot has started
+  std::size_t shards_done = 0;  // ok frames received across all of them
+  std::size_t crashes = 0;      // deaths with a shard in flight
+  std::string shard;            // in-flight shard name; empty when idle
+};
+
 // Point-in-time view assembled by StatusBoard::snapshot().
 struct StatusSnapshot {
   std::size_t total = 0;
@@ -96,6 +109,7 @@ struct StatusSnapshot {
   std::vector<RunningShard> in_flight;  // shard-index order
   std::vector<WatchdogAlert> alerts;    // every alert raised so far
   std::vector<WorkerStatus> workers;    // last pool snapshot pushed
+  std::vector<ProcessStatus> processes;  // isolate mode: per-slot processes
   // Artifact-cache counters (campaigns with a cache enabled; all zero
   // otherwise). Hits show up live, so a warm run's status stream makes
   // "nothing is being recomputed" visible while in flight.
@@ -133,6 +147,15 @@ class StatusBoard {
   // these each rewrite so the JSON carries per-worker retry/timeout data).
   void set_workers(std::vector<WorkerStatus> workers);
 
+  // Latest per-worker-process snapshot (isolate mode; the supervisor
+  // pushes one entry per slot each status tick).
+  void set_processes(std::vector<ProcessStatus> processes);
+
+  // Records an externally raised watchdog alert (the shard supervisor
+  // detects stalls with its own clock — escalation needs it — but the
+  // alert still belongs in this board's status stream).
+  void add_alert(WatchdogAlert alert);
+
   // Runs one watchdog pass; returns only the alerts newly raised by this
   // scan (each shard alerts at most once per attempt).
   std::vector<WatchdogAlert> watchdog_scan(double multiple,
@@ -161,6 +184,7 @@ class StatusBoard {
   std::vector<double> completed_walls_;  // successful shards only
   std::vector<WatchdogAlert> alerts_;
   std::vector<WorkerStatus> workers_;
+  std::vector<ProcessStatus> processes_;
   std::size_t jobs_ = 0;
   double begin_s_ = 0.0;
   std::size_t cache_hits_ = 0;

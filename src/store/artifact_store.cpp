@@ -6,6 +6,8 @@
 #include <fstream>
 #include <system_error>
 
+#include <unistd.h>
+
 #include "util/rng.h"
 #include "util/strings.h"
 
@@ -215,15 +217,17 @@ bool ArtifactStore::put(const ShardKey& key, std::string_view payload) const {
   append_u64(bytes, util::fnv1a(payload));
   bytes.append(payload.data(), payload.size());
 
-  // Unique temp name per writer (process-wide counter) in the store
-  // directory, then an atomic same-directory rename: readers only ever see
-  // complete artifacts, and two writers racing on one key both leave a
-  // valid file (last rename wins; the bytes are identical by the
-  // determinism contract anyway).
+  // Unique temp name per writer — pid *and* a process-wide counter, so no
+  // two writers ever share a temp file even across processes (forked
+  // campaign workers start with identical counters; a counter alone would
+  // collide and interleave their bytes). Then an atomic same-directory
+  // rename: readers only ever see complete artifacts, and two writers
+  // racing on one key both leave a valid file (last rename wins; the bytes
+  // are identical by the determinism contract anyway).
   static std::atomic<std::uint64_t> tmp_counter{0};
   const std::string final_path = path_for(key);
   const std::string tmp_path = util::format(
-      "%s.tmp.%llu", final_path.c_str(),
+      "%s.tmp.%ld.%llu", final_path.c_str(), static_cast<long>(::getpid()),
       static_cast<unsigned long long>(
           tmp_counter.fetch_add(1, std::memory_order_relaxed)));
   {

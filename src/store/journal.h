@@ -1,0 +1,88 @@
+// Durable append-only campaign journal: the crash-recovery record behind
+// `full_campaign --resume`.
+//
+// The journal is a JSONL file. Line 1 is a header binding the file to one
+// campaign configuration (a fingerprint over seed, code epoch, runner
+// options, and the canonical shard selection); every subsequent line
+// records one shard reaching a terminal outcome:
+//
+//   {"type":"header","version":1,"campaign_fp":"<16hex>","seed":N,
+//    "shards":N,"cache_dir":"..."}
+//   {"type":"shard","index":I,"provider":"...","outcome":"done",
+//    "key":"<32hex>","attempts":N,"detail":"..."}
+//
+// Appends are a single O_APPEND write(2) of one complete line followed by
+// fdatasync, so a reader (or a resumed run) sees only whole records; a
+// supervisor killed mid-append leaves at most one torn final line, which
+// load() ignores. The journal records *facts about this run* — which is
+// what distinguishes it from the content-addressed artifact store: the
+// store says "a result for this key exists somewhere", the journal says
+// "this campaign already produced it". Resume intersects the two: a
+// journaled "done" shard whose artifact still fetches and decodes is
+// replayed; anything else (quarantined, failed, torn, missing artifact)
+// is recomputed, so a resumed payload is byte-identical to an
+// uninterrupted run.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vpna::store {
+
+inline constexpr std::uint32_t kJournalVersion = 1;
+
+struct JournalHeader {
+  std::uint32_t version = kJournalVersion;
+  // Binds the journal to one campaign configuration; a resume against a
+  // mismatching fingerprint is refused (the journaled outcomes describe a
+  // different computation).
+  std::uint64_t campaign_fingerprint = 0;
+  std::uint64_t seed = 0;
+  std::size_t shards = 0;
+  std::string cache_dir;  // where the artifacts live (diagnostics)
+};
+
+struct JournalEntry {
+  std::size_t index = 0;
+  std::string provider;
+  std::string outcome;  // "done" | "quarantined" | "failed"
+  std::string key_id;   // artifact content address; empty when no cache
+  int attempts = 0;
+  std::string detail;   // e.g. the worker's exit status on a crash
+};
+
+class CampaignJournal {
+ public:
+  CampaignJournal() = default;
+  ~CampaignJournal();
+  CampaignJournal(CampaignJournal&&) noexcept;
+  CampaignJournal& operator=(CampaignJournal&&) noexcept;
+  CampaignJournal(const CampaignJournal&) = delete;
+  CampaignJournal& operator=(const CampaignJournal&) = delete;
+
+  // Opens `path` for appending. `fresh` truncates and writes the header
+  // (a new run); otherwise the header must already match — append-only
+  // continuation (a resumed run records only the shards it completes).
+  // Returns an engaged journal, or nullopt on I/O failure (callers run
+  // unjournaled — the journal is provenance, never a required dependency).
+  [[nodiscard]] static std::optional<CampaignJournal> open(
+      const std::string& path, const JournalHeader& header, bool fresh);
+
+  // Appends one terminal-outcome record (single atomic write + fdatasync).
+  void record(const JournalEntry& entry);
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+
+  // Reads a journal back: header plus every complete entry line, ignoring
+  // a torn trailing line. false when the file is missing/empty/unparsable.
+  [[nodiscard]] static bool load(const std::string& path,
+                                 JournalHeader* header,
+                                 std::vector<JournalEntry>* entries);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace vpna::store

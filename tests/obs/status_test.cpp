@@ -261,6 +261,43 @@ TEST(StatusStream, PoolTimeoutCountersSurfaceInStatusJson) {
               json.find("\"timeouts\": 2") != std::string::npos);
 }
 
+// Isolate-mode telemetry: per-worker-process rows pushed by the shard
+// supervisor surface in the status JSON, and alerts injected via
+// add_alert land next to the board's own watchdog records.
+TEST(StatusStream, ProcessRowsAndInjectedAlertsSurfaceInStatusJson) {
+  StatusBoard board;
+  board.begin({"shard-a", "shard-b"}, 2);
+
+  ProcessStatus p;
+  p.slot = 1;
+  p.pid = 4242;
+  p.alive = true;
+  p.spawns = 3;
+  p.shards_done = 7;
+  p.crashes = 2;
+  p.shard = "shard-b";
+  board.set_processes({p});
+
+  WatchdogAlert alert;
+  alert.shard = "shard-b";
+  alert.elapsed_s = 9.0;
+  alert.median_s = 3.0;
+  board.add_alert(alert);
+
+  const auto snapshot = board.snapshot();
+  ASSERT_EQ(snapshot.processes.size(), 1u);
+  EXPECT_EQ(snapshot.processes[0].pid, 4242);
+  ASSERT_EQ(snapshot.alerts.size(), 1u);
+  EXPECT_EQ(snapshot.alerts[0].shard, "shard-b");
+
+  const auto json = render_status_json(snapshot);
+  EXPECT_NE(json.find("\"processes\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\": 4242"), std::string::npos);
+  EXPECT_NE(json.find("\"spawns\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"crashes\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"shard\": \"shard-b\""), std::string::npos);
+}
+
 TEST(StatusStream, CurrentWorkerIndexIsMinusOneOffPool) {
   EXPECT_EQ(util::TaskPool::current_worker_index(), -1);
   util::TaskPool pool(2);
